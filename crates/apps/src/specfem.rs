@@ -1,0 +1,578 @@
+//! SPECFEM3D proxy: spectral-element seismic wave propagation.
+//!
+//! Kernel structure mirrored from the public SPECFEM3D_GLOBE solver loop:
+//!
+//! 1. **`stiffness-matmul`** — per-element application of the elastic
+//!    operator: strided sweeps over the displacement field, repeated reads
+//!    of the small element-local workspace (derivative matrices), indirect
+//!    (mesh-connectivity) gathers, FMA-dominated arithmetic.
+//! 2. **`attenuation-update`** — a kernel whose footprint is the
+//!    *constant-size* element workspace, independent of core count. This is
+//!    the paper's Table III block: its L1 hit rate does not move under
+//!    strong scaling, but jumps when the hypothetical target's L1 grows
+//!    from 12 KB to 56 KB.
+//! 3. **`boundary-gather`** — assembling interface values with random
+//!    access into the displacement field.
+//! 4. **`newmark-update`** — the unit-stride time-integration sweep over
+//!    all grid points.
+//! 5. **`reduce-norm`** — stability-norm computation whose trip count grows
+//!    with ⌈log₂ P⌉ (tree-combine work), the logarithmic canonical form's
+//!    natural source.
+//! 6. **`source-inject`** — the seismic source, which lives on the master
+//!    rank: a constant amount of work regardless of core count.
+//! 7. **`master-collect`** — the master rank's aggregation of interface
+//!    summaries from every task: its trip count grows *linearly with P*.
+//!
+//! Strong scaling: the global element count is fixed; per-rank regions and
+//! trip counts derive from [`scaled_share`]. Communication per timestep: a
+//! six-neighbor halo exchange, a source-parameter broadcast, and an 8-byte
+//! allreduce.
+//!
+//! The master structure is the key to matching the paper's observations.
+//! The methodology extrapolates "the MPI task that consumed the most
+//! computational time", and the paper's own element plots (Figures 4–5)
+//! show that task's features *flat or growing* with core count — behaviour
+//! characteristic of a master/bottleneck rank whose coordination work
+//! scales with the job, not of a pure 1/P worker (whose hyperbolically
+//! decaying counts lie outside the span of the four canonical forms). Here
+//! rank 0 carries the source and the aggregation duties, so it is always
+//! the longest task, and by the target scale its runtime is dominated by
+//! constant/linear/logarithmic elements the fits capture exactly; the
+//! strong-scaled worker kernels shrink below the 0.1% influence threshold,
+//! exactly as the paper reports for its high-error elements.
+
+use serde::{Deserialize, Serialize};
+use xtrace_ir::{
+    AddressPattern, BasicBlock, BlockId, FpOp, Instruction, MemOp, Program, SourceLoc,
+};
+use xtrace_spmd::{NetworkModel, RankEvent, RankProgram, SpmdApp};
+
+use crate::decomp::{neighbors6, scaled_share, ScalingMode};
+use crate::ProxyApp;
+
+/// Global (core-count-independent) problem description.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpecfemConfig {
+    /// Total spectral elements in the mesh.
+    pub total_elements: u64,
+    /// Gauss–Lobatto–Legendre points per element edge (points per element
+    /// = `gll³`).
+    pub gll: u32,
+    /// Timesteps simulated.
+    pub timesteps: u64,
+    /// Element-local workspace bytes (derivative matrices etc.) —
+    /// deliberately between 12 KB and 56 KB for the Table III experiment.
+    pub elem_work_bytes: u64,
+    /// Base trip count of the `reduce-norm` block (scaled by ⌈log₂ P⌉).
+    pub norm_base: u64,
+    /// Trips of the master rank's `source-inject` block (constant in P).
+    pub source_iters: u64,
+    /// Per-task trips of the master's `master-collect` block (total trips =
+    /// `collect_per_rank × P`).
+    pub collect_per_rank: u64,
+    /// Master aggregation buffer bytes (constant in P).
+    pub master_buf_bytes: u64,
+    /// Strong (fixed global mesh) or weak (fixed per-rank mesh) scaling.
+    pub scaling: ScalingMode,
+}
+
+impl SpecfemConfig {
+    /// Points per element.
+    pub fn points_per_element(&self) -> u64 {
+        u64::from(self.gll).pow(3)
+    }
+}
+
+/// The proxy application.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpecfemProxy {
+    /// Problem description.
+    pub cfg: SpecfemConfig,
+}
+
+impl SpecfemProxy {
+    /// Full-scale configuration used by the paper-reproduction experiments
+    /// (traced at 96/384/1536 cores, evaluated at 6144).
+    pub fn paper_scale() -> Self {
+        Self {
+            cfg: SpecfemConfig {
+                total_elements: 884_736, // 96^3 elements
+                gll: 5,
+                timesteps: 962,
+                elem_work_bytes: 24 * 1024,
+                norm_base: 4096,
+                source_iters: 2_000_000,
+                collect_per_rank: 8192,
+                master_buf_bytes: 32 * 1024 * 1024,
+                scaling: ScalingMode::Strong,
+            },
+        }
+    }
+
+    /// The paper-scale problem under weak scaling: `total_elements / 96`
+    /// elements *per rank* at every core count (matching the strong
+    /// configuration at its smallest training count).
+    pub fn paper_scale_weak() -> Self {
+        let mut app = Self::paper_scale();
+        app.cfg.total_elements /= 96;
+        app.cfg.scaling = ScalingMode::Weak;
+        app
+    }
+
+    /// Tiny configuration for unit tests, doctests, and examples.
+    pub fn small() -> Self {
+        Self {
+            cfg: SpecfemConfig {
+                total_elements: 768,
+                gll: 3,
+                timesteps: 4,
+                elem_work_bytes: 24 * 1024,
+                norm_base: 64,
+                source_iters: 2048,
+                collect_per_rank: 64,
+                master_buf_bytes: 256 * 1024,
+                scaling: ScalingMode::Strong,
+            },
+        }
+    }
+
+    /// Elements owned by `rank` at `nranks` (strong scaling with
+    /// remainder-aware distribution).
+    pub fn elements_of(&self, rank: u32, nranks: u32) -> u64 {
+        scaled_share(self.cfg.total_elements, rank, nranks, self.cfg.scaling).max(1)
+    }
+
+    /// Interface (boundary) points of a rank's near-cubic element patch.
+    fn boundary_points(&self, elems: u64) -> u64 {
+        let faces = 6.0 * (elems as f64).powf(2.0 / 3.0);
+        let per_face_pts = u64::from(self.cfg.gll).pow(2);
+        ((faces.ceil() as u64).max(1)) * per_face_pts
+    }
+}
+
+impl SpmdApp for SpecfemProxy {
+    fn name(&self) -> &str {
+        "specfem3d-proxy"
+    }
+
+    fn rank_program(&self, rank: u32, nranks: u32) -> RankProgram {
+        let cfg = &self.cfg;
+        let elems = self.elements_of(rank, nranks);
+        let pts = elems * cfg.points_per_element();
+        let bpoints = self.boundary_points(elems);
+
+        let mut b = Program::builder();
+        // Wavefield arrays (3 components each, SoA, unit-stride sweeps).
+        let displ = b.region("displ", pts * 3 * 8, 8);
+        let accel = b.region("accel", pts * 3 * 8, 8);
+        let veloc = b.region("veloc", pts * 3 * 8, 8);
+        // Constant-footprint element workspace (Table III region).
+        let work = b.region("elem-work", cfg.elem_work_bytes, 8);
+        // Interface assembly buffer.
+        let bound = b.region("bound-buf", bpoints * 8, 8);
+        // Master aggregation buffer (constant footprint, master-sized work).
+        let master_buf = b.region("master-buf", cfg.master_buf_bytes, 8);
+        // The seismic source's local neighborhood: a point source touches a
+        // fixed set of elements regardless of the decomposition, so this
+        // region's footprint is constant in P.
+        let source_field = b.region("source-field", 2 * 1024 * 1024, 8);
+
+        let unit = AddressPattern::unit(8);
+
+        let stiffness = b.block(
+            BasicBlock::new(
+                BlockId(0),
+                "stiffness-matmul",
+                SourceLoc::new("compute_forces.f90", 312, "compute_forces_elastic"),
+                pts,
+                vec![
+                    Instruction::mem(MemOp::Load, displ, 8, unit).with_repeat(3),
+                    Instruction::mem(MemOp::Load, work, 8, unit).with_repeat(2),
+                    Instruction::mem(MemOp::Load, displ, 8, AddressPattern::Random),
+                    Instruction::fp(FpOp::Fma).with_repeat(9),
+                    Instruction::fp(FpOp::Mul).with_repeat(2),
+                    Instruction::mem(MemOp::Store, accel, 8, unit).with_repeat(3),
+                ],
+            )
+            .with_ilp(2.5),
+        );
+
+        let attenuation = b.block(
+            BasicBlock::new(
+                BlockId(0),
+                "attenuation-update",
+                SourceLoc::new("attenuation.f90", 88, "update_memory_variables"),
+                pts,
+                vec![
+                    Instruction::mem(MemOp::Load, work, 8, unit).with_repeat(2),
+                    Instruction::fp(FpOp::Fma).with_repeat(4),
+                    Instruction::fp(FpOp::Mul),
+                ],
+            )
+            .with_ilp(2.0),
+        );
+
+        let boundary = b.block(
+            BasicBlock::new(
+                BlockId(0),
+                "boundary-gather",
+                SourceLoc::new("assemble_mpi.f90", 141, "assemble_boundary"),
+                bpoints,
+                vec![
+                    Instruction::mem(MemOp::Load, displ, 8, AddressPattern::Random),
+                    Instruction::fp(FpOp::Add).with_repeat(2),
+                    Instruction::mem(MemOp::Store, bound, 8, unit),
+                ],
+            )
+            .with_ilp(1.5),
+        );
+
+        let newmark = b.block(
+            BasicBlock::new(
+                BlockId(0),
+                "newmark-update",
+                SourceLoc::new("update_displacement.f90", 54, "update_displ"),
+                pts * 3,
+                vec![
+                    Instruction::mem(MemOp::Load, accel, 8, unit),
+                    Instruction::mem(MemOp::Load, veloc, 8, unit),
+                    Instruction::fp(FpOp::Fma).with_repeat(3),
+                    Instruction::mem(MemOp::Store, veloc, 8, unit),
+                    Instruction::mem(MemOp::Store, displ, 8, unit),
+                ],
+            )
+            .with_ilp(3.0),
+        );
+
+        // Tree-combine work: one pass over the boundary buffer per tree
+        // stage — the logarithmically growing element (Figure 5's shape).
+        let log_p = u64::from(NetworkModel::tree_depth(nranks)).max(1);
+        let norm = b.block(
+            BasicBlock::new(
+                BlockId(0),
+                "reduce-norm",
+                SourceLoc::new("check_stability.f90", 27, "compute_norm"),
+                cfg.norm_base * log_p,
+                vec![
+                    Instruction::mem(MemOp::Load, bound, 8, unit),
+                    Instruction::fp(FpOp::Fma),
+                    Instruction::fp(FpOp::Sqrt),
+                ],
+            )
+            .with_ilp(1.0),
+        );
+
+        // Master-rank responsibilities: rank 0 carries the seismic source
+        // (constant work) and aggregates interface summaries from all P
+        // tasks (work linear in P). Worker ranks execute a single token
+        // trip so the SPMD event shape is preserved.
+        let is_master = rank == 0;
+        let source = b.block(
+            BasicBlock::new(
+                BlockId(0),
+                "source-inject",
+                SourceLoc::new("sources.f90", 64, "add_source_term"),
+                if is_master { cfg.source_iters } else { 1 },
+                vec![
+                    Instruction::mem(MemOp::Load, work, 8, unit),
+                    Instruction::mem(MemOp::Load, source_field, 8, AddressPattern::Random),
+                    Instruction::fp(FpOp::Fma).with_repeat(3),
+                    Instruction::mem(MemOp::Store, source_field, 8, AddressPattern::Random),
+                ],
+            )
+            .with_ilp(1.5),
+        );
+        let collect = b.block(
+            BasicBlock::new(
+                BlockId(0),
+                "master-collect",
+                SourceLoc::new("assemble_mpi.f90", 233, "collect_interfaces"),
+                if is_master {
+                    cfg.collect_per_rank * u64::from(nranks)
+                } else {
+                    1
+                },
+                vec![
+                    Instruction::mem(MemOp::Load, master_buf, 8, unit),
+                    Instruction::fp(FpOp::Add).with_repeat(4),
+                    Instruction::fp(FpOp::Fma).with_repeat(2),
+                    Instruction::mem(MemOp::Store, master_buf, 8, unit),
+                ],
+            )
+            .with_ilp(2.0),
+        );
+
+        let program = b.build().expect("specfem proxy program is valid");
+
+        let face_bytes = (bpoints / 6).max(1) * 8;
+        let ts = cfg.timesteps;
+        RankProgram {
+            program,
+            events: vec![
+                RankEvent::Compute {
+                    block: source,
+                    invocations: ts,
+                },
+                RankEvent::Broadcast {
+                    bytes: 4096,
+                    repeats: ts,
+                },
+                RankEvent::Compute {
+                    block: stiffness,
+                    invocations: ts,
+                },
+                RankEvent::Compute {
+                    block: attenuation,
+                    invocations: ts,
+                },
+                RankEvent::Exchange {
+                    neighbors: neighbors6(rank, nranks),
+                    bytes_per_neighbor: face_bytes,
+                    repeats: ts,
+                },
+                RankEvent::Compute {
+                    block: boundary,
+                    invocations: ts,
+                },
+                RankEvent::Compute {
+                    block: newmark,
+                    invocations: ts,
+                },
+                RankEvent::Compute {
+                    block: norm,
+                    invocations: ts,
+                },
+                RankEvent::Compute {
+                    block: collect,
+                    invocations: ts,
+                },
+                RankEvent::Allreduce {
+                    bytes: 8,
+                    repeats: ts,
+                },
+            ],
+        }
+    }
+}
+
+impl ProxyApp for SpecfemProxy {
+    fn as_spmd(&self) -> &dyn SpmdApp {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strong_scaling_shrinks_per_rank_footprint() {
+        let app = SpecfemProxy::paper_scale();
+        // Compare the strong-scaled wavefield regions (the master buffer is
+        // constant by design).
+        let displ = |p: u32| {
+            let prog = app.rank_program(0, p).program;
+            prog.regions()
+                .iter()
+                .find(|r| r.name == "displ")
+                .unwrap()
+                .bytes
+        };
+        let f96 = displ(96);
+        let f6144 = displ(6144);
+        assert!(
+            f96 > 30 * f6144,
+            "displ should shrink ~64x: {f96} vs {f6144}"
+        );
+    }
+
+    #[test]
+    fn elem_work_region_is_scale_invariant() {
+        let app = SpecfemProxy::paper_scale();
+        for p in [96u32, 384, 1536, 6144] {
+            let prog = app.rank_program(0, p).program;
+            let work = prog
+                .regions()
+                .iter()
+                .find(|r| r.name == "elem-work")
+                .unwrap();
+            assert_eq!(work.bytes, 24 * 1024);
+        }
+    }
+
+    #[test]
+    fn reduce_norm_grows_logarithmically() {
+        let app = SpecfemProxy::paper_scale();
+        let iters = |p: u32| {
+            let prog = app.rank_program(0, p).program;
+            prog.block_by_name("reduce-norm").unwrap().iterations
+        };
+        // tree_depth: 96->7, 384->9, 1536->11, 6144->13.
+        assert_eq!(iters(96), 4096 * 7);
+        assert_eq!(iters(384), 4096 * 9);
+        assert_eq!(iters(1536), 4096 * 11);
+        assert_eq!(iters(6144), 4096 * 13);
+    }
+
+    #[test]
+    fn worker_work_scales_inversely_with_p() {
+        let app = SpecfemProxy::paper_scale();
+        // Worker ranks carry only the decomposed kernels.
+        let refs = |p: u32| app.rank_program(p / 2, p).total_mem_refs();
+        let r96 = refs(96);
+        let r384 = refs(384);
+        // Within 10% of a 4x reduction (log-P block and remainders distort
+        // slightly).
+        let ratio = r96 as f64 / r384 as f64;
+        assert!((3.2..=4.4).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn master_work_dominates_at_the_target_scale() {
+        // By 6144 cores the shrinking kernels must fall below the paper's
+        // 0.1% influence threshold (per instruction) on the master rank.
+        let app = SpecfemProxy::paper_scale();
+        let prog = app.rank_program(0, 6144).program;
+        let collect = prog.block_by_name("master-collect").unwrap();
+        let stiffness = prog.block_by_name("stiffness-matmul").unwrap();
+        let master_refs = collect.mem_refs_per_invocation() as f64;
+        // Largest single stiffness instruction: 3 refs per iteration.
+        let worst_worker_instr = (stiffness.iterations * 3) as f64;
+        let total = prog
+            .blocks()
+            .iter()
+            .map(|b| b.mem_refs_per_invocation() as f64)
+            .sum::<f64>();
+        assert!(master_refs / total > 0.9, "master share {}", master_refs / total);
+        assert!(
+            worst_worker_instr / total < 0.001,
+            "worker instruction influence {}",
+            worst_worker_instr / total
+        );
+    }
+
+    #[test]
+    fn rank_zero_gets_remainder_work() {
+        let app = SpecfemProxy::paper_scale();
+        // 884736 / 96 divides exactly; pick one that does not.
+        let e0 = app.elements_of(0, 100);
+        let e99 = app.elements_of(99, 100);
+        assert_eq!(e0, e99 + 1);
+    }
+
+    #[test]
+    fn all_seven_blocks_present_with_stable_names() {
+        let prog = SpecfemProxy::small().rank_program(0, 8).program;
+        for name in [
+            "stiffness-matmul",
+            "attenuation-update",
+            "boundary-gather",
+            "newmark-update",
+            "reduce-norm",
+            "source-inject",
+            "master-collect",
+        ] {
+            assert!(prog.block_by_name(name).is_some(), "missing {name}");
+        }
+        assert_eq!(prog.blocks().len(), 7);
+    }
+
+    #[test]
+    fn master_blocks_live_on_rank_zero() {
+        let app = SpecfemProxy::paper_scale();
+        for p in [96u32, 1536, 6144] {
+            let master = app.rank_program(0, p).program;
+            let worker = app.rank_program(p / 2, p).program;
+            assert_eq!(
+                master.block_by_name("source-inject").unwrap().iterations,
+                app.cfg.source_iters
+            );
+            assert_eq!(worker.block_by_name("source-inject").unwrap().iterations, 1);
+            assert_eq!(
+                master.block_by_name("master-collect").unwrap().iterations,
+                app.cfg.collect_per_rank * u64::from(p)
+            );
+            assert_eq!(worker.block_by_name("master-collect").unwrap().iterations, 1);
+        }
+    }
+
+    #[test]
+    fn master_collect_grows_linearly_with_p() {
+        let app = SpecfemProxy::paper_scale();
+        let iters = |p: u32| {
+            app.rank_program(0, p)
+                .program
+                .block_by_name("master-collect")
+                .unwrap()
+                .iterations
+        };
+        assert_eq!(iters(384), 4 * iters(96));
+        assert_eq!(iters(6144), 64 * iters(96));
+    }
+
+    #[test]
+    fn master_buf_footprint_is_constant() {
+        let app = SpecfemProxy::paper_scale();
+        for p in [96u32, 6144] {
+            let prog = app.rank_program(0, p).program;
+            let r = prog.regions().iter().find(|r| r.name == "master-buf").unwrap();
+            assert_eq!(r.bytes, app.cfg.master_buf_bytes);
+        }
+    }
+
+    #[test]
+    fn events_interleave_compute_and_comm() {
+        let rp = SpecfemProxy::small().rank_program(0, 8);
+        assert_eq!(rp.events.len(), 10);
+        assert!(rp.events.iter().any(|e| e.is_comm()));
+        // Exchange partners are valid.
+        if let RankEvent::Exchange { neighbors, .. } = &rp.events[4] {
+            assert!(!neighbors.is_empty());
+            assert!(neighbors.iter().all(|&n| n < 8));
+        } else {
+            panic!("event 4 should be the halo exchange");
+        }
+    }
+
+    #[test]
+    fn weak_scaling_keeps_per_rank_work_constant() {
+        let app = SpecfemProxy::paper_scale_weak();
+        // The decomposed kernels are exactly constant per rank; only the
+        // log-P reduction block grows (as it must even under weak scaling).
+        let stiffness_iters = |p: u32| {
+            app.rank_program(p / 2, p)
+                .program
+                .block_by_name("stiffness-matmul")
+                .unwrap()
+                .iterations
+        };
+        assert_eq!(stiffness_iters(96), stiffness_iters(384));
+        assert_eq!(stiffness_iters(96), stiffness_iters(6144));
+        let displ = |p: u32| {
+            app.rank_program(1, p)
+                .program
+                .regions()
+                .iter()
+                .find(|r| r.name == "displ")
+                .unwrap()
+                .bytes
+        };
+        assert_eq!(displ(96), displ(6144), "weak footprints are constant");
+    }
+
+    #[test]
+    fn rank_zero_is_always_the_longest_task() {
+        use crate::ProxyApp;
+        let app = SpecfemProxy::small();
+        for p in [2u32, 8, 24] {
+            assert_eq!(app.comm_profile(p).longest_rank, 0, "p={p}");
+        }
+    }
+
+    #[test]
+    fn single_rank_program_is_valid() {
+        let rp = SpecfemProxy::small().rank_program(0, 1);
+        assert!(rp.total_mem_refs() > 0);
+        assert!(rp.total_flops() > 0);
+    }
+}

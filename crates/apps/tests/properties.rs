@@ -1,0 +1,130 @@
+//! Property tests for the proxy applications: SPMD alignment,
+//! determinism, and scaling invariants must hold for arbitrary (bounded)
+//! configurations, not just the shipped presets.
+
+use proptest::prelude::*;
+use xtrace_apps::{ScalingMode, SpecfemConfig, SpecfemProxy, StencilConfig, StencilProxy};
+use xtrace_spmd::SpmdApp;
+
+fn arb_specfem() -> impl Strategy<Value = SpecfemProxy> {
+    (
+        64u64..100_000,
+        2u32..6,
+        1u64..50,
+        1u64..4096,
+        1u64..100_000,
+        1u64..4096,
+        prop_oneof![Just(ScalingMode::Strong), Just(ScalingMode::Weak)],
+    )
+        .prop_map(
+            |(total_elements, gll, timesteps, norm_base, source_iters, collect_per_rank, scaling)| {
+                SpecfemProxy {
+                    cfg: SpecfemConfig {
+                        total_elements,
+                        gll,
+                        timesteps,
+                        elem_work_bytes: 24 * 1024,
+                        norm_base,
+                        source_iters,
+                        collect_per_rank,
+                        master_buf_bytes: 1 << 20,
+                        scaling,
+                    },
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every rank of every configuration produces the same event shape.
+    #[test]
+    fn specfem_is_spmd_aligned_for_any_config(
+        app in arb_specfem(),
+        nranks in 1u32..32,
+    ) {
+        let shape: Vec<u8> = app
+            .rank_program(0, nranks)
+            .events
+            .iter()
+            .map(|e| e.kind_tag())
+            .collect();
+        for r in 1..nranks {
+            let s: Vec<u8> = app
+                .rank_program(r, nranks)
+                .events
+                .iter()
+                .map(|e| e.kind_tag())
+                .collect();
+            prop_assert_eq!(&s, &shape, "rank {} misaligned", r);
+        }
+    }
+
+    /// Rank programs are pure functions of (config, rank, nranks).
+    #[test]
+    fn specfem_programs_are_deterministic(
+        app in arb_specfem(),
+        rank in 0u32..16,
+        nranks in 16u32..64,
+    ) {
+        prop_assert_eq!(app.rank_program(rank, nranks), app.rank_program(rank, nranks));
+    }
+
+    /// Programs always validate (no dangling regions, no duplicate names)
+    /// and carry positive work.
+    #[test]
+    fn specfem_programs_are_valid_and_nonempty(
+        app in arb_specfem(),
+        nranks in 1u32..64,
+        rank_frac in 0.0f64..1.0,
+    ) {
+        let rank = ((f64::from(nranks) - 1.0) * rank_frac) as u32;
+        let rp = app.rank_program(rank, nranks);
+        prop_assert!(rp.total_mem_refs() > 0);
+        prop_assert!(rp.total_flops() > 0);
+        prop_assert!(!rp.program.blocks().is_empty());
+        // Exchange neighbors are valid ranks.
+        for e in &rp.events {
+            if let xtrace_spmd::RankEvent::Exchange { neighbors, .. } = e {
+                for &n in neighbors {
+                    prop_assert!(n < nranks);
+                    prop_assert!(n != rank);
+                }
+            }
+        }
+    }
+
+    /// Strong scaling conserves total stencil work across core counts (up
+    /// to remainder rounding), weak scaling multiplies it by P.
+    #[test]
+    fn stencil_scaling_laws_hold(
+        cells_exp in 12u32..20,
+        timesteps in 1u64..8,
+        p in 2u32..32,
+    ) {
+        let cells = 1u64 << cells_exp;
+        let strong = StencilProxy {
+            cfg: StencilConfig {
+                grid_cells: cells,
+                timesteps,
+                scaling: ScalingMode::Strong,
+            },
+        };
+        let weak = StencilProxy {
+            cfg: StencilConfig {
+                grid_cells: cells,
+                timesteps,
+                scaling: ScalingMode::Weak,
+            },
+        };
+        let total_strong: u64 = (0..p).map(|r| strong.rank_program(r, p).total_mem_refs()).sum();
+        let single = strong.rank_program(0, 1).total_mem_refs();
+        let rel = (total_strong as f64 - single as f64).abs() / single as f64;
+        prop_assert!(rel < 0.02, "strong scaling conserves work: {rel}");
+
+        let weak_rank = weak.rank_program(0, p).total_mem_refs();
+        let weak_single = weak.rank_program(0, 1).total_mem_refs();
+        prop_assert_eq!(weak_rank, weak_single, "weak per-rank work constant");
+    }
+}

@@ -1,0 +1,56 @@
+//! Cache-simulator throughput: the pipeline's hot loop. Reported in
+//! accesses/s across hierarchy depths and access patterns.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use xtrace_cache::{CacheHierarchy, CacheLevelConfig, HierarchyConfig};
+
+fn hierarchy(depth: usize) -> HierarchyConfig {
+    let levels = [CacheLevelConfig::lru("L1", 32 * 1024, 64, 8, 2.0),
+        CacheLevelConfig::lru("L2", 512 * 1024, 64, 8, 12.0),
+        CacheLevelConfig::lru("L3", 8 * 1024 * 1024, 64, 16, 40.0)];
+    HierarchyConfig::new(levels[..depth].to_vec(), 200.0).unwrap()
+}
+
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn bench_cache(c: &mut Criterion) {
+    const N: u64 = 1 << 16;
+    let mut g = c.benchmark_group("cache_sim");
+    g.throughput(Throughput::Elements(N));
+    for depth in [1usize, 2, 3] {
+        g.bench_with_input(
+            BenchmarkId::new("strided", depth),
+            &depth,
+            |b, &depth| {
+                let mut cache = CacheHierarchy::new(hierarchy(depth));
+                let mut k = 0u64;
+                b.iter(|| {
+                    for _ in 0..N {
+                        k = k.wrapping_add(1);
+                        black_box(cache.access((k * 8) % (1 << 26), 8));
+                    }
+                });
+            },
+        );
+        g.bench_with_input(BenchmarkId::new("random", depth), &depth, |b, &depth| {
+            let mut cache = CacheHierarchy::new(hierarchy(depth));
+            let mut k = 0u64;
+            b.iter(|| {
+                for _ in 0..N {
+                    k = k.wrapping_add(1);
+                    black_box(cache.access(mix64(k) % (1 << 26), 8));
+                }
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_cache);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! PSiNS convolution throughput: predictions per second from a ready trace.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use xtrace_apps::{ProxyApp, StencilProxy};
+use xtrace_machine::presets;
+use xtrace_psins::predict_runtime;
+use xtrace_tracer::{collect_signature_with, TracerConfig};
+
+fn bench_convolution(c: &mut Criterion) {
+    let app = StencilProxy::medium();
+    let machine = presets::cray_xt5();
+    let sig = collect_signature_with(&app, 8, &machine, &TracerConfig::fast());
+    let trace = sig.longest_task().clone();
+    let comm = app.comm_profile(8);
+    // Force the lazy surface before timing.
+    let _ = machine.surface();
+
+    c.bench_function("convolution/predict_runtime", |b| {
+        b.iter(|| black_box(predict_runtime(black_box(&trace), &comm, &machine)))
+    });
+}
+
+criterion_group!(benches, bench_convolution);
+criterion_main!(benches);

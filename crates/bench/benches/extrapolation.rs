@@ -1,0 +1,68 @@
+//! Whole-trace extrapolation latency vs trace size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xtrace_extrap::{extrapolate_signature, ExtrapolationConfig};
+use xtrace_ir::SourceLoc;
+use xtrace_tracer::{BlockRecord, FeatureVector, InstrRecord, TaskTrace};
+
+fn synthetic_trace(p: u32, nblocks: usize, instrs_per_block: usize) -> TaskTrace {
+    let pf = f64::from(p);
+    let blocks = (0..nblocks)
+        .map(|bi| BlockRecord {
+            name: format!("block-{bi}"),
+            source: SourceLoc::new("synth.f90", bi as u32, "kernel"),
+            invocations: 100,
+            iterations: 1000,
+            instrs: (0..instrs_per_block)
+                .map(|ii| {
+                    let mut f = FeatureVector {
+                        exec_count: 1e6 + pf * (ii as f64 + 1.0),
+                        mem_ops: 1e6 + pf,
+                        loads: 1e6 + pf,
+                        bytes_per_ref: 8.0,
+                        working_set: 1e7,
+                        ilp: 2.0,
+                        ..Default::default()
+                    };
+                    f.hit_rates = [0.9, 0.92 + 1e-5 * pf, 1.0, 1.0];
+                    InstrRecord {
+                        instr: ii as u32,
+                        pattern: "strided".into(),
+                        features: f,
+                    }
+                })
+                .collect(),
+        })
+        .collect();
+    TaskTrace {
+        app: "synthetic".into(),
+        rank: 0,
+        nranks: p,
+        machine: "m".into(),
+        depth: 3,
+        blocks,
+    }
+}
+
+fn bench_extrapolation(c: &mut Criterion) {
+    let cfg = ExtrapolationConfig::default();
+    let mut g = c.benchmark_group("extrapolation");
+    for (nblocks, ni) in [(8usize, 8usize), (32, 16), (128, 16)] {
+        let traces: Vec<TaskTrace> = [1024u32, 2048, 4096]
+            .iter()
+            .map(|&p| synthetic_trace(p, nblocks, ni))
+            .collect();
+        g.bench_with_input(
+            BenchmarkId::new("blocks_x_instrs", format!("{nblocks}x{ni}")),
+            &traces,
+            |b, traces| {
+                b.iter(|| black_box(extrapolate_signature(black_box(traces), 8192, &cfg).unwrap()))
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_extrapolation);
+criterion_main!(benches);

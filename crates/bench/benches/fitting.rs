@@ -1,0 +1,46 @@
+//! Canonical-form fitting throughput: fits and model selections per second
+//! (the extrapolator runs one selection per feature element).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xtrace_extrap::{fit_form, select_best, select_best_guarded, CanonicalForm, SelectionCriterion};
+
+fn bench_fitting(c: &mut Criterion) {
+    let xs = [96.0, 384.0, 1536.0];
+    let ys_lin: Vec<f64> = xs.iter().map(|x| 0.1 + 3e-5 * x).collect();
+    let ys_log: Vec<f64> = xs.iter().map(|x: &f64| 5.0 + 1.7 * x.ln()).collect();
+
+    let mut g = c.benchmark_group("fitting");
+    for form in CanonicalForm::PAPER_SET {
+        g.bench_with_input(
+            BenchmarkId::new("fit_form", form.label()),
+            &form,
+            |b, &form| b.iter(|| black_box(fit_form(form, black_box(&xs), black_box(&ys_lin)))),
+        );
+    }
+    g.bench_function("select_best/paper_set", |b| {
+        b.iter(|| {
+            black_box(select_best(
+                &CanonicalForm::PAPER_SET,
+                black_box(&xs),
+                black_box(&ys_log),
+                SelectionCriterion::Sse,
+            ))
+        })
+    });
+    g.bench_function("select_best_guarded/extended_set", |b| {
+        b.iter(|| {
+            black_box(select_best_guarded(
+                &CanonicalForm::EXTENDED_SET,
+                black_box(&xs),
+                black_box(&ys_log),
+                SelectionCriterion::Sse,
+                8192.0,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fitting);
+criterion_main!(benches);

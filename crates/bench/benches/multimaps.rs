@@ -1,0 +1,42 @@
+//! MultiMAPS surface measurement cost and lookup latency.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use xtrace_machine::{measure_surface, presets, MemoryCostModel, SweepConfig};
+
+fn bench_multimaps(c: &mut Criterion) {
+    let machine = presets::opteron();
+    let mut g = c.benchmark_group("multimaps");
+    g.sample_size(10);
+    g.bench_function("measure_surface/coarse", |b| {
+        b.iter(|| {
+            black_box(measure_surface(
+                &machine.hierarchy,
+                machine.clock_hz,
+                &MemoryCostModel::default(),
+                &SweepConfig::coarse(),
+            ))
+        })
+    });
+    let surface = measure_surface(
+        &machine.hierarchy,
+        machine.clock_hz,
+        &MemoryCostModel::default(),
+        &SweepConfig::default(),
+    );
+    g.bench_function("lookup/full_surface", |b| {
+        let mut k = 0u32;
+        b.iter(|| {
+            k = k.wrapping_add(1);
+            let r = f64::from(k % 100) / 100.0;
+            black_box(surface.lookup(black_box(&[r, (r + 0.3).min(1.0)])))
+        })
+    });
+    g.bench_function("lookup_class/random", |b| {
+        b.iter(|| black_box(surface.lookup_class(black_box(&[0.7, 0.9]), true)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_multimaps);
+criterion_main!(benches);

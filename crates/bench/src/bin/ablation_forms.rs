@@ -1,0 +1,105 @@
+//! **Ablation: canonical-form set.**
+//!
+//! Section VI: "Future research will add more canonical forms (e.g.,
+//! polynomial) … to improve the accuracy of the extrapolation." This
+//! ablation quantifies the claim on two workloads:
+//!
+//! * the paper-style SPECFEM3D proxy (master-rank elements: constant,
+//!   linear, logarithmic — already inside the four forms' span), and
+//! * a perfectly symmetric stencil code, whose per-task counts decay like
+//!   1/P — a shape *none* of the four forms captures but the power form
+//!   fits exactly.
+//!
+//! Run with: `cargo run --release -p xtrace-bench --bin ablation_forms`
+
+use xtrace_apps::StencilProxy;
+use xtrace_bench::{
+    paper_specfem, paper_tracer, print_header, run_table1_row, target_machine, SPECFEM_TARGET,
+    SPECFEM_TRAINING,
+};
+use xtrace_extrap::{CanonicalForm, ExtrapolationConfig};
+use xtrace_machine::presets;
+use xtrace_tracer::TracerConfig;
+
+fn main() {
+    let tracer = paper_tracer();
+
+    let sets: [(&str, Vec<CanonicalForm>); 3] = [
+        ("paper (4 forms)", CanonicalForm::PAPER_SET.to_vec()),
+        (
+            "+power",
+            vec![
+                CanonicalForm::Constant,
+                CanonicalForm::Linear,
+                CanonicalForm::Logarithmic,
+                CanonicalForm::Exponential,
+                CanonicalForm::Power,
+            ],
+        ),
+        ("+power+quadratic", CanonicalForm::EXTENDED_SET.to_vec()),
+    ];
+
+    println!("Ablation: canonical-form set (Section VI future work)\n");
+
+    println!("SPECFEM3D proxy -> {SPECFEM_TARGET} cores (master-rank element families):");
+    print_header(&["form set", "extrap (s)", "gap %", "err %"], &[18, 10, 6, 6]);
+    let machine = target_machine();
+    for (label, forms) in &sets {
+        let cfg = ExtrapolationConfig {
+            forms: forms.clone(),
+            ..ExtrapolationConfig::default()
+        };
+        let row = run_table1_row(
+            &paper_specfem(),
+            &SPECFEM_TRAINING,
+            SPECFEM_TARGET,
+            &machine,
+            &tracer,
+            &cfg,
+        );
+        println!(
+            "{:>18}  {:>10.1}  {:>5.2}  {:>5.2}",
+            label,
+            row.extrap.total_seconds,
+            100.0 * row.prediction_gap(),
+            100.0 * row.extrap_error()
+        );
+    }
+
+    println!("\nsymmetric stencil proxy (counts decay like 1/P) -> 128 cores:");
+    print_header(&["form set", "extrap (s)", "gap %", "err %"], &[18, 10, 6, 6]);
+    let stencil = StencilProxy::medium();
+    let xt5 = presets::cray_xt5();
+    for (label, forms) in &sets {
+        let cfg = ExtrapolationConfig {
+            forms: forms.clone(),
+            ..ExtrapolationConfig::default()
+        };
+        let row = run_table1_row(
+            &stencil,
+            &[8, 16, 32],
+            128,
+            &xt5,
+            &TracerConfig::default(),
+            &cfg,
+        );
+        println!(
+            "{:>18}  {:>10.4}  {:>5.1}  {:>5.1}",
+            label,
+            row.extrap.total_seconds,
+            100.0 * row.prediction_gap(),
+            100.0 * row.extrap_error()
+        );
+    }
+
+    println!(
+        "\nexpected shape: the four forms already capture master-rank behaviour\n\
+         (small gaps on SPECFEM3D), but hyperbolic 1/P decay needs the power\n\
+         form — the gap on the symmetric stencil collapses once it is added,\n\
+         which is exactly why the paper lists more forms as future work.\n\
+         Caveat the reproduction surfaces: the quadratic form *interpolates*\n\
+         three training points exactly, leaving no residual for selection to\n\
+         act on, and its extrapolation overshoots — adding forms without\n\
+         adding training points can hurt."
+    );
+}

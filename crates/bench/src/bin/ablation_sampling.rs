@@ -1,0 +1,64 @@
+//! **Ablation: trace-sampling budget.**
+//!
+//! Signature collection samples each block's address stream (counts stay
+//! exact; hit rates are measured over a bounded window after a warmup).
+//! The window must be large enough that capacity effects on regions bigger
+//! than the last-level cache are visible — a window that itself fits in
+//! cache reports resident-looking hit rates for thrashing sweeps. This
+//! ablation sweeps the per-block budget and reports its effect on the
+//! Table-I quantities.
+//!
+//! Run with: `cargo run --release -p xtrace-bench --bin ablation_sampling`
+
+use xtrace_bench::{
+    paper_specfem, print_header, run_table1_row, target_machine, SPECFEM_TARGET, SPECFEM_TRAINING,
+};
+use xtrace_extrap::ExtrapolationConfig;
+use xtrace_tracer::TracerConfig;
+
+fn main() {
+    let app = paper_specfem();
+    let machine = target_machine();
+    let extrap_cfg = ExtrapolationConfig::default();
+
+    println!(
+        "Ablation: per-block sampling budget, SPECFEM3D -> {SPECFEM_TARGET} cores\n\
+         (counts are always exact; the budget bounds hit-rate estimation)\n"
+    );
+    print_header(
+        &["budget (refs)", "extrap (s)", "coll (s)", "measured", "gap %", "err %"],
+        &[13, 10, 9, 9, 6, 6],
+    );
+
+    for shift in [16u32, 18, 20, 23] {
+        let tracer = TracerConfig {
+            max_sampled_refs_per_block: 1 << shift,
+            ..TracerConfig::default()
+        };
+        let row = run_table1_row(
+            &app,
+            &SPECFEM_TRAINING,
+            SPECFEM_TARGET,
+            &machine,
+            &tracer,
+            &extrap_cfg,
+        );
+        println!(
+            "{:>13}  {:>10.1}  {:>9.1}  {:>9.1}  {:>5.2}  {:>5.2}",
+            format!("2^{shift}"),
+            row.extrap.total_seconds,
+            row.collected.total_seconds,
+            row.measured.total_seconds,
+            100.0 * row.prediction_gap(),
+            100.0 * row.extrap_error()
+        );
+    }
+
+    println!(
+        "\nexpected shape: the extrapolated-vs-collected gap is robust at every\n\
+         budget (both traces carry the same sampling bias), while the absolute\n\
+         runtime estimates drift at small budgets — the window no longer spans\n\
+         the large regions' capacity behaviour. The default (2^23) is sized so\n\
+         the streamed window footprint exceeds every preset's last-level cache."
+    );
+}

@@ -1,0 +1,82 @@
+//! **Ablation: model-selection criterion.**
+//!
+//! The paper selects the canonical form with the best (smallest-residual)
+//! fit. An information criterion such as AICc additionally penalizes
+//! parameters — but with only three training points the small-sample
+//! correction blows up for every 2-parameter form, collapsing the choice to
+//! the constant model. This ablation compares SSE and AICc selection on 3-
+//! and 5-point training ladders.
+//!
+//! Run with: `cargo run --release -p xtrace-bench --bin ablation_selection`
+
+use xtrace_bench::{
+    paper_specfem, paper_tracer, print_header, run_table1_row, run_with_fits, target_machine,
+    SPECFEM_TARGET,
+};
+use xtrace_extrap::{CanonicalForm, ExtrapolationConfig, SelectionCriterion};
+use xtrace_spmd::SpmdApp;
+
+fn form_histogram(fits: &[xtrace_extrap::ElementFit]) -> String {
+    let mut counts = [0usize; 4];
+    for f in fits {
+        let idx = match f.model.form {
+            CanonicalForm::Constant => 0,
+            CanonicalForm::Linear => 1,
+            CanonicalForm::Logarithmic => 2,
+            _ => 3,
+        };
+        counts[idx] += 1;
+    }
+    format!(
+        "const {} / lin {} / log {} / exp {}",
+        counts[0], counts[1], counts[2], counts[3]
+    )
+}
+
+fn main() {
+    let app = paper_specfem();
+    let machine = target_machine();
+    let tracer = paper_tracer();
+    let ladders: [&[u32]; 2] = [&[96, 384, 1536], &[48, 96, 384, 1536, 3072]];
+
+    println!(
+        "Ablation: SSE vs AICc model selection, {} -> {SPECFEM_TARGET} cores\n",
+        SpmdApp::name(&app)
+    );
+    print_header(
+        &["ladder", "criterion", "gap %", "err %", "chosen forms"],
+        &[24, 9, 6, 6, 36],
+    );
+
+    for ladder in ladders {
+        for (label, criterion) in [
+            ("SSE", SelectionCriterion::Sse),
+            ("AICc", SelectionCriterion::Aicc),
+        ] {
+            let cfg = ExtrapolationConfig {
+                criterion,
+                min_traces: ladder.len(),
+                ..ExtrapolationConfig::default()
+            };
+            let row = run_table1_row(&app, ladder, SPECFEM_TARGET, &machine, &tracer, &cfg);
+            let (_t, _e, fits) =
+                run_with_fits(&app, ladder, SPECFEM_TARGET, &machine, &tracer, &cfg);
+            println!(
+                "{:>24}  {:>9}  {:>5.2}  {:>5.2}  {:<36}",
+                format!("{ladder:?}"),
+                label,
+                100.0 * row.prediction_gap(),
+                100.0 * row.extrap_error(),
+                form_histogram(&fits)
+            );
+        }
+    }
+
+    println!(
+        "\nexpected shape: with three points AICc can only ever pick the constant\n\
+         form (n < k+2 for every sloped form), degrading the linear/log master\n\
+         elements badly; with five points it becomes competitive with plain SSE.\n\
+         The paper's residual-based choice is the right one for its 3-point\n\
+         regime."
+    );
+}

@@ -1,0 +1,69 @@
+//! **Extension: energy at scale from extrapolated traces.**
+//!
+//! The paper motivates its feature set as "important for both performance
+//! and energy" (Section I); the surrounding PMaC work convolves the same
+//! signatures with per-operation energy costs. This experiment predicts the
+//! longest task's energy budget at the target scale from the extrapolated
+//! trace and validates it against the collected-trace prediction — the
+//! Table-I comparison, for joules.
+//!
+//! Run with: `cargo run --release -p xtrace-bench --bin energy`
+
+use xtrace_bench::{
+    paper_specfem, paper_tracer, paper_uh3d, print_header, target_machine, training_traces,
+    ProxyAppDyn, SPECFEM_TARGET, SPECFEM_TRAINING, UH3D_TARGET, UH3D_TRAINING,
+};
+use xtrace_extrap::{extrapolate_signature, ExtrapolationConfig};
+use xtrace_psins::{predict_energy, relative_error};
+use xtrace_tracer::collect_signature_with;
+
+fn run(app: &dyn ProxyAppDyn, training: &[u32], target: u32) {
+    let machine = target_machine();
+    let tracer = paper_tracer();
+    let spmd = app.as_spmd_dyn();
+    let traces = training_traces(spmd, training, &machine, &tracer);
+    let extrapolated =
+        extrapolate_signature(&traces, target, &ExtrapolationConfig::default()).unwrap();
+    let collected = collect_signature_with(spmd, target, &machine, &tracer);
+    let comm = app.comm_profile_dyn(target);
+
+    let e_ex = predict_energy(&extrapolated, &comm, &machine);
+    let e_coll = predict_energy(collected.longest_task(), &collected.comm, &machine);
+
+    println!("\n== {} @ {target} cores ==", spmd.name());
+    print_header(
+        &["trace", "memory (J)", "fp (J)", "comm (J)", "static (J)", "total (J)", "avg W"],
+        &[8, 10, 8, 8, 10, 10, 6],
+    );
+    for (label, e) in [("Extrap.", &e_ex), ("Coll.", &e_coll)] {
+        println!(
+            "{:>8}  {:>10.1}  {:>8.1}  {:>8.2}  {:>10.1}  {:>10.1}  {:>6.1}",
+            label,
+            e.memory_joules,
+            e.fp_joules,
+            e.comm_joules,
+            e.static_joules,
+            e.total_joules,
+            e.avg_watts
+        );
+    }
+    println!(
+        "extrapolated-vs-collected energy gap: {:.2}%",
+        100.0 * relative_error(e_ex.total_joules, e_coll.total_joules)
+    );
+}
+
+fn main() {
+    println!(
+        "Energy-at-scale from extrapolated signatures (per-task budget on {})",
+        target_machine().name
+    );
+    run(&paper_specfem(), &SPECFEM_TRAINING, SPECFEM_TARGET);
+    run(&paper_uh3d(), &UH3D_TRAINING, UH3D_TARGET);
+    println!(
+        "\nthe same synthetic feature vectors that predict runtime predict the\n\
+         energy budget: counts drive dynamic energy, hit rates apportion memory\n\
+         references to per-level costs, and the runtime prediction integrates\n\
+         the static floor."
+    );
+}

@@ -1,0 +1,93 @@
+//! **Figure 1** — measured bandwidth as a function of cache hit rates for
+//! a two-cache-level Opteron (the MultiMAPS surface).
+//!
+//! The paper plots the MultiMAPS benchmark's bandwidth measurements as a
+//! surface over (L1 hit rate, L2 hit rate). This binary runs the benchmark
+//! analog against the Opteron preset and prints the surface points —
+//! working set, stride, observed hit rates, achieved bandwidth — followed
+//! by an aggregated hit-rate-bucket view of the surface (the printable
+//! equivalent of the 3-D plot).
+//!
+//! Run with: `cargo run --release -p xtrace-bench --bin fig1`
+
+use xtrace_bench::print_header;
+use xtrace_machine::presets;
+
+fn main() {
+    let machine = presets::opteron();
+    println!(
+        "Figure 1: MultiMAPS bandwidth surface for {} (2 cache levels,\n\
+         {:.1} GHz; L1 {} KB, L2 {} KB)\n",
+        machine.name,
+        machine.clock_hz / 1e9,
+        machine.hierarchy.levels[0].size_bytes / 1024,
+        machine.hierarchy.levels[1].size_bytes / 1024,
+    );
+
+    let surface = machine.surface();
+    println!("sweep points ({}):", surface.points.len());
+    print_header(
+        &["working set", "stride", "L1 HR", "L2 HR", "GB/s"],
+        &[12, 8, 7, 7, 8],
+    );
+    for p in &surface.points {
+        let ws = if p.working_set >= 1 << 20 {
+            format!("{:.1} MiB", p.working_set as f64 / (1 << 20) as f64)
+        } else {
+            format!("{:.1} KiB", p.working_set as f64 / 1024.0)
+        };
+        let stride = match p.stride {
+            Some(s) => format!("{s}"),
+            None => "rand".into(),
+        };
+        println!(
+            "{:>12}  {:>8}  {:>6.3}  {:>6.3}  {:>8.2}",
+            ws,
+            stride,
+            p.hit_rates[0],
+            p.hit_rates[1],
+            p.bandwidth_bps / 1e9
+        );
+    }
+
+    // The surface view: mean bandwidth per (L1, L2) hit-rate bucket.
+    println!("\nsurface (mean GB/s per hit-rate bucket; rows = L1 HR, cols = L2 HR):\n");
+    let buckets = [0.0, 0.25, 0.5, 0.75, 0.9, 1.0];
+    print!("{:>11}", "L1\\L2");
+    for w in buckets.windows(2) {
+        print!("  {:>9}", format!("{:.2}-{:.2}", w[0], w[1]));
+    }
+    println!();
+    for l1w in buckets.windows(2) {
+        print!("{:>11}", format!("{:.2}-{:.2}", l1w[0], l1w[1]));
+        for l2w in buckets.windows(2) {
+            let sel: Vec<f64> = surface
+                .points
+                .iter()
+                .filter(|p| {
+                    p.hit_rates[0] >= l1w[0]
+                        && p.hit_rates[0] <= l1w[1]
+                        && p.hit_rates[1] >= l2w[0]
+                        && p.hit_rates[1] <= l2w[1]
+                })
+                .map(|p| p.bandwidth_bps / 1e9)
+                .collect();
+            if sel.is_empty() {
+                print!("  {:>9}", "-");
+            } else {
+                print!("  {:>9.2}", sel.iter().sum::<f64>() / sel.len() as f64);
+            }
+        }
+        println!();
+    }
+
+    let (min, max) = surface.bandwidth_range();
+    println!(
+        "\nbandwidth spans {:.2} – {:.2} GB/s ({}x): cache-resident unit-stride\n\
+         sweeps at the top-right corner, memory-resident random access at the\n\
+         bottom-left — the paper's surface shape.",
+        min / 1e9,
+        max / 1e9,
+        (max / min).round()
+    );
+}

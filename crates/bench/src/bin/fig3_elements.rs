@@ -1,0 +1,88 @@
+//! **Figure 3** — "Extrapolating individual elements within a basic
+//! block's prediction vector": each element of an instruction's feature
+//! vector is fitted and extrapolated *independently*.
+//!
+//! The paper's Figure 3 is a schematic showing one instruction's vector at
+//! three core counts feeding per-element fits. This binary prints the real
+//! thing: four elements of one SPECFEM3D-proxy instruction across the
+//! training counts, the form chosen for each, and the synthesized value at
+//! the target — next to the value actually collected there.
+//!
+//! Run with: `cargo run --release -p xtrace-bench --bin fig3_elements`
+
+use xtrace_bench::{
+    paper_specfem, paper_tracer, run_with_fits, target_machine, SPECFEM_TARGET, SPECFEM_TRAINING,
+};
+use xtrace_extrap::ExtrapolationConfig;
+use xtrace_tracer::{collect_signature_with, FeatureId};
+
+fn main() {
+    let app = paper_specfem();
+    let machine = target_machine();
+    let tracer = paper_tracer();
+    let extrap_cfg = ExtrapolationConfig::default();
+
+    let (_training, extrapolated, fits) = run_with_fits(
+        &app,
+        &SPECFEM_TRAINING,
+        SPECFEM_TARGET,
+        &machine,
+        &tracer,
+        &extrap_cfg,
+    );
+    let collected = collect_signature_with(&app, SPECFEM_TARGET, &machine, &tracer);
+
+    // The illustrated instruction: the master-collect load (instruction 0).
+    let block = "master-collect";
+    let instr = 0u32;
+    let elements = [
+        FeatureId::MemOps,
+        FeatureId::HitRate(0),
+        FeatureId::HitRate(2),
+        FeatureId::WorkingSet,
+    ];
+
+    println!(
+        "Figure 3: per-element extrapolation of SPECFEM3D `{block}` instruction {instr}\n\
+         training counts {SPECFEM_TRAINING:?} -> target {SPECFEM_TARGET}\n"
+    );
+    println!(
+        "{:<14} {:>12} {:>12} {:>12}  {:<9} {:>12} {:>12}",
+        "element", "@96", "@384", "@1536", "form", "extrap", "collected"
+    );
+
+    for fid in elements {
+        let fit = fits
+            .iter()
+            .find(|f| f.block == block && f.instr == instr && f.feature == fid)
+            .expect("fit recorded for every element");
+        let coll_val = collected
+            .longest_task()
+            .block(block)
+            .unwrap()
+            .instrs[instr as usize]
+            .features
+            .get(fid);
+        let ex_val = extrapolated.block(block).unwrap().instrs[instr as usize]
+            .features
+            .get(fid);
+        println!(
+            "{:<14} {:>12.4e} {:>12.4e} {:>12.4e}  {:<9} {:>12.4e} {:>12.4e}",
+            fid.label(),
+            fit.values[0],
+            fit.values[1],
+            fit.values[2],
+            fit.model.form.label(),
+            ex_val,
+            coll_val
+        );
+    }
+
+    println!(
+        "\neach element is treated as an independent scalar series: counts grow\n\
+         linearly with P (the master aggregates from every task), hit rates sit\n\
+         on constant plateaus, and the working set is fixed — different canonical\n\
+         forms win for different elements of the *same* instruction, which is the\n\
+         point of Figure 3."
+    );
+}

@@ -1,0 +1,242 @@
+//! Cache hierarchy configuration.
+//!
+//! A hierarchy config describes the *target* system's memory hierarchy —
+//! the thing the paper varies between Tables II and III (e.g. System A with
+//! a 12 KB L1 vs System B with a 56 KB L1, identical L2/L3). Machine presets
+//! live in `xtrace-machine`; this crate only defines the structural schema
+//! and validates it.
+
+use serde::{Deserialize, Serialize};
+
+/// Replacement policy for a cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Replacement {
+    /// Least-recently-used (the default; what PMaC's simulator models).
+    Lru,
+    /// First-in-first-out: victim is the oldest *filled* line.
+    Fifo,
+    /// Pseudo-random victim selection (deterministic: seeded per set from
+    /// the set index, so simulations stay reproducible).
+    Random,
+}
+
+/// One level of the hierarchy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheLevelConfig {
+    /// Display name (`"L1"`, `"L2"`, …).
+    pub name: String,
+    /// Capacity in bytes.
+    pub size_bytes: u64,
+    /// Line (block) size in bytes; must be a power of two.
+    pub line_bytes: u32,
+    /// Associativity (ways per set). `0` is invalid; use `sets() == 1` for
+    /// fully associative by setting `assoc = size/line`.
+    pub assoc: u32,
+    /// Load-to-use latency in cycles, consumed by the machine model when
+    /// converting hit profiles into time.
+    pub latency_cycles: f64,
+    /// Victim selection policy.
+    pub replacement: Replacement,
+}
+
+impl CacheLevelConfig {
+    /// Convenience constructor with LRU replacement.
+    pub fn lru(
+        name: impl Into<String>,
+        size_bytes: u64,
+        line_bytes: u32,
+        assoc: u32,
+        latency_cycles: f64,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            size_bytes,
+            line_bytes,
+            assoc,
+            latency_cycles,
+            replacement: Replacement::Lru,
+        }
+    }
+
+    /// Number of sets this level has.
+    pub fn sets(&self) -> u64 {
+        self.size_bytes / (u64::from(self.line_bytes) * u64::from(self.assoc))
+    }
+
+    /// Validates structural invariants, returning a description of the
+    /// first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.line_bytes == 0 || !self.line_bytes.is_power_of_two() {
+            return Err(format!(
+                "{}: line size {} must be a nonzero power of two",
+                self.name, self.line_bytes
+            ));
+        }
+        if self.assoc == 0 {
+            return Err(format!("{}: associativity must be positive", self.name));
+        }
+        let way_bytes = u64::from(self.line_bytes) * u64::from(self.assoc);
+        if self.size_bytes == 0 || !self.size_bytes.is_multiple_of(way_bytes) {
+            return Err(format!(
+                "{}: size {} must be a positive multiple of line*assoc ({})",
+                self.name, self.size_bytes, way_bytes
+            ));
+        }
+        if !self.sets().is_power_of_two() {
+            return Err(format!(
+                "{}: set count {} must be a power of two",
+                self.name,
+                self.sets()
+            ));
+        }
+        if self.latency_cycles <= 0.0 || self.latency_cycles.is_nan() {
+            return Err(format!("{}: latency must be positive", self.name));
+        }
+        Ok(())
+    }
+}
+
+/// A full hierarchy: ordered levels (L1 first) plus main-memory latency.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HierarchyConfig {
+    /// Levels ordered from closest to the core (L1) outwards.
+    pub levels: Vec<CacheLevelConfig>,
+    /// Main-memory access latency in cycles (the cost of missing every
+    /// level).
+    pub memory_latency_cycles: f64,
+}
+
+impl HierarchyConfig {
+    /// Creates and validates a hierarchy.
+    pub fn new(levels: Vec<CacheLevelConfig>, memory_latency_cycles: f64) -> Result<Self, String> {
+        let cfg = Self {
+            levels,
+            memory_latency_cycles,
+        };
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// Validates every level plus cross-level invariants (monotonically
+    /// non-decreasing sizes and latencies outwards, 1–3+ levels).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.levels.is_empty() {
+            return Err("hierarchy needs at least one cache level".into());
+        }
+        for l in &self.levels {
+            l.validate()?;
+        }
+        for w in self.levels.windows(2) {
+            if w[1].size_bytes < w[0].size_bytes {
+                return Err(format!(
+                    "{} ({} B) smaller than inner {} ({} B)",
+                    w[1].name, w[1].size_bytes, w[0].name, w[0].size_bytes
+                ));
+            }
+            if w[1].latency_cycles < w[0].latency_cycles {
+                return Err(format!(
+                    "{} latency below inner {}",
+                    w[1].name, w[0].name
+                ));
+            }
+        }
+        let llc = self.levels.last().expect("nonempty").latency_cycles;
+        if self.memory_latency_cycles < llc || self.memory_latency_cycles.is_nan() {
+            return Err("memory latency below last-level cache latency".into());
+        }
+        Ok(())
+    }
+
+    /// Number of cache levels.
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Latency of hit level `lvl`, where `lvl == depth()` means main memory.
+    pub fn latency_of(&self, lvl: usize) -> f64 {
+        if lvl < self.levels.len() {
+            self.levels[lvl].latency_cycles
+        } else {
+            self.memory_latency_cycles
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l1() -> CacheLevelConfig {
+        CacheLevelConfig::lru("L1", 32 * 1024, 64, 8, 3.0)
+    }
+    fn l2() -> CacheLevelConfig {
+        CacheLevelConfig::lru("L2", 512 * 1024, 64, 8, 15.0)
+    }
+
+    #[test]
+    fn sets_computation() {
+        assert_eq!(l1().sets(), 64);
+        assert_eq!(l2().sets(), 1024);
+    }
+
+    #[test]
+    fn valid_hierarchy_passes() {
+        let h = HierarchyConfig::new(vec![l1(), l2()], 200.0).unwrap();
+        assert_eq!(h.depth(), 2);
+        assert_eq!(h.latency_of(0), 3.0);
+        assert_eq!(h.latency_of(1), 15.0);
+        assert_eq!(h.latency_of(2), 200.0);
+    }
+
+    #[test]
+    fn rejects_non_power_of_two_line() {
+        let mut bad = l1();
+        bad.line_bytes = 48;
+        assert!(bad.validate().unwrap_err().contains("power of two"));
+    }
+
+    #[test]
+    fn rejects_zero_assoc() {
+        let mut bad = l1();
+        bad.assoc = 0;
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_size_not_multiple_of_way() {
+        let mut bad = l1();
+        bad.size_bytes = 1000;
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_non_power_of_two_sets() {
+        // 3 sets: 3 * 64 * 8 = 1536 bytes.
+        let bad = CacheLevelConfig::lru("L1", 1536, 64, 8, 1.0);
+        assert!(bad.validate().unwrap_err().contains("set count"));
+    }
+
+    #[test]
+    fn rejects_shrinking_outer_level() {
+        let err = HierarchyConfig::new(vec![l2(), l1()], 200.0).unwrap_err();
+        assert!(err.contains("smaller than inner"));
+    }
+
+    #[test]
+    fn rejects_memory_faster_than_llc() {
+        assert!(HierarchyConfig::new(vec![l1(), l2()], 1.0).is_err());
+    }
+
+    #[test]
+    fn rejects_empty_hierarchy() {
+        assert!(HierarchyConfig::new(vec![], 100.0).is_err());
+    }
+
+    #[test]
+    fn fully_associative_level_is_valid() {
+        // 64 lines, one set.
+        let fa = CacheLevelConfig::lru("L1", 64 * 64, 64, 64, 2.0);
+        assert_eq!(fa.sets(), 1);
+        fa.validate().unwrap();
+    }
+}

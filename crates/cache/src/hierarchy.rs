@@ -1,0 +1,367 @@
+//! The multi-level cache simulator proper.
+//!
+//! Simplifications relative to real silicon, chosen to match what the PMaC
+//! on-the-fly simulator models (hit *rates*, not coherence):
+//!
+//! * non-inclusive, non-exclusive (NINE) fill: a line fetched from level `i`
+//!   is installed in every level closer to the core, and an eviction at an
+//!   outer level does not back-invalidate inner levels;
+//! * stores follow the same lookup/fill path as loads (write-allocate), and
+//!   write-backs are not separately simulated — hit-rate features do not
+//!   distinguish dirty evictions;
+//! * a reference spanning multiple L1 lines is classified by its *slowest*
+//!   chunk, and every spanned line is touched.
+//!
+//! Replacement is exact per-set LRU by default, with FIFO and seeded-random
+//! alternatives for the ablation benches.
+
+use crate::config::{HierarchyConfig, Replacement};
+
+/// Upper bound on `depth() + 1` used to size fixed stat arrays: up to three
+/// cache levels plus main memory covers every machine the paper discusses.
+pub const MEMORY_LEVEL_CAP: usize = 4;
+
+const EMPTY: u64 = u64::MAX;
+
+#[derive(Debug, Clone)]
+struct Level {
+    line_shift: u32,
+    set_mask: u64,
+    assoc: usize,
+    /// `sets * assoc` line addresses (already shifted), `EMPTY` when invalid.
+    tags: Vec<u64>,
+    /// Parallel recency (LRU) or fill-order (FIFO) stamps.
+    stamp: Vec<u64>,
+    replacement: Replacement,
+    tick: u64,
+    rng: u64,
+}
+
+impl Level {
+    fn new(cfg: &crate::config::CacheLevelConfig) -> Self {
+        let sets = cfg.sets();
+        let ways = sets as usize * cfg.assoc as usize;
+        Self {
+            line_shift: cfg.line_bytes.trailing_zeros(),
+            set_mask: sets - 1,
+            assoc: cfg.assoc as usize,
+            tags: vec![EMPTY; ways],
+            stamp: vec![0; ways],
+            replacement: cfg.replacement,
+            tick: 0,
+            // Arbitrary odd constant; per-hierarchy determinism is all that
+            // matters for Random replacement.
+            rng: 0x243F_6A88_85A3_08D3,
+        }
+    }
+
+    #[inline]
+    fn line_of(&self, addr: u64) -> u64 {
+        addr >> self.line_shift
+    }
+
+    #[inline]
+    fn set_range(&self, line: u64) -> std::ops::Range<usize> {
+        let set = (line & self.set_mask) as usize;
+        let start = set * self.assoc;
+        start..start + self.assoc
+    }
+
+    /// Looks the line up; on hit updates recency and returns true.
+    #[inline]
+    fn probe(&mut self, line: u64) -> bool {
+        let range = self.set_range(line);
+        for w in range {
+            if self.tags[w] == line {
+                if self.replacement == Replacement::Lru {
+                    self.tick += 1;
+                    self.stamp[w] = self.tick;
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Installs the line, evicting per policy if the set is full.
+    #[inline]
+    fn fill(&mut self, line: u64) {
+        let range = self.set_range(line);
+        self.tick += 1;
+        // Prefer an invalid way.
+        let mut victim = range.start;
+        let mut victim_stamp = u64::MAX;
+        for w in range.clone() {
+            if self.tags[w] == EMPTY {
+                self.tags[w] = line;
+                self.stamp[w] = self.tick;
+                return;
+            }
+            if self.stamp[w] < victim_stamp {
+                victim_stamp = self.stamp[w];
+                victim = w;
+            }
+        }
+        if self.replacement == Replacement::Random {
+            // xorshift64* step; deterministic across runs.
+            self.rng ^= self.rng << 13;
+            self.rng ^= self.rng >> 7;
+            self.rng ^= self.rng << 17;
+            victim = range.start + (self.rng % self.assoc as u64) as usize;
+        }
+        self.tags[victim] = line;
+        self.stamp[victim] = self.tick;
+    }
+}
+
+/// A simulated cache hierarchy for one core / MPI task.
+///
+/// ```
+/// use xtrace_cache::{CacheHierarchy, CacheLevelConfig, HierarchyConfig};
+///
+/// let cfg = HierarchyConfig::new(
+///     vec![CacheLevelConfig::lru("L1", 32 * 1024, 64, 8, 2.0)],
+///     180.0,
+/// ).unwrap();
+/// let mut cache = CacheHierarchy::new(cfg);
+/// assert_eq!(cache.access(0x1000, 8), 1, "cold miss goes to memory");
+/// assert_eq!(cache.access(0x1000, 8), 0, "now L1-resident");
+/// ```
+#[derive(Debug, Clone)]
+pub struct CacheHierarchy {
+    config: HierarchyConfig,
+    levels: Vec<Level>,
+    l1_line_bytes: u64,
+}
+
+impl CacheHierarchy {
+    /// Builds the simulator for a validated configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or deeper than
+    /// [`MEMORY_LEVEL_CAP`]` - 1` levels.
+    pub fn new(config: HierarchyConfig) -> Self {
+        config
+            .validate()
+            .expect("invalid cache hierarchy configuration");
+        assert!(
+            config.depth() < MEMORY_LEVEL_CAP,
+            "at most {} cache levels supported",
+            MEMORY_LEVEL_CAP - 1
+        );
+        let levels = config.levels.iter().map(Level::new).collect();
+        let l1_line_bytes = u64::from(config.levels[0].line_bytes);
+        Self {
+            config,
+            levels,
+            l1_line_bytes,
+        }
+    }
+
+    /// The configuration this simulator mimics.
+    pub fn config(&self) -> &HierarchyConfig {
+        &self.config
+    }
+
+    /// Number of cache levels (a return value of `depth()` from
+    /// [`Self::access`] means main memory).
+    #[inline]
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Simulates one reference of `bytes` bytes at `addr`.
+    ///
+    /// Returns the hit level: `0` for L1, `1` for L2, …, `depth()` for main
+    /// memory. Multi-line references return the deepest level any spanned
+    /// line required.
+    #[inline]
+    pub fn access(&mut self, addr: u64, bytes: u32) -> u8 {
+        let bytes = u64::from(bytes.max(1));
+        let first = addr / self.l1_line_bytes;
+        let last = (addr + bytes - 1) / self.l1_line_bytes;
+        if first == last {
+            return self.access_chunk(addr);
+        }
+        let mut worst = 0u8;
+        for line in first..=last {
+            worst = worst.max(self.access_chunk(line * self.l1_line_bytes));
+        }
+        worst
+    }
+
+    /// Simulates one L1-line-sized chunk.
+    #[inline]
+    fn access_chunk(&mut self, addr: u64) -> u8 {
+        let depth = self.levels.len();
+        let mut hit = depth; // assume memory
+        for (i, level) in self.levels.iter_mut().enumerate() {
+            let line = level.line_of(addr);
+            if level.probe(line) {
+                hit = i;
+                break;
+            }
+        }
+        // Fill every level closer to the core than the hit level.
+        for level in self.levels[..hit].iter_mut() {
+            let line = level.line_of(addr);
+            level.fill(line);
+        }
+        hit as u8
+    }
+
+    /// Invalidates all contents (e.g. between MultiMAPS sweep points).
+    pub fn flush(&mut self) {
+        for level in &mut self.levels {
+            level.tags.fill(EMPTY);
+            level.stamp.fill(0);
+            level.tick = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CacheLevelConfig;
+
+    /// Tiny, fully transparent hierarchy: L1 = 4 lines of 64 B, direct path
+    /// to hand-check hits and evictions. 2-way, 2 sets.
+    fn tiny() -> CacheHierarchy {
+        let l1 = CacheLevelConfig::lru("L1", 256, 64, 2, 1.0);
+        let l2 = CacheLevelConfig::lru("L2", 1024, 64, 2, 10.0);
+        CacheHierarchy::new(HierarchyConfig::new(vec![l1, l2], 100.0).unwrap())
+    }
+
+    #[test]
+    fn first_touch_misses_second_hits() {
+        let mut c = tiny();
+        assert_eq!(c.access(0, 8), 2, "cold miss goes to memory");
+        assert_eq!(c.access(0, 8), 0, "now resident in L1");
+        assert_eq!(c.access(32, 8), 0, "same line");
+        assert_eq!(c.access(64, 8), 2, "different line, cold");
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny();
+        // Set 0 of L1 holds lines with even line index (2 sets): lines 0, 2.
+        c.access(0, 8); // line 0 -> set 0
+        c.access(128, 8); // line 2 -> set 0; set full
+        c.access(0, 8); // touch line 0, making line 2 LRU
+        c.access(256, 8); // line 4 -> set 0; evicts line 2
+        assert_eq!(c.access(0, 8), 0, "line 0 retained");
+        assert_eq!(c.access(128, 8), 1, "line 2 evicted from L1, still in L2");
+    }
+
+    #[test]
+    fn l2_catches_l1_evictions() {
+        let mut c = tiny();
+        // Walk 8 distinct lines: 512 B > L1 (256 B), < L2 (1024 B).
+        for i in 0..8u64 {
+            assert_eq!(c.access(i * 64, 8), 2);
+        }
+        // Second sweep: everything misses L1 (capacity) but hits L2.
+        for i in 0..8u64 {
+            let lvl = c.access(i * 64, 8);
+            assert!(lvl >= 1, "line {i} must not be L1-resident");
+            assert_eq!(lvl, 1, "line {i} should hit L2");
+        }
+    }
+
+    #[test]
+    fn small_working_set_hits_l1_forever() {
+        let mut c = tiny();
+        for k in 0..1000u64 {
+            let lvl = c.access((k % 2) * 64, 8);
+            if k >= 2 {
+                assert_eq!(lvl, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn straddling_reference_touches_both_lines() {
+        let mut c = tiny();
+        assert_eq!(c.access(60, 8), 2, "cold: spans lines 0 and 1");
+        assert_eq!(c.access(0, 8), 0, "line 0 was filled");
+        assert_eq!(c.access(64, 8), 0, "line 1 was filled");
+    }
+
+    #[test]
+    fn flush_empties_all_levels() {
+        let mut c = tiny();
+        c.access(0, 8);
+        c.flush();
+        assert_eq!(c.access(0, 8), 2);
+    }
+
+    #[test]
+    fn fifo_ignores_recency() {
+        let l1 = CacheLevelConfig {
+            replacement: Replacement::Fifo,
+            ..CacheLevelConfig::lru("L1", 256, 64, 2, 1.0)
+        };
+        let mut c = CacheHierarchy::new(HierarchyConfig::new(vec![l1], 100.0).unwrap());
+        c.access(0, 8); // line 0 filled first
+        c.access(128, 8); // line 2
+        c.access(0, 8); // hit; FIFO order unchanged
+        c.access(256, 8); // evicts line 0 (oldest fill), not line 2
+        assert_eq!(c.access(128, 8), 0, "line 2 retained under FIFO");
+        assert_eq!(c.access(0, 8), 1, "line 0 evicted under FIFO");
+    }
+
+    #[test]
+    fn random_replacement_is_deterministic() {
+        let mk = || {
+            let l1 = CacheLevelConfig {
+                replacement: Replacement::Random,
+                ..CacheLevelConfig::lru("L1", 256, 64, 2, 1.0)
+            };
+            CacheHierarchy::new(HierarchyConfig::new(vec![l1], 100.0).unwrap())
+        };
+        let run = |mut c: CacheHierarchy| {
+            (0..2000u64)
+                .map(|k| c.access((k * 37 % 50) * 64, 8))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(mk()), run(mk()));
+    }
+
+    #[test]
+    fn single_level_hierarchy_reports_memory_as_level_one() {
+        let l1 = CacheLevelConfig::lru("L1", 256, 64, 2, 1.0);
+        let mut c = CacheHierarchy::new(HierarchyConfig::new(vec![l1], 50.0).unwrap());
+        assert_eq!(c.depth(), 1);
+        assert_eq!(c.access(0, 8), 1);
+        assert_eq!(c.access(0, 8), 0);
+    }
+
+    #[test]
+    fn sequential_sweep_hit_rate_matches_line_geometry() {
+        // Unit-stride 8-byte accesses over a region much larger than the
+        // cache: exactly 1 miss per 64-byte line -> 7/8 of accesses hit L1.
+        let l1 = CacheLevelConfig::lru("L1", 4096, 64, 4, 1.0);
+        let mut c = CacheHierarchy::new(HierarchyConfig::new(vec![l1], 50.0).unwrap());
+        let n = 1 << 16;
+        let mut hits = 0u64;
+        for k in 0..n {
+            if c.access(k * 8, 8) == 0 {
+                hits += 1;
+            }
+        }
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 7.0 / 8.0).abs() < 1e-3, "hit rate {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid cache hierarchy")]
+    fn invalid_config_panics() {
+        let bad = CacheLevelConfig::lru("L1", 1000, 48, 3, 1.0);
+        CacheHierarchy::new(HierarchyConfig {
+            levels: vec![bad],
+            memory_latency_cycles: 10.0,
+        });
+    }
+}

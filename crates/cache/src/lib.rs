@@ -1,0 +1,31 @@
+//! # xtrace-cache — target-system cache hierarchy simulation
+//!
+//! The PMaC pipeline never measures cache behaviour on the machine it runs
+//! on: the instrumented application's address stream is "processed on-the-fly
+//! through a cache simulator which mimics the structure of the system being
+//! predicted" (Section III-A). That indirection is what enables
+//! *cross-architectural* prediction — signatures for a target machine are
+//! collected on a base machine, or for a machine that does not exist yet
+//! (the paper's Table III explores a hypothetical 56 KB-L1 system this way).
+//!
+//! This crate is that simulator: a configurable multi-level, set-associative
+//! hierarchy ([`CacheHierarchy`]) with LRU/FIFO/random replacement, driven
+//! one reference at a time. Each access reports the level it hit in, which
+//! the tracer aggregates into the per-basic-block hit rates of the
+//! application signature, and which the ground-truth simulator converts into
+//! exact access latencies.
+//!
+//! A [`WorkingSetTracker`] measures the distinct cache lines an instruction
+//! touches — feature element (5), "working set size".
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod hierarchy;
+pub mod stats;
+pub mod wset;
+
+pub use config::{CacheLevelConfig, HierarchyConfig, Replacement};
+pub use hierarchy::{CacheHierarchy, MEMORY_LEVEL_CAP};
+pub use stats::LevelCounts;
+pub use wset::WorkingSetTracker;

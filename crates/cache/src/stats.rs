@@ -1,0 +1,130 @@
+//! Per-level hit accounting.
+//!
+//! The paper reports *cumulative* hit rates: its Table II rows are
+//! monotonically non-decreasing across L1 → L2 → L3 because "L2 hit rate"
+//! means the fraction of references satisfied at or before L2. [`LevelCounts`]
+//! stores raw per-level hit counts and exposes both views; the application
+//! signature stores the cumulative form, which is also the coordinate system
+//! of the MultiMAPS surface.
+
+use serde::{Deserialize, Serialize};
+
+use crate::hierarchy::MEMORY_LEVEL_CAP;
+
+/// Hit counters for one attribution unit (an instruction, a block, or a
+/// whole task).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LevelCounts {
+    /// `hits[i]` = references satisfied exactly at cache level `i`;
+    /// `hits[depth]` = references that went to main memory.
+    pub hits: [u64; MEMORY_LEVEL_CAP],
+    /// Total references recorded.
+    pub accesses: u64,
+}
+
+impl LevelCounts {
+    /// Records one access that hit at `level` (as returned by
+    /// [`crate::CacheHierarchy::access`]).
+    #[inline]
+    pub fn record(&mut self, level: u8) {
+        self.hits[level as usize] += 1;
+        self.accesses += 1;
+    }
+
+    /// Merges another counter into this one.
+    pub fn merge(&mut self, other: &LevelCounts) {
+        for (a, b) in self.hits.iter_mut().zip(other.hits.iter()) {
+            *a += b;
+        }
+        self.accesses += other.accesses;
+    }
+
+    /// Exact hit rate *at* level `i` (non-cumulative). Returns 0 when no
+    /// accesses were recorded.
+    pub fn hit_rate_at(&self, level: usize) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits[level] as f64 / self.accesses as f64
+        }
+    }
+
+    /// Cumulative hit rate: fraction of references satisfied at or before
+    /// level `i`. This is the paper's "Lk hit rate".
+    pub fn hit_rate_cum(&self, level: usize) -> f64 {
+        if self.accesses == 0 {
+            return 0.0;
+        }
+        let sum: u64 = self.hits[..=level].iter().sum();
+        sum as f64 / self.accesses as f64
+    }
+
+    /// References that reached main memory, given the hierarchy depth.
+    pub fn memory_refs(&self, depth: usize) -> u64 {
+        self.hits[depth]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_rates() {
+        let mut c = LevelCounts::default();
+        for _ in 0..70 {
+            c.record(0);
+        }
+        for _ in 0..20 {
+            c.record(1);
+        }
+        for _ in 0..10 {
+            c.record(2);
+        }
+        assert_eq!(c.accesses, 100);
+        assert!((c.hit_rate_at(0) - 0.70).abs() < 1e-12);
+        assert!((c.hit_rate_at(1) - 0.20).abs() < 1e-12);
+        assert!((c.hit_rate_cum(0) - 0.70).abs() < 1e-12);
+        assert!((c.hit_rate_cum(1) - 0.90).abs() < 1e-12);
+        assert!((c.hit_rate_cum(2) - 1.00).abs() < 1e-12);
+        assert_eq!(c.memory_refs(2), 10);
+    }
+
+    #[test]
+    fn cumulative_rates_are_monotone() {
+        let mut c = LevelCounts::default();
+        for lvl in [0u8, 1, 1, 2, 3, 0, 2, 3, 3] {
+            c.record(lvl);
+        }
+        let mut prev = 0.0;
+        for i in 0..MEMORY_LEVEL_CAP {
+            let cur = c.hit_rate_cum(i);
+            assert!(cur >= prev);
+            prev = cur;
+        }
+        assert!((prev - 1.0).abs() < 1e-12, "all accesses land somewhere");
+    }
+
+    #[test]
+    fn empty_counts_report_zero() {
+        let c = LevelCounts::default();
+        assert_eq!(c.hit_rate_at(0), 0.0);
+        assert_eq!(c.hit_rate_cum(3), 0.0);
+        assert_eq!(c.memory_refs(3), 0);
+    }
+
+    #[test]
+    fn merge_adds_componentwise() {
+        let mut a = LevelCounts::default();
+        a.record(0);
+        a.record(2);
+        let mut b = LevelCounts::default();
+        b.record(0);
+        b.record(1);
+        a.merge(&b);
+        assert_eq!(a.accesses, 4);
+        assert_eq!(a.hits[0], 2);
+        assert_eq!(a.hits[1], 1);
+        assert_eq!(a.hits[2], 1);
+    }
+}

@@ -1,0 +1,113 @@
+//! Working-set measurement.
+//!
+//! Feature element (5) of the application signature is the working-set size
+//! of each basic block — the amount of distinct data it touches. Combined
+//! with the hit rates it tells the convolution *where on the MultiMAPS
+//! surface* a block's references live, and it is one of the quantities whose
+//! scaling behaviour the extrapolator fits (under strong scaling it usually
+//! shrinks like `1/P`).
+
+use std::collections::HashSet;
+
+/// Counts distinct cache lines touched by a stream of references.
+#[derive(Debug, Clone)]
+pub struct WorkingSetTracker {
+    line_shift: u32,
+    line_bytes: u64,
+    lines: HashSet<u64>,
+}
+
+impl WorkingSetTracker {
+    /// Creates a tracker with the given line granularity (use the target
+    /// system's L1 line size so working sets are comparable with cache
+    /// capacities).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_bytes` is not a nonzero power of two.
+    pub fn new(line_bytes: u32) -> Self {
+        assert!(
+            line_bytes > 0 && line_bytes.is_power_of_two(),
+            "line size must be a nonzero power of two"
+        );
+        Self {
+            line_shift: line_bytes.trailing_zeros(),
+            line_bytes: u64::from(line_bytes),
+            lines: HashSet::new(),
+        }
+    }
+
+    /// Records a reference of `bytes` bytes at `addr`.
+    #[inline]
+    pub fn touch(&mut self, addr: u64, bytes: u32) {
+        let bytes = u64::from(bytes.max(1));
+        let first = addr >> self.line_shift;
+        let last = (addr + bytes - 1) >> self.line_shift;
+        for line in first..=last {
+            self.lines.insert(line);
+        }
+    }
+
+    /// Distinct lines touched so far.
+    pub fn lines(&self) -> u64 {
+        self.lines.len() as u64
+    }
+
+    /// Working-set size in bytes (distinct lines × line size).
+    pub fn bytes(&self) -> u64 {
+        self.lines() * self.line_bytes
+    }
+
+    /// Forgets everything (e.g. between phases).
+    pub fn reset(&mut self) {
+        self.lines.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_lines_counted_once() {
+        let mut w = WorkingSetTracker::new(64);
+        w.touch(0, 8);
+        w.touch(8, 8);
+        w.touch(63, 1);
+        assert_eq!(w.lines(), 1);
+        w.touch(64, 8);
+        assert_eq!(w.lines(), 2);
+        assert_eq!(w.bytes(), 128);
+    }
+
+    #[test]
+    fn straddling_touch_counts_both_lines() {
+        let mut w = WorkingSetTracker::new(64);
+        w.touch(60, 8);
+        assert_eq!(w.lines(), 2);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut w = WorkingSetTracker::new(64);
+        w.touch(0, 8);
+        w.reset();
+        assert_eq!(w.lines(), 0);
+        assert_eq!(w.bytes(), 0);
+    }
+
+    #[test]
+    fn sweep_measures_region_size() {
+        let mut w = WorkingSetTracker::new(64);
+        for k in 0..1024u64 {
+            w.touch(k * 8, 8);
+        }
+        assert_eq!(w.bytes(), 8192);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_line_size_panics() {
+        WorkingSetTracker::new(48);
+    }
+}

@@ -1,0 +1,154 @@
+//! Property tests for the cache simulator, including an oracle comparison:
+//! an LRU set-associative cache must agree exactly with a brute-force
+//! reference model that keeps per-set recency lists.
+
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use xtrace_cache::{CacheHierarchy, CacheLevelConfig, HierarchyConfig, LevelCounts};
+
+/// Brute-force single-level LRU reference model.
+struct RefLru {
+    line_bytes: u64,
+    sets: u64,
+    assoc: usize,
+    /// Per set: most-recent-last list of line addresses.
+    state: Vec<Vec<u64>>,
+}
+
+impl RefLru {
+    fn new(size: u64, line: u64, assoc: usize) -> Self {
+        let sets = size / (line * assoc as u64);
+        Self {
+            line_bytes: line,
+            sets,
+            assoc,
+            state: vec![Vec::new(); sets as usize],
+        }
+    }
+
+    /// Returns true on hit.
+    fn access(&mut self, addr: u64) -> bool {
+        let line = addr / self.line_bytes;
+        let set = (line % self.sets) as usize;
+        let list = &mut self.state[set];
+        if let Some(pos) = list.iter().position(|&l| l == line) {
+            let l = list.remove(pos);
+            list.push(l);
+            true
+        } else {
+            if list.len() == self.assoc {
+                list.remove(0);
+            }
+            list.push(line);
+            false
+        }
+    }
+}
+
+proptest! {
+    /// The simulator's L1 hit/miss sequence must match the reference model
+    /// exactly for arbitrary address streams.
+    #[test]
+    fn lru_matches_reference_model(
+        seed in any::<u64>(),
+        log_size in 8u32..12,      // 256 B .. 2 KiB caches
+        assoc_pow in 0u32..3,      // 1-, 2-, 4-way
+        naddr in 100usize..2000,
+        addr_space in 1u64..(1 << 14),
+    ) {
+        let size = 1u64 << log_size;
+        let assoc = 1u32 << assoc_pow;
+        let line = 64u32;
+        prop_assume!(size.is_multiple_of(u64::from(line) * u64::from(assoc)));
+        prop_assume!((size / (u64::from(line) * u64::from(assoc))).is_power_of_two());
+
+        let cfg = HierarchyConfig::new(
+            vec![CacheLevelConfig::lru("L1", size, line, assoc, 1.0)],
+            100.0,
+        ).unwrap();
+        let mut sim = CacheHierarchy::new(cfg);
+        let mut oracle = RefLru::new(size, u64::from(line), assoc as usize);
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for i in 0..naddr {
+            let addr = rng.gen_range(0..addr_space) * 8;
+            let sim_hit = sim.access(addr, 8) == 0;
+            let ref_hit = oracle.access(addr);
+            prop_assert_eq!(sim_hit, ref_hit, "divergence at access {}", i);
+        }
+    }
+
+    /// Hit levels never exceed the hierarchy depth and counts always sum.
+    #[test]
+    fn hit_levels_bounded_and_counts_consistent(
+        seed in any::<u64>(),
+        naddr in 1usize..3000,
+    ) {
+        let cfg = HierarchyConfig::new(
+            vec![
+                CacheLevelConfig::lru("L1", 1 << 10, 64, 2, 1.0),
+                CacheLevelConfig::lru("L2", 1 << 13, 64, 4, 10.0),
+                CacheLevelConfig::lru("L3", 1 << 16, 64, 8, 40.0),
+            ],
+            200.0,
+        ).unwrap();
+        let mut sim = CacheHierarchy::new(cfg);
+        let mut counts = LevelCounts::default();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..naddr {
+            let addr = rng.gen_range(0u64..1 << 18);
+            let lvl = sim.access(addr, 8);
+            prop_assert!(usize::from(lvl) <= sim.depth());
+            counts.record(lvl);
+        }
+        prop_assert_eq!(counts.accesses, naddr as u64);
+        prop_assert_eq!(counts.hits.iter().sum::<u64>(), naddr as u64);
+        // Cumulative rates are monotone and end at 1.
+        let mut prev = 0.0;
+        for i in 0..=sim.depth() {
+            let cur = counts.hit_rate_cum(i);
+            prop_assert!(cur + 1e-12 >= prev);
+            prev = cur;
+        }
+        prop_assert!((prev - 1.0).abs() < 1e-12);
+    }
+
+    /// After a line is touched, an immediate retouch must hit L1 — for any
+    /// hierarchy shape.
+    #[test]
+    fn immediate_reuse_hits_l1(
+        addrs in proptest::collection::vec(0u64..(1 << 20), 1..500),
+    ) {
+        let cfg = HierarchyConfig::new(
+            vec![CacheLevelConfig::lru("L1", 1 << 12, 64, 4, 1.0)],
+            100.0,
+        ).unwrap();
+        let mut sim = CacheHierarchy::new(cfg);
+        for &a in &addrs {
+            sim.access(a, 8);
+            prop_assert_eq!(sim.access(a, 8), 0, "retouch of {} missed", a);
+        }
+    }
+
+    /// A working set smaller than L1 eventually stops missing entirely.
+    #[test]
+    fn resident_working_set_converges_to_full_hits(
+        nlines in 1u64..32,
+        rounds in 2usize..6,
+    ) {
+        let cfg = HierarchyConfig::new(
+            // 64 lines, fully associative: any <=32-line set fits.
+            vec![CacheLevelConfig::lru("L1", 64 * 64, 64, 64, 1.0)],
+            100.0,
+        ).unwrap();
+        let mut sim = CacheHierarchy::new(cfg);
+        for round in 0..rounds {
+            for i in 0..nlines {
+                let lvl = sim.access(i * 64, 8);
+                if round > 0 {
+                    prop_assert_eq!(lvl, 0);
+                }
+            }
+        }
+    }
+}

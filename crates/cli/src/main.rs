@@ -1,0 +1,465 @@
+//! `xtrace` — command-line driver for the trace-extrapolation pipeline.
+//!
+//! ```text
+//! xtrace machines                          list target-machine presets
+//! xtrace apps                              list proxy applications
+//! xtrace trace       --app A --ranks P --machine M [--rank R] [--scale S] [--out F]
+//! xtrace extrapolate --target P [--forms paper|extended] --out F T1.json T2.json T3.json
+//! xtrace predict     --trace F --app A --ranks P --machine M [--scale S]
+//! xtrace pipeline    --app A --training P1,P2,P3 --target P --machine M [--scale S]
+//! xtrace diff        --a F1 --b F2 [--threshold 0.001] [--top N]
+//! xtrace machine-export --machine M --out F.json
+//! xtrace inspect     --app A --ranks P [--rank R] [--scale S]
+//! ```
+//!
+//! `--machine` accepts either a preset name or a path to a profile exported
+//! with `machine-export` (measured surface included — the PMaC hand-off
+//! artifact between benchmarking and prediction).
+//!
+//! Traces are stored as JSON (`.json`) or the compact binary format
+//! (anything else). `--scale` selects `small` (default; laptop-friendly)
+//! or `paper` (the full Table I configuration).
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use xtrace_apps::{ProxyApp, SpecfemProxy, StencilProxy, Uh3dProxy};
+use xtrace_extrap::{
+    extrapolate_signature, extrapolate_signature_detailed, CanonicalForm, ExtrapolationConfig,
+    FitReport,
+};
+use xtrace_machine::{presets, MachineProfile};
+use xtrace_psins::{ground_truth, predict_runtime, relative_error};
+use xtrace_spmd::{CommProfile, SpmdApp};
+use xtrace_tracer::{
+    collect_signature_with, from_bytes, load_json, save_json, to_bytes, TaskTrace, TracerConfig,
+};
+
+fn usage() -> &'static str {
+    "usage:\n  \
+     xtrace machines\n  \
+     xtrace apps\n  \
+     xtrace trace --app <name> --ranks <P> --machine <name> [--rank <R>] [--scale small|paper] [--out <file>]\n  \
+     xtrace extrapolate --target <P> [--forms paper|extended] [--report true] [--out <file>] <trace files...>\n  \
+     xtrace predict --trace <file> --app <name> --ranks <P> --machine <name> [--scale small|paper]\n  \
+     xtrace pipeline --app <name> --training <P1,P2,P3> --target <P> --machine <name> [--scale small|paper]\n  \
+     xtrace diff --a <file> --b <file> [--threshold <frac>] [--top <N>]\n  \
+     xtrace machine-export --machine <name> --out <file.json>\n  \
+     xtrace inspect --app <name> --ranks <P> [--rank <R>] [--scale small|paper]\n\n\
+     trace files ending in .json are JSON; all others use the compact binary format"
+}
+
+/// Minimal `--key value` argument scanner; positional arguments are
+/// collected separately.
+struct Args {
+    flags: Vec<(String, String)>,
+    positional: Vec<String>,
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Result<Self, String> {
+        let mut flags = Vec::new();
+        let mut positional = Vec::new();
+        let mut it = argv.iter();
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("flag --{key} needs a value"))?;
+                flags.push((key.to_string(), value.clone()));
+            } else {
+                positional.push(a.clone());
+            }
+        }
+        Ok(Self { flags, positional })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing --{key}"))
+    }
+
+    fn parse_u32(&self, key: &str) -> Result<u32, String> {
+        self.require(key)?
+            .parse()
+            .map_err(|_| format!("--{key} must be a positive integer"))
+    }
+}
+
+fn make_app(name: &str, scale: &str) -> Result<Box<dyn AppObj>, String> {
+    let paper = match scale {
+        "paper" => true,
+        "small" => false,
+        other => return Err(format!("unknown --scale {other:?} (small|paper)")),
+    };
+    match name {
+        "specfem3d" | "specfem3d-proxy" => Ok(Box::new(if paper {
+            SpecfemProxy::paper_scale()
+        } else {
+            SpecfemProxy::small()
+        })),
+        "uh3d" | "uh3d-proxy" => Ok(Box::new(if paper {
+            Uh3dProxy::paper_scale()
+        } else {
+            Uh3dProxy::small()
+        })),
+        "stencil3d" | "stencil3d-proxy" => Ok(Box::new(if paper {
+            StencilProxy::medium()
+        } else {
+            StencilProxy::small()
+        })),
+        other => Err(format!(
+            "unknown application {other:?} (specfem3d | uh3d | stencil3d)"
+        )),
+    }
+}
+
+/// Object-safe bundle of the two traits the CLI needs.
+trait AppObj {
+    fn spmd(&self) -> &dyn SpmdApp;
+    fn comm(&self, nranks: u32) -> CommProfile;
+}
+
+impl<T: ProxyApp> AppObj for T {
+    fn spmd(&self) -> &dyn SpmdApp {
+        self.as_spmd()
+    }
+    fn comm(&self, nranks: u32) -> CommProfile {
+        self.comm_profile(nranks)
+    }
+}
+
+fn make_machine(name: &str) -> Result<MachineProfile, String> {
+    // A path to an exported profile takes precedence over preset names.
+    if name.ends_with(".json") {
+        let s = std::fs::read_to_string(name).map_err(|e| format!("{name}: {e}"))?;
+        let spec: xtrace_machine::MachineProfileSpec =
+            serde_json::from_str(&s).map_err(|e| format!("{name}: {e}"))?;
+        return Ok(MachineProfile::from_spec(spec));
+    }
+    presets::by_name(name).ok_or_else(|| {
+        let names: Vec<String> = presets::all().into_iter().map(|m| m.name).collect();
+        format!("unknown machine {name:?}; available: {}", names.join(", "))
+    })
+}
+
+fn cmd_inspect(args: &Args) -> Result<(), String> {
+    let app = make_app(args.require("app")?, args.get("scale").unwrap_or("small"))?;
+    let ranks = args.parse_u32("ranks")?;
+    let rank: u32 = args
+        .get("rank")
+        .unwrap_or("0")
+        .parse()
+        .map_err(|_| "--rank must be an integer")?;
+    if rank >= ranks {
+        return Err(format!("--rank {rank} out of range for {ranks} ranks"));
+    }
+    let rp = app.spmd().rank_program(rank, ranks);
+    println!(
+        "{} — rank {rank} of {ranks}\n",
+        app.spmd().name()
+    );
+    print!("{}", xtrace_ir::render_program(&rp.program));
+    println!("events:");
+    for (i, e) in rp.events.iter().enumerate() {
+        println!("  [{i}] {e:?}");
+    }
+    Ok(())
+}
+
+fn cmd_machine_export(args: &Args) -> Result<(), String> {
+    let machine = make_machine(args.require("machine")?)?;
+    let out = args.require("out")?;
+    let spec = machine.to_spec(); // measures the surface if needed
+    let json = serde_json::to_string_pretty(&spec).expect("serializable");
+    std::fs::write(out, json).map_err(|e| format!("{out}: {e}"))?;
+    eprintln!(
+        "exported {} ({} surface points) to {out}",
+        machine.name,
+        machine.surface().points.len()
+    );
+    Ok(())
+}
+
+fn load_trace(path: &Path) -> Result<TaskTrace, String> {
+    if path.extension().is_some_and(|e| e == "json") {
+        load_json(path).map_err(|e| format!("{}: {e}", path.display()))
+    } else {
+        let bytes = std::fs::read(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        from_bytes(&bytes).map_err(|e| format!("{}: {e}", path.display()))
+    }
+}
+
+fn store_trace(trace: &TaskTrace, path: &Path) -> Result<(), String> {
+    if path.extension().is_some_and(|e| e == "json") {
+        save_json(trace, path).map_err(|e| format!("{}: {e}", path.display()))
+    } else {
+        std::fs::write(path, to_bytes(trace)).map_err(|e| format!("{}: {e}", path.display()))
+    }
+}
+
+fn cmd_machines() -> Result<(), String> {
+    println!("{:<20} {:>7} {:>9} {:>24}", "name", "levels", "clock", "caches");
+    for m in presets::all() {
+        let caches: Vec<String> = m
+            .hierarchy
+            .levels
+            .iter()
+            .map(|l| format!("{}K", l.size_bytes / 1024))
+            .collect();
+        println!(
+            "{:<20} {:>7} {:>6.1}GHz {:>24}",
+            m.name,
+            m.depth(),
+            m.clock_hz / 1e9,
+            caches.join("/")
+        );
+    }
+    Ok(())
+}
+
+fn cmd_apps() -> Result<(), String> {
+    println!("specfem3d   spectral-element seismic wave propagation proxy");
+    println!("uh3d        hybrid particle-in-cell magnetosphere proxy");
+    println!("stencil3d   3-D Jacobi relaxation proxy");
+    Ok(())
+}
+
+fn cmd_trace(args: &Args) -> Result<(), String> {
+    let app = make_app(args.require("app")?, args.get("scale").unwrap_or("small"))?;
+    let ranks = args.parse_u32("ranks")?;
+    let machine = make_machine(args.require("machine")?)?;
+    let cfg = TracerConfig::default();
+
+    let sig = collect_signature_with(app.spmd(), ranks, &machine, &cfg);
+    let trace = match args.get("rank") {
+        Some(r) => {
+            let r: u32 = r.parse().map_err(|_| "--rank must be an integer")?;
+            xtrace_tracer::collect_task_trace(app.spmd(), r, ranks, &machine, &cfg)
+        }
+        None => sig.longest_task().clone(),
+    };
+    eprintln!(
+        "traced rank {} of {} ({} blocks, {:.3e} memory ops, longest task = rank {})",
+        trace.rank,
+        ranks,
+        trace.blocks.len(),
+        trace.total_mem_ops(),
+        sig.comm.longest_rank
+    );
+    match args.get("out") {
+        Some(path) => store_trace(&trace, &PathBuf::from(path))?,
+        None => println!(
+            "{}",
+            serde_json::to_string_pretty(&trace).expect("serializable")
+        ),
+    }
+    Ok(())
+}
+
+fn cmd_extrapolate(args: &Args) -> Result<(), String> {
+    let target = args.parse_u32("target")?;
+    let forms = match args.get("forms").unwrap_or("paper") {
+        "paper" => CanonicalForm::PAPER_SET.to_vec(),
+        "extended" => CanonicalForm::EXTENDED_SET.to_vec(),
+        other => return Err(format!("unknown --forms {other:?} (paper|extended)")),
+    };
+    if args.positional.is_empty() {
+        return Err("extrapolate needs trace files as positional arguments".into());
+    }
+    let traces: Vec<TaskTrace> = args
+        .positional
+        .iter()
+        .map(|p| load_trace(&PathBuf::from(p)))
+        .collect::<Result<_, _>>()?;
+    let cfg = ExtrapolationConfig {
+        forms,
+        // At least two training points (three is the paper's default); a
+        // single trace would degenerate to constant extrapolation.
+        min_traces: traces.len().clamp(2, 3),
+        ..ExtrapolationConfig::default()
+    };
+    let (out, fits) =
+        extrapolate_signature_detailed(&traces, target, &cfg).map_err(|e| e.to_string())?;
+    eprintln!(
+        "extrapolated {} from {:?} cores to {target}",
+        out.app,
+        traces.iter().map(|t| t.nranks).collect::<Vec<_>>()
+    );
+    if args.get("report").is_some_and(|v| v == "true") {
+        eprintln!("{}", FitReport::from_fits(&fits, cfg.influence_threshold).render());
+    }
+    match args.get("out") {
+        Some(path) => store_trace(&out, &PathBuf::from(path))?,
+        None => println!(
+            "{}",
+            serde_json::to_string_pretty(&out).expect("serializable")
+        ),
+    }
+    Ok(())
+}
+
+fn cmd_predict(args: &Args) -> Result<(), String> {
+    let trace = load_trace(&PathBuf::from(args.require("trace")?))?;
+    let app = make_app(args.require("app")?, args.get("scale").unwrap_or("small"))?;
+    let ranks = args.parse_u32("ranks")?;
+    let machine = make_machine(args.require("machine")?)?;
+    let comm = app.comm(ranks);
+    let pred = predict_runtime(&trace, &comm, &machine);
+    println!("application : {}", trace.app);
+    println!("trace       : rank {} @ {} cores", trace.rank, trace.nranks);
+    println!("machine     : {}", machine.name);
+    println!("memory time : {:>10.3} s", pred.memory_seconds);
+    println!("fp time     : {:>10.3} s", pred.fp_seconds);
+    println!("compute     : {:>10.3} s", pred.compute_seconds);
+    println!("comm        : {:>10.3} s", pred.comm_seconds);
+    println!("total       : {:>10.3} s", pred.total_seconds);
+    Ok(())
+}
+
+fn cmd_pipeline(args: &Args) -> Result<(), String> {
+    let app = make_app(args.require("app")?, args.get("scale").unwrap_or("small"))?;
+    let machine = make_machine(args.require("machine")?)?;
+    let target = args.parse_u32("target")?;
+    let training: Vec<u32> = args
+        .require("training")?
+        .split(',')
+        .map(|s| s.trim().parse().map_err(|_| format!("bad core count {s:?}")))
+        .collect::<Result<_, _>>()?;
+    let cfg = TracerConfig::default();
+
+    let traces: Vec<TaskTrace> = training
+        .iter()
+        .map(|&p| {
+            let sig = collect_signature_with(app.spmd(), p, &machine, &cfg);
+            eprintln!("traced {p} cores (longest task = rank {})", sig.comm.longest_rank);
+            sig.longest_task().clone()
+        })
+        .collect();
+    let ex_cfg = ExtrapolationConfig {
+        min_traces: traces.len().clamp(2, 3),
+        ..ExtrapolationConfig::default()
+    };
+    let extrapolated =
+        extrapolate_signature(&traces, target, &ex_cfg).map_err(|e| e.to_string())?;
+    let collected = collect_signature_with(app.spmd(), target, &machine, &cfg);
+    let comm = app.comm(target);
+    let pe = predict_runtime(&extrapolated, &comm, &machine);
+    let pc = predict_runtime(collected.longest_task(), &collected.comm, &machine);
+    let gt = ground_truth(app.spmd(), target, &machine, &cfg);
+
+    println!("\n{:<16} {:>6} {:>8} {:>12} {:>8}", "application", "cores", "trace", "runtime (s)", "% err");
+    for (label, p) in [("Extrap.", &pe), ("Coll.", &pc)] {
+        println!(
+            "{:<16} {:>6} {:>8} {:>12.3} {:>7.1}%",
+            extrapolated.app,
+            target,
+            label,
+            p.total_seconds,
+            100.0 * relative_error(p.total_seconds, gt.total_seconds)
+        );
+    }
+    println!("measured: {:.3} s", gt.total_seconds);
+    Ok(())
+}
+
+fn cmd_diff(args: &Args) -> Result<(), String> {
+    let a = load_trace(&PathBuf::from(args.require("a")?))?;
+    let b = load_trace(&PathBuf::from(args.require("b")?))?;
+    let threshold: f64 = args
+        .get("threshold")
+        .unwrap_or("0.001")
+        .parse()
+        .map_err(|_| "--threshold must be a fraction")?;
+    let top: usize = args
+        .get("top")
+        .unwrap_or("10")
+        .parse()
+        .map_err(|_| "--top must be an integer")?;
+    if a.blocks.len() != b.blocks.len() {
+        return Err(format!(
+            "traces do not align: {} vs {} blocks",
+            a.blocks.len(),
+            b.blocks.len()
+        ));
+    }
+    let errors = xtrace_extrap::element_errors(&a, &b);
+    let summary = xtrace_extrap::summarize(&errors, threshold);
+    println!(
+        "comparing {} @ {} cores (A) against {} @ {} cores (B)",
+        a.app, a.nranks, b.app, b.nranks
+    );
+    println!("elements compared:     {}", summary.n_total);
+    println!(
+        "influential (>= {:.2}%): {}",
+        100.0 * threshold,
+        summary.n_influential
+    );
+    println!(
+        "influential max error: {:.2}%",
+        100.0 * summary.max_rel_err_influential
+    );
+    println!(
+        "influential under 20%: {:.1}%",
+        100.0 * summary.frac_influential_under_20pct
+    );
+    println!("max error (all):       {:.2}%", 100.0 * summary.max_rel_err_all);
+    let mut worst: Vec<_> = errors.iter().filter(|e| e.rel_err > 0.0).collect();
+    worst.sort_by(|x, y| y.rel_err.partial_cmp(&x.rel_err).expect("finite"));
+    if !worst.is_empty() {
+        println!("\nworst elements:");
+        for e in worst.iter().take(top) {
+            println!(
+                "  {:<22} i{:<3} {:<14} A {:>12.4e}  B {:>12.4e}  err {:>7.2}%  influence {:>6.3}%",
+                e.block,
+                e.instr,
+                e.feature.label(),
+                e.got,
+                e.expected,
+                100.0 * e.rel_err,
+                100.0 * e.influence
+            );
+        }
+    }
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first() else {
+        return Err(usage().to_string());
+    };
+    let args = Args::parse(&argv[1..])?;
+    match cmd.as_str() {
+        "machines" => cmd_machines(),
+        "apps" => cmd_apps(),
+        "trace" => cmd_trace(&args),
+        "extrapolate" => cmd_extrapolate(&args),
+        "predict" => cmd_predict(&args),
+        "pipeline" => cmd_pipeline(&args),
+        "diff" => cmd_diff(&args),
+        "machine-export" => cmd_machine_export(&args),
+        "inspect" => cmd_inspect(&args),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{}", usage())),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! End-to-end tests of the `xtrace` binary: every subcommand, both trace
+//! formats, and the error paths.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn xtrace(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_xtrace"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("xtrace-cli-tests").join(name);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn no_args_prints_usage_and_fails() {
+    let out = xtrace(&[]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = xtrace(&["frobnicate"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown command"));
+    assert!(err.contains("usage"));
+}
+
+#[test]
+fn help_succeeds() {
+    let out = xtrace(&["help"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("extrapolate"));
+}
+
+#[test]
+fn machines_lists_all_presets() {
+    let out = xtrace(&["machines"]);
+    assert!(out.status.success());
+    let s = String::from_utf8_lossy(&out.stdout);
+    for name in ["opteron", "cray-xt5", "bluewaters-phase1", "system-a", "system-b"] {
+        assert!(s.contains(name), "missing {name}");
+    }
+}
+
+#[test]
+fn apps_lists_proxies() {
+    let out = xtrace(&["apps"]);
+    assert!(out.status.success());
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(s.contains("specfem3d") && s.contains("uh3d") && s.contains("stencil3d"));
+}
+
+#[test]
+fn full_pipeline_through_files_works() {
+    let dir = tmpdir("pipeline");
+    let mut paths = Vec::new();
+    // Mixed formats: two JSON, one binary.
+    for (p, name) in [(4u32, "t4.json"), (8, "t8.json"), (16, "t16.bin")] {
+        let path = dir.join(name);
+        let out = xtrace(&[
+            "trace",
+            "--app",
+            "stencil3d",
+            "--ranks",
+            &p.to_string(),
+            "--machine",
+            "opteron",
+            "--out",
+            path.to_str().unwrap(),
+        ]);
+        assert!(out.status.success(), "trace at {p}: {:?}", out);
+        paths.push(path);
+    }
+
+    let out_path = dir.join("t64.json");
+    let out = xtrace(&[
+        "extrapolate",
+        "--target",
+        "64",
+        "--out",
+        out_path.to_str().unwrap(),
+        paths[0].to_str().unwrap(),
+        paths[1].to_str().unwrap(),
+        paths[2].to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{:?}", out);
+
+    let out = xtrace(&[
+        "predict",
+        "--trace",
+        out_path.to_str().unwrap(),
+        "--app",
+        "stencil3d",
+        "--ranks",
+        "64",
+        "--machine",
+        "opteron",
+    ]);
+    assert!(out.status.success(), "{:?}", out);
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(s.contains("total"));
+    assert!(s.contains("stencil3d-proxy"));
+}
+
+#[test]
+fn trace_without_out_prints_json() {
+    let out = xtrace(&[
+        "trace", "--app", "stencil3d", "--ranks", "2", "--machine", "opteron",
+    ]);
+    assert!(out.status.success());
+    let s = String::from_utf8_lossy(&out.stdout);
+    let trace: serde_json::Value = serde_json::from_str(&s).expect("stdout is a JSON trace");
+    assert_eq!(trace["app"], "stencil3d-proxy");
+    assert_eq!(trace["nranks"], 2);
+}
+
+#[test]
+fn extrapolate_rejects_too_few_traces() {
+    let dir = tmpdir("toofew");
+    let path = dir.join("one.json");
+    assert!(xtrace(&[
+        "trace", "--app", "stencil3d", "--ranks", "2", "--machine", "opteron", "--out",
+        path.to_str().unwrap(),
+    ])
+    .status
+    .success());
+    let out = xtrace(&["extrapolate", "--target", "64", path.to_str().unwrap()]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn unknown_machine_and_app_are_rejected_helpfully() {
+    let out = xtrace(&[
+        "trace", "--app", "stencil3d", "--ranks", "2", "--machine", "cray-xt9",
+    ]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown machine"));
+    assert!(err.contains("cray-xt5"), "suggests valid names");
+
+    let out = xtrace(&[
+        "trace", "--app", "lammps", "--ranks", "2", "--machine", "opteron",
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown application"));
+}
+
+#[test]
+fn missing_flag_value_is_an_error() {
+    let out = xtrace(&["trace", "--app"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("needs a value"));
+}
+
+#[test]
+fn diff_compares_two_traces() {
+    let dir = tmpdir("diff");
+    let a = dir.join("a.json");
+    let b = dir.join("b.json");
+    for (p, path) in [(4u32, &a), (8, &b)] {
+        assert!(xtrace(&[
+            "trace", "--app", "stencil3d", "--ranks", &p.to_string(), "--machine", "opteron",
+            "--out", path.to_str().unwrap(),
+        ])
+        .status
+        .success());
+    }
+    let out = xtrace(&["diff", "--a", a.to_str().unwrap(), "--b", b.to_str().unwrap()]);
+    assert!(out.status.success(), "{out:?}");
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(s.contains("elements compared"));
+    assert!(s.contains("worst elements"), "4-vs-8-core traces differ");
+
+    // Self-diff: zero error, no worst list.
+    let out = xtrace(&["diff", "--a", a.to_str().unwrap(), "--b", a.to_str().unwrap()]);
+    assert!(out.status.success());
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(s.contains("max error (all):       0.00%"), "{s}");
+}
+
+#[test]
+fn machine_export_roundtrips_through_trace() {
+    let dir = tmpdir("machine");
+    let profile = dir.join("opteron.json");
+    let out = xtrace(&[
+        "machine-export", "--machine", "opteron", "--out", profile.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("surface points"));
+
+    // The exported file works anywhere a machine name does.
+    let trace = dir.join("t.json");
+    let out = xtrace(&[
+        "trace", "--app", "stencil3d", "--ranks", "4", "--machine",
+        profile.to_str().unwrap(), "--out", trace.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let t: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&trace).unwrap()).unwrap();
+    assert_eq!(t["machine"], "opteron");
+}
+
+#[test]
+fn inspect_renders_a_program_listing() {
+    let out = xtrace(&["inspect", "--app", "uh3d", "--ranks", "8", "--rank", "3"]);
+    assert!(out.status.success(), "{out:?}");
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(s.contains("rank 3 of 8"));
+    assert!(s.contains("particle-push"));
+    assert!(s.contains("events:"));
+
+    let out = xtrace(&["inspect", "--app", "uh3d", "--ranks", "4", "--rank", "9"]);
+    assert!(!out.status.success(), "out-of-range rank must fail");
+}
+
+#[test]
+fn extrapolate_report_prints_fit_quality() {
+    let dir = tmpdir("report");
+    let mut paths = Vec::new();
+    for p in [2u32, 4, 8] {
+        let path = dir.join(format!("t{p}.json"));
+        assert!(xtrace(&[
+            "trace", "--app", "stencil3d", "--ranks", &p.to_string(), "--machine", "opteron",
+            "--out", path.to_str().unwrap(),
+        ])
+        .status
+        .success());
+        paths.push(path);
+    }
+    let out = xtrace(&[
+        "extrapolate",
+        "--target",
+        "32",
+        "--report",
+        "true",
+        "--out",
+        dir.join("x.json").to_str().unwrap(),
+        paths[0].to_str().unwrap(),
+        paths[1].to_str().unwrap(),
+        paths[2].to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("fit report"), "{err}");
+    assert!(err.contains("chosen forms"));
+}
+
+#[test]
+fn pipeline_subcommand_prints_table() {
+    let out = xtrace(&[
+        "pipeline",
+        "--app",
+        "stencil3d",
+        "--training",
+        "2,4,8",
+        "--target",
+        "32",
+        "--machine",
+        "opteron",
+    ]);
+    assert!(out.status.success(), "{:?}", out);
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(s.contains("Extrap."));
+    assert!(s.contains("Coll."));
+    assert!(s.contains("measured"));
+}

@@ -1,0 +1,355 @@
+//! Task clustering: the Section-VI extension.
+//!
+//! "We believe that we can improve the accuracy of the synthetic traces by
+//! using clustering algorithms. These algorithms could be used to first
+//! cluster MPI-tasks with similar properties and then use the 'centroid'
+//! file from each cluster as a base to extrapolate data in the centroid
+//! trace files." This module implements exactly that: k-means over compact
+//! per-task summary vectors, a representative ("centroid member") task per
+//! cluster, and per-cluster extrapolation across core counts.
+
+use xtrace_tracer::TaskTrace;
+
+use crate::extrapolate::{extrapolate_signature, ExtrapolationConfig, ExtrapolationError};
+
+/// Result of clustering one core count's task traces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Clustering {
+    /// Number of clusters actually produced (≤ requested `k`).
+    pub k: usize,
+    /// Cluster index per input trace.
+    pub assignments: Vec<usize>,
+    /// Index (into the input slice) of each cluster's representative: the
+    /// member nearest its centroid — the "centroid file".
+    pub centroid_members: Vec<usize>,
+}
+
+impl Clustering {
+    /// The members of cluster `c`.
+    pub fn members(&self, c: usize) -> Vec<usize> {
+        self.assignments
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a == c)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Compact per-task summary used as the clustering feature space:
+/// log-scaled work totals plus memory-weighted hit rates.
+fn summary(t: &TaskTrace) -> [f64; 6] {
+    let mem = t.total_mem_ops();
+    let fp = t.total_fp_ops();
+    let mut wsum = 0.0;
+    let mut hr = [0.0f64; 3];
+    let mut ws = 0.0;
+    for b in &t.blocks {
+        for i in &b.instrs {
+            let w = i.features.mem_ops;
+            if w > 0.0 {
+                wsum += w;
+                for (l, h) in hr.iter_mut().enumerate() {
+                    *h += w * i.features.hit_rates[l];
+                }
+                ws += i.features.working_set * w;
+            }
+        }
+    }
+    if wsum > 0.0 {
+        for h in hr.iter_mut() {
+            *h /= wsum;
+        }
+        ws /= wsum;
+    }
+    [
+        (1.0 + mem).ln(),
+        (1.0 + fp).ln(),
+        hr[0],
+        hr[1],
+        (1.0 + ws).ln(),
+        (1.0 + t.blocks.len() as f64).ln(),
+    ]
+}
+
+fn dist2(a: &[f64; 6], b: &[f64; 6]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Deterministic k-means (Lloyd's algorithm) over task summaries.
+///
+/// Initialization spreads seeds evenly through the tasks sorted by summary
+/// norm, which is deterministic and scale-aware; iteration runs to
+/// convergence or 100 rounds. `k` is clamped to the number of tasks.
+///
+/// # Panics
+///
+/// Panics if `traces` is empty or `k == 0`.
+pub fn cluster_tasks(traces: &[TaskTrace], k: usize) -> Clustering {
+    assert!(!traces.is_empty(), "cannot cluster zero tasks");
+    assert!(k > 0, "need at least one cluster");
+    let k = k.min(traces.len());
+    let points: Vec<[f64; 6]> = traces.iter().map(summary).collect();
+
+    // Deterministic init: sort by norm, take evenly spaced members.
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    order.sort_by(|&a, &b| {
+        let na: f64 = points[a].iter().map(|v| v * v).sum();
+        let nb: f64 = points[b].iter().map(|v| v * v).sum();
+        na.partial_cmp(&nb).expect("finite summaries")
+    });
+    let mut centroids: Vec<[f64; 6]> = (0..k)
+        .map(|j| points[order[j * (points.len() - 1) / k.max(1)]])
+        .collect();
+    // De-duplicate identical seeds by nudging (keeps k clusters alive for
+    // duplicate-heavy inputs).
+    for j in 1..k {
+        if centroids[..j].contains(&centroids[j]) {
+            centroids[j][0] += 1e-9 * j as f64;
+        }
+    }
+
+    let mut assignments = vec![0usize; points.len()];
+    for _ in 0..100 {
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let best = (0..k)
+                .min_by(|&a, &b| {
+                    dist2(p, &centroids[a])
+                        .partial_cmp(&dist2(p, &centroids[b]))
+                        .expect("finite")
+                })
+                .expect("k >= 1");
+            if assignments[i] != best {
+                assignments[i] = best;
+                changed = true;
+            }
+        }
+        // Recompute centroids.
+        let mut sums = vec![[0.0f64; 6]; k];
+        let mut counts = vec![0usize; k];
+        for (i, p) in points.iter().enumerate() {
+            let c = assignments[i];
+            counts[c] += 1;
+            for (s, v) in sums[c].iter_mut().zip(p) {
+                *s += v;
+            }
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                for s in sums[c].iter_mut() {
+                    *s /= counts[c] as f64;
+                }
+                centroids[c] = sums[c];
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Representative member per cluster (nearest to centroid). Empty
+    // clusters inherit the globally nearest point so the structure stays
+    // total.
+    let centroid_members = (0..k)
+        .map(|c| {
+            let members: Vec<usize> = (0..points.len())
+                .filter(|&i| assignments[i] == c)
+                .collect();
+            let pool: &[usize] = if members.is_empty() {
+                &order
+            } else {
+                &members
+            };
+            *pool
+                .iter()
+                .min_by(|&&a, &&b| {
+                    dist2(&points[a], &centroids[c])
+                        .partial_cmp(&dist2(&points[b], &centroids[c]))
+                        .expect("finite")
+                })
+                .expect("pool nonempty")
+        })
+        .collect();
+
+    Clustering {
+        k,
+        assignments,
+        centroid_members,
+    }
+}
+
+/// Per-cluster extrapolation across core counts.
+///
+/// For each training core count, tasks are clustered into `k` groups;
+/// clusters are matched across counts by their rank in total memory
+/// operations (heaviest first); each matched series of centroid traces is
+/// then extrapolated to `target`. Returns one synthetic trace per cluster,
+/// heaviest first — index 0 generalizes the single-longest-task
+/// methodology of the main paper.
+pub fn extrapolate_clusters(
+    per_count: &[(u32, Vec<TaskTrace>)],
+    target: u32,
+    k: usize,
+    cfg: &ExtrapolationConfig,
+) -> Result<Vec<TaskTrace>, ExtrapolationError> {
+    assert!(!per_count.is_empty(), "need at least one core count");
+    let k_eff = per_count
+        .iter()
+        .map(|(_, ts)| ts.len())
+        .min()
+        .expect("nonempty")
+        .min(k)
+        .max(1);
+
+    // Per count: representative traces ordered heaviest-first.
+    let mut series: Vec<Vec<&TaskTrace>> = vec![Vec::new(); k_eff];
+    for (_, traces) in per_count {
+        let clustering = cluster_tasks(traces, k_eff);
+        let mut reps: Vec<&TaskTrace> = clustering
+            .centroid_members
+            .iter()
+            .map(|&i| &traces[i])
+            .collect();
+        reps.sort_by(|a, b| {
+            b.total_mem_ops()
+                .partial_cmp(&a.total_mem_ops())
+                .expect("finite")
+        });
+        for (j, r) in reps.into_iter().enumerate() {
+            series[j].push(r);
+        }
+    }
+
+    series
+        .into_iter()
+        .map(|reps| {
+            let owned: Vec<TaskTrace> = reps.into_iter().cloned().collect();
+            extrapolate_signature(&owned, target, cfg)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtrace_ir::SourceLoc;
+    use xtrace_tracer::{BlockRecord, FeatureVector, InstrRecord};
+
+    fn task(p: u32, rank: u32, mem_ops: f64, l1: f64) -> TaskTrace {
+        let mut f = FeatureVector {
+            exec_count: mem_ops,
+            mem_ops,
+            loads: mem_ops,
+            bytes_per_ref: 8.0,
+            working_set: 1e6,
+            ..Default::default()
+        };
+        f.hit_rates[0] = l1;
+        TaskTrace {
+            app: "t".into(),
+            rank,
+            nranks: p,
+            machine: "m".into(),
+            depth: 1,
+            blocks: vec![BlockRecord {
+                name: "k".into(),
+                source: SourceLoc::new("a.c", 1, "f"),
+                invocations: 1,
+                iterations: 1,
+                instrs: vec![InstrRecord {
+                    instr: 0,
+                    pattern: "strided".into(),
+                    features: f,
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn separates_two_obvious_groups() {
+        // Four heavy low-locality tasks, four light high-locality ones.
+        let mut tasks = Vec::new();
+        for r in 0..4 {
+            tasks.push(task(8, r, 1e9, 0.5));
+        }
+        for r in 4..8 {
+            tasks.push(task(8, r, 1e3, 0.99));
+        }
+        let c = cluster_tasks(&tasks, 2);
+        assert_eq!(c.k, 2);
+        let a = c.assignments[0];
+        assert!(c.assignments[..4].iter().all(|&x| x == a));
+        assert!(c.assignments[4..].iter().all(|&x| x != a));
+        // Representatives come one from each group.
+        let reps = &c.centroid_members;
+        assert_eq!(reps.len(), 2);
+        assert_ne!(
+            c.assignments[reps[0]], c.assignments[reps[1]],
+            "representatives are in distinct clusters"
+        );
+    }
+
+    #[test]
+    fn k_clamped_to_task_count() {
+        let tasks = vec![task(4, 0, 1.0, 0.9), task(4, 1, 2.0, 0.9)];
+        let c = cluster_tasks(&tasks, 10);
+        assert_eq!(c.k, 2);
+    }
+
+    #[test]
+    fn single_cluster_contains_everything() {
+        let tasks: Vec<TaskTrace> = (0..5).map(|r| task(4, r, 1e6 * (r + 1) as f64, 0.9)).collect();
+        let c = cluster_tasks(&tasks, 1);
+        assert!(c.assignments.iter().all(|&a| a == 0));
+        assert_eq!(c.members(0).len(), 5);
+    }
+
+    #[test]
+    fn identical_tasks_do_not_crash() {
+        let tasks: Vec<TaskTrace> = (0..6).map(|r| task(4, r, 1e6, 0.9)).collect();
+        let c = cluster_tasks(&tasks, 3);
+        assert_eq!(c.assignments.len(), 6);
+    }
+
+    #[test]
+    fn clustering_is_deterministic() {
+        let tasks: Vec<TaskTrace> = (0..10)
+            .map(|r| task(4, r, 10f64.powi(r as i32 % 4), 0.5 + 0.04 * f64::from(r)))
+            .collect();
+        assert_eq!(cluster_tasks(&tasks, 3), cluster_tasks(&tasks, 3));
+    }
+
+    #[test]
+    fn cluster_extrapolation_produces_k_traces() {
+        // Two populations whose mem ops scale as 2e9/p and 1e6/p.
+        let mk = |p: u32| -> Vec<TaskTrace> {
+            let mut v = Vec::new();
+            for r in 0..3 {
+                v.push(task(p, r, 2e9 / f64::from(p), 0.6));
+            }
+            for r in 3..6 {
+                v.push(task(p, r, 1e6 / f64::from(p), 0.95));
+            }
+            v
+        };
+        let per_count = vec![(1024u32, mk(1024)), (2048, mk(2048)), (4096, mk(4096))];
+        let out =
+            extrapolate_clusters(&per_count, 8192, 2, &ExtrapolationConfig::default()).unwrap();
+        assert_eq!(out.len(), 2);
+        // Heaviest cluster first; both scale ~1/p (best-of-4 approximates).
+        assert!(out[0].total_mem_ops() > out[1].total_mem_ops());
+        assert_eq!(out[0].nranks, 8192);
+        let truth = 2e9 / 8192.0;
+        let rel = (out[0].total_mem_ops() - truth).abs() / truth;
+        // Hyperbolic decay: best sane form within a small factor (see
+        // extrapolate.rs tests for the full story).
+        assert!(rel < 0.8, "heavy cluster rel err {rel}");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero tasks")]
+    fn empty_input_panics() {
+        cluster_tasks(&[], 2);
+    }
+}

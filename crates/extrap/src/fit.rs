@@ -1,0 +1,495 @@
+//! Least-squares fitting and model selection.
+//!
+//! Each form reduces to (possibly transformed) linear least squares:
+//! constant = mean; linear over `x`; logarithmic over `ln x`; exponential
+//! and power via log-transforming `y` (valid only for positive series).
+//! The quadratic extension solves its 3×3 normal equations directly.
+//! Residuals (SSE) are always recomputed in the *original* space so
+//! transformed fits compete fairly, and selection picks the smallest
+//! residual with ties broken toward the simpler form — "the best of those
+//! fits is used" (Section IV).
+
+use crate::forms::{CanonicalForm, FittedModel};
+
+/// How the best form is chosen among the candidates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SelectionCriterion {
+    /// Smallest sum of squared residuals (the paper's criterion).
+    #[default]
+    Sse,
+    /// Smallest corrected AIC — penalizes parameters; needs ≥ `k+2` points
+    /// to admit a `k`-parameter form (ablation option).
+    Aicc,
+}
+
+/// Ordinary least squares of `y` on a single transformed regressor
+/// `t(x)`; returns `(intercept, slope)`.
+fn ols(ts: &[f64], ys: &[f64]) -> Option<(f64, f64)> {
+    let n = ts.len() as f64;
+    let st: f64 = ts.iter().sum();
+    let sy: f64 = ys.iter().sum();
+    let stt: f64 = ts.iter().map(|t| t * t).sum();
+    let sty: f64 = ts.iter().zip(ys).map(|(t, y)| t * y).sum();
+    let det = n * stt - st * st;
+    if det.abs() < 1e-12 * (n * stt).abs().max(1.0) {
+        return None; // regressor is (numerically) constant
+    }
+    let slope = (n * sty - st * sy) / det;
+    let intercept = (sy - slope * st) / n;
+    Some((intercept, slope))
+}
+
+/// Solves the 3×3 normal equations for `y = a + b·x + c·x²` by Gaussian
+/// elimination with partial pivoting.
+fn quad_fit(xs: &[f64], ys: &[f64]) -> Option<[f64; 3]> {
+    let n = xs.len() as f64;
+    let s1: f64 = xs.iter().sum();
+    let s2: f64 = xs.iter().map(|x| x * x).sum();
+    let s3: f64 = xs.iter().map(|x| x * x * x).sum();
+    let s4: f64 = xs.iter().map(|x| x * x * x * x).sum();
+    let sy: f64 = ys.iter().sum();
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| x * y).sum();
+    let sx2y: f64 = xs.iter().zip(ys).map(|(x, y)| x * x * y).sum();
+    let mut m = [
+        [n, s1, s2, sy],
+        [s1, s2, s3, sxy],
+        [s2, s3, s4, sx2y],
+    ];
+    for col in 0..3 {
+        let pivot = (col..3).max_by(|&a, &b| {
+            m[a][col]
+                .abs()
+                .partial_cmp(&m[b][col].abs())
+                .expect("finite")
+        })?;
+        if m[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        m.swap(col, pivot);
+        for row in 0..3 {
+            if row != col {
+                let f = m[row][col] / m[col][col];
+                let pivot_row = m[col];
+                for (cell, pv) in m[row].iter_mut().zip(pivot_row).skip(col) {
+                    *cell -= f * pv;
+                }
+            }
+        }
+    }
+    Some([m[0][3] / m[0][0], m[1][3] / m[1][1], m[2][3] / m[2][2]])
+}
+
+/// Computes SSE of a parameterized form against the data in original space.
+fn sse_of(form: CanonicalForm, params: &[f64; 3], xs: &[f64], ys: &[f64]) -> f64 {
+    xs.iter()
+        .zip(ys)
+        .map(|(&x, &y)| {
+            let e = form.eval(params, x) - y;
+            e * e
+        })
+        .sum()
+}
+
+/// Fits one canonical form to the series.
+///
+/// Returns `None` when the form is not applicable: fewer than `n_params`
+/// points, non-positive values for the log-transformed forms, or a
+/// degenerate regressor. The constant form is always applicable for a
+/// non-empty series.
+pub fn fit_form(form: CanonicalForm, xs: &[f64], ys: &[f64]) -> Option<FittedModel> {
+    assert_eq!(xs.len(), ys.len(), "mismatched series lengths");
+    let n = xs.len();
+    if n < form.n_params() || n == 0 {
+        return None;
+    }
+    if !xs.iter().chain(ys.iter()).all(|v| v.is_finite()) {
+        return None;
+    }
+    let params: [f64; 3] = match form {
+        CanonicalForm::Constant => {
+            let a = ys.iter().sum::<f64>() / n as f64;
+            [a, 0.0, 0.0]
+        }
+        CanonicalForm::Linear => {
+            let (a, b) = ols(xs, ys)?;
+            [a, b, 0.0]
+        }
+        CanonicalForm::Logarithmic => {
+            if xs.iter().any(|&x| x <= 0.0) {
+                return None;
+            }
+            let ts: Vec<f64> = xs.iter().map(|x| x.ln()).collect();
+            let (a, b) = ols(&ts, ys)?;
+            [a, b, 0.0]
+        }
+        CanonicalForm::Exponential => {
+            if ys.iter().any(|&y| y <= 0.0) {
+                return None;
+            }
+            let lys: Vec<f64> = ys.iter().map(|y| y.ln()).collect();
+            let (la, b) = ols(xs, &lys)?;
+            [la.exp(), b, 0.0]
+        }
+        CanonicalForm::Power => {
+            if xs.iter().any(|&x| x <= 0.0) || ys.iter().any(|&y| y <= 0.0) {
+                return None;
+            }
+            let ts: Vec<f64> = xs.iter().map(|x| x.ln()).collect();
+            let lys: Vec<f64> = ys.iter().map(|y| y.ln()).collect();
+            let (la, b) = ols(&ts, &lys)?;
+            [la.exp(), b, 0.0]
+        }
+        CanonicalForm::Quadratic => quad_fit(xs, ys)?,
+    };
+    if !params.iter().all(|p| p.is_finite()) {
+        return None;
+    }
+    let sse = sse_of(form, &params, xs, ys);
+    if !sse.is_finite() {
+        return None;
+    }
+    Some(FittedModel {
+        form,
+        params,
+        sse,
+        n,
+    })
+}
+
+/// Fits every applicable form from `forms`.
+pub fn fit_all(forms: &[CanonicalForm], xs: &[f64], ys: &[f64]) -> Vec<FittedModel> {
+    forms
+        .iter()
+        .filter_map(|&f| fit_form(f, xs, ys))
+        .collect()
+}
+
+/// Fits all candidate forms and returns the best per `criterion`, breaking
+/// ties toward the simpler form.
+///
+/// Falls back to the constant form (the mean) when no candidate applies —
+/// a series always has *some* model, so extrapolation never aborts on one
+/// pathological element.
+///
+/// ```
+/// use xtrace_extrap::{select_best, CanonicalForm, SelectionCriterion};
+///
+/// // An L2 hit rate rising linearly with the core count (the paper's
+/// // Figure 4 situation).
+/// let cores = [1024.0, 2048.0, 4096.0];
+/// let hit_rates = [0.15, 0.20, 0.30];
+/// let best = select_best(
+///     &CanonicalForm::PAPER_SET,
+///     &cores,
+///     &hit_rates,
+///     SelectionCriterion::Sse,
+/// );
+/// assert_eq!(best.form, CanonicalForm::Linear);
+/// let at_8192 = best.eval(8192.0);
+/// assert!(at_8192 > 0.30, "extrapolates beyond the training range");
+/// ```
+pub fn select_best(
+    forms: &[CanonicalForm],
+    xs: &[f64],
+    ys: &[f64],
+    criterion: SelectionCriterion,
+) -> FittedModel {
+    let mut fits = fit_all(forms, xs, ys);
+    sort_fits(&mut fits, ys, criterion);
+    fits.into_iter()
+        .next()
+        .unwrap_or_else(|| constant_fallback(xs, ys))
+}
+
+/// Orders fits best-first under `criterion`. Residuals that are exact to
+/// numerical noise (relative to the data's magnitude) count as ties, broken
+/// toward the simpler form — three points fitted exactly by both a
+/// 2-parameter and a 3-parameter form must prefer the former.
+fn sort_fits(fits: &mut [FittedModel], ys: &[f64], criterion: SelectionCriterion) {
+    let data_scale: f64 = ys.iter().map(|y| y * y).sum::<f64>().max(1e-300);
+    let floor = 1e-18 * data_scale;
+    fits.sort_by(|a, b| {
+        let key = |m: &FittedModel| match criterion {
+            SelectionCriterion::Sse => m.sse,
+            SelectionCriterion::Aicc => m.aicc(),
+        };
+        let ka = key(a).max(if criterion == SelectionCriterion::Sse { 0.0 } else { f64::MIN });
+        let kb = key(b).max(if criterion == SelectionCriterion::Sse { 0.0 } else { f64::MIN });
+        let tied = match criterion {
+            SelectionCriterion::Sse => ka < floor && kb < floor,
+            SelectionCriterion::Aicc => (ka - kb).abs() < 1e-9 * ka.abs().max(kb.abs()).max(1e-30),
+        } || {
+            let scale = ka.abs().max(kb.abs()).max(1e-30);
+            ((ka - kb) / scale).abs() < 1e-9
+        };
+        if tied {
+            a.form.complexity().cmp(&b.form.complexity())
+        } else {
+            ka.partial_cmp(&kb).expect("finite keys after filtering")
+        }
+    });
+}
+
+fn constant_fallback(xs: &[f64], ys: &[f64]) -> FittedModel {
+    let a = if ys.is_empty() {
+        0.0
+    } else {
+        ys.iter().sum::<f64>() / ys.len() as f64
+    };
+    FittedModel {
+        form: CanonicalForm::Constant,
+        params: [a, 0.0, 0.0],
+        sse: sse_of(CanonicalForm::Constant, &[a, 0.0, 0.0], xs, ys),
+        n: xs.len(),
+    }
+}
+
+/// [`select_best`] with an extrapolation sanity guard: when every training
+/// value is non-negative (a count, a rate, a size), candidate models whose
+/// prediction at `target_x` is negative are discarded before selection.
+///
+/// The paper does not specify this detail, but without it a logarithmic or
+/// linear fit to a decaying series routinely wins on residual and then
+/// extrapolates below zero — a physically meaningless count. The guard
+/// keeps the best *sane* model; if none is sane the constant fallback is
+/// used.
+pub fn select_best_guarded(
+    forms: &[CanonicalForm],
+    xs: &[f64],
+    ys: &[f64],
+    criterion: SelectionCriterion,
+    target_x: f64,
+) -> FittedModel {
+    let nonneg = ys.iter().all(|&y| y >= 0.0);
+    if !nonneg {
+        return select_best(forms, xs, ys, criterion);
+    }
+    let mut fits: Vec<FittedModel> = fit_all(forms, xs, ys)
+        .into_iter()
+        .filter(|m| m.eval(target_x) >= 0.0)
+        .collect();
+    sort_fits(&mut fits, ys, criterion);
+    fits.into_iter()
+        .next()
+        .unwrap_or_else(|| constant_fallback(xs, ys))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P: &[f64] = &[1024.0, 2048.0, 4096.0];
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol * b.abs().max(1.0), "{a} vs {b}");
+    }
+
+    #[test]
+    fn constant_fit_recovers_mean() {
+        let m = fit_form(CanonicalForm::Constant, P, &[5.0, 7.0, 6.0]).unwrap();
+        assert_close(m.params[0], 6.0, 1e-12);
+        assert_close(m.sse, 2.0, 1e-12);
+    }
+
+    #[test]
+    fn linear_fit_recovers_exact_line() {
+        let ys: Vec<f64> = P.iter().map(|x| 3.0 + 0.25 * x).collect();
+        let m = fit_form(CanonicalForm::Linear, P, &ys).unwrap();
+        assert_close(m.params[0], 3.0, 1e-9);
+        assert_close(m.params[1], 0.25, 1e-9);
+        assert!(m.sse < 1e-12);
+        assert_close(m.eval(8192.0), 3.0 + 0.25 * 8192.0, 1e-9);
+    }
+
+    #[test]
+    fn log_fit_recovers_exact_log() {
+        let ys: Vec<f64> = P.iter().map(|x: &f64| 10.0 + 2.0 * x.ln()).collect();
+        let m = fit_form(CanonicalForm::Logarithmic, P, &ys).unwrap();
+        assert_close(m.params[0], 10.0, 1e-9);
+        assert_close(m.params[1], 2.0, 1e-9);
+        assert!(m.sse < 1e-12);
+    }
+
+    #[test]
+    fn exp_fit_recovers_exact_exponential() {
+        let ys: Vec<f64> = P.iter().map(|x| 2.0 * (0.0005 * x).exp()).collect();
+        let m = fit_form(CanonicalForm::Exponential, P, &ys).unwrap();
+        assert_close(m.params[0], 2.0, 1e-6);
+        assert_close(m.params[1], 0.0005, 1e-6);
+        assert!(m.sse < 1e-9 * ys[2] * ys[2]);
+    }
+
+    #[test]
+    fn power_fit_recovers_exact_power_law() {
+        let ys: Vec<f64> = P.iter().map(|x: &f64| 7.0 * x.powf(-1.0)).collect();
+        let m = fit_form(CanonicalForm::Power, P, &ys).unwrap();
+        assert_close(m.params[0], 7.0, 1e-9);
+        assert_close(m.params[1], -1.0, 1e-9);
+    }
+
+    #[test]
+    fn quadratic_fit_recovers_exact_parabola() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 1.0 - 2.0 * x + 0.5 * x * x).collect();
+        let m = fit_form(CanonicalForm::Quadratic, &xs, &ys).unwrap();
+        assert_close(m.params[0], 1.0, 1e-9);
+        assert_close(m.params[1], -2.0, 1e-9);
+        assert_close(m.params[2], 0.5, 1e-9);
+    }
+
+    #[test]
+    fn exp_fit_rejects_nonpositive_values() {
+        assert!(fit_form(CanonicalForm::Exponential, P, &[1.0, 0.0, 2.0]).is_none());
+        assert!(fit_form(CanonicalForm::Exponential, P, &[1.0, -1.0, 2.0]).is_none());
+        assert!(fit_form(CanonicalForm::Power, P, &[1.0, 0.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn log_fit_rejects_nonpositive_x() {
+        assert!(fit_form(CanonicalForm::Logarithmic, &[0.0, 1.0, 2.0], &[1.0, 2.0, 3.0]).is_none());
+    }
+
+    #[test]
+    fn too_few_points_rejected() {
+        assert!(fit_form(CanonicalForm::Linear, &[1.0], &[1.0]).is_none());
+        assert!(fit_form(CanonicalForm::Quadratic, &[1.0, 2.0], &[1.0, 2.0]).is_none());
+        assert!(fit_form(CanonicalForm::Constant, &[1.0], &[5.0]).is_some());
+    }
+
+    #[test]
+    fn degenerate_x_rejected_for_sloped_forms() {
+        let xs = [4.0, 4.0, 4.0];
+        assert!(fit_form(CanonicalForm::Linear, &xs, &[1.0, 2.0, 3.0]).is_none());
+        assert!(fit_form(CanonicalForm::Constant, &xs, &[1.0, 2.0, 3.0]).is_some());
+    }
+
+    #[test]
+    fn non_finite_data_rejected() {
+        assert!(fit_form(CanonicalForm::Linear, P, &[1.0, f64::NAN, 2.0]).is_none());
+        assert!(fit_form(CanonicalForm::Linear, &[1.0, f64::INFINITY, 3.0], &[1.0, 2.0, 3.0]).is_none());
+    }
+
+    #[test]
+    fn selection_picks_the_generating_form() {
+        // Linear data: linear must beat log and exp on SSE.
+        let ys: Vec<f64> = P.iter().map(|x| 0.1 + 3e-5 * x).collect();
+        let best = select_best(&CanonicalForm::PAPER_SET, P, &ys, SelectionCriterion::Sse);
+        assert_eq!(best.form, CanonicalForm::Linear);
+
+        let ys: Vec<f64> = P.iter().map(|x: &f64| 5.0 + 1.7 * x.ln()).collect();
+        let best = select_best(&CanonicalForm::PAPER_SET, P, &ys, SelectionCriterion::Sse);
+        assert_eq!(best.form, CanonicalForm::Logarithmic);
+    }
+
+    #[test]
+    fn constant_data_prefers_constant_form() {
+        // Every 2-param form also fits y = c exactly; the tie must break to
+        // the simplest.
+        let best = select_best(
+            &CanonicalForm::PAPER_SET,
+            P,
+            &[0.875, 0.875, 0.875],
+            SelectionCriterion::Sse,
+        );
+        assert_eq!(best.form, CanonicalForm::Constant);
+        assert_close(best.eval(8192.0), 0.875, 1e-12);
+    }
+
+    #[test]
+    fn aicc_with_three_points_admits_only_constant() {
+        let ys: Vec<f64> = P.iter().map(|x| 0.1 + 3e-5 * x).collect();
+        let best = select_best(&CanonicalForm::PAPER_SET, P, &ys, SelectionCriterion::Aicc);
+        assert_eq!(best.form, CanonicalForm::Constant);
+    }
+
+    #[test]
+    fn aicc_with_five_points_picks_true_form() {
+        let xs = [256.0, 512.0, 1024.0, 2048.0, 4096.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 0.1 + 3e-5 * x).collect();
+        let best = select_best(&CanonicalForm::PAPER_SET, &xs, &ys, SelectionCriterion::Aicc);
+        assert_eq!(best.form, CanonicalForm::Linear);
+    }
+
+    #[test]
+    fn selection_never_panics_on_empty_forms() {
+        let m = select_best(&[], P, &[1.0, 2.0, 3.0], SelectionCriterion::Sse);
+        assert_eq!(m.form, CanonicalForm::Constant);
+        assert_close(m.params[0], 2.0, 1e-12);
+    }
+
+    #[test]
+    fn fit_all_returns_applicable_subset() {
+        // Negative values: exp and power drop out.
+        let fits = fit_all(&CanonicalForm::EXTENDED_SET, P, &[-1.0, -2.0, -3.0]);
+        let forms: Vec<_> = fits.iter().map(|f| f.form).collect();
+        assert!(forms.contains(&CanonicalForm::Constant));
+        assert!(forms.contains(&CanonicalForm::Linear));
+        assert!(forms.contains(&CanonicalForm::Logarithmic));
+        assert!(!forms.contains(&CanonicalForm::Exponential));
+        assert!(!forms.contains(&CanonicalForm::Power));
+    }
+
+    #[test]
+    fn noisy_linear_still_selects_linear() {
+        // A sign-changing linear series: exp/power are inapplicable and the
+        // log form's residual is far worse.
+        let xs = [96.0, 384.0, 1536.0];
+        let noise = [0.0002, -0.0003, 0.0001];
+        let ys: Vec<f64> = xs
+            .iter()
+            .zip(noise)
+            .map(|(x, n)| -0.01 + 4e-5 * x + n)
+            .collect();
+        let best = select_best(&CanonicalForm::PAPER_SET, &xs, &ys, SelectionCriterion::Sse);
+        assert_eq!(best.form, CanonicalForm::Linear);
+    }
+
+    #[test]
+    fn guard_discards_negative_extrapolations() {
+        // A 1/x-decaying count: the log form wins on residual but predicts
+        // a negative count at 8192; the guard must reject it.
+        let ys: Vec<f64> = P.iter().map(|x| 1e9 / x).collect();
+        let unguarded = select_best(&CanonicalForm::PAPER_SET, P, &ys, SelectionCriterion::Sse);
+        assert!(unguarded.eval(8192.0) < 0.0, "unguarded pick goes negative");
+        let guarded = select_best_guarded(
+            &CanonicalForm::PAPER_SET,
+            P,
+            &ys,
+            SelectionCriterion::Sse,
+            8192.0,
+        );
+        assert!(guarded.eval(8192.0) >= 0.0);
+        assert_eq!(guarded.form, CanonicalForm::Exponential);
+    }
+
+    #[test]
+    fn guard_is_inert_for_growing_series() {
+        let ys: Vec<f64> = P.iter().map(|x| 0.1 + 3e-5 * x).collect();
+        let a = select_best(&CanonicalForm::PAPER_SET, P, &ys, SelectionCriterion::Sse);
+        let b = select_best_guarded(
+            &CanonicalForm::PAPER_SET,
+            P,
+            &ys,
+            SelectionCriterion::Sse,
+            8192.0,
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn guard_skips_sign_changing_series() {
+        // Negative values present: the guard defers to plain selection
+        // (the xs are geometric, so this series is exactly linear in ln x).
+        let ys = [-5.0, 0.0, 5.0];
+        let g = select_best_guarded(
+            &CanonicalForm::PAPER_SET,
+            P,
+            &ys,
+            SelectionCriterion::Sse,
+            8192.0,
+        );
+        assert_eq!(g, select_best(&CanonicalForm::PAPER_SET, P, &ys, SelectionCriterion::Sse));
+        assert_eq!(g.form, CanonicalForm::Logarithmic);
+        assert!(g.eval(8192.0) > 5.0, "no clamping applied");
+    }
+}

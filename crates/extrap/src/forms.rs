@@ -1,0 +1,254 @@
+//! The canonical function forms.
+//!
+//! "We use four canonical forms in this work: constant, linear, exponential
+//! and logarithmic" (Section IV). Polynomial (quadratic) and power forms
+//! are the paper's named future work ("Future research will add more
+//! canonical forms (e.g., polynomial)") and are available through
+//! [`CanonicalForm::EXTENDED_SET`].
+
+use serde::{Deserialize, Serialize};
+
+/// A candidate scaling law for one feature element as a function of the
+/// core count `x`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CanonicalForm {
+    /// `y = a`
+    Constant,
+    /// `y = a + b·x`
+    Linear,
+    /// `y = a + b·ln x`
+    Logarithmic,
+    /// `y = a·e^(b·x)`
+    Exponential,
+    /// `y = a·x^b` (extension)
+    Power,
+    /// `y = a + b·x + c·x²` (extension)
+    Quadratic,
+}
+
+impl CanonicalForm {
+    /// The paper's form set.
+    pub const PAPER_SET: [CanonicalForm; 4] = [
+        CanonicalForm::Constant,
+        CanonicalForm::Linear,
+        CanonicalForm::Logarithmic,
+        CanonicalForm::Exponential,
+    ];
+
+    /// Paper set plus the Section-VI extensions.
+    pub const EXTENDED_SET: [CanonicalForm; 6] = [
+        CanonicalForm::Constant,
+        CanonicalForm::Linear,
+        CanonicalForm::Logarithmic,
+        CanonicalForm::Exponential,
+        CanonicalForm::Power,
+        CanonicalForm::Quadratic,
+    ];
+
+    /// Number of free parameters.
+    pub fn n_params(&self) -> usize {
+        match self {
+            CanonicalForm::Constant => 1,
+            CanonicalForm::Quadratic => 3,
+            _ => 2,
+        }
+    }
+
+    /// Evaluates the form at `x` with parameters `[a, b, c]` (unused
+    /// entries ignored). Exponents are clamped to ±700 so pathological
+    /// extrapolations saturate instead of overflowing to infinity.
+    pub fn eval(&self, params: &[f64; 3], x: f64) -> f64 {
+        let [a, b, c] = *params;
+        match self {
+            CanonicalForm::Constant => a,
+            CanonicalForm::Linear => a + b * x,
+            CanonicalForm::Logarithmic => a + b * x.max(f64::MIN_POSITIVE).ln(),
+            CanonicalForm::Exponential => a * (b * x).clamp(-700.0, 700.0).exp(),
+            CanonicalForm::Power => a * (b * x.max(f64::MIN_POSITIVE).ln()).clamp(-700.0, 700.0).exp(),
+            CanonicalForm::Quadratic => a + b * x + c * x * x,
+        }
+    }
+
+    /// Display name used in experiment output (matches the paper's figure
+    /// legends).
+    pub fn label(&self) -> &'static str {
+        match self {
+            CanonicalForm::Constant => "Constant",
+            CanonicalForm::Linear => "Linear",
+            CanonicalForm::Logarithmic => "Log",
+            CanonicalForm::Exponential => "Exp",
+            CanonicalForm::Power => "Power",
+            CanonicalForm::Quadratic => "Quadratic",
+        }
+    }
+
+    /// Complexity rank used to break residual ties in favor of the simpler
+    /// model.
+    pub fn complexity(&self) -> u8 {
+        match self {
+            CanonicalForm::Constant => 0,
+            CanonicalForm::Linear => 1,
+            CanonicalForm::Logarithmic => 2,
+            CanonicalForm::Power => 3,
+            CanonicalForm::Exponential => 4,
+            CanonicalForm::Quadratic => 5,
+        }
+    }
+}
+
+/// A fitted canonical form.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FittedModel {
+    /// The form that was fitted.
+    pub form: CanonicalForm,
+    /// Parameters `[a, b, c]`.
+    pub params: [f64; 3],
+    /// Sum of squared residuals *in the original (untransformed) space*,
+    /// so models fitted via log transforms compare fairly.
+    pub sse: f64,
+    /// Number of points fitted.
+    pub n: usize,
+}
+
+impl FittedModel {
+    /// Evaluates the fitted model.
+    pub fn eval(&self, x: f64) -> f64 {
+        self.form.eval(&self.params, x)
+    }
+
+    /// Root-mean-square residual.
+    pub fn rmse(&self) -> f64 {
+        (self.sse / self.n as f64).sqrt()
+    }
+
+    /// Coefficient of determination against the fitted data's variance
+    /// `ss_tot` (caller supplies it since the model does not retain the
+    /// data). Returns 1.0 for zero-variance data fitted exactly.
+    pub fn r2(&self, ss_tot: f64) -> f64 {
+        if ss_tot <= 0.0 {
+            if self.sse <= 1e-24 {
+                1.0
+            } else {
+                0.0
+            }
+        } else {
+            1.0 - self.sse / ss_tot
+        }
+    }
+
+    /// Corrected Akaike information criterion. Returns `+inf` when the
+    /// sample is too small for the correction (`n < k + 2`), which with the
+    /// paper's three training points rules out every 2-parameter form —
+    /// exactly the small-sample pathology the selection-criterion ablation
+    /// explores.
+    pub fn aicc(&self) -> f64 {
+        let n = self.n as f64;
+        let k = self.form.n_params() as f64;
+        if n < k + 2.0 {
+            return f64::INFINITY;
+        }
+        let sse = self.sse.max(1e-300);
+        n * (sse / n).ln() + 2.0 * k + 2.0 * k * (k + 1.0) / (n - k - 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_matches_definitions() {
+        let p = [2.0, 3.0, 0.5];
+        assert_eq!(CanonicalForm::Constant.eval(&p, 10.0), 2.0);
+        assert_eq!(CanonicalForm::Linear.eval(&p, 10.0), 32.0);
+        assert!((CanonicalForm::Logarithmic.eval(&p, 10.0) - (2.0 + 3.0 * 10f64.ln())).abs() < 1e-12);
+        assert!((CanonicalForm::Exponential.eval(&[2.0, 0.1, 0.0], 10.0) - 2.0 * 1f64.exp()).abs() < 1e-12);
+        assert!((CanonicalForm::Power.eval(&[2.0, 2.0, 0.0], 3.0) - 18.0).abs() < 1e-12);
+        assert_eq!(CanonicalForm::Quadratic.eval(&p, 10.0), 2.0 + 30.0 + 50.0);
+    }
+
+    #[test]
+    fn exponential_never_overflows() {
+        let y = CanonicalForm::Exponential.eval(&[1.0, 10.0, 0.0], 1e6);
+        assert!(y.is_finite());
+        let y = CanonicalForm::Power.eval(&[1.0, 500.0, 0.0], 1e6);
+        assert!(y.is_finite());
+    }
+
+    #[test]
+    fn paper_set_is_the_four_forms() {
+        assert_eq!(CanonicalForm::PAPER_SET.len(), 4);
+        assert!(!CanonicalForm::PAPER_SET.contains(&CanonicalForm::Quadratic));
+        assert!(CanonicalForm::EXTENDED_SET.contains(&CanonicalForm::Quadratic));
+    }
+
+    #[test]
+    fn param_counts() {
+        assert_eq!(CanonicalForm::Constant.n_params(), 1);
+        assert_eq!(CanonicalForm::Linear.n_params(), 2);
+        assert_eq!(CanonicalForm::Quadratic.n_params(), 3);
+    }
+
+    #[test]
+    fn complexity_orders_simple_first() {
+        assert!(CanonicalForm::Constant.complexity() < CanonicalForm::Linear.complexity());
+        assert!(CanonicalForm::Linear.complexity() < CanonicalForm::Exponential.complexity());
+    }
+
+    #[test]
+    fn aicc_is_infinite_for_three_points_two_params() {
+        let m = FittedModel {
+            form: CanonicalForm::Linear,
+            params: [0.0, 1.0, 0.0],
+            sse: 0.5,
+            n: 3,
+        };
+        assert!(m.aicc().is_infinite());
+        let c = FittedModel {
+            form: CanonicalForm::Constant,
+            params: [1.0, 0.0, 0.0],
+            sse: 0.5,
+            n: 3,
+        };
+        assert!(c.aicc().is_finite());
+    }
+
+    #[test]
+    fn aicc_finite_with_enough_points() {
+        let m = FittedModel {
+            form: CanonicalForm::Linear,
+            params: [0.0, 1.0, 0.0],
+            sse: 0.5,
+            n: 5,
+        };
+        assert!(m.aicc().is_finite());
+    }
+
+    #[test]
+    fn r2_handles_zero_variance() {
+        let exact = FittedModel {
+            form: CanonicalForm::Constant,
+            params: [5.0, 0.0, 0.0],
+            sse: 0.0,
+            n: 3,
+        };
+        assert_eq!(exact.r2(0.0), 1.0);
+        let wrong = FittedModel {
+            sse: 1.0,
+            ..exact
+        };
+        assert_eq!(wrong.r2(0.0), 0.0);
+        assert!((exact.r2(2.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rmse_is_sqrt_mean_sse() {
+        let m = FittedModel {
+            form: CanonicalForm::Constant,
+            params: [0.0; 3],
+            sse: 12.0,
+            n: 3,
+        };
+        assert!((m.rmse() - 2.0).abs() < 1e-12);
+    }
+}

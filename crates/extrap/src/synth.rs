@@ -1,0 +1,299 @@
+//! Full-signature synthesis: the Section-VI goal of generating *all* P
+//! trace files, not just the longest task's.
+//!
+//! "An application signature is made of a series of trace files — for a run
+//! at 1024 cores the prediction framework uses 1024 trace files … In
+//! generating synthetic trace files from 1024, 2048, and 4096 core trace
+//! files we need to generate 8192 trace files. The challenge … is
+//! determining how the work distribution per core changes as the
+//! application strong scales. Meaning is there groups of tasks that do
+//! similar work and as you scale the number of cores the size of the group
+//! … also scales."
+//!
+//! This module implements that plan: cluster the sampled tasks at each
+//! training core count, fit canonical forms to each cluster's *population
+//! fraction* as a function of the core count, extrapolate both the fraction
+//! and the cluster's centroid trace to the target, and emit one
+//! representative trace per group together with the number of ranks it
+//! stands for. The groups cover all P target ranks without materializing P
+//! files.
+
+use serde::{Deserialize, Serialize};
+use xtrace_tracer::TaskTrace;
+
+use crate::cluster::cluster_tasks;
+use crate::extrapolate::{extrapolate_signature, ExtrapolationConfig, ExtrapolationError};
+use crate::fit::select_best_guarded;
+
+/// One group of the synthesized signature: a representative trace and how
+/// many target ranks behave like it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SignatureGroup {
+    /// The group's synthetic trace at the target core count.
+    pub trace: TaskTrace,
+    /// Ranks this group stands for at the target.
+    pub ranks: u64,
+    /// The group's population fraction at each training count (diagnostic).
+    pub training_fractions: Vec<f64>,
+}
+
+/// A synthesized whole-application signature: groups covering all target
+/// ranks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticSignature {
+    /// Target core count.
+    pub nranks: u32,
+    /// Groups ordered heaviest (most memory operations) first; group 0 is
+    /// the longest-task trace of the main methodology.
+    pub groups: Vec<SignatureGroup>,
+}
+
+impl SyntheticSignature {
+    /// Total ranks covered (always equals `nranks`).
+    pub fn total_ranks(&self) -> u64 {
+        self.groups.iter().map(|g| g.ranks).sum()
+    }
+
+    /// The heaviest group's trace — the longest-task signature.
+    pub fn longest(&self) -> &TaskTrace {
+        &self.groups[0].trace
+    }
+}
+
+/// Synthesizes the full signature at `target` from per-count task samples.
+///
+/// `per_count` supplies, for each training core count, the traces of a
+/// *sample* of ranks (the same sample size at every count keeps fractions
+/// comparable). Clusters are matched across counts by their total-memory-
+/// operation rank, heaviest first — adequate for master/worker populations;
+/// richer matching is future work, as in the paper.
+///
+/// # Panics
+///
+/// Panics if `per_count` is empty, any sample is empty, or `k == 0`.
+pub fn synthesize_full_signature(
+    per_count: &[(u32, Vec<TaskTrace>)],
+    target: u32,
+    k: usize,
+    cfg: &ExtrapolationConfig,
+) -> Result<SyntheticSignature, ExtrapolationError> {
+    assert!(!per_count.is_empty(), "need at least one training count");
+    assert!(k > 0, "need at least one cluster");
+    let k_eff = per_count
+        .iter()
+        .map(|(_, ts)| ts.len())
+        .min()
+        .expect("nonempty")
+        .min(k)
+        .max(1);
+
+    // Per count: representatives ordered heaviest-first, plus the fraction
+    // of the sample each cluster holds and its member-rank set.
+    let mut rep_series: Vec<Vec<TaskTrace>> = vec![Vec::new(); k_eff];
+    let mut frac_series: Vec<Vec<f64>> = vec![Vec::new(); k_eff];
+    let mut member_series: Vec<Vec<Vec<u32>>> = vec![Vec::new(); k_eff];
+    let mut xs = Vec::with_capacity(per_count.len());
+    for (p, traces) in per_count {
+        assert!(!traces.is_empty(), "empty task sample at {p} cores");
+        xs.push(f64::from(*p));
+        let clustering = cluster_tasks(traces, k_eff);
+        let mut reps: Vec<(usize, &TaskTrace)> = clustering
+            .centroid_members
+            .iter()
+            .enumerate()
+            .map(|(c, &i)| (c, &traces[i]))
+            .collect();
+        reps.sort_by(|a, b| {
+            b.1.total_mem_ops()
+                .partial_cmp(&a.1.total_mem_ops())
+                .expect("finite")
+        });
+        for (j, (c, rep)) in reps.into_iter().enumerate() {
+            rep_series[j].push((*rep).clone());
+            let members = clustering.members(c);
+            frac_series[j].push(members.len() as f64 / traces.len() as f64);
+            let mut ranks: Vec<u32> = members.iter().map(|&i| traces[i].rank).collect();
+            ranks.sort_unstable();
+            member_series[j].push(ranks);
+        }
+    }
+
+    // Extrapolate each group's centroid trace and population. A group whose
+    // member-rank set is *identical at every training count* is an absolute
+    // population (e.g. the master: always exactly {rank 0}) — extrapolating
+    // its sample fraction would inflate it by the sampling ratio. Groups
+    // with varying membership scale proportionally via fraction fits.
+    let tx = f64::from(target);
+    let mut groups = Vec::with_capacity(k_eff);
+    let mut absolute = Vec::with_capacity(k_eff);
+    for ((reps, fracs), members) in rep_series
+        .into_iter()
+        .zip(&frac_series)
+        .zip(&member_series)
+    {
+        let trace = extrapolate_signature(&reps, target, cfg)?;
+        let stable_membership = members.windows(2).all(|w| w[0] == w[1]);
+        let ranks = if stable_membership {
+            absolute.push(true);
+            members[0].len() as u64
+        } else {
+            absolute.push(false);
+            let frac_model = select_best_guarded(&cfg.forms, &xs, fracs, cfg.criterion, tx);
+            let frac = frac_model.eval(tx).clamp(0.0, 1.0);
+            (frac * f64::from(target)).round() as u64
+        };
+        groups.push(SignatureGroup {
+            trace,
+            ranks,
+            training_fractions: fracs.clone(),
+        });
+    }
+
+    // Re-normalize rank counts to cover exactly `target`: the largest
+    // *proportional* group absorbs rounding drift (absolute groups keep
+    // their exact populations); if every group is absolute, the largest
+    // overall absorbs it.
+    let assigned: u64 = groups.iter().map(|g| g.ranks).sum();
+    if assigned != u64::from(target) {
+        let largest = groups
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !absolute[*i])
+            .max_by_key(|(_, g)| g.ranks)
+            .map(|(i, _)| i)
+            .or_else(|| {
+                groups
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, g)| g.ranks)
+                    .map(|(i, _)| i)
+            })
+            .expect("at least one group");
+        let diff = i64::try_from(u64::from(target)).expect("fits")
+            - i64::try_from(assigned).expect("fits");
+        let new = i64::try_from(groups[largest].ranks).expect("fits") + diff;
+        groups[largest].ranks = u64::try_from(new.max(0)).expect("non-negative");
+    }
+
+    Ok(SyntheticSignature {
+        nranks: target,
+        groups,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtrace_ir::SourceLoc;
+    use xtrace_tracer::{BlockRecord, FeatureVector, InstrRecord};
+
+    /// A master/worker population: rank 0 heavy with linear-in-P work,
+    /// workers light with 1/P work.
+    fn sample(p: u32, nworkers: usize) -> Vec<TaskTrace> {
+        let task = |rank: u32, mem_ops: f64| {
+            let f = FeatureVector {
+                exec_count: mem_ops,
+                mem_ops,
+                loads: mem_ops,
+                bytes_per_ref: 8.0,
+                working_set: 1e6,
+                ..Default::default()
+            };
+            TaskTrace {
+                app: "synth".into(),
+                rank,
+                nranks: p,
+                machine: "m".into(),
+                depth: 1,
+                blocks: vec![BlockRecord {
+                    name: "k".into(),
+                    source: SourceLoc::new("s.c", 1, "f"),
+                    invocations: 1,
+                    iterations: 1,
+                    instrs: vec![InstrRecord {
+                        instr: 0,
+                        pattern: "strided".into(),
+                        features: f,
+                    }],
+                }],
+            }
+        };
+        let mut v = vec![task(0, 1e3 * f64::from(p))];
+        for r in 0..nworkers {
+            v.push(task(r as u32 + 1, 1e9 / f64::from(p)));
+        }
+        v
+    }
+
+    fn per_count() -> Vec<(u32, Vec<TaskTrace>)> {
+        vec![
+            (1024, sample(1024, 7)),
+            (2048, sample(2048, 7)),
+            (4096, sample(4096, 7)),
+        ]
+    }
+
+    #[test]
+    fn groups_cover_all_target_ranks() {
+        let sig =
+            synthesize_full_signature(&per_count(), 8192, 2, &ExtrapolationConfig::default())
+                .unwrap();
+        assert_eq!(sig.nranks, 8192);
+        assert_eq!(sig.total_ranks(), 8192);
+        assert_eq!(sig.groups.len(), 2);
+    }
+
+    #[test]
+    fn master_group_is_first_and_small() {
+        let sig =
+            synthesize_full_signature(&per_count(), 8192, 2, &ExtrapolationConfig::default())
+                .unwrap();
+        // Heaviest-first ordering: at 8192 the master (linear work, ~8e6
+        // ops) outweighs a worker (1e9/8192 ~ 1.2e5 ops).
+        assert!(sig.groups[0].trace.total_mem_ops() > sig.groups[1].trace.total_mem_ops());
+        // The master cluster's membership is {rank 0} at every training
+        // count -> an absolute population of 1, not a sample fraction.
+        assert_eq!(sig.groups[0].ranks, 1);
+        assert_eq!(sig.groups[1].ranks, 8191);
+        assert_eq!(sig.longest(), &sig.groups[0].trace);
+    }
+
+    #[test]
+    fn master_trace_extrapolates_linearly() {
+        let sig =
+            synthesize_full_signature(&per_count(), 8192, 2, &ExtrapolationConfig::default())
+                .unwrap();
+        let got = sig.groups[0].trace.total_mem_ops();
+        let truth = 1e3 * 8192.0;
+        assert!((got - truth).abs() / truth < 1e-6, "{got} vs {truth}");
+    }
+
+    #[test]
+    fn fractions_are_recorded_per_training_count() {
+        let sig =
+            synthesize_full_signature(&per_count(), 8192, 2, &ExtrapolationConfig::default())
+                .unwrap();
+        for g in &sig.groups {
+            assert_eq!(g.training_fractions.len(), 3);
+            for &f in &g.training_fractions {
+                assert!((0.0..=1.0).contains(&f));
+            }
+        }
+        assert!((sig.groups[0].training_fractions[0] - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_one_degenerates_to_single_group() {
+        let sig =
+            synthesize_full_signature(&per_count(), 8192, 1, &ExtrapolationConfig::default())
+                .unwrap();
+        assert_eq!(sig.groups.len(), 1);
+        assert_eq!(sig.groups[0].ranks, 8192);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one training count")]
+    fn empty_input_panics() {
+        let _ = synthesize_full_signature(&[], 8192, 2, &ExtrapolationConfig::default());
+    }
+}

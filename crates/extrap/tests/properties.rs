@@ -1,0 +1,219 @@
+//! Property tests for the extrapolation core: fits must recover their own
+//! generating forms, selection must stay sane, and trace synthesis must
+//! preserve the physical invariants of feature vectors.
+
+use proptest::prelude::*;
+use xtrace_extrap::{
+    extrapolate_signature, fit_form, select_best, select_best_guarded, CanonicalForm,
+    ExtrapolationConfig, SelectionCriterion,
+};
+use xtrace_ir::SourceLoc;
+use xtrace_tracer::{BlockRecord, FeatureVector, InstrRecord, TaskTrace};
+
+const XS: [f64; 3] = [1024.0, 2048.0, 4096.0];
+
+proptest! {
+    /// Fitting data generated from a form recovers that form's predictions
+    /// (not necessarily its parameters — exp/power are fitted in log space)
+    /// to within numerical tolerance at the training points.
+    #[test]
+    fn fits_reproduce_their_generating_form(
+        a in 0.1f64..1e6,
+        b_lin in -0.1f64..0.1,
+        b_log in -10.0f64..10.0,
+        b_exp in -1e-4f64..1e-4,
+    ) {
+        let cases = vec![
+            (CanonicalForm::Constant, [a, 0.0, 0.0]),
+            (CanonicalForm::Linear, [a, b_lin, 0.0]),
+            (CanonicalForm::Logarithmic, [a, b_log, 0.0]),
+            (CanonicalForm::Exponential, [a, b_exp, 0.0]),
+        ];
+        for (form, params) in cases {
+            let ys: Vec<f64> = XS.iter().map(|&x| form.eval(&params, x)).collect();
+            if ys.iter().any(|y| !y.is_finite() || (form == CanonicalForm::Exponential && *y <= 0.0)) {
+                continue;
+            }
+            let fit = fit_form(form, &XS, &ys);
+            prop_assume!(fit.is_some());
+            let fit = fit.unwrap();
+            for (&x, &y) in XS.iter().zip(&ys) {
+                let scale = y.abs().max(1.0);
+                prop_assert!(
+                    (fit.eval(x) - y).abs() / scale < 1e-6,
+                    "{form:?} at {x}: {} vs {y}",
+                    fit.eval(x)
+                );
+            }
+        }
+    }
+
+    /// On data generated from one of the paper's forms, the selected model
+    /// must predict the true value at 8192 cores accurately (whichever form
+    /// wins ties).
+    #[test]
+    fn selection_extrapolates_form_generated_data_exactly(
+        a in 0.5f64..1e4,
+        b in 0.0f64..0.5,
+        which in 0usize..3,
+    ) {
+        let form = [
+            CanonicalForm::Constant,
+            CanonicalForm::Linear,
+            CanonicalForm::Logarithmic,
+        ][which];
+        let params = [a, b * 1e-3, 0.0];
+        let ys: Vec<f64> = XS.iter().map(|&x| form.eval(&params, x)).collect();
+        let best = select_best(&CanonicalForm::PAPER_SET, &XS, &ys, SelectionCriterion::Sse);
+        let truth = form.eval(&params, 8192.0);
+        let scale = truth.abs().max(1.0);
+        prop_assert!(
+            (best.eval(8192.0) - truth).abs() / scale < 1e-5,
+            "{form:?}: predicted {} vs truth {truth}",
+            best.eval(8192.0)
+        );
+    }
+
+    /// The guard's contract: for non-negative series the returned model
+    /// never predicts a negative value at the target.
+    #[test]
+    fn guarded_selection_is_nonnegative_at_target(
+        ys in proptest::collection::vec(0.0f64..1e9, 3),
+        target in 4097u32..100_000,
+    ) {
+        let m = select_best_guarded(
+            &CanonicalForm::PAPER_SET,
+            &XS,
+            &ys,
+            SelectionCriterion::Sse,
+            f64::from(target),
+        );
+        prop_assert!(m.eval(f64::from(target)) >= 0.0);
+    }
+
+    /// Extrapolating a family of *identical* traces (every feature constant
+    /// in P) returns the same trace at the target count.
+    #[test]
+    fn constant_traces_extrapolate_to_themselves(
+        mem_ops in 1.0f64..1e12,
+        hr0 in 0.0f64..1.0,
+        hr1_delta in 0.0f64..0.5,
+        ws in 1.0f64..1e9,
+    ) {
+        let hr1 = (hr0 + hr1_delta).min(1.0);
+        let make = |p: u32| {
+            let mut f = FeatureVector {
+                exec_count: mem_ops,
+                mem_ops,
+                loads: mem_ops,
+                bytes_per_ref: 8.0,
+                working_set: ws,
+                ilp: 2.0,
+                ..Default::default()
+            };
+            f.hit_rates = [hr0, hr1, 1.0, 1.0];
+            TaskTrace {
+                app: "prop".into(),
+                rank: 0,
+                nranks: p,
+                machine: "m".into(),
+                depth: 2,
+                blocks: vec![BlockRecord {
+                    name: "k".into(),
+                    source: SourceLoc::new("p.c", 1, "f"),
+                    invocations: 7,
+                    iterations: 11,
+                    instrs: vec![InstrRecord {
+                        instr: 0,
+                        pattern: "strided".into(),
+                        features: f,
+                    }],
+                }],
+            }
+        };
+        let traces = vec![make(1024), make(2048), make(4096)];
+        let out = extrapolate_signature(&traces, 8192, &ExtrapolationConfig::default()).unwrap();
+        let f = &out.blocks[0].instrs[0].features;
+        prop_assert!((f.mem_ops - mem_ops).abs() / mem_ops < 1e-9);
+        prop_assert!((f.hit_rates[0] - hr0).abs() < 1e-9);
+        prop_assert!((f.hit_rates[1] - hr1).abs() < 1e-9);
+        prop_assert!((f.working_set - ws).abs() / ws < 1e-9);
+        prop_assert_eq!(out.blocks[0].invocations, 7);
+        prop_assert_eq!(out.blocks[0].iterations, 11);
+    }
+
+    /// Synthesized feature vectors always satisfy the physical invariants,
+    /// whatever (monotone-rate) training data they were fitted to.
+    #[test]
+    fn synthesized_vectors_are_physical(
+        series in proptest::collection::vec(
+            (0.0f64..1e10, 0.0f64..1.0, 0.0f64..1.0),
+            3,
+        ),
+        target in 4097u32..50_000,
+    ) {
+        let make = |p: u32, (count, r0, r1): (f64, f64, f64)| {
+            let mut f = FeatureVector {
+                exec_count: count,
+                mem_ops: count,
+                loads: count,
+                bytes_per_ref: 8.0,
+                working_set: 1e6,
+                ilp: 1.0,
+                ..Default::default()
+            };
+            // Cumulative rates must be monotone in the training data.
+            let lo = r0.min(r1);
+            let hi = r0.max(r1);
+            f.hit_rates = [lo, hi, 1.0, 1.0];
+            TaskTrace {
+                app: "prop".into(),
+                rank: 0,
+                nranks: p,
+                machine: "m".into(),
+                depth: 2,
+                blocks: vec![BlockRecord {
+                    name: "k".into(),
+                    source: SourceLoc::new("p.c", 1, "f"),
+                    invocations: 1,
+                    iterations: 1,
+                    instrs: vec![InstrRecord {
+                        instr: 0,
+                        pattern: "random".into(),
+                        features: f,
+                    }],
+                }],
+            }
+        };
+        let traces: Vec<TaskTrace> = [1024u32, 2048, 4096]
+            .iter()
+            .zip(series)
+            .map(|(&p, s)| make(p, s))
+            .collect();
+        let out = extrapolate_signature(&traces, target, &ExtrapolationConfig::default()).unwrap();
+        let f = &out.blocks[0].instrs[0].features;
+        prop_assert!(f.mem_ops >= 0.0);
+        prop_assert!(f.exec_count >= 0.0);
+        prop_assert!(f.working_set >= 0.0);
+        prop_assert!(f.ilp >= 1.0);
+        let mut prev = 0.0;
+        for &h in &f.hit_rates {
+            prop_assert!((0.0..=1.0).contains(&h), "rate {h} out of range");
+            prop_assert!(h + 1e-12 >= prev, "rates must stay cumulative");
+            prev = h;
+        }
+    }
+
+    /// Fit SSE is never negative and never worse than the constant model's
+    /// when the candidate set includes the constant form.
+    #[test]
+    fn best_fit_never_loses_to_the_mean(
+        ys in proptest::collection::vec(-1e6f64..1e6, 3),
+    ) {
+        let best = select_best(&CanonicalForm::PAPER_SET, &XS, &ys, SelectionCriterion::Sse);
+        let mean = ys.iter().sum::<f64>() / 3.0;
+        let const_sse: f64 = ys.iter().map(|y| (y - mean) * (y - mean)).sum();
+        prop_assert!(best.sse >= 0.0);
+        prop_assert!(best.sse <= const_sse + 1e-9 * const_sse.abs().max(1.0));
+    }
+}

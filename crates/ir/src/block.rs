@@ -1,0 +1,199 @@
+//! Basic blocks: straight-line instruction sequences with a trip count.
+//!
+//! The application signature is organised per basic block (Section III-A
+//! item list: source location, FP work, memory references, reference sizes,
+//! hit rates). A block here is a loop body: invoking it runs `iterations`
+//! trips of its instruction list. Proxy apps set `iterations` per rank, so a
+//! block whose trip count is `elements_per_rank` scales like `1/P` while a
+//! reduction-combine block scales like `log2(P)` — the raw material for the
+//! canonical-form fits.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::BlockId;
+use crate::instr::Instruction;
+
+/// Source-code provenance of a block, item (1) of the paper's per-block
+/// trace contents ("the location of the block in the source code and
+/// executable").
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SourceLoc {
+    /// Source file the block came from.
+    pub file: String,
+    /// Line number.
+    pub line: u32,
+    /// Enclosing function.
+    pub function: String,
+}
+
+impl SourceLoc {
+    /// Creates a source location.
+    pub fn new(file: impl Into<String>, line: u32, function: impl Into<String>) -> Self {
+        Self {
+            file: file.into(),
+            line,
+            function: function.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for SourceLoc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{} ({})", self.file, self.line, self.function)
+    }
+}
+
+/// A basic block: a named, located, straight-line body executed
+/// `iterations` times per invocation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BasicBlock {
+    /// Identifier within the owning program.
+    pub id: BlockId,
+    /// Stable name (e.g. `"element-matmul"`); experiment binaries select
+    /// blocks by name, and extrapolation matches blocks across core counts
+    /// by name rather than by id so programs built for different `P` align.
+    pub name: String,
+    /// Where the block "lives" in the proxy application's pseudo-source.
+    pub source: SourceLoc,
+    /// Loop trip count per invocation.
+    pub iterations: u64,
+    /// Instruction list executed each iteration, in order.
+    pub instrs: Vec<Instruction>,
+    /// Static instruction-level parallelism estimate (independent ops per
+    /// cycle the block's dependence structure allows). One of the features
+    /// the paper lists as extrapolated ("data dependencies, ILP"); it is
+    /// normally constant across core counts, exercising the constant
+    /// canonical form.
+    pub ilp: f64,
+}
+
+impl BasicBlock {
+    /// Creates a block with ILP 1.0 (fully serial dependence chain).
+    pub fn new(
+        id: BlockId,
+        name: impl Into<String>,
+        source: SourceLoc,
+        iterations: u64,
+        instrs: Vec<Instruction>,
+    ) -> Self {
+        Self {
+            id,
+            name: name.into(),
+            source,
+            iterations,
+            instrs,
+            ilp: 1.0,
+        }
+    }
+
+    /// Sets the ILP estimate (builder style).
+    pub fn with_ilp(mut self, ilp: f64) -> Self {
+        assert!(ilp > 0.0, "ILP must be positive");
+        self.ilp = ilp;
+        self
+    }
+
+    /// Dynamic memory references one invocation generates.
+    pub fn mem_refs_per_invocation(&self) -> u64 {
+        self.iterations
+            * self
+                .instrs
+                .iter()
+                .filter(|i| i.is_mem())
+                .map(|i| u64::from(i.repeat))
+                .sum::<u64>()
+    }
+
+    /// Dynamic FLOPs one invocation generates.
+    pub fn flops_per_invocation(&self) -> u64 {
+        self.iterations
+            * self
+                .instrs
+                .iter()
+                .map(|i| i.flops_per_exec() * u64::from(i.repeat))
+                .sum::<u64>()
+    }
+
+    /// Bytes moved to/from memory per invocation.
+    pub fn bytes_per_invocation(&self) -> u64 {
+        self.iterations
+            * self
+                .instrs
+                .iter()
+                .filter_map(|i| match i.kind {
+                    crate::instr::InstrKind::Mem { bytes, .. } => {
+                        Some(u64::from(bytes) * u64::from(i.repeat))
+                    }
+                    _ => None,
+                })
+                .sum::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::RegionId;
+    use crate::instr::{FpOp, MemOp};
+    use crate::pattern::AddressPattern;
+
+    fn sample_block() -> BasicBlock {
+        BasicBlock::new(
+            BlockId(0),
+            "body",
+            SourceLoc::new("solver.f90", 120, "update"),
+            10,
+            vec![
+                Instruction::mem(MemOp::Load, RegionId(0), 8, AddressPattern::unit(8)),
+                Instruction::mem(MemOp::Load, RegionId(1), 8, AddressPattern::unit(8))
+                    .with_repeat(2),
+                Instruction::mem(MemOp::Store, RegionId(0), 8, AddressPattern::unit(8)),
+                Instruction::fp(FpOp::Fma).with_repeat(3),
+                Instruction::fp(FpOp::Add),
+            ],
+        )
+    }
+
+    #[test]
+    fn counts_per_invocation() {
+        let b = sample_block();
+        // 10 iterations × (1 + 2 + 1) mem instructions.
+        assert_eq!(b.mem_refs_per_invocation(), 40);
+        // 10 × (3 FMA × 2 flops + 1 add).
+        assert_eq!(b.flops_per_invocation(), 70);
+        // 10 × (1×8 + 2×8 + 1×8) bytes.
+        assert_eq!(b.bytes_per_invocation(), 320);
+    }
+
+    #[test]
+    fn empty_block_counts_zero() {
+        let b = BasicBlock::new(
+            BlockId(1),
+            "nop",
+            SourceLoc::new("x.c", 1, "f"),
+            1000,
+            vec![],
+        );
+        assert_eq!(b.mem_refs_per_invocation(), 0);
+        assert_eq!(b.flops_per_invocation(), 0);
+        assert_eq!(b.bytes_per_invocation(), 0);
+    }
+
+    #[test]
+    fn source_loc_displays() {
+        let s = SourceLoc::new("a.f90", 42, "main");
+        assert_eq!(s.to_string(), "a.f90:42 (main)");
+    }
+
+    #[test]
+    fn ilp_builder() {
+        let b = sample_block().with_ilp(2.5);
+        assert_eq!(b.ilp, 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "ILP")]
+    fn nonpositive_ilp_panics() {
+        sample_block().with_ilp(0.0);
+    }
+}

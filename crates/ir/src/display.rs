@@ -1,0 +1,170 @@
+//! Human-readable program dumps.
+//!
+//! Downstream users exploring a proxy (or debugging their own [`SpmdApp`]
+//! implementation) need to *see* what a rank executes; this module renders
+//! a [`Program`] as an annotated listing — regions with sizes, blocks with
+//! trip counts, instructions with patterns and per-invocation totals.
+//!
+//! [`SpmdApp`]: https://docs.rs/xtrace-spmd
+
+use std::fmt::Write as _;
+
+use crate::instr::{FpOp, InstrKind, MemOp};
+use crate::program::Program;
+
+/// Formats a byte count with a binary-prefix unit.
+fn human_bytes(b: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut v = b as f64;
+    let mut u = 0;
+    while v >= 1024.0 && u < UNITS.len() - 1 {
+        v /= 1024.0;
+        u += 1;
+    }
+    if u == 0 {
+        format!("{b} B")
+    } else {
+        format!("{v:.1} {}", UNITS[u])
+    }
+}
+
+/// Renders the full annotated listing of a program.
+pub fn render_program(p: &Program) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "program: {} regions, {} blocks, {} footprint",
+        p.regions().len(),
+        p.blocks().len(),
+        human_bytes(p.footprint_bytes())
+    );
+    let _ = writeln!(out, "regions:");
+    for r in p.regions() {
+        let _ = writeln!(
+            out,
+            "  [{:>2}] {:<14} {:>10}  ({} x {} B elems, base {:#x})",
+            r.id.0,
+            r.name,
+            human_bytes(r.bytes),
+            r.elements(),
+            r.elem_bytes,
+            p.region_base(r.id),
+        );
+    }
+    let _ = writeln!(out, "blocks:");
+    for b in p.blocks() {
+        let _ = writeln!(
+            out,
+            "  [{:>2}] {:<20} {} iters/invocation, ilp {:.1}  ({})",
+            b.id.0, b.name, b.iterations, b.ilp, b.source
+        );
+        for (i, ins) in b.instrs.iter().enumerate() {
+            let desc = match ins.kind {
+                InstrKind::Mem {
+                    op,
+                    region,
+                    bytes,
+                    pattern,
+                } => {
+                    let verb = match op {
+                        MemOp::Load => "load ",
+                        MemOp::Store => "store",
+                    };
+                    format!(
+                        "{verb} {:<14} {:>2} B {:<8}",
+                        p.region(region).name,
+                        bytes,
+                        pattern.label()
+                    )
+                }
+                InstrKind::Fp { op } => {
+                    let name = match op {
+                        FpOp::Add => "fadd",
+                        FpOp::Mul => "fmul",
+                        FpOp::Div => "fdiv",
+                        FpOp::Sqrt => "fsqrt",
+                        FpOp::Fma => "fma",
+                    };
+                    format!("{name:<31}")
+                }
+            };
+            let _ = writeln!(out, "       i{i:<2} {desc} x{}", ins.repeat);
+        }
+        let _ = writeln!(
+            out,
+            "       => {} refs, {} flops, {} moved per invocation",
+            b.mem_refs_per_invocation(),
+            b.flops_per_invocation(),
+            human_bytes(b.bytes_per_invocation()),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::{BasicBlock, SourceLoc};
+    use crate::ids::BlockId;
+    use crate::instr::Instruction;
+    use crate::pattern::AddressPattern;
+
+    fn program() -> Program {
+        let mut b = Program::builder();
+        let field = b.region("field", 48 * 1024 * 1024, 8);
+        let table = b.region("table", 2048, 8);
+        b.block(BasicBlock::new(
+            BlockId(0),
+            "sweep",
+            SourceLoc::new("kernel.f90", 10, "sweep"),
+            1000,
+            vec![
+                Instruction::mem(MemOp::Load, field, 8, AddressPattern::unit(8)).with_repeat(2),
+                Instruction::mem(MemOp::Load, table, 8, AddressPattern::Random),
+                Instruction::fp(FpOp::Fma).with_repeat(4),
+                Instruction::mem(MemOp::Store, field, 8, AddressPattern::unit(8)),
+            ],
+        ));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn listing_mentions_every_entity() {
+        let s = render_program(&program());
+        for needle in [
+            "2 regions",
+            "field",
+            "table",
+            "48.0 MiB",
+            "sweep",
+            "kernel.f90:10",
+            "load ",
+            "store",
+            "random",
+            "strided",
+            "fma",
+            "x4",
+            "4000 refs",
+            "8000 flops",
+        ] {
+            assert!(s.contains(needle), "missing {needle:?} in:\n{s}");
+        }
+    }
+
+    #[test]
+    fn human_bytes_units() {
+        assert_eq!(human_bytes(512), "512 B");
+        assert_eq!(human_bytes(2048), "2.0 KiB");
+        assert_eq!(human_bytes(48 * 1024 * 1024), "48.0 MiB");
+        assert_eq!(human_bytes(3 * 1024 * 1024 * 1024), "3.0 GiB");
+    }
+
+    #[test]
+    fn per_invocation_totals_are_consistent() {
+        let p = program();
+        let s = render_program(&p);
+        let b = &p.blocks()[0];
+        assert!(s.contains(&format!("{} refs", b.mem_refs_per_invocation())));
+        assert!(s.contains(&format!("{} flops", b.flops_per_invocation())));
+    }
+}

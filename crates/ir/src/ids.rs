@@ -1,0 +1,90 @@
+//! Typed identifiers for IR entities.
+//!
+//! Raw `usize` indices are easy to transpose (a block index used as a region
+//! index compiles fine and corrupts a simulation silently). Newtypes make
+//! each index space distinct at zero runtime cost.
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Returns the identifier as a plain index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<u32> for $name {
+            #[inline]
+            fn from(v: u32) -> Self {
+                Self(v)
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies a [`crate::region::MemoryRegion`] within a [`crate::Program`].
+    RegionId
+);
+id_type!(
+    /// Identifies a [`crate::block::BasicBlock`] within a [`crate::Program`].
+    BlockId
+);
+id_type!(
+    /// Identifies an [`crate::instr::Instruction`] *within its basic block*.
+    ///
+    /// Instruction ids restart at zero in each block; a globally unique
+    /// instruction key is the pair `(BlockId, InstrId)`.
+    InstrId
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_roundtrip_index() {
+        assert_eq!(RegionId(7).index(), 7);
+        assert_eq!(BlockId::from(3u32), BlockId(3));
+        assert_eq!(InstrId(0).index(), 0);
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        let mut v = vec![BlockId(2), BlockId(0), BlockId(1)];
+        v.sort();
+        assert_eq!(v, vec![BlockId(0), BlockId(1), BlockId(2)]);
+        let set: std::collections::HashSet<_> = v.into_iter().collect();
+        assert!(set.contains(&BlockId(1)));
+    }
+
+    #[test]
+    fn ids_display_their_space() {
+        assert_eq!(RegionId(4).to_string(), "RegionId(4)");
+        assert_eq!(InstrId(9).to_string(), "InstrId(9)");
+    }
+
+    #[test]
+    fn ids_serialize_transparently() {
+        let json = serde_json::to_string(&BlockId(12)).unwrap();
+        assert_eq!(json, "12");
+        let back: BlockId = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, BlockId(12));
+    }
+}

@@ -1,0 +1,196 @@
+//! Instructions: the unit at which the paper extrapolates.
+//!
+//! Section IV of the paper is explicit that, for extrapolation, "the trace
+//! file includes more detailed information ... and therefore contains data
+//! for each *instruction* of all basic blocks executed by the task". Each
+//! instruction contributes entries to the block's feature vectors: memory
+//! instructions supply operation counts, reference sizes, and (after cache
+//! simulation) per-level hit rates; floating-point instructions supply the
+//! amount and composition of FP work.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::RegionId;
+use crate::pattern::AddressPattern;
+
+/// Direction of a memory reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemOp {
+    /// A load (read) reference.
+    Load,
+    /// A store (write) reference.
+    Store,
+}
+
+/// Floating-point operation classes, the "composition" part of feature
+/// element (1) in Section III-B.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FpOp {
+    /// Addition/subtraction.
+    Add,
+    /// Multiplication.
+    Mul,
+    /// Division (much slower on real pipelines; machine profiles rate it
+    /// separately).
+    Div,
+    /// Square root.
+    Sqrt,
+    /// Fused multiply-add; counts as two FLOPs.
+    Fma,
+}
+
+impl FpOp {
+    /// Number of floating-point operations one execution performs.
+    #[inline]
+    pub fn flops(self) -> u64 {
+        match self {
+            FpOp::Fma => 2,
+            _ => 1,
+        }
+    }
+}
+
+/// What an instruction does each time it executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InstrKind {
+    /// A memory reference into `region` following `pattern`.
+    Mem {
+        /// Load or store.
+        op: MemOp,
+        /// Region the reference addresses.
+        region: RegionId,
+        /// Bytes moved per reference (feature element (3), "size of its
+        /// memory references in bytes").
+        bytes: u32,
+        /// Address-generation behaviour.
+        pattern: AddressPattern,
+    },
+    /// A floating-point operation.
+    Fp {
+        /// Operation class.
+        op: FpOp,
+    },
+}
+
+/// One static instruction of a basic block.
+///
+/// `repeat` is the number of times the instruction executes per loop
+/// iteration of its block (an unroll factor); total dynamic executions are
+/// `block invocations × block iterations × repeat`. Proxy apps use `repeat`
+/// to give different instructions of the *same* block different scaling
+/// behaviour, which is what the paper's Figure 3 illustrates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Instruction {
+    /// Operation performed.
+    pub kind: InstrKind,
+    /// Executions per block iteration (≥ 1 to execute at all; 0 is allowed
+    /// and models an instruction that is compiled in but never taken at this
+    /// scale).
+    pub repeat: u32,
+}
+
+impl Instruction {
+    /// A memory instruction executing once per iteration.
+    pub fn mem(op: MemOp, region: RegionId, bytes: u32, pattern: AddressPattern) -> Self {
+        Self {
+            kind: InstrKind::Mem {
+                op,
+                region,
+                bytes,
+                pattern,
+            },
+            repeat: 1,
+        }
+    }
+
+    /// A floating-point instruction executing once per iteration.
+    pub fn fp(op: FpOp) -> Self {
+        Self {
+            kind: InstrKind::Fp { op },
+            repeat: 1,
+        }
+    }
+
+    /// Sets the per-iteration repeat count (builder style).
+    pub fn with_repeat(mut self, repeat: u32) -> Self {
+        self.repeat = repeat;
+        self
+    }
+
+    /// True if this is a memory reference.
+    #[inline]
+    pub fn is_mem(&self) -> bool {
+        matches!(self.kind, InstrKind::Mem { .. })
+    }
+
+    /// True if this is a store.
+    #[inline]
+    pub fn is_store(&self) -> bool {
+        matches!(
+            self.kind,
+            InstrKind::Mem {
+                op: MemOp::Store,
+                ..
+            }
+        )
+    }
+
+    /// FLOPs contributed per single execution (0 for memory instructions).
+    #[inline]
+    pub fn flops_per_exec(&self) -> u64 {
+        match self.kind {
+            InstrKind::Fp { op } => op.flops(),
+            InstrKind::Mem { .. } => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fma_counts_two_flops() {
+        assert_eq!(FpOp::Fma.flops(), 2);
+        assert_eq!(FpOp::Add.flops(), 1);
+        assert_eq!(FpOp::Div.flops(), 1);
+    }
+
+    #[test]
+    fn builders_set_fields() {
+        let i = Instruction::mem(
+            MemOp::Load,
+            RegionId(3),
+            8,
+            AddressPattern::unit(8),
+        )
+        .with_repeat(4);
+        assert!(i.is_mem());
+        assert!(!i.is_store());
+        assert_eq!(i.repeat, 4);
+        assert_eq!(i.flops_per_exec(), 0);
+
+        let f = Instruction::fp(FpOp::Fma).with_repeat(2);
+        assert!(!f.is_mem());
+        assert_eq!(f.flops_per_exec(), 2);
+    }
+
+    #[test]
+    fn store_detection() {
+        let s = Instruction::mem(MemOp::Store, RegionId(0), 8, AddressPattern::Random);
+        assert!(s.is_store());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let i = Instruction::mem(
+            MemOp::Load,
+            RegionId(1),
+            4,
+            AddressPattern::Stencil { points: 3, plane: 64 },
+        );
+        let s = serde_json::to_string(&i).unwrap();
+        let back: Instruction = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, i);
+    }
+}

@@ -1,0 +1,46 @@
+//! # xtrace-ir — program intermediate representation
+//!
+//! The paper's tracing pipeline (its Figure 2) starts from an *instrumented
+//! binary*: PEBIL rewrites every memory instruction of a compiled executable
+//! so that, at run time, the application emits its memory address stream,
+//! which is consumed on-the-fly by a cache simulator.
+//!
+//! This reproduction has no x86 binaries to instrument, so the equivalent
+//! starting point is an explicit program representation. A [`Program`] is a
+//! set of [`region::MemoryRegion`]s (the data arrays a rank owns) plus a set
+//! of [`block::BasicBlock`]s, each holding a list of [`instr::Instruction`]s.
+//! Memory instructions carry an [`pattern::AddressPattern`] describing how
+//! their effective addresses walk a region; interpreting a block with
+//! [`stream::AccessStream`] reproduces exactly what PEBIL's instrumentation
+//! produces: a deterministic per-instruction memory address stream, plus
+//! per-instruction operation counts for the non-memory work.
+//!
+//! Proxy applications (crate `xtrace-apps`) construct one `Program` per MPI
+//! rank as a function of `(rank, nranks, problem size)`; strong scaling is
+//! therefore visible as region sizes and iteration counts that shrink (or,
+//! for reduction-tree work, grow logarithmically) with the core count —
+//! the behaviours the paper's canonical forms must capture.
+//!
+//! Everything here is deterministic: the same program yields bit-identical
+//! address streams on every run, which the integration tests rely on.
+
+#![warn(missing_docs)]
+
+pub mod block;
+pub mod display;
+pub mod ids;
+pub mod instr;
+pub mod pattern;
+pub mod program;
+pub mod region;
+pub mod rng;
+pub mod stream;
+
+pub use block::{BasicBlock, SourceLoc};
+pub use display::render_program;
+pub use ids::{BlockId, InstrId, RegionId};
+pub use instr::{FpOp, Instruction, InstrKind, MemOp};
+pub use pattern::AddressPattern;
+pub use program::{Program, ProgramBuilder, ProgramError};
+pub use region::MemoryRegion;
+pub use stream::{AccessStream, MemAccess};

@@ -1,0 +1,204 @@
+//! Address-generation patterns for memory instructions.
+//!
+//! The paper's machine profile (the MultiMAPS surface, its Figure 1) is
+//! indexed by how an instruction's references behave — "a stride-one load
+//! access pattern from L1 cache can perform significantly faster than a
+//! random-stride load from main memory". These patterns are the IR-level
+//! source of that behaviour: each memory instruction owns one pattern, and
+//! [`crate::stream::AccessStream`] turns the pattern into concrete effective
+//! addresses inside the instruction's region.
+
+use serde::{Deserialize, Serialize};
+
+use crate::rng::SplitMix64;
+
+/// How a memory instruction's effective addresses walk its region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AddressPattern {
+    /// Constant-stride walk: access `k` touches `base + (k * stride) mod size`.
+    ///
+    /// `stride = elem_bytes` gives the classic unit-stride sweep; larger
+    /// strides model column accesses or interleaved structures and defeat
+    /// spatial locality once the stride exceeds the line size.
+    Strided {
+        /// Stride between consecutive accesses, in bytes. Must be positive.
+        stride: u64,
+    },
+    /// Uniformly random element accesses over the whole region — models
+    /// particle gathers, indirect indexing, hash probing. Defeats spatial
+    /// *and* temporal locality for regions larger than the cache.
+    Random,
+    /// A multi-point stencil sweep: each step touches `points` locations
+    /// separated by `plane` bytes (e.g. the ±1, ±nx, ±nx·ny neighbours of a
+    /// 3-D grid sweep), then the sweep cursor advances by one element.
+    /// Captures the "several streams with one large stride" signature of
+    /// structured-grid field solvers.
+    Stencil {
+        /// Number of points touched per step (≥ 1).
+        points: u32,
+        /// Byte distance between consecutive stencil planes.
+        plane: u64,
+    },
+}
+
+impl AddressPattern {
+    /// Unit-stride helper for the common case.
+    pub fn unit(elem_bytes: u32) -> Self {
+        AddressPattern::Strided {
+            stride: u64::from(elem_bytes),
+        }
+    }
+
+    /// Generates the offset (relative to the region base) of access number
+    /// `k` for this pattern, inside a region of `size` bytes holding
+    /// `elem_bytes`-sized elements.
+    ///
+    /// The mapping is a pure function of `(pattern, k, seed)`, which makes
+    /// address streams reproducible without storing per-instruction cursors.
+    ///
+    /// Accesses are element-aligned, and for any `size >= elem_bytes` the
+    /// returned offset satisfies `offset + elem_bytes <= size`.
+    #[inline]
+    pub fn offset(&self, k: u64, size: u64, elem_bytes: u32, seed: u64) -> u64 {
+        let elem = u64::from(elem_bytes);
+        debug_assert!(size >= elem);
+        let elems = size / elem;
+        match *self {
+            AddressPattern::Strided { stride } => {
+                // Walk in element units so every access stays aligned even
+                // when `stride` does not divide `size`.
+                let stride_elems = (stride / elem).max(1);
+                ((k.wrapping_mul(stride_elems)) % elems) * elem
+            }
+            AddressPattern::Random => {
+                let mut h = SplitMix64::new(seed ^ SplitMix64::mix(k));
+                h.next_below(elems) * elem
+            }
+            AddressPattern::Stencil { points, plane } => {
+                let points = u64::from(points.max(1));
+                let step = k / points; // sweep position
+                let point = k % points; // which stencil point
+                let plane_elems = (plane / elem).max(1);
+                let off = (step + point * plane_elems) % elems;
+                off * elem
+            }
+        }
+    }
+
+    /// Short classification label used in trace files and experiment output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AddressPattern::Strided { .. } => "strided",
+            AddressPattern::Random => "random",
+            AddressPattern::Stencil { .. } => "stencil",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SIZE: u64 = 1 << 16; // 64 KiB
+    const ELEM: u32 = 8;
+
+    #[test]
+    fn unit_stride_walks_sequentially_and_wraps() {
+        let p = AddressPattern::unit(ELEM);
+        assert_eq!(p.offset(0, SIZE, ELEM, 0), 0);
+        assert_eq!(p.offset(1, SIZE, ELEM, 0), 8);
+        assert_eq!(p.offset(2, SIZE, ELEM, 0), 16);
+        let elems = SIZE / u64::from(ELEM);
+        assert_eq!(p.offset(elems, SIZE, ELEM, 0), 0, "wraps at region end");
+    }
+
+    #[test]
+    fn large_stride_skips_lines() {
+        let p = AddressPattern::Strided { stride: 256 };
+        assert_eq!(p.offset(0, SIZE, ELEM, 0), 0);
+        assert_eq!(p.offset(1, SIZE, ELEM, 0), 256);
+    }
+
+    #[test]
+    fn stride_smaller_than_element_degrades_to_unit() {
+        let p = AddressPattern::Strided { stride: 1 };
+        assert_eq!(p.offset(3, SIZE, ELEM, 0), 24);
+    }
+
+    #[test]
+    fn random_is_in_bounds_and_seed_dependent() {
+        let p = AddressPattern::Random;
+        for k in 0..1000 {
+            let off = p.offset(k, SIZE, ELEM, 7);
+            assert!(off + u64::from(ELEM) <= SIZE);
+            assert_eq!(off % u64::from(ELEM), 0, "element aligned");
+        }
+        let same = (0..100)
+            .filter(|&k| p.offset(k, SIZE, ELEM, 1) == p.offset(k, SIZE, ELEM, 2))
+            .count();
+        assert!(same < 5, "different seeds should give different streams");
+    }
+
+    #[test]
+    fn random_is_reproducible() {
+        let p = AddressPattern::Random;
+        let a: Vec<u64> = (0..64).map(|k| p.offset(k, SIZE, ELEM, 9)).collect();
+        let b: Vec<u64> = (0..64).map(|k| p.offset(k, SIZE, ELEM, 9)).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stencil_touches_separated_planes() {
+        let p = AddressPattern::Stencil {
+            points: 3,
+            plane: 1024,
+        };
+        // First step: three points at 0, 1024, 2048.
+        assert_eq!(p.offset(0, SIZE, ELEM, 0), 0);
+        assert_eq!(p.offset(1, SIZE, ELEM, 0), 1024);
+        assert_eq!(p.offset(2, SIZE, ELEM, 0), 2048);
+        // Second step: cursor advanced by one element.
+        assert_eq!(p.offset(3, SIZE, ELEM, 0), 8);
+        assert_eq!(p.offset(4, SIZE, ELEM, 0), 1032);
+    }
+
+    #[test]
+    fn stencil_with_zero_points_is_clamped() {
+        let p = AddressPattern::Stencil {
+            points: 0,
+            plane: 64,
+        };
+        // Must not panic (division by zero) and must stay in bounds.
+        for k in 0..32 {
+            assert!(p.offset(k, SIZE, ELEM, 0) < SIZE);
+        }
+    }
+
+    #[test]
+    fn tiny_region_never_overflows() {
+        for pat in [
+            AddressPattern::unit(ELEM),
+            AddressPattern::Random,
+            AddressPattern::Strided { stride: 4096 },
+            AddressPattern::Stencil {
+                points: 7,
+                plane: 8192,
+            },
+        ] {
+            for k in 0..100 {
+                let off = pat.offset(k, 8, ELEM, 3);
+                assert_eq!(off, 0, "single-element region has only offset 0");
+            }
+        }
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(AddressPattern::Random.label(), "random");
+        assert_eq!(AddressPattern::unit(8).label(), "strided");
+        assert_eq!(
+            AddressPattern::Stencil { points: 2, plane: 8 }.label(),
+            "stencil"
+        );
+    }
+}

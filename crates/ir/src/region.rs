@@ -1,0 +1,118 @@
+//! Memory regions: the data arrays a rank owns.
+//!
+//! A region models one logical allocation (a field array, a particle list,
+//! an element-matrix workspace). Its *size* is the knob through which strong
+//! scaling reaches the cache simulator: proxy applications size their
+//! per-rank regions as `global_bytes / nranks` (plus ghost halos), so as the
+//! core count grows a region's footprint drops through the target machine's
+//! cache levels — exactly the effect the paper's Table II reports.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::RegionId;
+
+/// A contiguous per-rank memory region.
+///
+/// Regions are laid out back-to-back (page-aligned) in a rank-private
+/// virtual address space by [`crate::ProgramBuilder::build`]; instructions address
+/// them via [`crate::pattern::AddressPattern`]s relative to the region base.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryRegion {
+    /// Identifier within the owning program.
+    pub id: RegionId,
+    /// Human-readable name (e.g. `"displ"`, `"particles"`), carried through
+    /// to trace files so experiment output is interpretable.
+    pub name: String,
+    /// Footprint in bytes. Must be positive and a multiple of `elem_bytes`.
+    pub bytes: u64,
+    /// Element granularity in bytes (typically 4 or 8).
+    pub elem_bytes: u32,
+}
+
+impl MemoryRegion {
+    /// Alignment of region base addresses: a 4 KiB page, so that distinct
+    /// regions never share a cache line and per-region statistics stay
+    /// attributable.
+    pub const BASE_ALIGN: u64 = 4096;
+
+    /// Inter-region stagger (two 64-byte lines per region index) applied on
+    /// top of page alignment — the array-padding idiom that keeps
+    /// concurrently streamed regions off the same cache sets.
+    pub const STAGGER: u64 = 128;
+
+    /// Creates a region description.
+    ///
+    /// The size is rounded *up* to a whole number of elements so that a
+    /// caller computing `global_bytes / nranks` never produces a torn
+    /// element at high core counts.
+    pub fn new(id: RegionId, name: impl Into<String>, bytes: u64, elem_bytes: u32) -> Self {
+        assert!(elem_bytes > 0, "element size must be positive");
+        let bytes = bytes.max(u64::from(elem_bytes));
+        let rem = bytes % u64::from(elem_bytes);
+        let bytes = if rem == 0 {
+            bytes
+        } else {
+            bytes + u64::from(elem_bytes) - rem
+        };
+        Self {
+            id,
+            name: name.into(),
+            bytes,
+            elem_bytes,
+        }
+    }
+
+    /// Number of elements in the region.
+    #[inline]
+    pub fn elements(&self) -> u64 {
+        self.bytes / u64::from(self.elem_bytes)
+    }
+
+    /// Size of the region rounded up to base alignment, i.e. the amount of
+    /// address space the layout reserves for it.
+    #[inline]
+    pub fn padded_bytes(&self) -> u64 {
+        let a = Self::BASE_ALIGN;
+        self.bytes.div_ceil(a) * a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rounds_size_up_to_elements() {
+        let r = MemoryRegion::new(RegionId(0), "a", 1001, 8);
+        assert_eq!(r.bytes, 1008);
+        assert_eq!(r.elements(), 126);
+    }
+
+    #[test]
+    fn exact_multiple_is_unchanged() {
+        let r = MemoryRegion::new(RegionId(0), "a", 4096, 8);
+        assert_eq!(r.bytes, 4096);
+        assert_eq!(r.elements(), 512);
+    }
+
+    #[test]
+    fn zero_bytes_becomes_one_element() {
+        let r = MemoryRegion::new(RegionId(0), "tiny", 0, 8);
+        assert_eq!(r.bytes, 8);
+        assert_eq!(r.elements(), 1);
+    }
+
+    #[test]
+    fn padded_bytes_is_page_multiple() {
+        let r = MemoryRegion::new(RegionId(0), "a", 5000, 4);
+        assert_eq!(r.padded_bytes() % MemoryRegion::BASE_ALIGN, 0);
+        assert!(r.padded_bytes() >= r.bytes);
+        assert_eq!(r.padded_bytes(), 8192);
+    }
+
+    #[test]
+    #[should_panic(expected = "element size")]
+    fn zero_elem_size_panics() {
+        MemoryRegion::new(RegionId(0), "bad", 64, 0);
+    }
+}

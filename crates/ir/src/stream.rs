@@ -1,0 +1,279 @@
+//! Address-stream generation: the IR analog of running an instrumented
+//! binary.
+//!
+//! PEBIL-instrumented executables emit "the memory address from each memory
+//! reference" as the application runs; the stream is consumed on-the-fly
+//! because storing it is infeasible ("over 2 TB of data per hour" per
+//! process, Section III-A). [`AccessStream`] is that emitter: it interprets
+//! a basic block and calls a sink closure once per dynamic memory reference
+//! with the concrete effective address. The sink is, in practice, the cache
+//! simulator of `xtrace-cache` — nothing is ever buffered.
+//!
+//! Instruction cursors persist across invocations of the same stream, so a
+//! block invoked once per timestep re-walks its region from where it left
+//! off, giving repeated sweeps the temporal locality a real loop nest has.
+
+use crate::block::BasicBlock;
+use crate::ids::{BlockId, InstrId};
+use crate::instr::{InstrKind, MemOp};
+use crate::pattern::AddressPattern;
+use crate::program::Program;
+use crate::rng::SplitMix64;
+
+/// One dynamic memory reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemAccess {
+    /// Static instruction that issued the reference.
+    pub instr: InstrId,
+    /// Effective virtual address.
+    pub addr: u64,
+    /// Bytes referenced.
+    pub bytes: u32,
+    /// True for stores.
+    pub is_store: bool,
+}
+
+/// Flattened per-instruction state, precomputed once per stream so the hot
+/// loop does no program lookups.
+#[derive(Debug, Clone)]
+struct MemSpec {
+    instr: InstrId,
+    base: u64,
+    size: u64,
+    elem_bytes: u32,
+    bytes: u32,
+    pattern: AddressPattern,
+    is_store: bool,
+    repeat: u32,
+    seed: u64,
+    /// Accesses issued so far by this instruction (the pattern cursor).
+    count: u64,
+}
+
+/// Streams the memory accesses of one basic block, invocation by
+/// invocation.
+#[derive(Debug, Clone)]
+pub struct AccessStream {
+    specs: Vec<MemSpec>,
+    iterations: u64,
+}
+
+impl AccessStream {
+    /// Prepares a stream for `block_id` of `program`.
+    ///
+    /// `seed` deterministically parameterizes random patterns; the tracer
+    /// derives it from the rank so different MPI tasks gather different (but
+    /// reproducible) random addresses.
+    pub fn new(program: &Program, block_id: BlockId, seed: u64) -> Self {
+        let block: &BasicBlock = program.block(block_id);
+        let specs = block
+            .instrs
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, ins)| match ins.kind {
+                InstrKind::Mem {
+                    op,
+                    region,
+                    bytes,
+                    pattern,
+                } => {
+                    let r = program.region(region);
+                    Some(MemSpec {
+                        instr: InstrId(idx as u32),
+                        base: program.region_base(region),
+                        size: r.bytes,
+                        elem_bytes: r.elem_bytes,
+                        bytes,
+                        pattern,
+                        is_store: matches!(op, MemOp::Store),
+                        repeat: ins.repeat,
+                        seed: SplitMix64::mix(
+                            seed ^ (u64::from(block_id.0) << 32) ^ idx as u64,
+                        ),
+                        count: 0,
+                    })
+                }
+                InstrKind::Fp { .. } => None,
+            })
+            .collect();
+        Self {
+            specs,
+            iterations: block.iterations,
+        }
+    }
+
+    /// Memory accesses one invocation will generate.
+    pub fn accesses_per_invocation(&self) -> u64 {
+        self.iterations
+            * self
+                .specs
+                .iter()
+                .map(|s| u64::from(s.repeat))
+                .sum::<u64>()
+    }
+
+    /// Runs one invocation (`block.iterations` trips), calling `sink` for
+    /// every memory reference in program order.
+    #[inline]
+    pub fn run_invocation(&mut self, sink: &mut impl FnMut(MemAccess)) {
+        self.run_iterations(self.iterations, sink);
+    }
+
+    /// Runs a specific number of loop iterations. Exposed so callers can
+    /// interleave partial executions (e.g. sampling) without losing cursor
+    /// state.
+    pub fn run_iterations(&mut self, iters: u64, sink: &mut impl FnMut(MemAccess)) {
+        for _ in 0..iters {
+            for spec in &mut self.specs {
+                for _ in 0..spec.repeat {
+                    let off =
+                        spec.pattern
+                            .offset(spec.count, spec.size, spec.elem_bytes, spec.seed);
+                    spec.count += 1;
+                    sink(MemAccess {
+                        instr: spec.instr,
+                        addr: spec.base + off,
+                        bytes: spec.bytes,
+                        is_store: spec.is_store,
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::SourceLoc;
+    use crate::ids::RegionId;
+    use crate::instr::{FpOp, Instruction};
+    use crate::program::ProgramBuilder;
+
+    fn two_instr_program() -> (Program, BlockId) {
+        let mut b = ProgramBuilder::default();
+        let ra = b.region("a", 1 << 12, 8);
+        let rb = b.region("b", 1 << 14, 8);
+        let blk = b.block(crate::block::BasicBlock::new(
+            BlockId(0),
+            "body",
+            SourceLoc::new("t.c", 1, "f"),
+            3,
+            vec![
+                Instruction::mem(MemOp::Load, ra, 8, AddressPattern::unit(8)),
+                Instruction::fp(FpOp::Add),
+                Instruction::mem(MemOp::Store, rb, 8, AddressPattern::unit(8)).with_repeat(2),
+            ],
+        ));
+        (b.build().unwrap(), blk)
+    }
+
+    #[test]
+    fn stream_length_matches_counts() {
+        let (p, blk) = two_instr_program();
+        let mut s = AccessStream::new(&p, blk, 0);
+        assert_eq!(s.accesses_per_invocation(), 3 * (1 + 2));
+        let mut n = 0u64;
+        s.run_invocation(&mut |_| n += 1);
+        assert_eq!(n, 9);
+    }
+
+    #[test]
+    fn program_order_and_attribution() {
+        let (p, blk) = two_instr_program();
+        let mut s = AccessStream::new(&p, blk, 0);
+        let mut got = Vec::new();
+        s.run_iterations(1, &mut |a| got.push(a));
+        // One iteration: load from instr 0, then two stores from instr 2.
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0].instr, InstrId(0));
+        assert!(!got[0].is_store);
+        assert_eq!(got[1].instr, InstrId(2));
+        assert!(got[1].is_store);
+        assert_eq!(got[2].instr, InstrId(2));
+    }
+
+    #[test]
+    fn cursors_persist_across_invocations() {
+        let (p, blk) = two_instr_program();
+        let mut s = AccessStream::new(&p, blk, 0);
+        let mut first = Vec::new();
+        s.run_iterations(1, &mut |a| first.push(a.addr));
+        let mut second = Vec::new();
+        s.run_iterations(1, &mut |a| second.push(a.addr));
+        // The unit-stride load advanced by one element between iterations.
+        assert_eq!(second[0], first[0] + 8);
+        // The repeat-2 store advanced by two elements.
+        assert_eq!(second[1], first[1] + 16);
+    }
+
+    #[test]
+    fn addresses_fall_inside_their_regions() {
+        let (p, blk) = two_instr_program();
+        let ra_base = p.region_base(RegionId(0));
+        let ra_end = ra_base + p.region(RegionId(0)).bytes;
+        let rb_base = p.region_base(RegionId(1));
+        let rb_end = rb_base + p.region(RegionId(1)).bytes;
+        let mut s = AccessStream::new(&p, blk, 77);
+        s.run_iterations(1000, &mut |a| {
+            if a.instr == InstrId(0) {
+                assert!(a.addr >= ra_base && a.addr + u64::from(a.bytes) <= ra_end);
+            } else {
+                assert!(a.addr >= rb_base && a.addr + u64::from(a.bytes) <= rb_end);
+            }
+        });
+    }
+
+    #[test]
+    fn streams_are_deterministic() {
+        let (p, blk) = two_instr_program();
+        let collect = |seed| {
+            let mut s = AccessStream::new(&p, blk, seed);
+            let mut v = Vec::new();
+            s.run_iterations(50, &mut |a| v.push(a.addr));
+            v
+        };
+        assert_eq!(collect(5), collect(5));
+    }
+
+    #[test]
+    fn distinct_seeds_change_random_streams_only() {
+        let mut b = ProgramBuilder::default();
+        let r = b.region("a", 1 << 16, 8);
+        let blk = b.block(crate::block::BasicBlock::new(
+            BlockId(0),
+            "rand",
+            SourceLoc::new("t.c", 2, "g"),
+            1,
+            vec![Instruction::mem(MemOp::Load, r, 8, AddressPattern::Random)],
+        ));
+        let p = b.build().unwrap();
+        let collect = |seed| {
+            let mut s = AccessStream::new(&p, blk, seed);
+            let mut v = Vec::new();
+            s.run_iterations(100, &mut |a| v.push(a.addr));
+            v
+        };
+        assert_ne!(collect(1), collect(2));
+        assert_eq!(collect(3), collect(3));
+    }
+
+    #[test]
+    fn fp_only_block_emits_nothing() {
+        let mut b = ProgramBuilder::default();
+        b.region("unused", 64, 8);
+        let blk = b.block(crate::block::BasicBlock::new(
+            BlockId(0),
+            "fp",
+            SourceLoc::new("t.c", 3, "h"),
+            100,
+            vec![Instruction::fp(FpOp::Mul).with_repeat(8)],
+        ));
+        let p = b.build().unwrap();
+        let mut s = AccessStream::new(&p, blk, 0);
+        assert_eq!(s.accesses_per_invocation(), 0);
+        let mut n = 0;
+        s.run_invocation(&mut |_| n += 1);
+        assert_eq!(n, 0);
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests for the IR crate: address generation must stay in
+//! bounds and be deterministic for *any* pattern/region combination the
+//! proxy apps could construct.
+
+use proptest::prelude::*;
+use xtrace_ir::{
+    AddressPattern, BasicBlock, BlockId, Instruction, MemOp, Program, SourceLoc,
+};
+
+fn arb_pattern() -> impl Strategy<Value = AddressPattern> {
+    prop_oneof![
+        (1u64..=8192).prop_map(|stride| AddressPattern::Strided { stride }),
+        Just(AddressPattern::Random),
+        ((1u32..=27), (8u64..=65536)).prop_map(|(points, plane)| AddressPattern::Stencil {
+            points,
+            plane
+        }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn pattern_offsets_stay_element_aligned_and_in_bounds(
+        pattern in arb_pattern(),
+        size_elems in 1u64..100_000,
+        elem_bytes in prop_oneof![Just(4u32), Just(8u32), Just(16u32)],
+        seed in any::<u64>(),
+        k in 0u64..1_000_000,
+    ) {
+        let size = size_elems * u64::from(elem_bytes);
+        let off = pattern.offset(k, size, elem_bytes, seed);
+        prop_assert!(off + u64::from(elem_bytes) <= size,
+            "offset {off} out of bounds for size {size}");
+        prop_assert_eq!(off % u64::from(elem_bytes), 0);
+    }
+
+    #[test]
+    fn pattern_offsets_are_pure_functions(
+        pattern in arb_pattern(),
+        size_elems in 1u64..10_000,
+        seed in any::<u64>(),
+        k in 0u64..100_000,
+    ) {
+        let size = size_elems * 8;
+        prop_assert_eq!(
+            pattern.offset(k, size, 8, seed),
+            pattern.offset(k, size, 8, seed)
+        );
+    }
+
+    #[test]
+    fn stream_length_is_iterations_times_refs(
+        iterations in 1u64..200,
+        repeats in proptest::collection::vec(0u32..5, 1..6),
+        seed in any::<u64>(),
+    ) {
+        let mut b = Program::builder();
+        let r = b.region("r", 1 << 14, 8);
+        let instrs: Vec<Instruction> = repeats
+            .iter()
+            .map(|&rep| {
+                Instruction::mem(MemOp::Load, r, 8, AddressPattern::unit(8)).with_repeat(rep)
+            })
+            .collect();
+        let blk = b.block(BasicBlock::new(
+            BlockId(0),
+            "b",
+            SourceLoc::new("p.c", 1, "f"),
+            iterations,
+            instrs,
+        ));
+        let p = b.build().unwrap();
+        let mut s = xtrace_ir::AccessStream::new(&p, blk, seed);
+        let expected = iterations * repeats.iter().map(|&x| u64::from(x)).sum::<u64>();
+        prop_assert_eq!(s.accesses_per_invocation(), expected);
+        let mut n = 0u64;
+        s.run_invocation(&mut |_| n += 1);
+        prop_assert_eq!(n, expected);
+    }
+
+    #[test]
+    fn programs_serialize_roundtrip(
+        nregions in 1usize..5,
+        iterations in 1u64..50,
+    ) {
+        let mut b = Program::builder();
+        let mut rids = Vec::new();
+        for i in 0..nregions {
+            rids.push(b.region(format!("r{i}"), 4096 * (i as u64 + 1), 8));
+        }
+        let instrs: Vec<Instruction> = rids
+            .iter()
+            .map(|&r| Instruction::mem(MemOp::Load, r, 8, AddressPattern::Random))
+            .collect();
+        b.block(BasicBlock::new(
+            BlockId(0),
+            "b",
+            SourceLoc::new("p.c", 1, "f"),
+            iterations,
+            instrs,
+        ));
+        let p = b.build().unwrap();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: Program = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back, p);
+    }
+}

@@ -1,0 +1,138 @@
+//! Floating-point throughput rates.
+//!
+//! The computation model's second ingredient: "Arithmetic operations are
+//! floating-point and other math operations" (Section III-A). Rates are
+//! expressed as operations per cycle per class; dividing dynamic counts by
+//! `rate × clock` gives the arithmetic time of Eq. (1)'s FP analog.
+
+use serde::{Deserialize, Serialize};
+
+/// Sustained issue rates, in operations per cycle, for each FP class.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FpRates {
+    /// Adds/subtracts per cycle.
+    pub add_per_cycle: f64,
+    /// Multiplies per cycle.
+    pub mul_per_cycle: f64,
+    /// Divides per cycle (typically ≪ 1: divides take tens of cycles).
+    pub div_per_cycle: f64,
+    /// Square roots per cycle.
+    pub sqrt_per_cycle: f64,
+    /// Fused multiply-adds per cycle (each FMA = 2 FLOPs).
+    pub fma_per_cycle: f64,
+}
+
+impl FpRates {
+    /// A generic superscalar core: 2 add + 2 mul pipes, 2 FMA pipes,
+    /// 20-cycle divide, 25-cycle square root.
+    pub fn generic() -> Self {
+        Self {
+            add_per_cycle: 2.0,
+            mul_per_cycle: 2.0,
+            div_per_cycle: 1.0 / 20.0,
+            sqrt_per_cycle: 1.0 / 25.0,
+            fma_per_cycle: 2.0,
+        }
+    }
+
+    /// Validates that every rate is positive.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("add", self.add_per_cycle),
+            ("mul", self.mul_per_cycle),
+            ("div", self.div_per_cycle),
+            ("sqrt", self.sqrt_per_cycle),
+            ("fma", self.fma_per_cycle),
+        ] {
+            if v <= 0.0 || v.is_nan() {
+                return Err(format!("fp rate {name} must be positive, got {v}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Seconds to execute the given per-class dynamic operation counts at
+    /// `clock_hz`, scaled by the block's achievable ILP (independent ops
+    /// issue in parallel up to `ilp`; a serial chain gets `ilp = 1`).
+    ///
+    /// Classes execute on separate pipes, so the cost is the sum of
+    /// per-class times — a deliberate simplification matching the
+    /// throughput-oriented PMaC arithmetic model.
+    #[allow(clippy::too_many_arguments)]
+    pub fn seconds(
+        &self,
+        adds: u64,
+        muls: u64,
+        divs: u64,
+        sqrts: u64,
+        fmas: u64,
+        ilp: f64,
+        clock_hz: f64,
+    ) -> f64 {
+        assert!(clock_hz > 0.0, "clock must be positive");
+        let ilp = ilp.max(1.0);
+        let cycles = adds as f64 / self.add_per_cycle
+            + muls as f64 / self.mul_per_cycle
+            + divs as f64 / self.div_per_cycle
+            + sqrts as f64 / self.sqrt_per_cycle
+            + fmas as f64 / self.fma_per_cycle;
+        cycles / (ilp.min(4.0)) / clock_hz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generic_rates_validate() {
+        FpRates::generic().validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_rate_is_reported() {
+        let mut r = FpRates::generic();
+        r.div_per_cycle = 0.0;
+        assert!(r.validate().unwrap_err().contains("div"));
+    }
+
+    #[test]
+    fn adds_at_two_per_cycle() {
+        let r = FpRates::generic();
+        // 2e9 adds at 2/cycle on a 1 GHz clock = 1 second.
+        let t = r.seconds(2_000_000_000, 0, 0, 0, 0, 1.0, 1e9);
+        assert!((t - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn divides_dominate_mixed_work() {
+        let r = FpRates::generic();
+        let t_div = r.seconds(0, 0, 1000, 0, 0, 1.0, 1e9);
+        let t_add = r.seconds(1000, 0, 0, 0, 0, 1.0, 1e9);
+        assert!(t_div > 30.0 * t_add);
+    }
+
+    #[test]
+    fn ilp_speeds_up_and_saturates() {
+        let r = FpRates::generic();
+        let serial = r.seconds(1000, 1000, 0, 0, 0, 1.0, 1e9);
+        let wide = r.seconds(1000, 1000, 0, 0, 0, 2.0, 1e9);
+        let huge = r.seconds(1000, 1000, 0, 0, 0, 100.0, 1e9);
+        assert!((serial / wide - 2.0).abs() < 1e-9);
+        assert!((serial / huge - 4.0).abs() < 1e-9, "ILP capped at 4");
+    }
+
+    #[test]
+    fn sub_one_ilp_is_clamped() {
+        let r = FpRates::generic();
+        let a = r.seconds(100, 0, 0, 0, 0, 0.1, 1e9);
+        let b = r.seconds(100, 0, 0, 0, 0, 1.0, 1e9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_work_costs_nothing() {
+        let r = FpRates::generic();
+        assert_eq!(r.seconds(0, 0, 0, 0, 0, 1.0, 1e9), 0.0);
+    }
+}

@@ -1,0 +1,49 @@
+//! # xtrace-machine — machine profiles and the MultiMAPS surface
+//!
+//! A PMaC *machine profile* is "a description of the rates at which a
+//! machine can perform certain fundamental operations through simple
+//! benchmarks or projections" (Section III). Its centerpiece is the
+//! MultiMAPS memory benchmark: a sweep over working-set sizes and strides
+//! that yields "a series of memory bandwidth measurements", plotted in the
+//! paper's Figure 1 as a surface over cache hit rates.
+//!
+//! This crate provides:
+//!
+//! * [`memcost::MemoryCostModel`] — the parametric memory system standing in
+//!   for real hardware: per-level latencies plus a streaming prefetcher that
+//!   hides part of the miss latency for sequential-line miss patterns. This
+//!   model is what the ground-truth simulator charges per access.
+//! * [`multimaps`] — the benchmark analog: it drives stride × working-set
+//!   sweeps through the cache simulator *and* the memory cost model, exactly
+//!   as MultiMAPS runs on real hardware, producing a
+//!   [`multimaps::BandwidthSurface`] indexed by cumulative hit rates.
+//! * [`fp::FpRates`] — arithmetic throughputs for the floating-point side of
+//!   the computation model.
+//! * [`profile::MachineProfile`] — the bundle (hierarchy + clock + FP rates
+//!   + network + lazily measured surface) consumed by the convolution.
+//! * [`presets`] — the machines the paper's experiments need: a two-level
+//!   Opteron (Figure 1), the Cray XT5 base system, a Blue Waters Phase-I
+//!   style target (Table I), and the hypothetical Systems A/B differing
+//!   only in L1 size (Table III).
+//!
+//! Because the surface is *measured through the same cache simulator* the
+//! tracer uses, but collapses behaviour onto hit-rate coordinates, the
+//! convolution inherits the honest modeling error the real framework has:
+//! two blocks with equal hit rates but different miss *patterns* (streaming
+//! vs random) get the same bandwidth from the surface even though the
+//! underlying machine model treats them differently.
+
+#![warn(missing_docs)]
+
+pub mod fp;
+pub mod memcost;
+pub mod multimaps;
+pub mod power;
+pub mod presets;
+pub mod profile;
+
+pub use fp::FpRates;
+pub use memcost::{MemoryCostModel, PrefetchState, PREFETCH_STREAMS};
+pub use multimaps::{measure_surface, BandwidthSurface, SurfacePoint, SweepConfig};
+pub use power::PowerModel;
+pub use profile::{MachineProfile, MachineProfileSpec};

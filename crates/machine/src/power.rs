@@ -1,0 +1,169 @@
+//! Per-operation energy model.
+//!
+//! The paper's feature vectors are chosen to be "important for both
+//! performance and energy" (Section I), and the PMaC line of work the
+//! framework belongs to uses exactly these signatures to model power
+//! (Laurenzano et al., Euro-Par'11; Tiwari et al., HPPAC'12). This module
+//! provides the energy side: per-event costs — picojoules per FLOP, per
+//! cache access at each level, per network byte — plus a static (leakage +
+//! idle) power floor. An application's energy is then a convolution of the
+//! same signature the runtime prediction uses, which is what makes
+//! *extrapolated* energy-at-scale estimates possible.
+
+use serde::{Deserialize, Serialize};
+use xtrace_cache::MEMORY_LEVEL_CAP;
+
+/// Energy cost model for one core plus its slice of the memory system.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    /// Static (leakage + idle + clock-tree) power per core, in watts.
+    pub static_watts: f64,
+    /// Dynamic energy per floating-point operation, in picojoules.
+    pub pj_per_flop: f64,
+    /// Dynamic energy per memory reference satisfied exactly at level `i`
+    /// (`pj_per_access[depth]` = a main-memory access), in picojoules.
+    pub pj_per_access: [f64; MEMORY_LEVEL_CAP],
+    /// Network interface energy per byte sent, in picojoules.
+    pub pj_per_net_byte: f64,
+}
+
+impl PowerModel {
+    /// Representative 2010s-HPC-node values: ~1 nJ DRAM accesses, tens of
+    /// pJ for caches, ~10 pJ FLOPs (Keckler et al.'s energy-per-op
+    /// taxonomy), a few watts static per core.
+    pub fn generic() -> Self {
+        Self {
+            static_watts: 4.0,
+            pj_per_flop: 10.0,
+            pj_per_access: [8.0, 25.0, 90.0, 1100.0],
+            pj_per_net_byte: 250.0,
+        }
+    }
+
+    /// Validates positivity and level monotonicity (outer levels cost more).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.static_watts < 0.0 || !self.static_watts.is_finite() {
+            return Err("static power must be non-negative".into());
+        }
+        for (name, v) in [
+            ("pj_per_flop", self.pj_per_flop),
+            ("pj_per_net_byte", self.pj_per_net_byte),
+        ] {
+            if v <= 0.0 || !v.is_finite() {
+                return Err(format!("{name} must be positive"));
+            }
+        }
+        for w in self.pj_per_access.windows(2) {
+            if w[1] < w[0] {
+                return Err("per-access energy must grow outward through the hierarchy".into());
+            }
+        }
+        if self.pj_per_access[0] <= 0.0 {
+            return Err("L1 access energy must be positive".into());
+        }
+        Ok(())
+    }
+
+    /// Dynamic energy (joules) for `mem_ops` references with the given
+    /// cumulative hit rates on a `depth`-level machine: references are
+    /// apportioned to exact levels by differencing the cumulative rates.
+    pub fn memory_joules(&self, mem_ops: f64, hit_rates: &[f64], depth: usize) -> f64 {
+        let mut joules = 0.0;
+        let mut prev = 0.0;
+        for lvl in 0..=depth.min(MEMORY_LEVEL_CAP - 1) {
+            let cum = if lvl < depth {
+                hit_rates.get(lvl).copied().unwrap_or(1.0).clamp(0.0, 1.0)
+            } else {
+                1.0
+            };
+            let frac = (cum - prev).max(0.0);
+            joules += mem_ops * frac * self.pj_per_access[lvl] * 1e-12;
+            prev = prev.max(cum);
+        }
+        joules
+    }
+
+    /// Dynamic energy (joules) for `flops` floating-point operations.
+    pub fn fp_joules(&self, flops: f64) -> f64 {
+        flops * self.pj_per_flop * 1e-12
+    }
+
+    /// Network energy (joules) for `bytes` sent.
+    pub fn net_joules(&self, bytes: f64) -> f64 {
+        bytes * self.pj_per_net_byte * 1e-12
+    }
+
+    /// Static energy (joules) over `seconds` of runtime.
+    pub fn static_joules(&self, seconds: f64) -> f64 {
+        self.static_watts * seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generic_model_validates() {
+        PowerModel::generic().validate().unwrap();
+    }
+
+    #[test]
+    fn memory_energy_apportions_by_level() {
+        let m = PowerModel {
+            static_watts: 0.0,
+            pj_per_flop: 1.0,
+            pj_per_access: [1.0, 10.0, 100.0, 1000.0],
+            pj_per_net_byte: 1.0,
+        };
+        // 100 refs, 70% L1, 90% cum L2, rest memory; depth 2.
+        let j = m.memory_joules(100.0, &[0.7, 0.9], 2);
+        // 70 * 1 + 20 * 10 + 10 * 100 = 1270 pJ.
+        assert!((j - 1270e-12).abs() < 1e-22, "{j}");
+    }
+
+    #[test]
+    fn perfect_l1_costs_only_l1() {
+        let m = PowerModel::generic();
+        let j = m.memory_joules(1e9, &[1.0, 1.0, 1.0], 3);
+        assert!((j - 1e9 * 8.0e-12).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_misses_cost_memory_energy() {
+        let m = PowerModel::generic();
+        let j = m.memory_joules(1e6, &[0.0, 0.0, 0.0], 3);
+        assert!((j - 1e6 * 1100.0e-12).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worse_locality_costs_more_energy() {
+        let m = PowerModel::generic();
+        let good = m.memory_joules(1e8, &[0.95, 0.99, 1.0], 3);
+        let bad = m.memory_joules(1e8, &[0.5, 0.6, 0.7], 3);
+        assert!(bad > 5.0 * good);
+    }
+
+    #[test]
+    fn fp_net_static_components() {
+        let m = PowerModel::generic();
+        assert!((m.fp_joules(1e12) - 10.0).abs() < 1e-9);
+        assert!((m.net_joules(4e9) - 1.0).abs() < 1e-9);
+        assert!((m.static_joules(100.0) - 400.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_non_monotone_levels() {
+        let mut m = PowerModel::generic();
+        m.pj_per_access = [100.0, 10.0, 90.0, 1000.0];
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn clamps_malformed_hit_rates() {
+        let m = PowerModel::generic();
+        // Non-monotone cumulative input must not produce negative fractions.
+        let j = m.memory_joules(100.0, &[0.9, 0.5, 1.0], 3);
+        assert!(j > 0.0);
+    }
+}

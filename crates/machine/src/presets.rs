@@ -1,0 +1,191 @@
+//! Machine presets used by the paper's experiments.
+//!
+//! Parameters are representative of the published microarchitectures, not
+//! calibrated to specific silicon — the reproduction targets the *shape* of
+//! the paper's results (who wins, what moves where), not absolute hardware
+//! truth. Sources of the structural numbers: vendor documentation for the
+//! Opteron (Barcelona-class, 2-level here as in the paper's Figure 1),
+//! Istanbul Opterons for the Cray XT5 "Kraken" base system, and a
+//! POWER7-flavored configuration for the Phase-I Blue Waters target of
+//! Table I. Systems A and B are the paper's own hypotheticals: identical
+//! except for a 12 KB vs 56 KB L1 (Table III).
+
+use xtrace_cache::{CacheLevelConfig, HierarchyConfig};
+use xtrace_spmd::NetworkModel;
+
+use crate::fp::FpRates;
+use crate::memcost::MemoryCostModel;
+use crate::multimaps::SweepConfig;
+use crate::profile::MachineProfile;
+
+/// Two-cache-level AMD Opteron, the Figure 1 machine.
+pub fn opteron() -> MachineProfile {
+    MachineProfile::new(
+        "opteron",
+        HierarchyConfig::new(
+            vec![
+                CacheLevelConfig::lru("L1", 64 * 1024, 64, 2, 3.0),
+                CacheLevelConfig::lru("L2", 1024 * 1024, 64, 16, 12.0),
+            ],
+            200.0,
+        )
+        .expect("static config"),
+        2.2e9,
+        FpRates::generic(),
+        NetworkModel::new(2.0e-6, 2.0e9),
+        MemoryCostModel::default(),
+        SweepConfig::default(),
+        0.8,
+    )
+}
+
+/// Cray XT5 (Kraken-style) node: the *base* system all signatures were
+/// collected on in the paper.
+pub fn cray_xt5() -> MachineProfile {
+    MachineProfile::new(
+        "cray-xt5",
+        HierarchyConfig::new(
+            vec![
+                CacheLevelConfig::lru("L1", 64 * 1024, 64, 2, 3.0),
+                CacheLevelConfig::lru("L2", 512 * 1024, 64, 8, 14.0),
+                CacheLevelConfig::lru("L3", 8 * 1024 * 1024, 64, 16, 45.0),
+            ],
+            220.0,
+        )
+        .expect("static config"),
+        2.6e9,
+        FpRates::generic(),
+        NetworkModel::new(6.0e-6, 1.6e9),
+        MemoryCostModel::default(),
+        SweepConfig::default(),
+        0.8,
+    )
+}
+
+/// Phase-I Blue Waters-style (POWER7-flavored) target system of Table I.
+pub fn bluewaters_phase1() -> MachineProfile {
+    MachineProfile::new(
+        "bluewaters-phase1",
+        HierarchyConfig::new(
+            vec![
+                CacheLevelConfig::lru("L1", 32 * 1024, 128, 8, 2.0),
+                CacheLevelConfig::lru("L2", 256 * 1024, 128, 8, 8.0),
+                CacheLevelConfig::lru("L3", 4 * 1024 * 1024, 128, 8, 25.0),
+            ],
+            280.0,
+        )
+        .expect("static config"),
+        3.8e9,
+        FpRates {
+            add_per_cycle: 2.0,
+            mul_per_cycle: 2.0,
+            div_per_cycle: 1.0 / 25.0,
+            sqrt_per_cycle: 1.0 / 30.0,
+            fma_per_cycle: 4.0,
+        },
+        NetworkModel::new(1.5e-6, 5.0e9),
+        MemoryCostModel::default(),
+        SweepConfig::default(),
+        0.85,
+    )
+}
+
+/// Hypothetical System A of Table III: 12 KB L1 (3-way × 64 sets), with the
+/// shared L2/L3 used by both systems.
+pub fn system_a() -> MachineProfile {
+    table3_system("system-a", 12 * 1024, 3)
+}
+
+/// Hypothetical System B of Table III: 56 KB L1 (7-way × 128 sets),
+/// otherwise identical to System A.
+pub fn system_b() -> MachineProfile {
+    table3_system("system-b", 56 * 1024, 7)
+}
+
+fn table3_system(name: &str, l1_bytes: u64, l1_assoc: u32) -> MachineProfile {
+    MachineProfile::new(
+        name,
+        HierarchyConfig::new(
+            vec![
+                CacheLevelConfig::lru("L1", l1_bytes, 64, l1_assoc, 3.0),
+                CacheLevelConfig::lru("L2", 512 * 1024, 64, 8, 14.0),
+                CacheLevelConfig::lru("L3", 8 * 1024 * 1024, 64, 16, 45.0),
+            ],
+            220.0,
+        )
+        .expect("static config"),
+        2.6e9,
+        FpRates::generic(),
+        NetworkModel::new(6.0e-6, 1.6e9),
+        MemoryCostModel::default(),
+        SweepConfig::default(),
+        0.8,
+    )
+}
+
+/// All presets, for exhaustive tests and the CLI's `--machine` flag.
+pub fn all() -> Vec<MachineProfile> {
+    vec![
+        opteron(),
+        cray_xt5(),
+        bluewaters_phase1(),
+        system_a(),
+        system_b(),
+    ]
+}
+
+/// Looks a preset up by name.
+pub fn by_name(name: &str) -> Option<MachineProfile> {
+    all().into_iter().find(|m| m.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_presets_validate() {
+        for m in all() {
+            m.hierarchy.validate().unwrap();
+            m.fp.validate().unwrap();
+            assert!(m.clock_hz > 1e9);
+        }
+    }
+
+    #[test]
+    fn opteron_has_two_levels() {
+        assert_eq!(opteron().depth(), 2);
+    }
+
+    #[test]
+    fn xt5_and_targets_have_three_levels() {
+        assert_eq!(cray_xt5().depth(), 3);
+        assert_eq!(bluewaters_phase1().depth(), 3);
+    }
+
+    #[test]
+    fn table3_systems_differ_only_in_l1() {
+        let a = system_a();
+        let b = system_b();
+        assert_eq!(a.hierarchy.levels[0].size_bytes, 12 * 1024);
+        assert_eq!(b.hierarchy.levels[0].size_bytes, 56 * 1024);
+        assert_eq!(a.hierarchy.levels[1], b.hierarchy.levels[1]);
+        assert_eq!(a.hierarchy.levels[2], b.hierarchy.levels[2]);
+    }
+
+    #[test]
+    fn lookup_by_name_works() {
+        assert!(by_name("opteron").is_some());
+        assert!(by_name("cray-xt5").is_some());
+        assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn l1_set_counts_are_powers_of_two() {
+        for m in all() {
+            for l in &m.hierarchy.levels {
+                assert!(l.sets().is_power_of_two(), "{} {}", m.name, l.name);
+            }
+        }
+    }
+}

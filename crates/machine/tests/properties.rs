@@ -1,0 +1,96 @@
+//! Property tests for the machine crate: surface lookups must behave like
+//! interpolations (bounded, deterministic), and the cost model like a
+//! latency (positive, monotone in level).
+
+use proptest::prelude::*;
+use xtrace_cache::{CacheLevelConfig, HierarchyConfig};
+use xtrace_machine::{
+    measure_surface, MemoryCostModel, PowerModel, PrefetchState, SweepConfig,
+};
+
+fn hierarchy() -> HierarchyConfig {
+    HierarchyConfig::new(
+        vec![
+            CacheLevelConfig::lru("L1", 32 * 1024, 64, 8, 2.0),
+            CacheLevelConfig::lru("L2", 512 * 1024, 64, 8, 12.0),
+        ],
+        180.0,
+    )
+    .unwrap()
+}
+
+proptest! {
+    /// Surface lookups stay within the measured bandwidth range for any
+    /// probe coordinates, including out-of-range inputs (clamped).
+    #[test]
+    fn lookups_are_bounded_by_measurements(
+        r0 in -0.5f64..1.5,
+        r1 in -0.5f64..1.5,
+        streaming in any::<bool>(),
+    ) {
+        let s = measure_surface(
+            &hierarchy(),
+            2.0e9,
+            &MemoryCostModel::default(),
+            &SweepConfig::coarse(),
+        );
+        let (min, max) = s.bandwidth_range();
+        for bw in [s.lookup(&[r0, r1]), s.lookup_class(&[r0, r1], streaming)] {
+            prop_assert!(bw >= min * (1.0 - 1e-9), "bw {bw} below min {min}");
+            prop_assert!(bw <= max * (1.0 + 1e-9), "bw {bw} above max {max}");
+            prop_assert!(bw.is_finite());
+        }
+    }
+
+    /// The per-access cost model: positive, bounded by the slowest level,
+    /// and monotone in the hit level for non-streaming accesses.
+    #[test]
+    fn access_costs_are_sane(
+        addr in 4096u64..(1 << 30),
+        is_store in any::<bool>(),
+    ) {
+        let h = hierarchy();
+        let m = MemoryCostModel::default();
+        let mut prev = 0.0;
+        for lvl in 0..=2u8 {
+            // Fresh state per level: no stream history, full cost.
+            let mut s = PrefetchState::default();
+            let c = m.cycles(&h, &mut s, lvl, addr, is_store);
+            prop_assert!(c > 0.0);
+            prop_assert!(c <= 180.0 * m.store_penalty * (1.0 + 1e-12));
+            prop_assert!(c >= prev, "level {lvl} cheaper than inner level");
+            prev = c;
+        }
+    }
+
+    /// Energy apportionment conserves references: total joules equal the
+    /// sum over levels of (fraction x per-level cost), for any monotone
+    /// cumulative rates.
+    #[test]
+    fn memory_energy_is_a_convex_combination(
+        mem_ops in 1.0f64..1e12,
+        a in 0.0f64..1.0,
+        b in 0.0f64..1.0,
+    ) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let p = PowerModel::generic();
+        let j = p.memory_joules(mem_ops, &[lo, hi], 2);
+        let min_j = mem_ops * p.pj_per_access[0] * 1e-12;
+        let max_j = mem_ops * p.pj_per_access[2] * 1e-12;
+        prop_assert!(j >= min_j * (1.0 - 1e-9), "{j} < {min_j}");
+        prop_assert!(j <= max_j * (1.0 + 1e-9), "{j} > {max_j}");
+    }
+
+    /// Better locality never costs more energy.
+    #[test]
+    fn energy_is_monotone_in_hit_rates(
+        mem_ops in 1.0f64..1e12,
+        base in 0.0f64..0.9,
+        bump in 0.0f64..0.1,
+    ) {
+        let p = PowerModel::generic();
+        let worse = p.memory_joules(mem_ops, &[base, base], 2);
+        let better = p.memory_joules(mem_ops, &[base + bump, base + bump], 2);
+        prop_assert!(better <= worse * (1.0 + 1e-12));
+    }
+}

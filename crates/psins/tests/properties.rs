@@ -1,0 +1,138 @@
+//! Property tests for the convolution: predictions must be positive,
+//! finite, monotone under locality degradation, and linear in operation
+//! counts — for arbitrary (physical) feature vectors.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use xtrace_ir::SourceLoc;
+use xtrace_machine::{presets, MachineProfile};
+use xtrace_psins::{predict_energy, predict_runtime};
+use xtrace_spmd::{CommEventRecord, CommKind, CommProfile};
+use xtrace_tracer::{BlockRecord, FeatureVector, InstrRecord, TaskTrace};
+
+/// One shared machine (surface measured once across all cases).
+fn machine() -> &'static MachineProfile {
+    static M: OnceLock<MachineProfile> = OnceLock::new();
+    M.get_or_init(|| {
+        let m = presets::cray_xt5();
+        let _ = m.surface();
+        m
+    })
+}
+
+fn trace(mem_ops: f64, rates: [f64; 3], fma: f64, random: bool) -> TaskTrace {
+    let mut f = FeatureVector {
+        exec_count: mem_ops.max(fma),
+        mem_ops,
+        loads: mem_ops,
+        bytes_per_ref: 8.0,
+        fp_fma: fma,
+        working_set: 1e8,
+        ilp: 2.0,
+        ..Default::default()
+    };
+    f.hit_rates = [rates[0], rates[1], rates[2], 1.0];
+    TaskTrace {
+        app: "prop".into(),
+        rank: 0,
+        nranks: 128,
+        machine: "cray-xt5".into(),
+        depth: 3,
+        blocks: vec![BlockRecord {
+            name: "k".into(),
+            source: SourceLoc::new("p.c", 1, "f"),
+            invocations: 1,
+            iterations: 1,
+            instrs: vec![InstrRecord {
+                instr: 0,
+                pattern: if random { "random" } else { "strided" }.into(),
+                features: f,
+            }],
+        }],
+    }
+}
+
+fn comm() -> CommProfile {
+    CommProfile {
+        nranks: 128,
+        longest_rank: 0,
+        events: vec![CommEventRecord {
+            kind: CommKind::Allreduce,
+            neighbors: 0,
+            bytes: 64,
+            repeats: 10,
+        }],
+        compute_imbalance: 1.0,
+    }
+}
+
+fn monotone(a: f64, b: f64, c: f64) -> [f64; 3] {
+    let mut v = [a, b, c];
+    v.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Predictions are positive and finite for any physical inputs.
+    #[test]
+    fn predictions_are_positive_and_finite(
+        mem_ops in 1.0f64..1e12,
+        fma in 0.0f64..1e12,
+        a in 0.0f64..1.0, b in 0.0f64..1.0, c in 0.0f64..1.0,
+        random in any::<bool>(),
+    ) {
+        let t = trace(mem_ops, monotone(a, b, c), fma, random);
+        let p = predict_runtime(&t, &comm(), machine());
+        prop_assert!(p.total_seconds.is_finite());
+        prop_assert!(p.total_seconds > 0.0);
+        prop_assert!(p.memory_seconds > 0.0);
+        prop_assert!(p.compute_seconds >= p.memory_seconds.max(p.fp_seconds) - 1e-12);
+
+        let e = predict_energy(&t, &comm(), machine());
+        prop_assert!(e.total_joules.is_finite() && e.total_joules > 0.0);
+        prop_assert!(e.avg_watts >= machine().power.static_watts * (1.0 - 1e-9));
+    }
+
+    /// Memory time scales linearly with the operation count (Eq. 1).
+    #[test]
+    fn memory_time_is_linear_in_counts(
+        mem_ops in 1.0f64..1e10,
+        scale in 2.0f64..100.0,
+        a in 0.0f64..1.0, b in 0.0f64..1.0, c in 0.0f64..1.0,
+    ) {
+        let rates = monotone(a, b, c);
+        let one = predict_runtime(&trace(mem_ops, rates, 0.0, false), &comm(), machine());
+        let many = predict_runtime(
+            &trace(mem_ops * scale, rates, 0.0, false),
+            &comm(),
+            machine(),
+        );
+        let ratio = many.memory_seconds / one.memory_seconds;
+        prop_assert!((ratio - scale).abs() / scale < 1e-9, "ratio {ratio} vs {scale}");
+    }
+
+    /// Losing all cache locality never speeds a prediction up.
+    #[test]
+    fn degrading_to_zero_locality_slows_things_down(
+        mem_ops in 1e3f64..1e10,
+        a in 0.2f64..1.0, b in 0.2f64..1.0, c in 0.2f64..1.0,
+        random in any::<bool>(),
+    ) {
+        let rates = monotone(a, b, c);
+        let good = predict_runtime(&trace(mem_ops, rates, 0.0, random), &comm(), machine());
+        let bad = predict_runtime(
+            &trace(mem_ops, [0.0, 0.0, 0.0], 0.0, random),
+            &comm(),
+            machine(),
+        );
+        prop_assert!(
+            bad.memory_seconds >= good.memory_seconds * (1.0 - 1e-9),
+            "zero locality {} vs {}",
+            bad.memory_seconds,
+            good.memory_seconds
+        );
+    }
+}

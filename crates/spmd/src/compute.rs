@@ -1,0 +1,113 @@
+//! Compute-time models pluggable into the simulator.
+//!
+//! Three model classes drive the engine in this reproduction:
+//!
+//! * [`NominalComputeModel`] (here) — charges flat per-operation rates from
+//!   block metadata alone. This is what the lightweight MPI profiling pass
+//!   uses to find the most computationally demanding task cheaply, without
+//!   simulating caches.
+//! * The convolution model (`xtrace-psins::predict`) — Eq. (1) over a trace
+//!   and a MultiMAPS surface.
+//! * The execution-driven model (`xtrace-psins::ground_truth`) — exact
+//!   per-access latencies from the cache simulator.
+
+use xtrace_ir::{BlockId, Program};
+
+/// Maps a compute segment to seconds for one rank.
+pub trait ComputeModel {
+    /// Seconds rank `rank` spends invoking `block` of `program`
+    /// `invocations` times.
+    fn seconds(&mut self, rank: u32, program: &Program, block: BlockId, invocations: u64) -> f64;
+}
+
+/// Flat-rate model: every memory reference and FLOP costs a fixed time.
+///
+/// Deliberately crude — it exists to *rank* tasks by computational demand
+/// (its only use in the paper's pipeline), not to predict runtime.
+#[derive(Debug, Clone, Copy)]
+pub struct NominalComputeModel {
+    /// Seconds charged per dynamic memory reference.
+    pub secs_per_memref: f64,
+    /// Seconds charged per FLOP.
+    pub secs_per_flop: f64,
+}
+
+impl Default for NominalComputeModel {
+    /// Rates of order a 1 GHz scalar core: 1 ns per reference, 0.5 ns per
+    /// FLOP.
+    fn default() -> Self {
+        Self {
+            secs_per_memref: 1e-9,
+            secs_per_flop: 5e-10,
+        }
+    }
+}
+
+impl ComputeModel for NominalComputeModel {
+    fn seconds(&mut self, _rank: u32, program: &Program, block: BlockId, invocations: u64) -> f64 {
+        let b = program.block(block);
+        let refs = b.mem_refs_per_invocation() * invocations;
+        let flops = b.flops_per_invocation() * invocations;
+        refs as f64 * self.secs_per_memref + flops as f64 * self.secs_per_flop
+    }
+}
+
+/// Adapter letting closures act as compute models in tests and experiments.
+impl<F> ComputeModel for F
+where
+    F: FnMut(u32, &Program, BlockId, u64) -> f64,
+{
+    fn seconds(&mut self, rank: u32, program: &Program, block: BlockId, invocations: u64) -> f64 {
+        self(rank, program, block, invocations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtrace_ir::{AddressPattern, BasicBlock, FpOp, Instruction, MemOp, SourceLoc};
+
+    fn program() -> (Program, BlockId) {
+        let mut b = Program::builder();
+        let r = b.region("a", 4096, 8);
+        let blk = b.block(BasicBlock::new(
+            BlockId(0),
+            "k",
+            SourceLoc::new("x.c", 1, "f"),
+            10,
+            vec![
+                Instruction::mem(MemOp::Load, r, 8, AddressPattern::unit(8)),
+                Instruction::fp(FpOp::Add).with_repeat(4),
+            ],
+        ));
+        (b.build().unwrap(), blk)
+    }
+
+    #[test]
+    fn nominal_model_charges_linear_rates() {
+        let (p, blk) = program();
+        let mut m = NominalComputeModel {
+            secs_per_memref: 2.0,
+            secs_per_flop: 1.0,
+        };
+        // 3 invocations: refs = 30, flops = 120.
+        let t = m.seconds(0, &p, blk, 3);
+        assert!((t - (30.0 * 2.0 + 120.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nominal_model_is_invocation_proportional() {
+        let (p, blk) = program();
+        let mut m = NominalComputeModel::default();
+        let one = m.seconds(0, &p, blk, 1);
+        let ten = m.seconds(0, &p, blk, 10);
+        assert!((ten - 10.0 * one).abs() < 1e-15);
+    }
+
+    #[test]
+    fn closures_are_compute_models() {
+        let (p, blk) = program();
+        let mut m = |rank: u32, _: &Program, _: BlockId, inv: u64| f64::from(rank) + inv as f64;
+        assert_eq!(m.seconds(2, &p, blk, 3), 5.0);
+    }
+}

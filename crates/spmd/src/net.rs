@@ -1,0 +1,142 @@
+//! Network cost model: the communication half of the machine profile.
+//!
+//! The PMaC machine profile contains measured rates for "communications
+//! events, at various … message sizes" (Section III). A postal/α–β model —
+//! per-message latency α plus bytes/bandwidth — reproduces that role;
+//! collectives use the standard logarithmic-tree costs the PSiNS simulator
+//! assumes. The model is deliberately analytic: both the prediction path
+//! and the ground-truth path use it identically, so Table I differences
+//! isolate *computation*-trace fidelity, which is the paper's subject.
+
+use serde::{Deserialize, Serialize};
+
+/// α–β network model with tree collectives.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkModel {
+    /// Per-message latency α, in seconds.
+    pub latency_s: f64,
+    /// Point-to-point bandwidth, in bytes per second.
+    pub bandwidth_bps: f64,
+}
+
+impl NetworkModel {
+    /// Creates a model; panics on non-positive parameters.
+    pub fn new(latency_s: f64, bandwidth_bps: f64) -> Self {
+        assert!(latency_s > 0.0 && bandwidth_bps > 0.0);
+        Self {
+            latency_s,
+            bandwidth_bps,
+        }
+    }
+
+    /// Cost of one point-to-point message of `bytes`.
+    #[inline]
+    pub fn p2p(&self, bytes: u64) -> f64 {
+        self.latency_s + bytes as f64 / self.bandwidth_bps
+    }
+
+    /// Halo exchange with `neighbors` partners of `bytes` each; partner
+    /// sendrecvs proceed concurrently but serialize on the local NIC.
+    pub fn exchange(&self, neighbors: u32, bytes: u64) -> f64 {
+        f64::from(neighbors) * self.p2p(bytes)
+    }
+
+    /// Tree depth for `nranks` participants: `ceil(log2 P)`, 0 for P ≤ 1.
+    #[inline]
+    pub fn tree_depth(nranks: u32) -> u32 {
+        if nranks <= 1 {
+            0
+        } else {
+            32 - (nranks - 1).leading_zeros()
+        }
+    }
+
+    /// Allreduce: reduce-tree up plus broadcast-tree down.
+    pub fn allreduce(&self, nranks: u32, bytes: u64) -> f64 {
+        2.0 * f64::from(Self::tree_depth(nranks)) * self.p2p(bytes)
+    }
+
+    /// Broadcast: one tree traversal.
+    pub fn broadcast(&self, nranks: u32, bytes: u64) -> f64 {
+        f64::from(Self::tree_depth(nranks)) * self.p2p(bytes)
+    }
+
+    /// Personalized all-to-all: `P − 1` pairwise phases.
+    pub fn alltoall(&self, nranks: u32, bytes_per_pair: u64) -> f64 {
+        f64::from(nranks.saturating_sub(1)) * self.p2p(bytes_per_pair)
+    }
+
+    /// Barrier: a zero-byte allreduce.
+    pub fn barrier(&self, nranks: u32) -> f64 {
+        2.0 * f64::from(Self::tree_depth(nranks)) * self.latency_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> NetworkModel {
+        NetworkModel::new(1e-6, 1e9)
+    }
+
+    #[test]
+    fn p2p_is_alpha_beta() {
+        let n = net();
+        let c = n.p2p(1_000_000);
+        assert!((c - (1e-6 + 1e-3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tree_depth_matches_log2_ceiling() {
+        assert_eq!(NetworkModel::tree_depth(0), 0);
+        assert_eq!(NetworkModel::tree_depth(1), 0);
+        assert_eq!(NetworkModel::tree_depth(2), 1);
+        assert_eq!(NetworkModel::tree_depth(3), 2);
+        assert_eq!(NetworkModel::tree_depth(4), 2);
+        assert_eq!(NetworkModel::tree_depth(5), 3);
+        assert_eq!(NetworkModel::tree_depth(1024), 10);
+        assert_eq!(NetworkModel::tree_depth(8192), 13);
+    }
+
+    #[test]
+    fn allreduce_grows_logarithmically() {
+        let n = net();
+        let a = n.allreduce(1024, 8);
+        let b = n.allreduce(8192, 8);
+        assert!((b / a - 13.0 / 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn collective_costs_are_ordered_sensibly() {
+        let n = net();
+        // Broadcast is half an allreduce for the same tree.
+        assert!((n.allreduce(64, 128) - 2.0 * n.broadcast(64, 128)).abs() < 1e-15);
+        // Barrier carries no payload.
+        assert!(n.barrier(64) < n.allreduce(64, 1 << 20));
+        // Alltoall dwarfs p2p at scale.
+        assert!(n.alltoall(512, 1024) > n.p2p(1024) * 500.0);
+    }
+
+    #[test]
+    fn exchange_scales_with_neighbor_count() {
+        let n = net();
+        assert!((n.exchange(6, 4096) - 6.0 * n.p2p(4096)).abs() < 1e-15);
+        assert_eq!(n.exchange(0, 4096), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_nonpositive_latency() {
+        NetworkModel::new(0.0, 1e9);
+    }
+
+    #[test]
+    fn single_rank_collectives_are_free() {
+        let n = net();
+        assert_eq!(n.allreduce(1, 1024), 0.0);
+        assert_eq!(n.barrier(1), 0.0);
+        assert_eq!(n.broadcast(1, 1024), 0.0);
+        assert_eq!(n.alltoall(1, 1024), 0.0);
+    }
+}

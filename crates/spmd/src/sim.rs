@@ -1,0 +1,454 @@
+//! Bulk-synchronous discrete-event engine.
+//!
+//! Advances one virtual clock per rank through the SPMD event script.
+//! Compute events move only the local clock (by whatever the plugged-in
+//! [`ComputeModel`] charges); communication events synchronize clocks —
+//! locally for halo exchanges, globally for collectives — and then charge
+//! the network cost from [`NetworkModel`]. The slowest rank's finish time
+//! is the application runtime; the gap between a rank's arrival at a
+//! synchronization point and its departure is attributed to communication
+//! (it is wait-plus-wire time, exactly how MPI profilers attribute it).
+
+use serde::{Deserialize, Serialize};
+
+use crate::compute::ComputeModel;
+use crate::event::{RankEvent, RankProgram, SpmdApp};
+use crate::net::NetworkModel;
+
+/// One interval of a replay timeline: what a rank was doing, and when.
+///
+/// PSiNS is "an open source event tracer and execution simulator"; this is
+/// the event-tracer half — the record stream a timeline viewer (or the
+/// tests) consume.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimelineEntry {
+    /// Rank the interval belongs to.
+    pub rank: u32,
+    /// Index of the event in the rank's script.
+    pub event_index: usize,
+    /// Event classification (the [`RankEvent::kind_tag`] names).
+    pub kind: String,
+    /// Interval start, in seconds from application start.
+    pub start_s: f64,
+    /// Interval end.
+    pub end_s: f64,
+}
+
+/// Per-rank time breakdown.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RankTimes {
+    /// Seconds spent in compute segments.
+    pub compute_s: f64,
+    /// Seconds spent communicating (wire time plus synchronization wait).
+    pub comm_s: f64,
+    /// Final clock value.
+    pub finish_s: f64,
+}
+
+/// Result of simulating an application at one core count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Application runtime: the slowest rank's finish time.
+    pub total_seconds: f64,
+    /// Per-rank breakdowns, indexed by rank.
+    pub ranks: Vec<RankTimes>,
+}
+
+impl SimReport {
+    /// Rank with the largest compute time — the task the paper extrapolates
+    /// ("this task tends to have the most impact on overall execution
+    /// time", Section IV).
+    pub fn most_computational_rank(&self) -> u32 {
+        let mut best = 0usize;
+        for (i, r) in self.ranks.iter().enumerate().skip(1) {
+            // Strictly greater: ties resolve to the lowest rank id, keeping
+            // the choice deterministic and stable across core counts.
+            if r.compute_s > self.ranks[best].compute_s {
+                best = i;
+            }
+        }
+        best as u32
+    }
+
+    /// Ratio of max to mean compute time across ranks (1.0 = perfectly
+    /// balanced).
+    pub fn compute_imbalance(&self) -> f64 {
+        let max = self
+            .ranks
+            .iter()
+            .map(|r| r.compute_s)
+            .fold(f64::MIN, f64::max);
+        let mean =
+            self.ranks.iter().map(|r| r.compute_s).sum::<f64>() / self.ranks.len() as f64;
+        if mean > 0.0 {
+            max / mean
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Simulates `app` on `nranks` ranks.
+///
+/// # Panics
+///
+/// Panics if `nranks == 0`, if ranks disagree on event shape (an SPMD
+/// violation), or if an exchange names an out-of-range neighbor.
+pub fn simulate(
+    app: &dyn SpmdApp,
+    nranks: u32,
+    net: &NetworkModel,
+    compute: &mut dyn ComputeModel,
+) -> SimReport {
+    assert!(nranks > 0, "need at least one rank");
+    let programs: Vec<RankProgram> = (0..nranks).map(|r| app.rank_program(r, nranks)).collect();
+    simulate_programs(&programs, net, compute)
+}
+
+/// Simulates pre-built rank programs (used when the caller already
+/// materialized them, e.g. the tracer).
+pub fn simulate_programs(
+    programs: &[RankProgram],
+    net: &NetworkModel,
+    compute: &mut dyn ComputeModel,
+) -> SimReport {
+    simulate_programs_inner(programs, net, compute, &mut |_| {})
+}
+
+/// Like [`simulate_programs`], additionally recording the full replay
+/// timeline (one entry per rank per event, in event order).
+pub fn simulate_programs_traced(
+    programs: &[RankProgram],
+    net: &NetworkModel,
+    compute: &mut dyn ComputeModel,
+) -> (SimReport, Vec<TimelineEntry>) {
+    let mut timeline = Vec::new();
+    let report = simulate_programs_inner(programs, net, compute, &mut |e| timeline.push(e));
+    (report, timeline)
+}
+
+fn event_kind_name(e: &RankEvent) -> &'static str {
+    match e {
+        RankEvent::Compute { .. } => "compute",
+        RankEvent::Exchange { .. } => "exchange",
+        RankEvent::Allreduce { .. } => "allreduce",
+        RankEvent::Broadcast { .. } => "broadcast",
+        RankEvent::Alltoall { .. } => "alltoall",
+        RankEvent::Barrier { .. } => "barrier",
+    }
+}
+
+fn simulate_programs_inner(
+    programs: &[RankProgram],
+    net: &NetworkModel,
+    compute: &mut dyn ComputeModel,
+    record: &mut dyn FnMut(TimelineEntry),
+) -> SimReport {
+    let nranks = programs.len();
+    assert!(nranks > 0, "need at least one rank");
+    let nevents = programs[0].events.len();
+    for (r, p) in programs.iter().enumerate() {
+        if let Err(e) = p.validate(nranks as u32) {
+            panic!("rank {r}: {e}");
+        }
+        assert_eq!(
+            p.events.len(),
+            nevents,
+            "rank {r} event count differs from rank 0 (SPMD violation)"
+        );
+        for (i, e) in p.events.iter().enumerate() {
+            assert_eq!(
+                e.kind_tag(),
+                programs[0].events[i].kind_tag(),
+                "rank {r} event {i} kind differs from rank 0 (SPMD violation)"
+            );
+        }
+    }
+
+    let mut clocks = vec![0.0f64; nranks];
+    let mut times = vec![RankTimes::default(); nranks];
+
+    for i in 0..nevents {
+        // Collectives need the pre-event arrival times of all ranks.
+        let arrivals = clocks.clone();
+        let is_collective = matches!(
+            programs[0].events[i],
+            RankEvent::Allreduce { .. }
+                | RankEvent::Broadcast { .. }
+                | RankEvent::Alltoall { .. }
+                | RankEvent::Barrier { .. }
+        );
+        let global_arrival = if is_collective {
+            arrivals.iter().cloned().fold(f64::MIN, f64::max)
+        } else {
+            0.0
+        };
+
+        for (r, prog) in programs.iter().enumerate() {
+            let start = clocks[r];
+            match &prog.events[i] {
+                RankEvent::Compute { block, invocations } => {
+                    let dt = compute.seconds(r as u32, &prog.program, *block, *invocations);
+                    debug_assert!(dt.is_finite() && dt >= 0.0);
+                    clocks[r] += dt;
+                    times[r].compute_s += dt;
+                }
+                RankEvent::Exchange {
+                    neighbors,
+                    bytes_per_neighbor,
+                    repeats,
+                } => {
+                    let mut sync = arrivals[r];
+                    for &n in neighbors {
+                        assert!(
+                            (n as usize) < nranks,
+                            "rank {r} exchanges with out-of-range neighbor {n}"
+                        );
+                        sync = sync.max(arrivals[n as usize]);
+                    }
+                    let cost = net.exchange(neighbors.len() as u32, *bytes_per_neighbor)
+                        * *repeats as f64;
+                    clocks[r] = sync + cost;
+                    times[r].comm_s += clocks[r] - arrivals[r];
+                }
+                RankEvent::Allreduce { bytes, repeats } => {
+                    let cost = net.allreduce(nranks as u32, *bytes) * *repeats as f64;
+                    clocks[r] = global_arrival + cost;
+                    times[r].comm_s += clocks[r] - arrivals[r];
+                }
+                RankEvent::Broadcast { bytes, repeats } => {
+                    let cost = net.broadcast(nranks as u32, *bytes) * *repeats as f64;
+                    clocks[r] = global_arrival + cost;
+                    times[r].comm_s += clocks[r] - arrivals[r];
+                }
+                RankEvent::Alltoall {
+                    bytes_per_pair,
+                    repeats,
+                } => {
+                    let cost = net.alltoall(nranks as u32, *bytes_per_pair) * *repeats as f64;
+                    clocks[r] = global_arrival + cost;
+                    times[r].comm_s += clocks[r] - arrivals[r];
+                }
+                RankEvent::Barrier { repeats } => {
+                    let cost = net.barrier(nranks as u32) * *repeats as f64;
+                    clocks[r] = global_arrival + cost;
+                    times[r].comm_s += clocks[r] - arrivals[r];
+                }
+            }
+            record(TimelineEntry {
+                rank: r as u32,
+                event_index: i,
+                kind: event_kind_name(&prog.events[i]).to_string(),
+                start_s: start,
+                end_s: clocks[r],
+            });
+        }
+    }
+
+    for (r, t) in times.iter_mut().enumerate() {
+        t.finish_s = clocks[r];
+    }
+    SimReport {
+        total_seconds: clocks.iter().cloned().fold(0.0, f64::max),
+        ranks: times,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compute::NominalComputeModel;
+    use xtrace_ir::{
+        AddressPattern, BasicBlock, BlockId, Instruction, MemOp, Program, SourceLoc,
+    };
+
+    /// Test app: rank r computes (r+1) heavy iterations, then allreduces.
+    struct Skewed {
+        iters_scale: u64,
+    }
+
+    impl SpmdApp for Skewed {
+        fn name(&self) -> &str {
+            "skewed"
+        }
+        fn rank_program(&self, rank: u32, _nranks: u32) -> RankProgram {
+            let mut b = Program::builder();
+            let r = b.region("a", 4096, 8);
+            let blk = b.block(BasicBlock::new(
+                BlockId(0),
+                "work",
+                SourceLoc::new("t.c", 1, "f"),
+                self.iters_scale * u64::from(rank + 1),
+                vec![Instruction::mem(MemOp::Load, r, 8, AddressPattern::unit(8))],
+            ));
+            RankProgram {
+                program: b.build().unwrap(),
+                events: vec![
+                    RankEvent::Compute {
+                        block: blk,
+                        invocations: 1,
+                    },
+                    RankEvent::Allreduce {
+                        bytes: 8,
+                        repeats: 1,
+                    },
+                ],
+            }
+        }
+    }
+
+    fn net() -> NetworkModel {
+        NetworkModel::new(1e-6, 1e9)
+    }
+
+    #[test]
+    fn slowest_rank_sets_total() {
+        let report = simulate(&Skewed { iters_scale: 1000 }, 4, &net(), &mut NominalComputeModel::default());
+        let slowest = report.ranks[3].compute_s;
+        let coll = net().allreduce(4, 8);
+        assert!((report.total_seconds - (slowest + coll)).abs() < 1e-12);
+        assert_eq!(report.most_computational_rank(), 3);
+    }
+
+    #[test]
+    fn fast_ranks_accumulate_wait_time() {
+        let report = simulate(&Skewed { iters_scale: 1000 }, 4, &net(), &mut NominalComputeModel::default());
+        // Rank 0 computes 1/4 of rank 3's time and waits the rest.
+        assert!(report.ranks[0].comm_s > report.ranks[3].comm_s);
+        // Everyone finishes the allreduce at the same instant.
+        for r in &report.ranks {
+            assert!((r.finish_s - report.total_seconds).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn imbalance_reflects_skew() {
+        let report = simulate(&Skewed { iters_scale: 100 }, 4, &net(), &mut NominalComputeModel::default());
+        // compute times 1:2:3:4, mean 2.5, max 4 -> 1.6.
+        assert!((report.compute_imbalance() - 1.6).abs() < 1e-9);
+    }
+
+    /// Ring app: each rank exchanges with (r±1) mod P.
+    struct Ring;
+    impl SpmdApp for Ring {
+        fn name(&self) -> &str {
+            "ring"
+        }
+        fn rank_program(&self, rank: u32, nranks: u32) -> RankProgram {
+            let mut b = Program::builder();
+            let r = b.region("a", 4096, 8);
+            let blk = b.block(BasicBlock::new(
+                BlockId(0),
+                "w",
+                SourceLoc::new("t.c", 2, "g"),
+                100,
+                vec![Instruction::mem(MemOp::Load, r, 8, AddressPattern::unit(8))],
+            ));
+            let left = (rank + nranks - 1) % nranks;
+            let right = (rank + 1) % nranks;
+            RankProgram {
+                program: b.build().unwrap(),
+                events: vec![
+                    RankEvent::Compute {
+                        block: blk,
+                        invocations: 1,
+                    },
+                    RankEvent::Exchange {
+                        neighbors: vec![left, right],
+                        bytes_per_neighbor: 4096,
+                        repeats: 3,
+                    },
+                ],
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_ring_has_equal_finish_times() {
+        let report = simulate(&Ring, 8, &net(), &mut NominalComputeModel::default());
+        let f0 = report.ranks[0].finish_s;
+        for r in &report.ranks {
+            assert!((r.finish_s - f0).abs() < 1e-15);
+        }
+        let expected_comm = net().exchange(2, 4096) * 3.0;
+        assert!((report.ranks[0].comm_s - expected_comm).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_rank_runs_without_comm_cost() {
+        let report = simulate(&Skewed { iters_scale: 10 }, 1, &net(), &mut NominalComputeModel::default());
+        assert!(report.ranks[0].comm_s.abs() < 1e-15, "allreduce of 1 is free");
+        assert!(report.total_seconds > 0.0);
+    }
+
+    /// SPMD violation: ranks disagree on the event kind at index 0.
+    struct Misaligned;
+    impl SpmdApp for Misaligned {
+        fn name(&self) -> &str {
+            "bad"
+        }
+        fn rank_program(&self, rank: u32, _nranks: u32) -> RankProgram {
+            let mut b = Program::builder();
+            b.region("a", 64, 8);
+            let events = if rank == 0 {
+                vec![RankEvent::Barrier { repeats: 1 }]
+            } else {
+                vec![RankEvent::Allreduce {
+                    bytes: 8,
+                    repeats: 1,
+                }]
+            };
+            RankProgram {
+                program: b.build().unwrap(),
+                events,
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "SPMD violation")]
+    fn misaligned_ranks_panic() {
+        simulate(&Misaligned, 2, &net(), &mut NominalComputeModel::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_panics() {
+        simulate(&Ring, 0, &net(), &mut NominalComputeModel::default());
+    }
+
+    #[test]
+    fn timeline_covers_every_rank_event_in_order() {
+        let app = Skewed { iters_scale: 100 };
+        let programs: Vec<_> = (0..4).map(|r| app.rank_program(r, 4)).collect();
+        let (report, timeline) =
+            simulate_programs_traced(&programs, &net(), &mut NominalComputeModel::default());
+        // 4 ranks x 2 events.
+        assert_eq!(timeline.len(), 8);
+        for e in &timeline {
+            assert!(e.end_s >= e.start_s, "{e:?}");
+            assert!(e.end_s <= report.total_seconds + 1e-12);
+        }
+        // Per rank: intervals are contiguous and ordered.
+        for r in 0..4u32 {
+            let mine: Vec<_> = timeline.iter().filter(|e| e.rank == r).collect();
+            assert_eq!(mine[0].kind, "compute");
+            assert_eq!(mine[1].kind, "allreduce");
+            assert!((mine[1].start_s - mine[0].end_s).abs() < 1e-12);
+        }
+        // The traced report matches the untraced one.
+        let plain = simulate_programs(&programs, &net(), &mut NominalComputeModel::default());
+        assert_eq!(plain, report);
+    }
+
+    #[test]
+    fn timeline_serializes() {
+        let app = Ring;
+        let programs: Vec<_> = (0..2).map(|r| app.rank_program(r, 2)).collect();
+        let (_, timeline) =
+            simulate_programs_traced(&programs, &net(), &mut NominalComputeModel::default());
+        let json = serde_json::to_string(&timeline).unwrap();
+        let back: Vec<TimelineEntry> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.len(), timeline.len());
+    }
+}

@@ -1,0 +1,135 @@
+//! Property tests for the SPMD engine and network model.
+
+use proptest::prelude::*;
+use xtrace_ir::{AddressPattern, BasicBlock, BlockId, Instruction, MemOp, Program, SourceLoc};
+use xtrace_spmd::{
+    simulate, NetworkModel, NominalComputeModel, RankEvent, RankProgram, SpmdApp,
+};
+
+/// App where rank r's compute weight is `weights[r]`, ending in a barrier.
+struct Weighted {
+    weights: Vec<u64>,
+}
+
+impl SpmdApp for Weighted {
+    fn name(&self) -> &str {
+        "weighted"
+    }
+    fn rank_program(&self, rank: u32, _nranks: u32) -> RankProgram {
+        let mut b = Program::builder();
+        let r = b.region("a", 4096, 8);
+        let blk = b.block(BasicBlock::new(
+            BlockId(0),
+            "w",
+            SourceLoc::new("t.c", 1, "f"),
+            self.weights[rank as usize].max(1),
+            vec![Instruction::mem(
+                MemOp::Load,
+                r,
+                8,
+                AddressPattern::unit(8),
+            )],
+        ));
+        RankProgram {
+            program: b.build().unwrap(),
+            events: vec![
+                RankEvent::Compute {
+                    block: blk,
+                    invocations: 1,
+                },
+                RankEvent::Barrier { repeats: 1 },
+            ],
+        }
+    }
+}
+
+proptest! {
+    /// Total runtime is at least the slowest rank's compute time, and every
+    /// rank finishes together after a trailing collective.
+    #[test]
+    fn total_bounded_below_by_slowest_compute(
+        weights in proptest::collection::vec(1u64..100_000, 1..24),
+    ) {
+        let app = Weighted { weights: weights.clone() };
+        let net = NetworkModel::new(1e-6, 1e9);
+        let report = simulate(
+            &app,
+            weights.len() as u32,
+            &net,
+            &mut NominalComputeModel::default(),
+        );
+        let max_compute = report
+            .ranks
+            .iter()
+            .map(|r| r.compute_s)
+            .fold(0.0f64, f64::max);
+        prop_assert!(report.total_seconds >= max_compute);
+        for r in &report.ranks {
+            prop_assert!((r.finish_s - report.total_seconds).abs() < 1e-12);
+            prop_assert!(r.comm_s >= 0.0);
+            prop_assert!(r.compute_s >= 0.0);
+        }
+    }
+
+    /// The most computational rank is an argmax of the weights (first one
+    /// on ties).
+    #[test]
+    fn longest_rank_is_the_heaviest(
+        weights in proptest::collection::vec(1u64..100_000, 1..24),
+    ) {
+        let app = Weighted { weights: weights.clone() };
+        let net = NetworkModel::new(1e-6, 1e9);
+        let report = simulate(
+            &app,
+            weights.len() as u32,
+            &net,
+            &mut NominalComputeModel::default(),
+        );
+        let longest = report.most_computational_rank() as usize;
+        let max = *weights.iter().max().unwrap();
+        prop_assert_eq!(weights[longest], max);
+        // First-max tie break.
+        let first_max = weights.iter().position(|&w| w == max).unwrap();
+        prop_assert_eq!(longest, first_max);
+    }
+
+    /// Network costs are monotone in payload and participant count.
+    #[test]
+    fn network_costs_are_monotone(
+        bytes_small in 0u64..1_000_000,
+        extra in 1u64..1_000_000,
+        p_small in 2u32..4096,
+        p_factor in 2u32..8,
+    ) {
+        let net = NetworkModel::new(2e-6, 5e9);
+        let bytes_large = bytes_small + extra;
+        let p_large = p_small * p_factor;
+        prop_assert!(net.p2p(bytes_large) > net.p2p(bytes_small));
+        prop_assert!(net.allreduce(p_large, bytes_small) >= net.allreduce(p_small, bytes_small));
+        prop_assert!(net.broadcast(p_small, bytes_large) > net.broadcast(p_small, bytes_small));
+        prop_assert!(net.alltoall(p_large, bytes_small) > net.alltoall(p_small, bytes_small));
+        prop_assert!(net.barrier(p_large) >= net.barrier(p_small));
+    }
+
+    /// Tree depth is exactly ceil(log2 P).
+    #[test]
+    fn tree_depth_is_ceil_log2(p in 1u32..1_000_000) {
+        let d = NetworkModel::tree_depth(p);
+        prop_assert!(1u64 << d >= u64::from(p));
+        if d > 0 {
+            prop_assert!(1u64 << (d - 1) < u64::from(p));
+        }
+    }
+
+    /// Simulation is deterministic.
+    #[test]
+    fn simulation_is_deterministic(
+        weights in proptest::collection::vec(1u64..10_000, 2..12),
+    ) {
+        let app = Weighted { weights: weights.clone() };
+        let net = NetworkModel::new(1e-6, 1e9);
+        let a = simulate(&app, weights.len() as u32, &net, &mut NominalComputeModel::default());
+        let b = simulate(&app, weights.len() as u32, &net, &mut NominalComputeModel::default());
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,347 @@
+//! Trace-file persistence.
+//!
+//! PMaC's pipeline materializes one trace file per MPI task; the
+//! extrapolator and the PSiNS simulator both consume those files. Two
+//! formats are provided:
+//!
+//! * **JSON** (via serde) — human-inspectable, used by the CLI and the
+//!   experiment harness;
+//! * a **compact binary codec** (hand-rolled on `bytes`) — a few times
+//!   smaller and allocation-light, for bulk multi-rank collections.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use xtrace_cache::MEMORY_LEVEL_CAP;
+use xtrace_ir::SourceLoc;
+
+use crate::sig::{BlockRecord, FeatureVector, InstrRecord, TaskTrace};
+
+/// Magic prefix of the binary format.
+const MAGIC: &[u8; 4] = b"XTRC";
+/// Current binary format version.
+const VERSION: u16 = 1;
+
+/// Errors from the binary codec.
+#[derive(Debug)]
+pub enum CodecError {
+    /// The buffer does not start with the `XTRC` magic.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u16),
+    /// The buffer ended before the structure was complete.
+    Truncated,
+    /// A string field was not valid UTF-8.
+    BadString,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::BadMagic => write!(f, "not an xtrace binary trace (bad magic)"),
+            CodecError::BadVersion(v) => write!(f, "unsupported trace format version {v}"),
+            CodecError::Truncated => write!(f, "trace buffer truncated"),
+            CodecError::BadString => write!(f, "invalid UTF-8 in trace string"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Saves a trace as pretty-printed JSON.
+pub fn save_json(trace: &TaskTrace, path: &Path) -> io::Result<()> {
+    let s = serde_json::to_string_pretty(trace).expect("traces are serializable");
+    fs::write(path, s)
+}
+
+/// Loads a JSON trace.
+pub fn load_json(path: &Path) -> io::Result<TaskTrace> {
+    let s = fs::read_to_string(path)?;
+    serde_json::from_str(&s).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// Encodes a trace into the compact binary format.
+pub fn to_bytes(trace: &TaskTrace) -> Bytes {
+    let mut b = BytesMut::with_capacity(1024);
+    b.put_slice(MAGIC);
+    b.put_u16(VERSION);
+    put_str(&mut b, &trace.app);
+    b.put_u32(trace.rank);
+    b.put_u32(trace.nranks);
+    put_str(&mut b, &trace.machine);
+    b.put_u8(trace.depth as u8);
+    b.put_u32(trace.blocks.len() as u32);
+    for blk in &trace.blocks {
+        put_str(&mut b, &blk.name);
+        put_str(&mut b, &blk.source.file);
+        b.put_u32(blk.source.line);
+        put_str(&mut b, &blk.source.function);
+        b.put_u64(blk.invocations);
+        b.put_u64(blk.iterations);
+        b.put_u32(blk.instrs.len() as u32);
+        for ins in &blk.instrs {
+            b.put_u32(ins.instr);
+            put_str(&mut b, &ins.pattern);
+            let f = &ins.features;
+            for v in [
+                f.exec_count,
+                f.mem_ops,
+                f.loads,
+                f.stores,
+                f.bytes_per_ref,
+                f.fp_add,
+                f.fp_mul,
+                f.fp_div,
+                f.fp_sqrt,
+                f.fp_fma,
+                f.working_set,
+                f.ilp,
+            ] {
+                b.put_f64(v);
+            }
+            for &h in &f.hit_rates {
+                b.put_f64(h);
+            }
+        }
+    }
+    b.freeze()
+}
+
+/// Decodes a trace from the compact binary format.
+pub fn from_bytes(mut buf: &[u8]) -> Result<TaskTrace, CodecError> {
+    if buf.remaining() < 6 {
+        return Err(CodecError::Truncated);
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = buf.get_u16();
+    if version != VERSION {
+        return Err(CodecError::BadVersion(version));
+    }
+    let app = get_str(&mut buf)?;
+    need(buf, 8)?;
+    let rank = buf.get_u32();
+    let nranks = buf.get_u32();
+    let machine = get_str(&mut buf)?;
+    need(buf, 5)?;
+    let depth = usize::from(buf.get_u8());
+    let nblocks = buf.get_u32() as usize;
+    let mut blocks = Vec::with_capacity(nblocks.min(1 << 16));
+    for _ in 0..nblocks {
+        let name = get_str(&mut buf)?;
+        let file = get_str(&mut buf)?;
+        need(buf, 4)?;
+        let line = buf.get_u32();
+        let function = get_str(&mut buf)?;
+        need(buf, 20)?;
+        let invocations = buf.get_u64();
+        let iterations = buf.get_u64();
+        let ninstr = buf.get_u32() as usize;
+        let mut instrs = Vec::with_capacity(ninstr.min(1 << 16));
+        for _ in 0..ninstr {
+            need(buf, 4)?;
+            let instr = buf.get_u32();
+            let pattern = get_str(&mut buf)?;
+            need(buf, 8 * (12 + MEMORY_LEVEL_CAP))?;
+            let mut f = FeatureVector {
+                exec_count: buf.get_f64(),
+                mem_ops: buf.get_f64(),
+                loads: buf.get_f64(),
+                stores: buf.get_f64(),
+                bytes_per_ref: buf.get_f64(),
+                fp_add: buf.get_f64(),
+                fp_mul: buf.get_f64(),
+                fp_div: buf.get_f64(),
+                fp_sqrt: buf.get_f64(),
+                fp_fma: buf.get_f64(),
+                working_set: buf.get_f64(),
+                ilp: buf.get_f64(),
+                ..Default::default()
+            };
+            for h in f.hit_rates.iter_mut() {
+                *h = buf.get_f64();
+            }
+            instrs.push(InstrRecord {
+                instr,
+                pattern,
+                features: f,
+            });
+        }
+        blocks.push(BlockRecord {
+            name,
+            source: SourceLoc::new(file, line, function),
+            invocations,
+            iterations,
+            instrs,
+        });
+    }
+    Ok(TaskTrace {
+        app,
+        rank,
+        nranks,
+        machine,
+        depth,
+        blocks,
+    })
+}
+
+fn put_str(b: &mut BytesMut, s: &str) {
+    b.put_u32(s.len() as u32);
+    b.put_slice(s.as_bytes());
+}
+
+fn need(buf: &[u8], n: usize) -> Result<(), CodecError> {
+    if buf.remaining() < n {
+        Err(CodecError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+fn get_str(buf: &mut &[u8]) -> Result<String, CodecError> {
+    need(buf, 4)?;
+    let len = buf.get_u32() as usize;
+    need(buf, len)?;
+    let mut bytes = vec![0u8; len];
+    buf.copy_to_slice(&mut bytes);
+    String::from_utf8(bytes).map_err(|_| CodecError::BadString)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TaskTrace {
+        TaskTrace {
+            app: "specfem3d-proxy".into(),
+            rank: 17,
+            nranks: 96,
+            machine: "cray-xt5".into(),
+            depth: 3,
+            blocks: vec![BlockRecord {
+                name: "stiffness-matmul".into(),
+                source: SourceLoc::new("compute_forces.f90", 312, "compute_forces_elastic"),
+                invocations: 1000,
+                iterations: 42,
+                instrs: vec![
+                    InstrRecord {
+                        instr: 0,
+                        pattern: "strided".into(),
+                        features: FeatureVector {
+                            exec_count: 42_000.0,
+                            mem_ops: 42_000.0,
+                            loads: 42_000.0,
+                            bytes_per_ref: 8.0,
+                            hit_rates: [0.874, 0.91, 0.95, 1.0],
+                            working_set: 27.6e6,
+                            ilp: 2.5,
+                            ..Default::default()
+                        },
+                    },
+                    InstrRecord {
+                        instr: 1,
+                        pattern: "fp".into(),
+                        features: FeatureVector {
+                            exec_count: 378_000.0,
+                            fp_fma: 378_000.0,
+                            ilp: 2.5,
+                            ..Default::default()
+                        },
+                    },
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn binary_roundtrip_is_exact() {
+        let t = sample();
+        let bytes = to_bytes(&t);
+        let back = from_bytes(&bytes).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn binary_is_smaller_than_json() {
+        let t = sample();
+        let bin = to_bytes(&t);
+        let json = serde_json::to_string(&t).unwrap();
+        assert!(
+            bin.len() < json.len(),
+            "binary {} vs json {}",
+            bin.len(),
+            json.len()
+        );
+    }
+
+    #[test]
+    fn json_file_roundtrip() {
+        let t = sample();
+        let dir = std::env::temp_dir().join("xtrace-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        save_json(&t, &path).unwrap();
+        let back = load_json(&path).unwrap();
+        assert_eq!(back.app, t.app);
+        assert_eq!(back.blocks.len(), t.blocks.len());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        assert!(matches!(from_bytes(b"NOPE\0\x01"), Err(CodecError::BadMagic)));
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut b = BytesMut::new();
+        b.put_slice(MAGIC);
+        b.put_u16(99);
+        assert!(matches!(
+            from_bytes(&b.freeze()),
+            Err(CodecError::BadVersion(99))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncation_everywhere() {
+        let full = to_bytes(&sample());
+        // Any prefix must fail gracefully, never panic.
+        for cut in 0..full.len() {
+            let r = from_bytes(&full[..cut]);
+            assert!(r.is_err(), "prefix of {cut} bytes unexpectedly decoded");
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_utf8() {
+        let mut b = BytesMut::new();
+        b.put_slice(MAGIC);
+        b.put_u16(VERSION);
+        b.put_u32(2);
+        b.put_slice(&[0xFF, 0xFE]);
+        // Pad out so the string read has enough bytes.
+        assert!(matches!(
+            from_bytes(&b.freeze()),
+            Err(CodecError::BadString)
+        ));
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let t = TaskTrace {
+            app: String::new(),
+            rank: 0,
+            nranks: 1,
+            machine: String::new(),
+            depth: 1,
+            blocks: vec![],
+        };
+        assert_eq!(from_bytes(&to_bytes(&t)).unwrap(), t);
+    }
+}

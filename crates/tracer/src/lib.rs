@@ -1,0 +1,44 @@
+//! # xtrace-tracer — execution-driven application-signature collection
+//!
+//! This crate is the reproduction's PEBIL + on-the-fly cache simulation
+//! pipeline (the paper's Figure 2): for a chosen MPI task it interprets the
+//! rank's program, streams every memory reference through a cache hierarchy
+//! configured like the *target* machine, and aggregates the results into
+//! per-basic-block, per-instruction **feature vectors** — the application
+//! signature:
+//!
+//! 1. amount and composition of floating-point work,
+//! 2. number of memory operations (loads/stores),
+//! 3. size of memory operations,
+//! 4. cache hit rates in all levels of the target system,
+//! 5. working-set size,
+//!
+//! (Section III-B's enumeration) plus execution counts and the block's ILP.
+//!
+//! Like the real pipeline, nothing is stored per access — the address
+//! stream ("over 2 TB of data per hour" per process at full fidelity) is
+//! consumed as it is produced. Long-running blocks are *sampled*: dynamic
+//! operation counts are exact (they come from the program structure), and
+//! hit rates are measured over a bounded prefix of the block's address
+//! stream, which converges because blocks are in steady state after their
+//! first region sweep.
+//!
+//! [`collect_signature`] traces the most computationally demanding task
+//! (identified by the `xtrace-spmd` profiling pass); [`collect_ranks`]
+//! traces any subset of ranks in parallel (rayon) for the clustering
+//! extension.
+
+#![warn(missing_docs)]
+
+pub mod collect;
+pub mod io;
+pub mod sig;
+
+pub use collect::{
+    collect_ranks, collect_signature, collect_signature_with, collect_task_trace,
+    rank_stream_seed, TracerConfig,
+};
+pub use io::{from_bytes, load_json, save_json, to_bytes, CodecError};
+pub use sig::{
+    AppSignature, BlockRecord, FeatureId, FeatureVector, InstrRecord, TaskTrace,
+};

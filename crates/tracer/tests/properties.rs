@@ -1,0 +1,139 @@
+//! Property tests for the tracer: arbitrary traces must survive the binary
+//! codec bit-exactly, and collection must keep feature invariants for
+//! arbitrary (valid) programs.
+
+use proptest::prelude::*;
+use xtrace_ir::SourceLoc;
+use xtrace_tracer::{
+    from_bytes, to_bytes, BlockRecord, FeatureVector, InstrRecord, TaskTrace,
+};
+
+fn arb_feature_vector() -> impl Strategy<Value = FeatureVector> {
+    (
+        0.0f64..1e15,
+        0.0f64..1e15,
+        proptest::array::uniform4(0.0f64..1.0),
+        0.0f64..1e12,
+        1.0f64..8.0,
+    )
+        .prop_map(|(exec, mem, mut rates, ws, ilp)| {
+            rates.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let mut f = FeatureVector {
+                exec_count: exec,
+                mem_ops: mem,
+                loads: mem * 0.75,
+                stores: mem * 0.25,
+                bytes_per_ref: 8.0,
+                fp_fma: exec * 0.5,
+                fp_add: exec * 0.25,
+                working_set: ws,
+                ilp,
+                ..Default::default()
+            };
+            f.hit_rates = rates;
+            f
+        })
+}
+
+fn arb_trace() -> impl Strategy<Value = TaskTrace> {
+    (
+        "[a-z][a-z0-9-]{0,20}",
+        0u32..10_000,
+        1u32..10_000,
+        1usize..4,
+        proptest::collection::vec(
+            (
+                "[a-z][a-z0-9-]{0,16}",
+                1u64..1_000_000,
+                1u64..1_000_000,
+                proptest::collection::vec(arb_feature_vector(), 1..6),
+            ),
+            1..6,
+        ),
+    )
+        .prop_map(|(app, rank, nranks, depth, blocks)| TaskTrace {
+            app,
+            rank,
+            nranks,
+            machine: "prop-machine".into(),
+            depth,
+            blocks: blocks
+                .into_iter()
+                .enumerate()
+                .map(|(bi, (name, inv, iters, fvs))| BlockRecord {
+                    // Ensure block-name uniqueness within the trace.
+                    name: format!("{name}-{bi}"),
+                    source: SourceLoc::new("prop.f90", bi as u32, "kernel"),
+                    invocations: inv,
+                    iterations: iters,
+                    instrs: fvs
+                        .into_iter()
+                        .enumerate()
+                        .map(|(ii, features)| InstrRecord {
+                            instr: ii as u32,
+                            pattern: if ii % 2 == 0 { "strided" } else { "random" }.into(),
+                            features,
+                        })
+                        .collect(),
+                })
+                .collect(),
+        })
+}
+
+proptest! {
+    /// The binary codec is a bit-exact round trip for arbitrary traces.
+    #[test]
+    fn binary_codec_roundtrips(trace in arb_trace()) {
+        let encoded = to_bytes(&trace);
+        let decoded = from_bytes(&encoded).expect("well-formed buffer decodes");
+        prop_assert_eq!(decoded, trace);
+    }
+
+    /// Truncating an encoded trace anywhere yields an error, never a panic
+    /// or a silently wrong value.
+    #[test]
+    fn binary_codec_rejects_truncations(trace in arb_trace(), frac in 0.0f64..1.0) {
+        let encoded = to_bytes(&trace);
+        let cut = ((encoded.len() as f64) * frac) as usize;
+        if cut < encoded.len() {
+            prop_assert!(from_bytes(&encoded[..cut]).is_err());
+        }
+    }
+
+    /// JSON round trip preserves structure (floats may move by an ulp).
+    #[test]
+    fn json_roundtrip_preserves_structure(trace in arb_trace()) {
+        let s = serde_json::to_string(&trace).unwrap();
+        let back: TaskTrace = serde_json::from_str(&s).unwrap();
+        prop_assert_eq!(back.app, trace.app);
+        prop_assert_eq!(back.blocks.len(), trace.blocks.len());
+        for (a, b) in back.blocks.iter().zip(&trace.blocks) {
+            prop_assert_eq!(&a.name, &b.name);
+            prop_assert_eq!(a.instrs.len(), b.instrs.len());
+            for (ia, ib) in a.instrs.iter().zip(&b.instrs) {
+                let rel = (ia.features.mem_ops - ib.features.mem_ops).abs()
+                    / ib.features.mem_ops.abs().max(1.0);
+                prop_assert!(rel < 1e-12);
+            }
+        }
+    }
+
+    /// Influence is a share: within [0, 1], and summing memory-instruction
+    /// influences over the task gives 1 (when the task has memory ops).
+    #[test]
+    fn influence_is_a_partition(trace in arb_trace()) {
+        let total_mem = trace.total_mem_ops();
+        prop_assume!(total_mem > 0.0);
+        let mut sum = 0.0;
+        for b in &trace.blocks {
+            for i in &b.instrs {
+                let inf = trace.influence(&i.features);
+                prop_assert!((0.0..=1.0 + 1e-9).contains(&inf));
+                if i.features.mem_ops > 0.0 {
+                    sum += inf;
+                }
+            }
+        }
+        prop_assert!((sum - 1.0).abs() < 1e-6, "mem influences sum to {sum}");
+    }
+}

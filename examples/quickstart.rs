@@ -1,0 +1,113 @@
+//! Quickstart: the whole pipeline on a small 3-D Jacobi proxy.
+//!
+//! 1. Collect application signatures at three small core counts.
+//! 2. Fit canonical forms to every feature element and extrapolate the
+//!    signature to a large core count.
+//! 3. Predict the large-scale runtime from the synthetic trace and compare
+//!    it against (a) a prediction from an actually collected trace and
+//!    (b) the execution-driven "measured" runtime.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use xtrace::apps::{ProxyApp, StencilProxy};
+use xtrace::extrap::{
+    extrapolate_signature, extrapolate_signature_detailed, CanonicalForm, ExtrapolationConfig,
+};
+use xtrace::machine::presets;
+use xtrace::psins::{ground_truth, predict_runtime, relative_error};
+use xtrace::tracer::{collect_signature_with, TracerConfig};
+
+fn main() {
+    let app = StencilProxy::medium();
+    let machine = presets::cray_xt5();
+    let tracer_cfg = TracerConfig::default();
+    let training_counts = [8u32, 16, 32];
+    let target = 128u32;
+
+    println!("application : {}", xtrace::spmd::SpmdApp::name(&app));
+    println!("machine     : {}", machine.name);
+    println!("training    : {training_counts:?} cores -> target {target} cores\n");
+
+    // 1. Signatures at the training core counts.
+    let training: Vec<_> = training_counts
+        .iter()
+        .map(|&p| {
+            let sig = collect_signature_with(&app, p, &machine, &tracer_cfg);
+            println!(
+                "traced {p:>4} cores: longest task = rank {}, {} blocks, {:.2e} memory ops",
+                sig.comm.longest_rank,
+                sig.longest_task().blocks.len(),
+                sig.longest_task().total_mem_ops()
+            );
+            sig.longest_task().clone()
+        })
+        .collect();
+
+    // 2. Extrapolate to the target count.
+    let cfg = ExtrapolationConfig::default();
+    let (extrapolated, fits) =
+        extrapolate_signature_detailed(&training, target, &cfg).expect("valid training set");
+    println!("\ncanonical forms chosen across {} elements:", fits.len());
+    for form in [
+        xtrace::extrap::CanonicalForm::Constant,
+        xtrace::extrap::CanonicalForm::Linear,
+        xtrace::extrap::CanonicalForm::Logarithmic,
+        xtrace::extrap::CanonicalForm::Exponential,
+    ] {
+        let n = fits.iter().filter(|f| f.model.form == form).count();
+        println!("  {:<10} {n}", form.label());
+    }
+
+    // The stencil proxy is perfectly symmetric, so the longest task's
+    // counts decay like 1/P — a shape *outside* the span of the paper's
+    // four forms (its observed elements were flat or growing). The
+    // Section-VI power/polynomial extension captures it; extrapolate both
+    // ways to show the difference.
+    let extended = extrapolate_signature(
+        &training,
+        target,
+        &ExtrapolationConfig {
+            forms: CanonicalForm::EXTENDED_SET.to_vec(),
+            ..ExtrapolationConfig::default()
+        },
+    )
+    .expect("valid training set");
+
+    // 3. Predict from the synthetic traces and validate.
+    let comm = app.comm_profile(target);
+    let pred_extrap = predict_runtime(&extrapolated, &comm, &machine);
+    let pred_extended = predict_runtime(&extended, &comm, &machine);
+
+    let collected = collect_signature_with(&app, target, &machine, &tracer_cfg);
+    let pred_collected = predict_runtime(collected.longest_task(), &collected.comm, &machine);
+
+    let measured = ground_truth(&app, target, &machine, &tracer_cfg);
+
+    println!("\n{:-^64}", " prediction at target scale ");
+    println!(
+        "{:<28} {:>12} {:>10}",
+        "trace type", "runtime (s)", "% error"
+    );
+    for (label, pred) in [
+        ("extrapolated (4 forms)", &pred_extrap),
+        ("extrapolated (+power, SVI)", &pred_extended),
+        ("collected trace", &pred_collected),
+    ] {
+        println!(
+            "{:<28} {:>12.4} {:>9.1}%",
+            label,
+            pred.total_seconds,
+            100.0 * relative_error(pred.total_seconds, measured.total_seconds)
+        );
+    }
+    println!(
+        "{:<28} {:>12.4}",
+        "measured (exec-driven sim)", measured.total_seconds
+    );
+
+    let gap = relative_error(pred_extended.total_seconds, pred_collected.total_seconds);
+    println!(
+        "\nextended-extrapolation vs collected prediction gap: {:.2}%",
+        100.0 * gap
+    );
+}

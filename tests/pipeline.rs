@@ -1,0 +1,199 @@
+//! End-to-end pipeline integration: trace → fit → extrapolate → predict,
+//! across crates, at laptop scale.
+
+use xtrace::apps::{ProxyApp, SpecfemProxy, StencilProxy, Uh3dProxy};
+use xtrace::extrap::{
+    element_errors, extrapolate_signature, extrapolate_signature_detailed, summarize,
+    CanonicalForm, ExtrapolationConfig,
+};
+use xtrace::machine::presets;
+use xtrace::psins::{ground_truth, predict_runtime, relative_error};
+use xtrace::spmd::SpmdApp;
+use xtrace::tracer::{collect_signature_with, TracerConfig};
+
+fn small_specfem() -> SpecfemProxy {
+    let mut app = SpecfemProxy::small();
+    app.cfg.total_elements = 6144;
+    app.cfg.timesteps = 10;
+    app.cfg.collect_per_rank = 4096;
+    app.cfg.source_iters = 500_000;
+    app
+}
+
+#[test]
+fn specfem_pipeline_extrapolated_matches_collected_prediction() {
+    let app = small_specfem();
+    let machine = presets::cray_xt5();
+    let cfg = TracerConfig::fast();
+    let training: Vec<_> = [6u32, 24, 96]
+        .iter()
+        .map(|&p| {
+            collect_signature_with(&app, p, &machine, &cfg)
+                .longest_task()
+                .clone()
+        })
+        .collect();
+    let extrapolated =
+        extrapolate_signature(&training, 384, &ExtrapolationConfig::default()).unwrap();
+
+    let collected = collect_signature_with(&app, 384, &machine, &cfg);
+    let comm = app.comm_profile(384);
+    let pe = predict_runtime(&extrapolated, &comm, &machine);
+    let pc = predict_runtime(collected.longest_task(), &collected.comm, &machine);
+
+    let gap = relative_error(pe.total_seconds, pc.total_seconds);
+    assert!(
+        gap < 0.05,
+        "extrapolated vs collected predictions diverge: {} vs {} ({gap})",
+        pe.total_seconds,
+        pc.total_seconds
+    );
+}
+
+#[test]
+fn specfem_prediction_tracks_measured_runtime() {
+    let app = small_specfem();
+    let machine = presets::cray_xt5();
+    let cfg = TracerConfig::fast();
+    let sig = collect_signature_with(&app, 96, &machine, &cfg);
+    let pred = predict_runtime(sig.longest_task(), &sig.comm, &machine);
+    let measured = ground_truth(&app, 96, &machine, &cfg);
+    let err = relative_error(pred.total_seconds, measured.total_seconds);
+    assert!(
+        err < 0.20,
+        "prediction {} vs measured {} (err {err})",
+        pred.total_seconds,
+        measured.total_seconds
+    );
+}
+
+#[test]
+fn uh3d_pipeline_runs_and_log_block_extrapolates_exactly() {
+    let mut app = Uh3dProxy::small();
+    app.cfg.total_particles = 1 << 14;
+    app.cfg.grid_cells = 1 << 13;
+    app.cfg.sort_base = 512;
+    let machine = presets::cray_xt5();
+    let cfg = TracerConfig::fast();
+    let training: Vec<_> = [8u32, 16, 32]
+        .iter()
+        .map(|&p| {
+            collect_signature_with(&app, p, &machine, &cfg)
+                .longest_task()
+                .clone()
+        })
+        .collect();
+    let (extrapolated, fits) =
+        extrapolate_signature_detailed(&training, 64, &ExtrapolationConfig::default()).unwrap();
+
+    // The particle-sort trip count is exactly sort_base * log2(P) at
+    // power-of-two counts, so the log form must win and extrapolate with
+    // zero error.
+    let sort_fit = fits
+        .iter()
+        .find(|f| {
+            f.block == "particle-sort"
+                && f.feature == xtrace::tracer::FeatureId::MemOps
+                && f.values[0] > 0.0
+        })
+        .expect("sort block memops fit exists");
+    assert_eq!(sort_fit.model.form, CanonicalForm::Logarithmic);
+
+    let collected = collect_signature_with(&app, 64, &machine, &cfg);
+    let sort_extrap = extrapolated.block("particle-sort").unwrap();
+    let sort_coll = collected.longest_task().block("particle-sort").unwrap();
+    let rel = (sort_extrap.instrs[0].features.mem_ops - sort_coll.instrs[0].features.mem_ops)
+        .abs()
+        / sort_coll.instrs[0].features.mem_ops;
+    assert!(rel < 1e-6, "log-block counts extrapolate exactly, got {rel}");
+}
+
+#[test]
+fn influential_element_errors_stay_bounded() {
+    let app = small_specfem();
+    let machine = presets::cray_xt5();
+    let cfg = TracerConfig::fast();
+    let training: Vec<_> = [6u32, 24, 96]
+        .iter()
+        .map(|&p| {
+            collect_signature_with(&app, p, &machine, &cfg)
+                .longest_task()
+                .clone()
+        })
+        .collect();
+    let ex = extrapolate_signature(&training, 384, &ExtrapolationConfig::default()).unwrap();
+    let coll = collect_signature_with(&app, 384, &machine, &cfg);
+    let errors = element_errors(&ex, coll.longest_task());
+    let summary = summarize(&errors, 0.001);
+    assert!(summary.n_influential > 0);
+    assert!(summary.n_influential < summary.n_total);
+    assert!(
+        summary.frac_influential_under_20pct > 0.9,
+        "only {}% of influential elements under 20%",
+        100.0 * summary.frac_influential_under_20pct
+    );
+}
+
+#[test]
+fn whole_pipeline_is_deterministic() {
+    let app = StencilProxy::small();
+    let machine = presets::opteron();
+    let cfg = TracerConfig::fast();
+    let run = || {
+        let training: Vec<_> = [2u32, 4, 8]
+            .iter()
+            .map(|&p| {
+                collect_signature_with(&app, p, &machine, &cfg)
+                    .longest_task()
+                    .clone()
+            })
+            .collect();
+        let ex = extrapolate_signature(&training, 32, &ExtrapolationConfig::default()).unwrap();
+        predict_runtime(&ex, &app.comm_profile(32), &machine).total_seconds
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn signatures_transfer_across_target_machines() {
+    // Cross-architecture workflow: the same app traced against different
+    // target hierarchies yields different hit rates and predictions.
+    let app = StencilProxy::medium();
+    let cfg = TracerConfig::fast();
+    let m_small = presets::opteron(); // 1 MB L2, 2 levels
+    let m_big = presets::cray_xt5(); // 8 MB L3, 3 levels
+    let s_small = collect_signature_with(&app, 8, &m_small, &cfg);
+    let s_big = collect_signature_with(&app, 8, &m_big, &cfg);
+    assert_eq!(s_small.longest_task().depth, 2);
+    assert_eq!(s_big.longest_task().depth, 3);
+    let p_small = predict_runtime(s_small.longest_task(), &s_small.comm, &m_small);
+    let p_big = predict_runtime(s_big.longest_task(), &s_big.comm, &m_big);
+    assert!(p_small.total_seconds > 0.0 && p_big.total_seconds > 0.0);
+    assert_ne!(p_small.total_seconds, p_big.total_seconds);
+}
+
+#[test]
+fn every_proxy_app_traces_on_every_preset() {
+    let cfg = TracerConfig::fast();
+    let apps: Vec<Box<dyn SpmdApp>> = vec![
+        Box::new(SpecfemProxy::small()),
+        Box::new(Uh3dProxy::small()),
+        Box::new(StencilProxy::small()),
+    ];
+    for machine in presets::all() {
+        for app in &apps {
+            let sig = collect_signature_with(app.as_ref(), 4, &machine, &cfg);
+            let t = sig.longest_task();
+            assert!(!t.blocks.is_empty(), "{} on {}", app.name(), machine.name);
+            assert!(t.total_mem_ops() > 0.0);
+            for b in &t.blocks {
+                for i in &b.instrs {
+                    for l in 0..t.depth {
+                        let hr = i.features.hit_rates[l];
+                        assert!((0.0..=1.0).contains(&hr));
+                    }
+                }
+            }
+        }
+    }
+}
