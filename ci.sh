@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Local CI gate: build, tests, lints, and smoke runs of the two
+# performance-regression benches. Everything runs offline against the
+# vendored dependency stubs.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== build (release) =="
+cargo build --workspace --release --offline
+
+echo "== tests =="
+cargo test -q --workspace --offline
+
+echo "== clippy (crates touched by the perf work) =="
+cargo clippy --offline -p xtrace-ir -p xtrace-cache -p xtrace-tracer \
+    -p xtrace-extrap -p xtrace-bench -p xtrace-cli --all-targets -- -D warnings
+
+echo "== bench smoke (quick configs) =="
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+XTRACE_BENCH_QUICK=1 cargo run -q --release --offline -p xtrace-bench \
+    --bin bench_collect -- --threads 4 --out "$tmp/BENCH_collect.json"
+XTRACE_BENCH_QUICK=1 cargo run -q --release --offline -p xtrace-bench \
+    --bin bench_extrap -- --threads 4 --out "$tmp/BENCH_extrap.json"
+for f in BENCH_collect.json BENCH_extrap.json; do
+    test -s "$tmp/$f" || { echo "missing bench report $f" >&2; exit 1; }
+done
+
+echo "== ci.sh: all green =="

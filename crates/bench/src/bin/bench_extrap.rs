@@ -1,0 +1,157 @@
+//! **Regression bench: parallel canonical-form fitting.**
+//!
+//! Times `extrapolate_signature` — the per-(block, instruction) fitting
+//! fan-out in `crates/extrap` — at 1 thread and at N threads over the
+//! SPECFEM3D-proxy training ladder, and verifies the two runs produce a
+//! byte-identical extrapolated trace (ordering and form selection must not
+//! depend on scheduling). Training traces are collected once (memoized)
+//! outside the timed region.
+//!
+//! Emits `BENCH_extrap.json`. Run with:
+//! `cargo run --release -p xtrace-bench --bin bench_extrap [-- --threads N --out F]`
+//! Set `XTRACE_BENCH_QUICK=1` for a tiny smoke configuration.
+
+use std::time::Instant;
+
+use serde::Serialize;
+use xtrace_apps::SpecfemProxy;
+use xtrace_bench::{target_machine, SPECFEM_TARGET, SPECFEM_TRAINING};
+use xtrace_extrap::{extrapolate_signature, ExtrapolationConfig};
+use xtrace_spmd::{MpiProfiler, SpmdApp};
+use xtrace_tracer::{collect_ranks_memo, SigMemo, TaskTrace, TracerConfig};
+
+#[derive(Serialize)]
+struct ExtrapBench {
+    app: String,
+    machine: String,
+    quick: bool,
+    threads: usize,
+    /// Hardware threads on the bench host; `speedup` cannot exceed this,
+    /// so a 1-core host reports ~thread-overhead, not fan-out gain.
+    host_cores: usize,
+    training: Vec<u32>,
+    target: u32,
+    /// (block, instruction) pairs fitted per run.
+    fitted_elements: usize,
+    reps: u32,
+    serial_wall_s: f64,
+    parallel_wall_s: f64,
+    elements_per_sec_serial: f64,
+    elements_per_sec_parallel: f64,
+    speedup: f64,
+    /// Serialized serial and parallel outputs compared byte-for-byte.
+    bit_identical: bool,
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| {
+        argv.iter()
+            .position(|a| a == name)
+            .and_then(|i| argv.get(i + 1).cloned())
+    };
+    let threads: usize = flag("--threads")
+        .map(|v| v.parse().expect("--threads must be an integer"))
+        .unwrap_or(4);
+    let out = flag("--out").unwrap_or_else(|| "BENCH_extrap.json".into());
+    let quick = std::env::var("XTRACE_BENCH_QUICK").is_ok_and(|v| v == "1");
+
+    let (app, cfg, training, target, reps) = if quick {
+        (
+            SpecfemProxy::small(),
+            TracerConfig::fast(),
+            vec![4u32, 8, 16],
+            32u32,
+            3u32,
+        )
+    } else {
+        (
+            SpecfemProxy::paper_scale(),
+            TracerConfig::default(),
+            SPECFEM_TRAINING.to_vec(),
+            SPECFEM_TARGET,
+            200u32,
+        )
+    };
+    let machine = target_machine();
+    let threads = threads.max(2);
+    eprintln!(
+        "bench_extrap: {} {:?} -> {}, {} threads, {} reps{}",
+        SpmdApp::name(&app),
+        training,
+        target,
+        threads,
+        reps,
+        if quick { " (quick)" } else { "" }
+    );
+
+    // Training traces (untimed; shared memo across counts).
+    let memo = SigMemo::new();
+    let traces: Vec<TaskTrace> = training
+        .iter()
+        .map(|&p| {
+            let comm = MpiProfiler::default().profile(&app, p, &machine.net);
+            collect_ranks_memo(&app, &[comm.longest_rank], p, &machine, &cfg, &memo)
+                .pop()
+                .expect("one trace")
+        })
+        .collect();
+    let fitted_elements: usize = traces[0].blocks.iter().map(|b| b.instrs.len()).sum();
+    let ex_cfg = ExtrapolationConfig::default();
+
+    let time_pool = |n: usize| {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build()
+            .expect("pool");
+        pool.install(|| {
+            let mut best = f64::INFINITY;
+            let mut result = None;
+            for _ in 0..reps {
+                let t0 = Instant::now();
+                let trace =
+                    extrapolate_signature(&traces, target, &ex_cfg).expect("valid ladder");
+                best = best.min(t0.elapsed().as_secs_f64());
+                result = Some(trace);
+            }
+            (best, result.expect("at least one rep"))
+        })
+    };
+
+    let (serial_wall, serial_trace) = time_pool(1);
+    eprintln!("  1 thread : {:.2} ms/extrapolation", 1e3 * serial_wall);
+    let (parallel_wall, parallel_trace) = time_pool(threads);
+    eprintln!("  {threads} threads: {:.2} ms/extrapolation", 1e3 * parallel_wall);
+
+    let a = serde_json::to_string(&serial_trace).expect("serializable");
+    let b = serde_json::to_string(&parallel_trace).expect("serializable");
+    let bit_identical = a == b;
+
+    let report = ExtrapBench {
+        app: SpmdApp::name(&app).to_string(),
+        machine: machine.name.clone(),
+        quick,
+        threads,
+        host_cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        training,
+        target,
+        fitted_elements,
+        reps,
+        serial_wall_s: serial_wall,
+        parallel_wall_s: parallel_wall,
+        elements_per_sec_serial: fitted_elements as f64 / serial_wall,
+        elements_per_sec_parallel: fitted_elements as f64 / parallel_wall,
+        speedup: serial_wall / parallel_wall,
+        bit_identical,
+    };
+    std::fs::write(
+        &out,
+        serde_json::to_string_pretty(&report).expect("serializable"),
+    )
+    .expect("write report");
+    println!(
+        "fitting speedup {:.2}x over {} elements, bit-identical: {}\nwrote {out}",
+        report.speedup, report.fitted_elements, report.bit_identical
+    );
+    assert!(bit_identical, "parallel fitting changed the extrapolated trace");
+}

@@ -11,6 +11,8 @@
 //! where crossovers fall — not absolute agreement with the authors'
 //! testbed (our substrate is a parametric simulator).
 
+pub mod seed_cache;
+
 use xtrace_apps::{ProxyApp, SpecfemProxy, Uh3dProxy};
 use xtrace_extrap::{
     extrapolate_signature, extrapolate_signature_detailed, ElementFit, ExtrapolationConfig,

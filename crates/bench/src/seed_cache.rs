@@ -1,0 +1,289 @@
+//! Frozen copy of the pre-optimization cache-simulation kernel.
+//!
+//! This is the hierarchy walker the repository shipped with before the
+//! recency-ordered kernel landed in `crates/cache`: per-way LRU/FIFO
+//! *stamps* updated on a monotonic tick, a two-pass `probe` + `fill` over
+//! each set, a division by the L1 line size on every reference, and no
+//! last-line fast path. It exists solely as the regression baseline for
+//! `bench_collect`, so "N× faster than the seed serial path" stays a
+//! measured number as the optimized kernel evolves. Do not "fix" or speed
+//! this module up — its slowness is the point.
+//!
+//! Replacement semantics match the optimized kernel for LRU and FIFO
+//! (identical hit/miss decisions); `Random` draws a different (equally
+//! deterministic) victim sequence, which the collection benches never
+//! exercise.
+
+use xtrace_cache::{CacheLevelConfig, HierarchyConfig, Replacement};
+use xtrace_ir::rng::SplitMix64;
+use xtrace_ir::{AddressPattern, BlockId, InstrId, InstrKind, MemAccess, MemOp, Program};
+
+const EMPTY: u64 = u64::MAX;
+
+/// Frozen copy of the seed's address-stream generator: one
+/// [`AddressPattern::offset`] evaluation — two 64-bit divisions — per
+/// dynamic reference, exactly as `AccessStream` worked before the
+/// incremental cursors landed in `crates/ir`. Baseline only; see the
+/// module docs.
+#[derive(Debug, Clone)]
+pub struct SeedAccessStream {
+    specs: Vec<SeedMemSpec>,
+}
+
+#[derive(Debug, Clone)]
+struct SeedMemSpec {
+    instr: InstrId,
+    base: u64,
+    size: u64,
+    elem_bytes: u32,
+    bytes: u32,
+    pattern: AddressPattern,
+    is_store: bool,
+    repeat: u32,
+    seed: u64,
+    count: u64,
+}
+
+impl SeedAccessStream {
+    /// Same per-instruction seed derivation as `AccessStream::new`.
+    pub fn new(program: &Program, block_id: BlockId, seed: u64) -> Self {
+        let block = program.block(block_id);
+        let specs = block
+            .instrs
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, ins)| match ins.kind {
+                InstrKind::Mem {
+                    op,
+                    region,
+                    bytes,
+                    pattern,
+                } => {
+                    let r = program.region(region);
+                    Some(SeedMemSpec {
+                        instr: InstrId(idx as u32),
+                        base: program.region_base(region),
+                        size: r.bytes,
+                        elem_bytes: r.elem_bytes,
+                        bytes,
+                        pattern,
+                        is_store: matches!(op, MemOp::Store),
+                        repeat: ins.repeat,
+                        seed: SplitMix64::mix(seed ^ (u64::from(block_id.0) << 32) ^ idx as u64),
+                        count: 0,
+                    })
+                }
+                InstrKind::Fp { .. } => None,
+            })
+            .collect();
+        Self { specs }
+    }
+
+    /// Runs `iters` loop iterations, calling `sink` per reference.
+    pub fn run_iterations(&mut self, iters: u64, sink: &mut impl FnMut(MemAccess)) {
+        for _ in 0..iters {
+            for spec in &mut self.specs {
+                for _ in 0..spec.repeat {
+                    let off =
+                        spec.pattern
+                            .offset(spec.count, spec.size, spec.elem_bytes, spec.seed);
+                    spec.count += 1;
+                    sink(MemAccess {
+                        instr: spec.instr,
+                        addr: spec.base + off,
+                        bytes: spec.bytes,
+                        is_store: spec.is_store,
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Level {
+    line_shift: u32,
+    set_mask: u64,
+    assoc: usize,
+    /// `sets * assoc` line addresses (already shifted), `EMPTY` when invalid.
+    tags: Vec<u64>,
+    /// Parallel recency (LRU) or fill-order (FIFO) stamps.
+    stamp: Vec<u64>,
+    replacement: Replacement,
+    tick: u64,
+    rng: u64,
+}
+
+impl Level {
+    fn new(cfg: &CacheLevelConfig) -> Self {
+        let sets = cfg.sets();
+        let ways = sets as usize * cfg.assoc as usize;
+        Self {
+            line_shift: cfg.line_bytes.trailing_zeros(),
+            set_mask: sets - 1,
+            assoc: cfg.assoc as usize,
+            tags: vec![EMPTY; ways],
+            stamp: vec![0; ways],
+            replacement: cfg.replacement,
+            tick: 0,
+            rng: 0x243F_6A88_85A3_08D3,
+        }
+    }
+
+    #[inline]
+    fn line_of(&self, addr: u64) -> u64 {
+        addr >> self.line_shift
+    }
+
+    #[inline]
+    fn set_range(&self, line: u64) -> std::ops::Range<usize> {
+        let set = (line & self.set_mask) as usize;
+        let start = set * self.assoc;
+        start..start + self.assoc
+    }
+
+    /// Looks the line up; on hit updates recency and returns true.
+    #[inline]
+    fn probe(&mut self, line: u64) -> bool {
+        let range = self.set_range(line);
+        for w in range {
+            if self.tags[w] == line {
+                if self.replacement == Replacement::Lru {
+                    self.tick += 1;
+                    self.stamp[w] = self.tick;
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Installs the line, evicting per policy if the set is full.
+    #[inline]
+    fn fill(&mut self, line: u64) {
+        let range = self.set_range(line);
+        self.tick += 1;
+        let mut victim = range.start;
+        let mut victim_stamp = u64::MAX;
+        for w in range.clone() {
+            if self.tags[w] == EMPTY {
+                self.tags[w] = line;
+                self.stamp[w] = self.tick;
+                return;
+            }
+            if self.stamp[w] < victim_stamp {
+                victim_stamp = self.stamp[w];
+                victim = w;
+            }
+        }
+        if self.replacement == Replacement::Random {
+            self.rng ^= self.rng << 13;
+            self.rng ^= self.rng >> 7;
+            self.rng ^= self.rng << 17;
+            victim = range.start + (self.rng % self.assoc as u64) as usize;
+        }
+        self.tags[victim] = line;
+        self.stamp[victim] = self.tick;
+    }
+}
+
+/// The seed's multi-level simulator: same interface subset as
+/// `xtrace_cache::CacheHierarchy` (`new` / `depth` / `access`).
+#[derive(Debug, Clone)]
+pub struct SeedCacheHierarchy {
+    levels: Vec<Level>,
+    l1_line_bytes: u64,
+}
+
+impl SeedCacheHierarchy {
+    /// Builds the simulator for a validated configuration.
+    pub fn new(config: HierarchyConfig) -> Self {
+        config
+            .validate()
+            .expect("invalid cache hierarchy configuration");
+        let levels = config.levels.iter().map(Level::new).collect();
+        let l1_line_bytes = u64::from(config.levels[0].line_bytes);
+        Self {
+            levels,
+            l1_line_bytes,
+        }
+    }
+
+    /// Number of cache levels (`access` returning `depth()` means memory).
+    #[inline]
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Simulates one reference of `bytes` bytes at `addr`; returns the hit
+    /// level (`0` = L1, …, `depth()` = main memory).
+    #[inline]
+    pub fn access(&mut self, addr: u64, bytes: u32) -> u8 {
+        let bytes = u64::from(bytes.max(1));
+        let first = addr / self.l1_line_bytes;
+        let last = (addr + bytes - 1) / self.l1_line_bytes;
+        if first == last {
+            return self.access_chunk(addr);
+        }
+        let mut worst = 0u8;
+        for line in first..=last {
+            worst = worst.max(self.access_chunk(line * self.l1_line_bytes));
+        }
+        worst
+    }
+
+    #[inline]
+    fn access_chunk(&mut self, addr: u64) -> u8 {
+        let depth = self.levels.len();
+        let mut hit = depth;
+        for (i, level) in self.levels.iter_mut().enumerate() {
+            let line = level.line_of(addr);
+            if level.probe(line) {
+                hit = i;
+                break;
+            }
+        }
+        for level in self.levels[..hit].iter_mut() {
+            let line = level.line_of(addr);
+            level.fill(line);
+        }
+        hit as u8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtrace_cache::CacheHierarchy;
+    use xtrace_ir::rng::SplitMix64;
+
+    /// The baseline must agree with the optimized kernel access-for-access
+    /// under LRU — otherwise "speedup vs seed" compares different work.
+    #[test]
+    fn seed_kernel_matches_optimized_kernel_under_lru() {
+        let cfg = HierarchyConfig::new(
+            vec![
+                CacheLevelConfig::lru("L1", 4 * 1024, 64, 4, 1.0),
+                CacheLevelConfig::lru("L2", 32 * 1024, 64, 8, 10.0),
+            ],
+            100.0,
+        )
+        .unwrap();
+        let mut seed = SeedCacheHierarchy::new(cfg.clone());
+        let mut opt = CacheHierarchy::new(cfg);
+        let mut rng = SplitMix64::new(7);
+        for i in 0..200_000u64 {
+            // Mix of strided sweeps and random jumps over 128 KiB.
+            let addr = if i % 3 == 0 {
+                rng.next_u64() % (128 * 1024)
+            } else {
+                (i * 24) % (128 * 1024)
+            };
+            assert_eq!(
+                seed.access(addr, 8),
+                opt.access(addr, 8),
+                "divergence at ref {i} addr {addr:#x}"
+            );
+        }
+    }
+}

@@ -19,6 +19,11 @@
 //! Traces are stored as JSON (`.json`) or the compact binary format
 //! (anything else). `--scale` selects `small` (default; laptop-friendly)
 //! or `paper` (the full Table I configuration).
+//!
+//! `--threads <N>` (accepted by every command) caps the rayon worker
+//! count used for block-parallel collection and parallel fitting;
+//! `0` or omitting the flag uses all hardware threads. Results are
+//! identical at any thread count.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -46,7 +51,8 @@ fn usage() -> &'static str {
      xtrace diff --a <file> --b <file> [--threshold <frac>] [--top <N>]\n  \
      xtrace machine-export --machine <name> --out <file.json>\n  \
      xtrace inspect --app <name> --ranks <P> [--rank <R>] [--scale small|paper]\n\n\
-     trace files ending in .json are JSON; all others use the compact binary format"
+     trace files ending in .json are JSON; all others use the compact binary format\n\
+     every command also accepts --threads <N> (rayon worker threads; 0 = all cores)"
 }
 
 /// Minimal `--key value` argument scanner; positional arguments are
@@ -436,6 +442,15 @@ fn run() -> Result<(), String> {
         return Err(usage().to_string());
     };
     let args = Args::parse(&argv[1..])?;
+    if let Some(t) = args.get("threads") {
+        let n: usize = t
+            .parse()
+            .map_err(|_| "--threads must be a non-negative integer (0 = all cores)")?;
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build_global()
+            .map_err(|e| format!("failed to configure thread pool: {e}"))?;
+    }
     match cmd.as_str() {
         "machines" => cmd_machines(),
         "apps" => cmd_apps(),

@@ -18,8 +18,9 @@
 //! levels restored. Elements are otherwise extrapolated independently,
 //! exactly as in the paper (no cross-element consistency is forced).
 
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use xtrace_tracer::{FeatureId, TaskTrace};
+use xtrace_tracer::{FeatureId, FeatureVector, TaskTrace};
 
 use crate::fit::{select_best_guarded, SelectionCriterion};
 use crate::forms::{CanonicalForm, FittedModel};
@@ -341,8 +342,67 @@ fn validate_family(sorted: &[&TaskTrace]) -> Result<(), ExtrapolationError> {
     Ok(())
 }
 
+/// Fits every element of one instruction and evaluates it at `tx`.
+///
+/// Pure function of its inputs, so instructions can be fitted in parallel;
+/// the returned fits are in `feature_ids` order.
+fn fit_instr(
+    sorted: &[&TaskTrace],
+    xs: &[f64],
+    tx: f64,
+    cfg: &ExtrapolationConfig,
+    feature_ids: &[FeatureId],
+    bi: usize,
+    ii: usize,
+) -> (FeatureVector, Vec<ElementFit>) {
+    let base = *sorted.last().expect("nonempty");
+    let bb = &base.blocks[bi];
+    let base_instr = &bb.instrs[ii];
+    let mut features = base_instr.features;
+    let influence = base.influence(&base_instr.features);
+    let mut fits = Vec::with_capacity(feature_ids.len());
+    for &fid in feature_ids {
+        let ys: Vec<f64> = sorted
+            .iter()
+            .map(|t| t.blocks[bi].instrs[ii].features.get(fid))
+            .collect();
+        let model = select_best_guarded(&cfg.forms, xs, &ys, cfg.criterion, tx);
+        let mut v = model.eval(tx);
+        if fid.is_rate() {
+            v = v.clamp(0.0, 1.0);
+        } else if fid == FeatureId::Ilp {
+            v = v.max(1.0);
+        } else {
+            v = v.max(0.0);
+        }
+        features.set(fid, v);
+        fits.push(ElementFit {
+            block: bb.name.clone(),
+            instr: ii as u32,
+            feature: fid,
+            model,
+            values: ys,
+            influence,
+        });
+    }
+    // Restore cumulative monotonicity of the hit-rate vector.
+    for l in 1..features.hit_rates.len() {
+        features.hit_rates[l] = features.hit_rates[l].max(features.hit_rates[l - 1]);
+    }
+    for l in base.depth..features.hit_rates.len() {
+        features.hit_rates[l] = 1.0;
+    }
+    (features, fits)
+}
+
 /// The synthesis core: fit every element over `xs`, evaluate at `tx`,
 /// post-process, and assemble the synthetic trace (labeled `out_nranks`).
+///
+/// Instructions are independent fitting problems, so the element fits fan
+/// out over `(block, instruction)` pairs with rayon. The collect is
+/// ordered and the fits of each pair are concatenated in pair order, so
+/// the output — trace and fit report both — is bit-identical to the serial
+/// evaluation at any thread count.
 fn synthesize(
     sorted: &[&TaskTrace],
     xs: &[f64],
@@ -352,6 +412,18 @@ fn synthesize(
 ) -> (TaskTrace, Vec<ElementFit>) {
     let base = *sorted.last().expect("nonempty");
     let feature_ids = FeatureId::all(base.depth);
+
+    let pairs: Vec<(usize, usize)> = base
+        .blocks
+        .iter()
+        .enumerate()
+        .flat_map(|(bi, bb)| (0..bb.instrs.len()).map(move |ii| (bi, ii)))
+        .collect();
+    let fitted: Vec<(FeatureVector, Vec<ElementFit>)> = pairs
+        .par_iter()
+        .map(|&(bi, ii)| fit_instr(sorted, xs, tx, cfg, &feature_ids, bi, ii))
+        .collect();
+    let mut fitted = fitted.into_iter();
 
     let mut fits = Vec::new();
     let mut out_blocks = Vec::with_capacity(base.blocks.len());
@@ -375,40 +447,10 @@ fn synthesize(
         );
 
         let mut out_instrs = Vec::with_capacity(bb.instrs.len());
-        for (ii, base_instr) in bb.instrs.iter().enumerate() {
-            let mut features = base_instr.features;
-            let influence = base.influence(&base_instr.features);
-            for &fid in &feature_ids {
-                let ys: Vec<f64> = sorted
-                    .iter()
-                    .map(|t| t.blocks[bi].instrs[ii].features.get(fid))
-                    .collect();
-                let model = select_best_guarded(&cfg.forms, xs, &ys, cfg.criterion, tx);
-                let mut v = model.eval(tx);
-                if fid.is_rate() {
-                    v = v.clamp(0.0, 1.0);
-                } else if fid == FeatureId::Ilp {
-                    v = v.max(1.0);
-                } else {
-                    v = v.max(0.0);
-                }
-                features.set(fid, v);
-                fits.push(ElementFit {
-                    block: bb.name.clone(),
-                    instr: ii as u32,
-                    feature: fid,
-                    model,
-                    values: ys,
-                    influence,
-                });
-            }
-            // Restore cumulative monotonicity of the hit-rate vector.
-            for l in 1..features.hit_rates.len() {
-                features.hit_rates[l] = features.hit_rates[l].max(features.hit_rates[l - 1]);
-            }
-            for l in base.depth..features.hit_rates.len() {
-                features.hit_rates[l] = 1.0;
-            }
+        for base_instr in &bb.instrs {
+            let (features, mut instr_fits) =
+                fitted.next().expect("one fitted entry per instruction");
+            fits.append(&mut instr_fits);
             out_instrs.push(xtrace_tracer::InstrRecord {
                 instr: base_instr.instr,
                 pattern: base_instr.pattern.clone(),

@@ -216,4 +216,78 @@ proptest! {
         prop_assert!(best.sse >= 0.0);
         prop_assert!(best.sse <= const_sse + 1e-9 * const_sse.abs().max(1.0));
     }
+
+    /// The (block, instruction) fitting fan-out must be invisible:
+    /// extrapolation returns bit-identical traces at one thread, at N
+    /// threads, and across repeated runs on the same inputs.
+    #[test]
+    fn extrapolation_is_thread_count_invariant_and_repeatable(
+        blocks in proptest::collection::vec(
+            proptest::collection::vec((1.0f64..1e10, 0.0f64..1.0, 0.0f64..1.0), 1..5),
+            1..5,
+        ),
+        threads in 2usize..6,
+        target in 4097u32..50_000,
+    ) {
+        // Per-count growth factors so the series exercise non-constant
+        // forms; rates are made cumulative per vector.
+        let make = |p: u32, factor: f64| {
+            TaskTrace {
+                app: "prop".into(),
+                rank: 0,
+                nranks: p,
+                machine: "m".into(),
+                depth: 2,
+                blocks: blocks
+                    .iter()
+                    .enumerate()
+                    .map(|(bi, instrs)| BlockRecord {
+                        name: format!("b{bi}"),
+                        source: SourceLoc::new("p.c", bi as u32, "f"),
+                        invocations: 3 + bi as u64,
+                        iterations: 5,
+                        instrs: instrs
+                            .iter()
+                            .enumerate()
+                            .map(|(ii, &(count, r0, r1))| {
+                                let mut f = FeatureVector {
+                                    exec_count: count * factor,
+                                    mem_ops: count * factor,
+                                    loads: count * factor,
+                                    bytes_per_ref: 8.0,
+                                    working_set: 1e6 * factor,
+                                    ilp: 1.5,
+                                    ..Default::default()
+                                };
+                                f.hit_rates = [r0.min(r1), r0.max(r1), 1.0, 1.0];
+                                InstrRecord {
+                                    instr: ii as u32,
+                                    pattern: "strided".into(),
+                                    features: f,
+                                }
+                            })
+                            .collect(),
+                    })
+                    .collect(),
+            }
+        };
+        let traces = vec![
+            make(1024, 1.0),
+            make(2048, 1.4),
+            make(4096, 2.1),
+        ];
+        let cfg = ExtrapolationConfig::default();
+        let run = |n: usize| {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(n)
+                .build()
+                .expect("pool");
+            pool.install(|| extrapolate_signature(&traces, target, &cfg).expect("valid ladder"))
+        };
+        let one_thread = run(1);
+        let many_threads = run(threads);
+        let again = run(threads);
+        prop_assert_eq!(&one_thread, &many_threads);
+        prop_assert_eq!(&one_thread, &again);
+    }
 }

@@ -39,15 +39,115 @@ pub struct MemAccess {
 struct MemSpec {
     instr: InstrId,
     base: u64,
-    size: u64,
-    elem_bytes: u32,
     bytes: u32,
-    pattern: AddressPattern,
     is_store: bool,
     repeat: u32,
-    seed: u64,
-    /// Accesses issued so far by this instruction (the pattern cursor).
-    count: u64,
+    cursor: Cursor,
+}
+
+/// Incremental address generator, one per memory instruction.
+///
+/// Each variant produces byte offsets **identical** to calling
+/// [`AddressPattern::offset`] with an increasing access index `k` (the
+/// `stream_matches_pattern_offset_spec` test pins this), but without the
+/// two per-access divisions that the direct formula costs: strided and
+/// stencil cursors advance by pre-reduced modular increments, so the hot
+/// path is an add and a conditional subtract.
+#[derive(Debug, Clone)]
+enum Cursor {
+    /// `cur` and `stride` in bytes, both already reduced mod `span`
+    /// (`span` = usable region bytes, `elems * elem_bytes`).
+    Strided { cur: u64, stride: u64, span: u64 },
+    /// `step` is the sweep position (mod `elems`) in elements; `point_off`
+    /// holds `(point * plane_elems) % elems` per stencil point.
+    Stencil {
+        step: u64,
+        point: usize,
+        point_off: Vec<u64>,
+        elems: u64,
+        elem: u64,
+    },
+    /// Pure function of the access index `k`; nothing to incrementalize.
+    Random { k: u64, seed: u64, elems: u64, elem: u64 },
+}
+
+impl Cursor {
+    fn new(pattern: AddressPattern, size: u64, elem_bytes: u32, seed: u64) -> Self {
+        let elem = u64::from(elem_bytes);
+        debug_assert!(size >= elem);
+        let elems = size / elem;
+        match pattern {
+            AddressPattern::Strided { stride } => {
+                let stride_elems = (stride / elem).max(1);
+                Cursor::Strided {
+                    cur: 0,
+                    stride: (stride_elems % elems) * elem,
+                    span: elems * elem,
+                }
+            }
+            AddressPattern::Stencil { points, plane } => {
+                let plane_elems = (plane / elem).max(1);
+                let point_off = (0..u64::from(points.max(1)))
+                    .map(|p| (p * plane_elems) % elems)
+                    .collect();
+                Cursor::Stencil {
+                    step: 0,
+                    point: 0,
+                    point_off,
+                    elems,
+                    elem,
+                }
+            }
+            AddressPattern::Random => Cursor::Random {
+                k: 0,
+                seed,
+                elems,
+                elem,
+            },
+        }
+    }
+
+    /// The next byte offset inside the region; advances the cursor.
+    #[inline]
+    fn next_offset(&mut self) -> u64 {
+        match self {
+            Cursor::Strided { cur, stride, span } => {
+                let off = *cur;
+                let mut next = off + *stride;
+                if next >= *span {
+                    next -= *span;
+                }
+                *cur = next;
+                off
+            }
+            Cursor::Stencil {
+                step,
+                point,
+                point_off,
+                elems,
+                elem,
+            } => {
+                let mut off = *step + point_off[*point];
+                if off >= *elems {
+                    off -= *elems;
+                }
+                *point += 1;
+                if *point == point_off.len() {
+                    *point = 0;
+                    *step += 1;
+                    if *step == *elems {
+                        *step = 0;
+                    }
+                }
+                off * *elem
+            }
+            Cursor::Random { k, seed, elems, elem } => {
+                let mut h = SplitMix64::new(*seed ^ SplitMix64::mix(*k));
+                *k += 1;
+                h.next_below(*elems) * *elem
+            }
+        }
+    }
 }
 
 /// Streams the memory accesses of one basic block, invocation by
@@ -78,19 +178,15 @@ impl AccessStream {
                     pattern,
                 } => {
                     let r = program.region(region);
+                    let instr_seed =
+                        SplitMix64::mix(seed ^ (u64::from(block_id.0) << 32) ^ idx as u64);
                     Some(MemSpec {
                         instr: InstrId(idx as u32),
                         base: program.region_base(region),
-                        size: r.bytes,
-                        elem_bytes: r.elem_bytes,
                         bytes,
-                        pattern,
                         is_store: matches!(op, MemOp::Store),
                         repeat: ins.repeat,
-                        seed: SplitMix64::mix(
-                            seed ^ (u64::from(block_id.0) << 32) ^ idx as u64,
-                        ),
-                        count: 0,
+                        cursor: Cursor::new(pattern, r.bytes, r.elem_bytes, instr_seed),
                     })
                 }
                 InstrKind::Fp { .. } => None,
@@ -126,10 +222,7 @@ impl AccessStream {
         for _ in 0..iters {
             for spec in &mut self.specs {
                 for _ in 0..spec.repeat {
-                    let off =
-                        spec.pattern
-                            .offset(spec.count, spec.size, spec.elem_bytes, spec.seed);
-                    spec.count += 1;
+                    let off = spec.cursor.next_offset();
                     sink(MemAccess {
                         instr: spec.instr,
                         addr: spec.base + off,
@@ -222,6 +315,32 @@ mod tests {
                 assert!(a.addr >= rb_base && a.addr + u64::from(a.bytes) <= rb_end);
             }
         });
+    }
+
+    /// The incremental cursors must reproduce `AddressPattern::offset`
+    /// exactly — the cursor is an optimization, `offset` is the spec.
+    #[test]
+    fn stream_matches_pattern_offset_spec() {
+        let cases = [
+            (AddressPattern::unit(8), 1 << 12, 8u32),
+            (AddressPattern::Strided { stride: 264 }, 1 << 12, 8),
+            (AddressPattern::Strided { stride: 1 << 13 }, 1 << 12, 8),
+            (AddressPattern::Random, 1 << 10, 8),
+            (AddressPattern::Stencil { points: 3, plane: 1000 }, 1 << 12, 8),
+            (AddressPattern::Stencil { points: 7, plane: 1 << 14 }, 1 << 12, 4),
+            (AddressPattern::unit(8), 8, 8),
+        ];
+        for (pattern, size, elem) in cases {
+            let seed = 0xDEAD_BEEF;
+            let mut cursor = Cursor::new(pattern, size, elem, seed);
+            for k in 0..10_000u64 {
+                assert_eq!(
+                    cursor.next_offset(),
+                    pattern.offset(k, size, elem, seed),
+                    "{pattern:?} diverges from the spec at k={k}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -93,12 +93,12 @@ impl RankProgram {
     pub fn validate(&self, nranks: u32) -> Result<(), String> {
         for (i, e) in self.events.iter().enumerate() {
             match e {
-                RankEvent::Compute { block, .. } => {
-                    if block.index() >= self.program.blocks().len() {
-                        return Err(format!(
-                            "event {i}: Compute references unknown block {block}"
-                        ));
-                    }
+                RankEvent::Compute { block, .. }
+                    if block.index() >= self.program.blocks().len() =>
+                {
+                    return Err(format!(
+                        "event {i}: Compute references unknown block {block}"
+                    ));
                 }
                 RankEvent::Exchange { neighbors, .. } => {
                     for &n in neighbors {

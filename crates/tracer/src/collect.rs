@@ -7,13 +7,27 @@
 //! of each block's references through the simulator (blocks reach steady
 //! state within their first region sweep, so a multi-million-reference
 //! sample pins the rates while keeping full-scale traces tractable).
+//!
+//! Each block is simulated against its **own** [`CacheHierarchy`]: blocks
+//! are independent units of work, which lets [`collect_task_trace`] fan out
+//! over them with rayon and lets [`SigMemo`] reuse one block's simulation
+//! wherever the identical block recurs (other ranks, other core counts).
+//! The warmup window that already guards sampled blocks against
+//! compulsory-miss bias equally amortizes the per-block cold start, so
+//! per-block hit rates agree with the shared-cache formulation within
+//! sampling tolerance (asserted by this module's tests).
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::sync::Arc;
 
 use rayon::prelude::*;
 use xtrace_cache::{CacheHierarchy, LevelCounts};
-use xtrace_ir::{AccessStream, InstrKind, MemOp};
+use xtrace_ir::{AccessStream, BlockId, InstrKind, MemOp};
 use xtrace_machine::MachineProfile;
-use xtrace_spmd::{MpiProfiler, RankEvent, SpmdApp};
+use xtrace_spmd::{MpiProfiler, RankEvent, RankProgram, SpmdApp};
 
+use crate::memo::{block_sim_key, SigMemo};
 use crate::sig::{AppSignature, BlockRecord, FeatureVector, InstrRecord, TaskTrace};
 
 /// Collection parameters.
@@ -77,7 +91,8 @@ pub fn collect_signature_with(
 }
 
 /// Traces several ranks in parallel (used by the Section-VI clustering
-/// extension, which needs more than the longest task).
+/// extension, which needs more than the longest task), deduplicating
+/// identical block simulations through a shared [`SigMemo`].
 pub fn collect_ranks(
     app: &(dyn SpmdApp + Sync),
     ranks: &[u32],
@@ -85,9 +100,23 @@ pub fn collect_ranks(
     machine: &MachineProfile,
     cfg: &TracerConfig,
 ) -> Vec<TaskTrace> {
+    collect_ranks_memo(app, ranks, nranks, machine, cfg, &SigMemo::new())
+}
+
+/// [`collect_ranks`] with a caller-owned memo, so repeated collections
+/// (e.g. the training sweep over several core counts) reuse block
+/// simulations across calls and the caller can read the hit/miss counters.
+pub fn collect_ranks_memo(
+    app: &(dyn SpmdApp + Sync),
+    ranks: &[u32],
+    nranks: u32,
+    machine: &MachineProfile,
+    cfg: &TracerConfig,
+    memo: &SigMemo,
+) -> Vec<TaskTrace> {
     ranks
         .par_iter()
-        .map(|&r| collect_task_trace(app, r, nranks, machine, cfg))
+        .map(|&r| collect_task_trace_memo(app, r, nranks, machine, cfg, Some(memo)))
         .collect()
 }
 
@@ -105,127 +134,47 @@ pub fn collect_task_trace(
     machine: &MachineProfile,
     cfg: &TracerConfig,
 ) -> TaskTrace {
+    collect_task_trace_memo(app, rank, nranks, machine, cfg, None)
+}
+
+/// [`collect_task_trace`] answering block simulations from `memo` when one
+/// is supplied. Memoization never changes the result: the key covers every
+/// input of the simulation (see [`crate::memo`]).
+pub fn collect_task_trace_memo(
+    app: &dyn SpmdApp,
+    rank: u32,
+    nranks: u32,
+    machine: &MachineProfile,
+    cfg: &TracerConfig,
+    memo: Option<&SigMemo>,
+) -> TaskTrace {
     let rp = app.rank_program(rank, nranks);
     let depth = machine.depth();
-    let mut cache = CacheHierarchy::new(machine.hierarchy.clone());
 
     // Fold repeated Compute events per block, preserving first-appearance
     // order.
-    let mut order: Vec<xtrace_ir::BlockId> = Vec::new();
-    let mut invocations: Vec<u64> = Vec::new();
+    let mut order: Vec<(BlockId, u64)> = Vec::new();
+    let mut slot: HashMap<BlockId, usize> = HashMap::new();
     for ev in &rp.events {
-        if let RankEvent::Compute {
-            block,
-            invocations: inv,
-        } = ev
-        {
-            if let Some(pos) = order.iter().position(|b| b == block) {
-                invocations[pos] += inv;
-            } else {
-                order.push(*block);
-                invocations.push(*inv);
+        if let RankEvent::Compute { block, invocations } = ev {
+            match slot.entry(*block) {
+                Entry::Occupied(e) => order[*e.get()].1 += invocations,
+                Entry::Vacant(e) => {
+                    e.insert(order.len());
+                    order.push((*block, *invocations));
+                }
             }
         }
     }
 
     let rank_seed = rank_stream_seed(cfg, rank);
-    let mut blocks = Vec::with_capacity(order.len());
-    for (&block_id, &inv) in order.iter().zip(&invocations) {
-        let blk = rp.program.block(block_id);
-        let refs_per_iter: u64 = blk
-            .instrs
-            .iter()
-            .filter(|i| i.is_mem())
-            .map(|i| u64::from(i.repeat))
-            .sum();
-        let total_iters = blk.iterations.saturating_mul(inv);
-
-        // Sample: bounded number of iterations streamed through the cache.
-        // A warmup window runs first (uncounted) whenever the block's full
-        // run extends beyond the sample, so compulsory misses — amortized
-        // to nothing over the real run — do not bias the sampled rates.
-        // Fully simulated blocks get no warmup: their cold misses are real.
-        let mut per_instr = vec![LevelCounts::default(); blk.instrs.len()];
-        if refs_per_iter > 0 && total_iters > 0 {
-            let sample_iters =
-                total_iters.min((cfg.max_sampled_refs_per_block / refs_per_iter).max(1));
-            let warmup_iters = sample_iters.min(total_iters - sample_iters);
-            let mut stream = AccessStream::new(&rp.program, block_id, rank_seed);
-            stream.run_iterations(warmup_iters, &mut |a| {
-                cache.access(a.addr, a.bytes);
-            });
-            stream.run_iterations(sample_iters, &mut |a| {
-                let lvl = cache.access(a.addr, a.bytes);
-                per_instr[a.instr.index()].record(lvl);
-            });
-        }
-
-        let instrs = blk
-            .instrs
-            .iter()
-            .enumerate()
-            .map(|(idx, ins)| {
-                let exec = total_iters as f64 * f64::from(ins.repeat);
-                let mut f = FeatureVector {
-                    exec_count: exec,
-                    ilp: blk.ilp,
-                    ..Default::default()
-                };
-                let pattern;
-                match ins.kind {
-                    InstrKind::Mem {
-                        op,
-                        region,
-                        bytes,
-                        pattern: pat,
-                    } => {
-                        pattern = pat.label().to_string();
-                        f.mem_ops = exec;
-                        match op {
-                            MemOp::Load => f.loads = exec,
-                            MemOp::Store => f.stores = exec,
-                        }
-                        f.bytes_per_ref = f64::from(bytes);
-                        f.working_set = rp.program.region(region).bytes as f64;
-                        let counts = &per_instr[idx];
-                        if counts.accesses > 0 {
-                            for (l, rate) in
-                                f.hit_rates.iter_mut().enumerate().take(depth)
-                            {
-                                *rate = counts.hit_rate_cum(l);
-                            }
-                            for rate in f.hit_rates.iter_mut().skip(depth) {
-                                *rate = 1.0;
-                            }
-                        }
-                    }
-                    InstrKind::Fp { op } => {
-                        pattern = "fp".to_string();
-                        match op {
-                            xtrace_ir::FpOp::Add => f.fp_add = exec,
-                            xtrace_ir::FpOp::Mul => f.fp_mul = exec,
-                            xtrace_ir::FpOp::Div => f.fp_div = exec,
-                            xtrace_ir::FpOp::Sqrt => f.fp_sqrt = exec,
-                            xtrace_ir::FpOp::Fma => f.fp_fma = exec,
-                        }
-                    }
-                }
-                InstrRecord {
-                    instr: idx as u32,
-                    pattern,
-                    features: f,
-                }
-            })
-            .collect();
-
-        blocks.push(BlockRecord {
-            name: blk.name.clone(),
-            source: blk.source.clone(),
-            invocations: inv,
-            iterations: blk.iterations,
-            instrs,
-        });
-    }
+    // Blocks own their simulator state, so they trace independently; the
+    // rayon collect is ordered, keeping block order (and therefore the
+    // trace) identical at any thread count.
+    let blocks = order
+        .par_iter()
+        .map(|&(block_id, inv)| trace_block(&rp, block_id, inv, machine, cfg, rank_seed, memo))
+        .collect();
 
     TaskTrace {
         app: app.name().to_string(),
@@ -234,6 +183,131 @@ pub fn collect_task_trace(
         machine: machine.name.clone(),
         depth,
         blocks,
+    }
+}
+
+/// Traces one folded block: sampled cache simulation (possibly memoized)
+/// plus exact dynamic counts.
+fn trace_block(
+    rp: &RankProgram,
+    block_id: BlockId,
+    inv: u64,
+    machine: &MachineProfile,
+    cfg: &TracerConfig,
+    rank_seed: u64,
+    memo: Option<&SigMemo>,
+) -> BlockRecord {
+    let depth = machine.depth();
+    let blk = rp.program.block(block_id);
+    let refs_per_iter: u64 = blk
+        .instrs
+        .iter()
+        .filter(|i| i.is_mem())
+        .map(|i| u64::from(i.repeat))
+        .sum();
+    let total_iters = blk.iterations.saturating_mul(inv);
+
+    // Sample: bounded number of iterations streamed through the cache.
+    // A warmup window runs first (uncounted) whenever the block's full
+    // run extends beyond the sample, so compulsory misses — amortized
+    // to nothing over the real run — do not bias the sampled rates.
+    // Fully simulated blocks get no warmup: their cold misses are real.
+    let per_instr: Arc<Vec<LevelCounts>> = if refs_per_iter > 0 && total_iters > 0 {
+        let sample_iters =
+            total_iters.min((cfg.max_sampled_refs_per_block / refs_per_iter).max(1));
+        let warmup_iters = sample_iters.min(total_iters - sample_iters);
+        let simulate = || {
+            let mut cache = CacheHierarchy::new(machine.hierarchy.clone());
+            let mut counts = vec![LevelCounts::default(); blk.instrs.len()];
+            let mut stream = AccessStream::new(&rp.program, block_id, rank_seed);
+            stream.run_iterations(warmup_iters, &mut |a| {
+                cache.access(a.addr, a.bytes);
+            });
+            stream.run_iterations(sample_iters, &mut |a| {
+                let lvl = cache.access(a.addr, a.bytes);
+                counts[a.instr.index()].record(lvl);
+            });
+            counts
+        };
+        match memo {
+            Some(m) => {
+                // Same derivation as AccessStream's per-instruction seed.
+                let key =
+                    block_sim_key(&rp.program, blk, machine, warmup_iters, sample_iters, |idx| {
+                        xtrace_ir::rng::SplitMix64::mix(
+                            rank_seed ^ (u64::from(block_id.0) << 32) ^ idx as u64,
+                        )
+                    });
+                m.get_or_compute(key, simulate)
+            }
+            None => Arc::new(simulate()),
+        }
+    } else {
+        Arc::new(vec![LevelCounts::default(); blk.instrs.len()])
+    };
+
+    let instrs = blk
+        .instrs
+        .iter()
+        .enumerate()
+        .map(|(idx, ins)| {
+            let exec = total_iters as f64 * f64::from(ins.repeat);
+            let mut f = FeatureVector {
+                exec_count: exec,
+                ilp: blk.ilp,
+                ..Default::default()
+            };
+            let pattern;
+            match ins.kind {
+                InstrKind::Mem {
+                    op,
+                    region,
+                    bytes,
+                    pattern: pat,
+                } => {
+                    pattern = pat.label().to_string();
+                    f.mem_ops = exec;
+                    match op {
+                        MemOp::Load => f.loads = exec,
+                        MemOp::Store => f.stores = exec,
+                    }
+                    f.bytes_per_ref = f64::from(bytes);
+                    f.working_set = rp.program.region(region).bytes as f64;
+                    let counts = &per_instr[idx];
+                    if counts.accesses > 0 {
+                        for (l, rate) in f.hit_rates.iter_mut().enumerate().take(depth) {
+                            *rate = counts.hit_rate_cum(l);
+                        }
+                        for rate in f.hit_rates.iter_mut().skip(depth) {
+                            *rate = 1.0;
+                        }
+                    }
+                }
+                InstrKind::Fp { op } => {
+                    pattern = "fp".to_string();
+                    match op {
+                        xtrace_ir::FpOp::Add => f.fp_add = exec,
+                        xtrace_ir::FpOp::Mul => f.fp_mul = exec,
+                        xtrace_ir::FpOp::Div => f.fp_div = exec,
+                        xtrace_ir::FpOp::Sqrt => f.fp_sqrt = exec,
+                        xtrace_ir::FpOp::Fma => f.fp_fma = exec,
+                    }
+                }
+            }
+            InstrRecord {
+                instr: idx as u32,
+                pattern,
+                features: f,
+            }
+        })
+        .collect();
+
+    BlockRecord {
+        name: blk.name.clone(),
+        source: blk.source.clone(),
+        invocations: inv,
+        iterations: blk.iterations,
+        instrs,
     }
 }
 
@@ -307,6 +381,57 @@ mod tests {
                         invocations: 5,
                     },
                     RankEvent::Barrier { repeats: 1 },
+                ],
+            }
+        }
+    }
+
+    /// Two long-running strided blocks over separate regions — no random
+    /// patterns, so its simulations are seed-independent.
+    struct TwoBlocks;
+    impl SpmdApp for TwoBlocks {
+        fn name(&self) -> &str {
+            "two-blocks"
+        }
+        fn rank_program(&self, _rank: u32, _nranks: u32) -> RankProgram {
+            let mut b = Program::builder();
+            let ra = b.region("a", 16 * 1024, 8);
+            let rb = b.region("b", 128 * 1024, 8);
+            let b0 = b.block(BasicBlock::new(
+                BlockId(0),
+                "sweep-a",
+                SourceLoc::new("t.c", 10, "fa"),
+                8192,
+                vec![Instruction::mem(
+                    xtrace_ir::MemOp::Load,
+                    ra,
+                    8,
+                    AddressPattern::unit(8),
+                )],
+            ));
+            let b1 = b.block(BasicBlock::new(
+                BlockId(1),
+                "sweep-b",
+                SourceLoc::new("t.c", 20, "fb"),
+                8192,
+                vec![Instruction::mem(
+                    xtrace_ir::MemOp::Store,
+                    rb,
+                    8,
+                    AddressPattern::Strided { stride: 64 },
+                )],
+            ));
+            RankProgram {
+                program: b.build().unwrap(),
+                events: vec![
+                    RankEvent::Compute {
+                        block: b0,
+                        invocations: 8,
+                    },
+                    RankEvent::Compute {
+                        block: b1,
+                        invocations: 8,
+                    },
                 ],
             }
         }
@@ -451,5 +576,102 @@ mod tests {
                 assert_eq!(i.features.hit_rates[3], 1.0);
             }
         }
+    }
+
+    /// The per-block-cache formulation must agree with the historical
+    /// shared-cache formulation (one hierarchy threaded through all blocks
+    /// in order) within sampling tolerance: warmup absorbs the per-block
+    /// cold start.
+    #[test]
+    fn per_block_caches_match_shared_cache_within_tolerance() {
+        let m = machine();
+        let cfg = TracerConfig::fast();
+        let t = collect_task_trace(&TwoBlocks, 0, 4, &m, &cfg);
+
+        // Shared-cache reference: replicate the sampling windows with one
+        // hierarchy carried across blocks.
+        let rp = TwoBlocks.rank_program(0, 4);
+        let rank_seed = rank_stream_seed(&cfg, 0);
+        let mut cache = CacheHierarchy::new(m.hierarchy.clone());
+        let mut shared_l1 = Vec::new();
+        for (block_id, inv) in [(BlockId(0), 8u64), (BlockId(1), 8u64)] {
+            let blk = rp.program.block(block_id);
+            let refs_per_iter: u64 = blk
+                .instrs
+                .iter()
+                .filter(|i| i.is_mem())
+                .map(|i| u64::from(i.repeat))
+                .sum();
+            let total_iters = blk.iterations * inv;
+            let sample_iters =
+                total_iters.min((cfg.max_sampled_refs_per_block / refs_per_iter).max(1));
+            let warmup_iters = sample_iters.min(total_iters - sample_iters);
+            let mut counts = vec![LevelCounts::default(); blk.instrs.len()];
+            let mut stream = AccessStream::new(&rp.program, block_id, rank_seed);
+            stream.run_iterations(warmup_iters, &mut |a| {
+                cache.access(a.addr, a.bytes);
+            });
+            stream.run_iterations(sample_iters, &mut |a| {
+                let lvl = cache.access(a.addr, a.bytes);
+                counts[a.instr.index()].record(lvl);
+            });
+            shared_l1.push(counts[0].hit_rate_cum(0));
+        }
+
+        for (b, shared) in t.blocks.iter().zip(&shared_l1) {
+            let got = b.instrs[0].features.hit_rates[0];
+            assert!(
+                (got - shared).abs() < 0.02,
+                "block {}: per-block {} vs shared {}",
+                b.name,
+                got,
+                shared
+            );
+        }
+    }
+
+    #[test]
+    fn memo_reuses_identical_simulations_without_changing_results() {
+        let m = machine();
+        let cfg = TracerConfig::fast();
+        let memo = SigMemo::new();
+        let plain = collect_task_trace(&TwoRegion, 0, 4, &m, &cfg);
+        let first = collect_task_trace_memo(&TwoRegion, 0, 4, &m, &cfg, Some(&memo));
+        let second = collect_task_trace_memo(&TwoRegion, 0, 4, &m, &cfg, Some(&memo));
+        assert_eq!(first, plain, "memoized collection must be bit-identical");
+        assert_eq!(second, plain);
+        assert_eq!(memo.misses(), 1, "one unique block simulated once");
+        assert_eq!(memo.hits(), 1, "second collection answered from memo");
+        assert_eq!(memo.len(), 1);
+        assert!((memo.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memo_dedups_deterministic_blocks_across_ranks() {
+        let m = machine();
+        let cfg = TracerConfig::fast();
+        let memo = SigMemo::new();
+        // TwoBlocks has no Random patterns: the per-rank seed does not
+        // reach any address, so other ranks replay rank 0's simulations.
+        let traces = collect_ranks_memo(&TwoBlocks, &[0, 1, 2, 3], 4, &m, &cfg, &memo);
+        assert_eq!(traces.len(), 4);
+        assert_eq!(memo.len(), 2, "two unique blocks in the whole job");
+        assert_eq!(memo.misses(), 2);
+        assert_eq!(memo.hits(), 6, "3 further ranks × 2 blocks each");
+        for t in &traces[1..] {
+            assert_eq!(t.blocks[0].instrs[0].features.hit_rates, traces[0].blocks[0].instrs[0].features.hit_rates);
+        }
+    }
+
+    #[test]
+    fn memo_keeps_random_blocks_rank_specific() {
+        let m = machine();
+        let cfg = TracerConfig::fast();
+        let memo = SigMemo::new();
+        let _ = collect_ranks_memo(&TwoRegion, &[0, 1], 4, &m, &cfg, &memo);
+        // The single block contains a Random-pattern load, whose stream
+        // depends on the rank seed: no cross-rank sharing.
+        assert_eq!(memo.misses(), 2);
+        assert_eq!(memo.hits(), 0);
     }
 }

@@ -23,22 +23,46 @@
 //! stream, which converges because blocks are in steady state after their
 //! first region sweep.
 //!
+//! # Parallelism model
+//!
+//! The unit of parallel work is the **basic block**. Every folded block of
+//! a rank owns a private [`xtrace_cache::CacheHierarchy`], so block
+//! simulations share no mutable state and [`collect_task_trace`] fans out
+//! over them with rayon; [`collect_ranks`] adds a second fan-out across
+//! ranks. Results are deterministic at any thread count: the parallel
+//! collects are ordered (output position is fixed by input position, not
+//! completion time), every address stream is seeded from `(rank, block,
+//! instruction)` alone, and the per-block sampling windows do not depend on
+//! scheduling. The cost of giving each block a cold private cache is
+//! absorbed by the existing warmup window, which was already discarding the
+//! start-of-sample transient; the per-block and shared-cache formulations
+//! agree within sampling tolerance (asserted in `collect`'s tests).
+//!
+//! On top of the fan-out sits [`SigMemo`], a content-addressed memo of
+//! block simulations: SPMD ranks run structurally identical blocks, and
+//! only `Random`-pattern instructions consume the per-rank stream seed, so
+//! deterministic blocks are simulated once per job instead of once per
+//! rank. Each memo key's simulation runs exactly once even under
+//! contention, and a memo answer is bit-identical to recomputing, so
+//! memoization is invisible in the output.
+//!
 //! [`collect_signature`] traces the most computationally demanding task
 //! (identified by the `xtrace-spmd` profiling pass); [`collect_ranks`]
-//! traces any subset of ranks in parallel (rayon) for the clustering
-//! extension.
+//! traces any subset of ranks in parallel for the clustering extension.
 
 #![warn(missing_docs)]
 
 pub mod collect;
 pub mod io;
+pub mod memo;
 pub mod sig;
 
 pub use collect::{
-    collect_ranks, collect_signature, collect_signature_with, collect_task_trace,
-    rank_stream_seed, TracerConfig,
+    collect_ranks, collect_ranks_memo, collect_signature, collect_signature_with,
+    collect_task_trace, collect_task_trace_memo, rank_stream_seed, TracerConfig,
 };
 pub use io::{from_bytes, load_json, save_json, to_bytes, CodecError};
+pub use memo::SigMemo;
 pub use sig::{
     AppSignature, BlockRecord, FeatureId, FeatureVector, InstrRecord, TaskTrace,
 };

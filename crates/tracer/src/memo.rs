@@ -1,0 +1,194 @@
+//! Content-addressed memoization of per-block cache simulations.
+//!
+//! Simulating one block's sampled address stream is the expensive part of
+//! signature collection, and across an SPMD job the same simulation recurs
+//! constantly: every rank of a proxy app runs structurally identical blocks
+//! over identically sized regions, and only `Random`-pattern instructions
+//! actually consume the per-rank stream seed. [`SigMemo`] exploits that:
+//! the sampled per-instruction hit counters for a block are stored under a
+//! key that hashes *everything the simulation result depends on* —
+//!
+//! * the target hierarchy's geometry (per-level size, line, associativity,
+//!   replacement policy),
+//! * the sampling window (warmup and sampled iteration counts),
+//! * every instruction of the block in order (kind, repeat, reference size,
+//!   address pattern, and the referenced region's base, size, and element
+//!   granularity),
+//! * the per-instruction stream seed — but **only** for `Random`-pattern
+//!   instructions, since deterministic patterns ignore it. Blocks without
+//!   random accesses therefore dedup across ranks and, when the window
+//!   matches, across core counts.
+//!
+//! Keys are content hashes (FNV-1a over the fields above), so two
+//! structurally identical blocks from different programs or ranks share one
+//! entry. Each key's simulation runs exactly once — concurrent requesters
+//! of the same key park on its `OnceLock` cell instead of duplicating the
+//! work — and hit/miss counters are exposed for the bench harness.
+//! Memoization never changes results: the key covers every simulation
+//! input, so a memo answer is bit-identical to recomputing.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use xtrace_cache::LevelCounts;
+use xtrace_ir::{AddressPattern, BasicBlock, InstrKind, Program};
+use xtrace_machine::MachineProfile;
+
+/// 64-bit FNV-1a running hash.
+#[derive(Debug, Clone, Copy)]
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Fnv1a(0xCBF2_9CE4_8422_2325)
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01B3);
+        }
+    }
+}
+
+/// Hashes every determinant of a block's sampled simulation. See the module
+/// docs for the field inventory; `seed_for` supplies the per-instruction
+/// stream seed (mixed in only for `Random` patterns).
+pub(crate) fn block_sim_key(
+    program: &Program,
+    block: &BasicBlock,
+    machine: &MachineProfile,
+    warmup_iters: u64,
+    sample_iters: u64,
+    seed_for: impl Fn(usize) -> u64,
+) -> u64 {
+    let mut h = Fnv1a::new();
+    for l in &machine.hierarchy.levels {
+        h.write_u64(l.size_bytes);
+        h.write_u64(u64::from(l.line_bytes));
+        h.write_u64(u64::from(l.assoc));
+        h.write_u64(l.replacement as u64);
+    }
+    h.write_u64(machine.hierarchy.levels.len() as u64);
+    h.write_u64(warmup_iters);
+    h.write_u64(sample_iters);
+    h.write_u64(block.instrs.len() as u64);
+    for (idx, ins) in block.instrs.iter().enumerate() {
+        h.write_u64(u64::from(ins.repeat));
+        match ins.kind {
+            InstrKind::Fp { op } => {
+                h.write_u64(0x10 + op as u64);
+            }
+            InstrKind::Mem {
+                op,
+                region,
+                bytes,
+                pattern,
+            } => {
+                let r = program.region(region);
+                h.write_u64(0x20 + op as u64);
+                h.write_u64(program.region_base(region));
+                h.write_u64(r.bytes);
+                h.write_u64(u64::from(r.elem_bytes));
+                h.write_u64(u64::from(bytes));
+                match pattern {
+                    AddressPattern::Strided { stride } => {
+                        h.write_u64(0x30);
+                        h.write_u64(stride);
+                    }
+                    AddressPattern::Stencil { points, plane } => {
+                        h.write_u64(0x31);
+                        h.write_u64(u64::from(points));
+                        h.write_u64(plane);
+                    }
+                    AddressPattern::Random => {
+                        h.write_u64(0x32);
+                        // The only pattern that reads the stream seed.
+                        h.write_u64(seed_for(idx));
+                    }
+                }
+            }
+        }
+    }
+    h.0
+}
+
+/// One memo entry: initialized exactly once, shared by reference.
+type MemoCell = Arc<OnceLock<Arc<Vec<LevelCounts>>>>;
+
+/// Shared memo of sampled per-block hit counters, safe to use from the
+/// rayon fan-outs in [`crate::collect_ranks`].
+#[derive(Debug, Default)]
+pub struct SigMemo {
+    map: Mutex<HashMap<u64, MemoCell>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SigMemo {
+    /// An empty memo.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Simulations answered from the memo.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Simulations that had to run (exactly one per distinct key).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Fraction of lookups answered from the memo (0 when never used).
+    pub fn hit_rate(&self) -> f64 {
+        let (h, m) = (self.hits(), self.misses());
+        if h + m == 0 {
+            0.0
+        } else {
+            h as f64 / (h + m) as f64
+        }
+    }
+
+    /// Distinct simulations stored.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("memo lock").len()
+    }
+
+    /// True when nothing has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns the counters stored under `key`, running `compute` on a
+    /// miss. The map lock is held only for the cell lookup, so distinct
+    /// blocks never serialize on each other; concurrent requests for the
+    /// *same* key wait on its cell and share the single computation.
+    pub(crate) fn get_or_compute(
+        &self,
+        key: u64,
+        compute: impl FnOnce() -> Vec<LevelCounts>,
+    ) -> Arc<Vec<LevelCounts>> {
+        let cell = Arc::clone(
+            self.map
+                .lock()
+                .expect("memo lock")
+                .entry(key)
+                .or_default(),
+        );
+        let mut fresh = false;
+        let value = cell.get_or_init(|| {
+            fresh = true;
+            Arc::new(compute())
+        });
+        if fresh {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        Arc::clone(value)
+    }
+}

@@ -1,11 +1,16 @@
 //! Property tests for the tracer: arbitrary traces must survive the binary
-//! codec bit-exactly, and collection must keep feature invariants for
-//! arbitrary (valid) programs.
+//! codec bit-exactly, collection must keep feature invariants for
+//! arbitrary (valid) programs, and the rayon fan-out must be invisible —
+//! identical results at any thread count and across same-seed runs.
 
 use proptest::prelude::*;
+use proptest::test_runner::ProptestConfig;
+use xtrace_apps::SpecfemProxy;
 use xtrace_ir::SourceLoc;
+use xtrace_machine::presets;
 use xtrace_tracer::{
-    from_bytes, to_bytes, BlockRecord, FeatureVector, InstrRecord, TaskTrace,
+    collect_ranks, collect_task_trace, from_bytes, to_bytes, BlockRecord, FeatureVector,
+    InstrRecord, TaskTrace, TracerConfig,
 };
 
 fn arb_feature_vector() -> impl Strategy<Value = FeatureVector> {
@@ -135,5 +140,48 @@ proptest! {
             }
         }
         prop_assert!((sum - 1.0).abs() < 1e-6, "mem influences sum to {sum}");
+    }
+}
+
+proptest! {
+    // Each case runs several full collections; a handful of seeds is
+    // plenty, and PROPTEST_CASES can raise it.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Collection is a pure function of (app, ranks, machine, config):
+    /// the rayon fan-out over ranks and blocks must produce bit-identical
+    /// traces at one thread, at N threads, and across repeated runs with
+    /// the same seed.
+    #[test]
+    fn collection_is_thread_count_invariant_and_repeatable(
+        seed in any::<u64>(),
+        threads in 2usize..6,
+    ) {
+        let app = SpecfemProxy::small();
+        let machine = presets::system_a();
+        let cfg = TracerConfig {
+            max_sampled_refs_per_block: 1 << 14,
+            seed,
+        };
+        let ranks = [0u32, 1, 3];
+        let run = |n: usize| {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(n)
+                .build()
+                .expect("pool");
+            pool.install(|| collect_ranks(&app, &ranks, 8, &machine, &cfg))
+        };
+        let one_thread = run(1);
+        let many_threads = run(threads);
+        let again = run(threads);
+        prop_assert_eq!(&one_thread, &many_threads);
+        prop_assert_eq!(&one_thread, &again);
+
+        // The single-task path must be just as repeatable, and must agree
+        // with the fan-out's per-rank result.
+        let t1 = collect_task_trace(&app, 1, 8, &machine, &cfg);
+        let t2 = collect_task_trace(&app, 1, 8, &machine, &cfg);
+        prop_assert_eq!(&t1, &t2);
+        prop_assert_eq!(&t1, &one_thread[1]);
     }
 }

@@ -1,0 +1,189 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the bench binaries' API (`criterion_group!`, `benchmark_group`,
+//! `bench_with_input`, `Bencher::iter`, `Throughput`) and measures with a
+//! plain adaptive wall-clock loop: calibrate the per-iteration cost, then
+//! time enough iterations to fill a short measurement window and report
+//! mean ns/iter (plus elements/s when a throughput is declared). No
+//! statistics machinery, no HTML reports.
+//!
+//! Honors `XTRACE_BENCH_QUICK=1` to shrink the measurement window for
+//! smoke runs in CI.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target measurement window per benchmark.
+fn measure_window() -> Duration {
+    if std::env::var_os("XTRACE_BENCH_QUICK").is_some_and(|v| v == "1") {
+        Duration::from_millis(50)
+    } else {
+        Duration::from_millis(400)
+    }
+}
+
+/// Top-level harness handle (one per `criterion_group!` runner).
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_one(name, None, f);
+        self
+    }
+}
+
+/// Unit declaration for throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Named set of related benchmarks sharing a throughput declaration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility; the adaptive loop sizes itself.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_one(&format!("{}/{name}", self.name), self.throughput, f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(&label, self.throughput, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// `function/parameter` label pair.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{parameter}", function.into()),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Passed to the benchmark closure; `iter` runs and times the payload.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled by `iter`.
+    mean_ns: f64,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Calibration: run once, then scale up until the batch is long
+        // enough to time reliably.
+        let mut batch: u64 = 1;
+        let calibration_floor = Duration::from_micros(200);
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= calibration_floor || batch >= 1 << 30 {
+                // Size the measured run to fill the window.
+                let per_iter = elapsed.as_secs_f64() / batch as f64;
+                let window = measure_window().as_secs_f64();
+                let iters = ((window / per_iter.max(1e-12)) as u64).clamp(1, 1 << 32);
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                self.mean_ns = start.elapsed().as_secs_f64() * 1e9 / iters as f64;
+                return;
+            }
+            batch = batch.saturating_mul(4);
+        }
+    }
+}
+
+fn run_one<F: FnOnce(&mut Bencher)>(label: &str, throughput: Option<Throughput>, f: F) {
+    let mut b = Bencher { mean_ns: f64::NAN };
+    f(&mut b);
+    if b.mean_ns.is_nan() {
+        println!("{label:<48} (no iter() call)");
+        return;
+    }
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  {:>12.3e} elem/s", n as f64 / (b.mean_ns * 1e-9))
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("  {:>12.3e} B/s", n as f64 / (b.mean_ns * 1e-9))
+        }
+        None => String::new(),
+    };
+    println!("{label:<48} {:>14.1} ns/iter{rate}", b.mean_ns);
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

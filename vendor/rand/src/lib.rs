@@ -1,0 +1,133 @@
+//! Offline stand-in for `rand` 0.8.
+//!
+//! Implements the test-suite surface: `SeedableRng::seed_from_u64`,
+//! `Rng::gen_range` over integer ranges, and `rngs::StdRng` /
+//! `rngs::SmallRng` (both xoshiro256** here — callers only need seeded
+//! determinism and reasonable uniformity, not the real StdRng stream).
+
+/// Deterministically seedable generators.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Random-value generation helpers over a raw `u64` source.
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform draw from `low..high` (half-open). Uses a widening multiply
+    /// instead of modulo, so bias is at most 2^-64.
+    fn gen_range<T: SampleUniform>(&mut self, range: std::ops::Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        let lo = range.start.to_u64();
+        let hi = range.end.to_u64();
+        assert!(hi > lo, "gen_range called with empty range");
+        let span = hi - lo;
+        let draw = ((u128::from(self.next_u64()) * u128::from(span)) >> 64) as u64;
+        T::from_u64(lo + draw)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+/// Integer types usable with [`Rng::gen_range`].
+pub trait SampleUniform: Copy {
+    fn to_u64(self) -> u64;
+    fn from_u64(v: u64) -> Self;
+}
+
+macro_rules! sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn to_u64(self) -> u64 {
+                self as u64
+            }
+            fn from_u64(v: u64) -> Self {
+                v as $t
+            }
+        }
+    )*};
+}
+sample_uniform!(u8, u16, u32, u64, usize);
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// xoshiro256** seeded via SplitMix64 (the reference seeding scheme).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let out = self.s[1]
+                .wrapping_mul(5)
+                .rotate_left(7)
+                .wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+    }
+
+    /// Alias — the stand-in has only one engine.
+    pub type SmallRng = StdRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rngs::StdRng;
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds_and_covers() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut seen = [false; 8];
+        for _ in 0..500 {
+            let v = rng.gen_range(0u64..8);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+        for _ in 0..500 {
+            let v = rng.gen_range(5u32..7);
+            assert!((5..7).contains(&v));
+        }
+    }
+}

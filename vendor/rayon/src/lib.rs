@@ -1,0 +1,259 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Covers the subset this workspace uses: `.par_iter().map(...).collect()`
+//! on slices and `Vec`s, plus `ThreadPoolBuilder` / `ThreadPool::install`
+//! for bounding thread counts in tests and the CLI `--threads` flag.
+//!
+//! Execution model: each `collect()` runs on freshly spawned scoped
+//! threads with dynamic (atomic counter) work claiming, then reassembles
+//! results in item order — so output order is always identical to the
+//! serial path regardless of scheduling, the property the determinism
+//! suite checks. Worker threads run nested `par_iter` calls inline
+//! (thread count 1) rather than over-subscribing, mirroring rayon's
+//! single shared pool.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+thread_local! {
+    /// Thread-count override installed by [`ThreadPool::install`]; worker
+    /// threads set it to 1 so nested parallelism stays bounded.
+    static INSTALLED: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Global default set by [`ThreadPoolBuilder::build_global`] (0 = unset).
+static GLOBAL: AtomicUsize = AtomicUsize::new(0);
+
+fn hardware_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Threads a parallel call issued on this thread will use.
+pub fn current_num_threads() -> usize {
+    INSTALLED.with(Cell::get).unwrap_or_else(|| {
+        match GLOBAL.load(Ordering::Relaxed) {
+            0 => hardware_threads(),
+            n => n,
+        }
+    })
+}
+
+/// Error type for pool construction (the stand-in cannot actually fail;
+/// the type exists so `.build().expect(...)` call sites compile).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a scoped thread-count configuration.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `0` (the default) means use all hardware threads.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            threads: self.resolved(),
+        })
+    }
+
+    /// Sets the process-wide default thread count.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        GLOBAL.store(self.resolved(), Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn resolved(&self) -> usize {
+        if self.num_threads == 0 {
+            hardware_threads()
+        } else {
+            self.num_threads
+        }
+    }
+}
+
+/// A thread-count scope; parallel calls inside [`ThreadPool::install`]
+/// use this pool's count.
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        INSTALLED.with(|c| {
+            let prev = c.replace(Some(self.threads));
+            // Restore on unwind too, so a panicking test doesn't leak its
+            // override into later tests on the same thread.
+            struct Reset<'a>(&'a Cell<Option<usize>>, Option<usize>);
+            impl Drop for Reset<'_> {
+                fn drop(&mut self) {
+                    self.0.set(self.1);
+                }
+            }
+            let _reset = Reset(c, prev);
+            op()
+        })
+    }
+
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+}
+
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+/// `.par_iter()` entry point for slice-backed collections.
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Sync + 'a;
+
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Borrowed parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a T) + Sync,
+    {
+        let _: Vec<()> = self.map(f).collect();
+    }
+}
+
+/// Mapped parallel iterator; `collect()` executes it.
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, R: Send, F: Fn(&'a T) -> R + Sync> ParMap<'a, T, F> {
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        let items = self.items;
+        run_ordered(items.len(), |i| (self.f)(&items[i]))
+    }
+}
+
+/// Runs `f(0..n)` across the effective thread count and yields results in
+/// index order.
+fn run_ordered<R, C, F>(n: usize, f: F) -> C
+where
+    R: Send,
+    C: FromIterator<R>,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = current_num_threads().min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut chunks: Vec<Vec<(usize, R)>> = Vec::with_capacity(threads);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| {
+                    INSTALLED.with(|c| c.set(Some(1)));
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        out.push((i, f(i)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(part) => chunks.push(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+
+    let mut all: Vec<(usize, R)> = chunks.into_iter().flatten().collect();
+    all.sort_unstable_by_key(|&(i, _)| i);
+    all.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn install_bounds_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.install(current_num_threads), 3);
+        assert_ne!(current_num_threads(), 0);
+    }
+
+    #[test]
+    fn single_thread_matches_parallel() {
+        let input: Vec<u64> = (0..257).collect();
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let serial: Vec<u64> = pool.install(|| input.par_iter().map(|&x| x * x).collect());
+        let parallel: Vec<u64> = input.par_iter().map(|&x| x * x).collect();
+        assert_eq!(serial, parallel);
+    }
+}

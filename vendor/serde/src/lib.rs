@@ -1,0 +1,436 @@
+//! Offline stand-in for `serde`.
+//!
+//! The real crates.io `serde` is unavailable in this build environment, so
+//! this crate provides the subset the workspace uses: `Serialize` /
+//! `Deserialize` traits (via a tree-structured [`Value`] data model rather
+//! than serde's streaming visitors), derive macros for plain structs and
+//! externally-tagged enums, and `#[serde(transparent)]` newtypes. The JSON
+//! front-end lives in the sibling `serde_json` stand-in.
+//!
+//! The wire behaviour intentionally mirrors serde+serde_json defaults:
+//! struct -> JSON object in declaration order, unit enum variant -> string,
+//! data-carrying variant -> single-key object, `Option` -> value-or-null.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The serialization data model: a JSON-shaped tree.
+///
+/// Objects keep insertion order (a `Vec` of pairs, not a map) so output is
+/// deterministic and matches struct declaration order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object with preserved key order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member lookup on objects; `None` for non-objects or missing keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The object's key/value pairs, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// The array's elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// String view, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric view with integer/float coercion.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::U64(u) => Some(u as f64),
+            Value::I64(i) => Some(i as f64),
+            Value::F64(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// Unsigned view; accepts any non-negative integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::U64(u) => Some(u),
+            Value::I64(i) if i >= 0 => Some(i as u64),
+            Value::F64(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => {
+                Some(f as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Signed view; accepts any in-range integral number.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::U64(u) if u <= i64::MAX as u64 => Some(u as i64),
+            Value::I64(i) => Some(i),
+            Value::F64(f) if f.fract() == 0.0 && f.abs() <= i64::MAX as f64 => Some(f as i64),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// One-word description used in error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) | Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Deserialization error: a human-readable description of the first
+/// mismatch between the value tree and the target type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Builds an error from anything displayable.
+    pub fn msg(m: impl std::fmt::Display) -> Self {
+        Error(m.to_string())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can be turned into a [`Value`] tree.
+pub trait Serialize {
+    /// Serializes `self` into the data model.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Deserializes from the data model.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! ser_de_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let u = v
+                    .as_u64()
+                    .ok_or_else(|| Error::msg(format!(
+                        "expected unsigned integer, found {}", v.kind()
+                    )))?;
+                <$t>::try_from(u).map_err(|_| {
+                    Error::msg(format!("integer {u} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+ser_de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_de_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let i = *self as i64;
+                if i >= 0 { Value::U64(i as u64) } else { Value::I64(i) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let i = v
+                    .as_i64()
+                    .ok_or_else(|| Error::msg(format!(
+                        "expected integer, found {}", v.kind()
+                    )))?;
+                <$t>::try_from(i).map_err(|_| {
+                    Error::msg(format!("integer {i} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+ser_de_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+            .ok_or_else(|| Error::msg(format!("expected number, found {}", v.kind())))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(f64::from_value(v)? as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool()
+            .ok_or_else(|| Error::msg(format!("expected bool, found {}", v.kind())))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error::msg(format!("expected string, found {}", v.kind())))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| Error::msg(format!("expected array, found {}", v.kind())))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize + Copy + Default, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = v
+            .as_array()
+            .ok_or_else(|| Error::msg(format!("expected array, found {}", v.kind())))?;
+        if items.len() != N {
+            return Err(Error::msg(format!(
+                "expected array of length {N}, found {}",
+                items.len()
+            )));
+        }
+        let mut out = [T::default(); N];
+        for (slot, item) in out.iter_mut().zip(items) {
+            *slot = T::from_value(item)?;
+        }
+        Ok(out)
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_object()
+            .ok_or_else(|| Error::msg(format!("expected object, found {}", v.kind())))?
+            .iter()
+            .map(|(k, val)| Ok((k.clone(), V::from_value(val)?)))
+            .collect()
+    }
+}
+
+macro_rules! ser_de_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let items = v.as_array().ok_or_else(|| {
+                    Error::msg(format!("expected tuple array, found {}", v.kind()))
+                })?;
+                let expect = [$($idx),+].len();
+                if items.len() != expect {
+                    return Err(Error::msg(format!(
+                        "expected tuple of {expect}, found {}", items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+ser_de_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+// ---------------------------------------------------------------------------
+// Derive-support helpers (referenced by serde_derive-generated code)
+// ---------------------------------------------------------------------------
+
+/// Reads and deserializes a struct field from an object's pairs.
+pub fn field<T: Deserialize>(v: &Value, name: &str) -> Result<T, Error> {
+    match v.get(name) {
+        Some(f) => T::from_value(f)
+            .map_err(|e| Error::msg(format!("field `{name}`: {e}"))),
+        // Missing fields only deserialize if the target accepts null
+        // (i.e. Option), matching the common serde default behaviour the
+        // workspace relies on.
+        None => T::from_value(&Value::Null)
+            .map_err(|_| Error::msg(format!("missing field `{name}`"))),
+    }
+}
+
+/// Fetches the payload of an externally-tagged enum variant.
+pub fn variant<'v>(v: &'v Value, enum_name: &str) -> Result<(&'v str, &'v Value), Error> {
+    static NULL: Value = Value::Null;
+    match v {
+        Value::Str(s) => Ok((s.as_str(), &NULL)),
+        Value::Object(pairs) if pairs.len() == 1 => {
+            Ok((pairs[0].0.as_str(), &pairs[0].1))
+        }
+        other => Err(Error::msg(format!(
+            "expected {enum_name} variant (string or single-key object), found {}",
+            other.kind()
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_accessors() {
+        let v = Value::Object(vec![("a".into(), Value::U64(3))]);
+        assert_eq!(v.get("a").unwrap().as_u64(), Some(3));
+        assert_eq!(v.get("b"), None);
+        assert_eq!(Value::F64(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::I64(-1).as_u64(), None);
+    }
+
+    #[test]
+    fn primitive_roundtrips() {
+        assert_eq!(u32::from_value(&42u32.to_value()).unwrap(), 42);
+        assert_eq!(f64::from_value(&3.25f64.to_value()).unwrap(), 3.25);
+        assert_eq!(
+            Option::<u32>::from_value(&Value::Null).unwrap(),
+            None
+        );
+        let arr = [0.1f64, 0.2, 0.3, 0.4];
+        assert_eq!(<[f64; 4]>::from_value(&arr.to_value()).unwrap(), arr);
+    }
+}

@@ -1,0 +1,419 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! shapes this workspace actually uses — plain (non-generic) structs with
+//! named fields, tuple structs, unit structs, and enums with unit / tuple /
+//! struct variants — without depending on `syn`/`quote` (unavailable
+//! offline). The input item is parsed directly from the `proc_macro` token
+//! stream and the impl is emitted as source text.
+//!
+//! Attribute support is limited to `#[serde(transparent)]`; all other
+//! `#[serde(...)]` contents are rejected loudly rather than silently
+//! ignored.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+use std::iter::Peekable;
+use std::str::FromStr;
+
+type TokIter = Peekable<proc_macro::token_stream::IntoIter>;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    render(gen_serialize(&item))
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    render(gen_deserialize(&item))
+}
+
+fn render(code: String) -> TokenStream {
+    TokenStream::from_str(&code)
+        .unwrap_or_else(|e| panic!("derive stand-in produced unparsable code: {e:?}\n{code}"))
+}
+
+// ---------------------------------------------------------------------------
+// Parsed shape of the derive input
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+enum Body {
+    UnitStruct,
+    TupleStruct { arity: usize },
+    NamedStruct { fields: Vec<String>, transparent: bool },
+    Enum { variants: Vec<Variant> },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut it = input.into_iter().peekable();
+    let transparent = skip_attrs(&mut it);
+    skip_vis(&mut it);
+
+    let kind = expect_ident(&mut it, "`struct` or `enum`");
+    let name = expect_ident(&mut it, "item name");
+    if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde derive stand-in: generic type `{name}` is not supported");
+    }
+
+    let body = match (kind.as_str(), it.next()) {
+        ("struct", Some(TokenTree::Punct(p))) if p.as_char() == ';' => Body::UnitStruct,
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Body::TupleStruct { arity: tuple_arity(&g) }
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Body::NamedStruct { fields: named_fields(&g), transparent }
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Body::Enum { variants: enum_variants(&g) }
+        }
+        (k, t) => panic!("serde derive stand-in: unsupported item `{k}` with body {t:?}"),
+    };
+    Item { name, body }
+}
+
+/// Skips `#[...]` attributes; panics on `#[serde(...)]` contents other than
+/// `transparent` so unsupported options fail the build instead of silently
+/// changing wire format. Returns whether `#[serde(transparent)]` was seen.
+fn skip_attrs(it: &mut TokIter) -> bool {
+    let mut transparent = false;
+    while matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        it.next();
+        match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                if let Some(kind) = serde_attr_kind(&g) {
+                    if kind == "transparent" {
+                        transparent = true;
+                    } else {
+                        panic!("serde derive stand-in: unsupported #[serde({kind})]");
+                    }
+                }
+            }
+            other => panic!("serde derive stand-in: malformed attribute {other:?}"),
+        }
+    }
+    transparent
+}
+
+/// If the bracket group is `serde(...)`, returns the first ident inside.
+fn serde_attr_kind(g: &Group) -> Option<String> {
+    let mut it = g.stream().into_iter();
+    match it.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return None,
+    }
+    if let Some(TokenTree::Group(inner)) = it.next() {
+        for tt in inner.stream() {
+            if let TokenTree::Ident(id) = tt {
+                return Some(id.to_string());
+            }
+        }
+    }
+    Some(String::new())
+}
+
+fn skip_vis(it: &mut TokIter) {
+    if matches!(it.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        it.next();
+        if matches!(it.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            it.next();
+        }
+    }
+}
+
+fn expect_ident(it: &mut TokIter, what: &str) -> String {
+    match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive stand-in: expected {what}, found {other:?}"),
+    }
+}
+
+/// Number of fields in a tuple-struct / tuple-variant paren group. Commas
+/// inside nested groups are invisible (groups are single tokens); commas
+/// inside `<...>` generic arguments are skipped by angle-depth tracking.
+fn tuple_arity(g: &Group) -> usize {
+    let mut arity = 0usize;
+    let mut saw_tokens = false;
+    let mut angle = 0i32;
+    for tt in g.stream() {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                arity += 1;
+                saw_tokens = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_tokens = true;
+    }
+    if saw_tokens {
+        arity += 1;
+    }
+    arity
+}
+
+fn named_fields(g: &Group) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut it = g.stream().into_iter().peekable();
+    loop {
+        skip_attrs(&mut it);
+        skip_vis(&mut it);
+        match it.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => {
+                fields.push(id.to_string());
+                skip_past_comma(&mut it);
+            }
+            other => panic!("serde derive stand-in: expected field name, found {other:?}"),
+        }
+    }
+    fields
+}
+
+/// Consumes `: Type,` after a field name, honouring `<...>` nesting.
+fn skip_past_comma(it: &mut TokIter) {
+    let mut angle = 0i32;
+    for tt in it.by_ref() {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => return,
+            _ => {}
+        }
+    }
+}
+
+fn enum_variants(g: &Group) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut it = g.stream().into_iter().peekable();
+    loop {
+        skip_attrs(&mut it);
+        let name = match it.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde derive stand-in: expected variant name, found {other:?}"),
+        };
+        let kind = match it.peek() {
+            Some(TokenTree::Group(inner)) if inner.delimiter() == Delimiter::Parenthesis => {
+                let k = VariantKind::Tuple(tuple_arity(inner));
+                it.next();
+                k
+            }
+            Some(TokenTree::Group(inner)) if inner.delimiter() == Delimiter::Brace => {
+                let k = VariantKind::Struct(named_fields(inner));
+                it.next();
+                k
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        // Trailing comma between variants (discriminants are unsupported).
+        match it.next() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            other => panic!("serde derive stand-in: expected `,` after variant, found {other:?}"),
+        }
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (emitted as source text, then re-parsed)
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::UnitStruct => "::serde::Value::Null".to_string(),
+        Body::TupleStruct { arity: 1 } => {
+            "::serde::Serialize::to_value(&self.0)".to_string()
+        }
+        Body::TupleStruct { arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Body::NamedStruct { fields, transparent } if *transparent && fields.len() == 1 => {
+            format!("::serde::Serialize::to_value(&self.{})", fields[0])
+        }
+        Body::NamedStruct { fields, .. } => object_literal(
+            fields
+                .iter()
+                .map(|f| (f.clone(), format!("::serde::Serialize::to_value(&self.{f})"))),
+        ),
+        Body::Enum { variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => \
+                         ::serde::Value::Str(::std::string::String::from(\"{vname}\")),\n"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let binds: Vec<String> =
+                            (0..*arity).map(|i| format!("__f{i}")).collect();
+                        let payload = if *arity == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => ::serde::Value::Object(vec![\
+                             (::std::string::String::from(\"{vname}\"), {payload})]),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let payload = object_literal(
+                            fields
+                                .iter()
+                                .map(|f| (f.clone(), format!("::serde::Serialize::to_value({f})"))),
+                        );
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => ::serde::Value::Object(vec![\
+                             (::std::string::String::from(\"{vname}\"), {payload})]),\n",
+                            fields.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn object_literal(pairs: impl Iterator<Item = (String, String)>) -> String {
+    let items: Vec<String> = pairs
+        .map(|(k, v)| format!("(::std::string::String::from(\"{k}\"), {v})"))
+        .collect();
+    format!("::serde::Value::Object(vec![{}])", items.join(", "))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::UnitStruct => format!("Ok({name})"),
+        Body::TupleStruct { arity: 1 } => {
+            format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Body::TupleStruct { arity } => tuple_from_array(name, "__v", *arity),
+        Body::NamedStruct { fields, transparent } if *transparent && fields.len() == 1 => {
+            format!(
+                "Ok({name} {{ {}: ::serde::Deserialize::from_value(__v)? }})",
+                fields[0]
+            )
+        }
+        Body::NamedStruct { fields, .. } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::field(__v, \"{f}\")?"))
+                .collect();
+            format!("Ok({name} {{ {} }})", inits.join(", "))
+        }
+        Body::Enum { variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        arms.push_str(&format!("\"{vname}\" => Ok({name}::{vname}),\n"));
+                    }
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "\"{vname}\" => Ok({name}::{vname}(\
+                         ::serde::Deserialize::from_value(__payload)?)),\n"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let ctor = tuple_from_array(
+                            &format!("{name}::{vname}"),
+                            "__payload",
+                            *arity,
+                        );
+                        arms.push_str(&format!("\"{vname}\" => {{ {ctor} }}\n"));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::field(__payload, \"{f}\")?"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "\"{vname}\" => Ok({name}::{vname} {{ {} }}),\n",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "let (__tag, __payload) = ::serde::variant(__v, \"{name}\")?;\n\
+                 match __tag {{\n\
+                 {arms}\
+                 __other => Err(::serde::Error::msg(::std::format!(\
+                     \"unknown {name} variant `{{__other}}`\"))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+/// Builds `Ctor(item0, item1, ...)` from an expected-length array value.
+fn tuple_from_array(ctor: &str, source: &str, arity: usize) -> String {
+    let items: Vec<String> = (0..arity)
+        .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+        .collect();
+    format!(
+        "{{\n\
+         let __items = {source}.as_array().ok_or_else(|| \
+             ::serde::Error::msg(\"expected array for {ctor}\"))?;\n\
+         if __items.len() != {arity} {{\n\
+             return Err(::serde::Error::msg(::std::format!(\
+                 \"expected {arity} elements for {ctor}, found {{}}\", __items.len())));\n\
+         }}\n\
+         Ok({ctor}({}))\n\
+         }}",
+        items.join(", ")
+    )
+}

@@ -1,0 +1,529 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Text front-end over the stand-in `serde` crate's [`Value`] data model:
+//! a recursive-descent parser plus compact and pretty writers. Matches
+//! serde_json's observable defaults where the workspace depends on them —
+//! struct fields in declaration order, floats via Rust's shortest
+//! round-trip formatting, `null` for `None`.
+
+use std::fmt::Write as _;
+
+pub use serde::Error;
+
+/// JSON value with order-preserving objects, plus the indexing and literal
+/// comparisons (`v["key"] == 2`) tests lean on.
+#[derive(Debug, Clone, PartialEq)]
+#[repr(transparent)] // required: Index re-borrows inner nodes via pointer cast
+pub struct Value(pub serde::Value);
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        static NULL: Value = Value(serde::Value::Null);
+        match self.0.get(key) {
+            // Value is a transparent wrapper, so re-borrowing the inner
+            // node as Value is layout-safe; done via pointer cast to keep
+            // Index's &-return signature without cloning.
+            Some(inner) => unsafe { &*(inner as *const serde::Value as *const Value) },
+            None => &NULL,
+        }
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, idx: usize) -> &Value {
+        static NULL: Value = Value(serde::Value::Null);
+        match self.0.as_array().and_then(|a| a.get(idx)) {
+            Some(inner) => unsafe { &*(inner as *const serde::Value as *const Value) },
+            None => &NULL,
+        }
+    }
+}
+
+impl Value {
+    pub fn as_str(&self) -> Option<&str> {
+        self.0.as_str()
+    }
+    pub fn as_f64(&self) -> Option<f64> {
+        self.0.as_f64()
+    }
+    pub fn as_u64(&self) -> Option<u64> {
+        self.0.as_u64()
+    }
+    pub fn as_i64(&self) -> Option<i64> {
+        self.0.as_i64()
+    }
+    pub fn as_bool(&self) -> Option<bool> {
+        self.0.as_bool()
+    }
+    pub fn is_null(&self) -> bool {
+        matches!(self.0, serde::Value::Null)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.0.as_str() == Some(*other)
+    }
+}
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.0.as_str() == Some(other)
+    }
+}
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.0.as_str() == Some(other.as_str())
+    }
+}
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.0.as_bool() == Some(*other)
+    }
+}
+macro_rules! eq_int {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                match i64::try_from(*other) {
+                    Ok(i) => self.0.as_i64() == Some(i),
+                    Err(_) => self.0.as_u64() == Some(*other as u64),
+                }
+            }
+        }
+    )*};
+}
+eq_int!(i32, i64, u32, u64, usize);
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        self.0.as_f64() == Some(*other)
+    }
+}
+
+impl serde::Serialize for Value {
+    fn to_value(&self) -> serde::Value {
+        self.0.clone()
+    }
+}
+impl serde::Deserialize for Value {
+    fn from_value(v: &serde::Value) -> Result<Self, Error> {
+        Ok(Value(v.clone()))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Writers
+// ---------------------------------------------------------------------------
+
+/// Serializes to compact JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_compact(&value.to_value(), &mut out);
+    Ok(out)
+}
+
+/// Serializes to 2-space-indented JSON.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_pretty(&value.to_value(), 0, &mut out);
+    Ok(out)
+}
+
+fn write_compact(v: &serde::Value, out: &mut String) {
+    match v {
+        serde::Value::Null => out.push_str("null"),
+        serde::Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        serde::Value::U64(u) => {
+            let _ = write!(out, "{u}");
+        }
+        serde::Value::I64(i) => {
+            let _ = write!(out, "{i}");
+        }
+        serde::Value::F64(f) => write_f64(*f, out),
+        serde::Value::Str(s) => write_escaped(s, out),
+        serde::Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(item, out);
+            }
+            out.push(']');
+        }
+        serde::Value::Object(pairs) => {
+            out.push('{');
+            for (i, (k, val)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(k, out);
+                out.push(':');
+                write_compact(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_pretty(v: &serde::Value, indent: usize, out: &mut String) {
+    match v {
+        serde::Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(indent + 1, out);
+                write_pretty(item, indent + 1, out);
+            }
+            out.push('\n');
+            push_indent(indent, out);
+            out.push(']');
+        }
+        serde::Value::Object(pairs) if !pairs.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, val)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(indent + 1, out);
+                write_escaped(k, out);
+                out.push_str(": ");
+                write_pretty(val, indent + 1, out);
+            }
+            out.push('\n');
+            push_indent(indent, out);
+            out.push('}');
+        }
+        other => write_compact(other, out),
+    }
+}
+
+fn push_indent(n: usize, out: &mut String) {
+    for _ in 0..n {
+        out.push_str("  ");
+    }
+}
+
+/// Floats print with Rust's shortest-round-trip `{:?}` (e.g. `1.0`, not
+/// `1`), the same observable behaviour as serde_json. Non-finite values
+/// have no JSON representation; serde_json writes `null`.
+fn write_f64(f: f64, out: &mut String) {
+    if f.is_finite() {
+        let _ = write!(out, "{f:?}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+/// Deserializes a value from JSON text.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::msg(format!(
+            "trailing characters at offset {}",
+            p.pos
+        )));
+    }
+    T::from_value(&v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, expected: u8) -> Result<(), Error> {
+        if self.peek() == Some(expected) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::msg(format!(
+                "expected `{}` at offset {}",
+                expected as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> Result<(), Error> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(())
+        } else {
+            Err(Error::msg(format!(
+                "expected `{kw}` at offset {}",
+                self.pos
+            )))
+        }
+    }
+
+    fn value(&mut self) -> Result<serde::Value, Error> {
+        match self.peek() {
+            Some(b'n') => {
+                self.eat_keyword("null")?;
+                Ok(serde::Value::Null)
+            }
+            Some(b't') => {
+                self.eat_keyword("true")?;
+                Ok(serde::Value::Bool(true))
+            }
+            Some(b'f') => {
+                self.eat_keyword("false")?;
+                Ok(serde::Value::Bool(false))
+            }
+            Some(b'"') => Ok(serde::Value::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(Error::msg(format!(
+                "unexpected {:?} at offset {}",
+                other.map(|b| b as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn array(&mut self) -> Result<serde::Value, Error> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(serde::Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(serde::Value::Array(items));
+                }
+                _ => {
+                    return Err(Error::msg(format!(
+                        "expected `,` or `]` at offset {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<serde::Value, Error> {
+        self.eat(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(serde::Value::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            pairs.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(serde::Value::Object(pairs));
+                }
+                _ => {
+                    return Err(Error::msg(format!(
+                        "expected `,` or `}}` at offset {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| {
+                                    Error::msg(format!(
+                                        "bad \\u escape at offset {}",
+                                        self.pos
+                                    ))
+                                })?;
+                            // Surrogate pairs are out of scope for this
+                            // stand-in; the workspace never emits them.
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        other => {
+                            return Err(Error::msg(format!(
+                                "bad escape {:?} at offset {}",
+                                other.map(|b| b as char),
+                                self.pos
+                            )))
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 code point.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| Error::msg("invalid UTF-8 in string"))?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+                None => return Err(Error::msg("unterminated string")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<serde::Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if is_float {
+            text.parse::<f64>()
+                .map(serde::Value::F64)
+                .map_err(|e| Error::msg(format!("bad number `{text}`: {e}")))
+        } else if let Some(stripped) = text.strip_prefix('-') {
+            // Negative integer: keep integer typing where possible.
+            stripped
+                .parse::<u64>()
+                .ok()
+                .and_then(|_| text.parse::<i64>().ok())
+                .map(serde::Value::I64)
+                .or_else(|| text.parse::<f64>().ok().map(serde::Value::F64))
+                .ok_or_else(|| Error::msg(format!("bad number `{text}`")))
+        } else {
+            text.parse::<u64>()
+                .map(serde::Value::U64)
+                .or_else(|_| text.parse::<f64>().map(serde::Value::F64))
+                .map_err(|e| Error::msg(format!("bad number `{text}`: {e}")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_compact() {
+        let v: Value = from_str(r#"{"a": [1, -2, 2.5], "b": "x\ny", "c": null}"#).unwrap();
+        assert_eq!(
+            to_string(&v).unwrap(),
+            r#"{"a":[1,-2,2.5],"b":"x\ny","c":null}"#
+        );
+        assert_eq!(v["a"][2], 2.5);
+        assert_eq!(v["b"], "x\ny");
+        assert!(v["c"].is_null());
+        assert!(v["missing"].is_null());
+    }
+
+    #[test]
+    fn floats_keep_trailing_zero() {
+        assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
+        assert_eq!(to_string(&0.1f64).unwrap(), "0.1");
+    }
+
+    #[test]
+    fn pretty_indents() {
+        let v: Value = from_str(r#"{"k": [1]}"#).unwrap();
+        assert_eq!(to_string_pretty(&v).unwrap(), "{\n  \"k\": [\n    1\n  ]\n}");
+    }
+
+    #[test]
+    fn integer_literal_comparisons() {
+        let v: Value = from_str(r#"{"n": 2}"#).unwrap();
+        assert_eq!(v["n"], 2);
+        assert_eq!(v["n"], 2u64);
+    }
+}
