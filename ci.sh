@@ -5,15 +5,25 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
+echo "== fmt =="
+cargo fmt --check
+
 echo "== build (release) =="
 cargo build --workspace --release --offline
 
 echo "== tests =="
 cargo test -q --workspace --offline
 
-echo "== clippy (crates touched by the perf work) =="
+echo "== doc-tests =="
+cargo test -q --workspace --offline --doc
+
+echo "== panic-free library gate =="
+bash scripts/no_panic_gate.sh
+
+echo "== clippy (crates touched by the perf and refactor work) =="
 cargo clippy --offline -p xtrace-ir -p xtrace-cache -p xtrace-tracer \
-    -p xtrace-extrap -p xtrace-bench -p xtrace-cli --all-targets -- -D warnings
+    -p xtrace-extrap -p xtrace-machine -p xtrace-psins -p xtrace-core \
+    -p xtrace-bench -p xtrace-cli --all-targets -- -D warnings
 
 echo "== bench smoke (quick configs) =="
 tmp=$(mktemp -d)

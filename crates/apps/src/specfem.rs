@@ -443,7 +443,11 @@ mod tests {
             .iter()
             .map(|b| b.mem_refs_per_invocation() as f64)
             .sum::<f64>();
-        assert!(master_refs / total > 0.9, "master share {}", master_refs / total);
+        assert!(
+            master_refs / total > 0.9,
+            "master share {}",
+            master_refs / total
+        );
         assert!(
             worst_worker_instr / total < 0.001,
             "worker instruction influence {}",
@@ -492,7 +496,10 @@ mod tests {
                 master.block_by_name("master-collect").unwrap().iterations,
                 app.cfg.collect_per_rank * u64::from(p)
             );
-            assert_eq!(worker.block_by_name("master-collect").unwrap().iterations, 1);
+            assert_eq!(
+                worker.block_by_name("master-collect").unwrap().iterations,
+                1
+            );
         }
     }
 
@@ -515,7 +522,11 @@ mod tests {
         let app = SpecfemProxy::paper_scale();
         for p in [96u32, 6144] {
             let prog = app.rank_program(0, p).program;
-            let r = prog.regions().iter().find(|r| r.name == "master-buf").unwrap();
+            let r = prog
+                .regions()
+                .iter()
+                .find(|r| r.name == "master-buf")
+                .unwrap();
             assert_eq!(r.bytes, app.cfg.master_buf_bytes);
         }
     }

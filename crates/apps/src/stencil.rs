@@ -164,7 +164,9 @@ mod tests {
     fn total_work_is_independent_of_p_up_to_remainders() {
         let app = StencilProxy::medium();
         let total = |p: u32| -> u64 {
-            (0..p).map(|r| app.rank_program(r, p).total_mem_refs()).sum()
+            (0..p)
+                .map(|r| app.rank_program(r, p).total_mem_refs())
+                .sum()
         };
         let t4 = total(4);
         let t8 = total(8);

@@ -84,9 +84,9 @@ impl Uh3dProxy {
     pub fn paper_scale() -> Self {
         Self {
             cfg: Uh3dConfig {
-                total_particles: 1 << 31,          // ~2.1e9 ions
-                grid_cells: 1 << 29,               // ~5.4e8 cells -> 24 GiB of fields
-                moment_table_bytes: 4 << 30,       // 4 GiB moment table
+                total_particles: 1 << 31,    // ~2.1e9 ions
+                grid_cells: 1 << 29,         // ~5.4e8 cells -> 24 GiB of fields
+                moment_table_bytes: 4 << 30, // 4 GiB moment table
                 timesteps: 212,
                 sort_base: 1 << 21,
                 viz_per_rank: 1 << 17,
@@ -162,8 +162,7 @@ impl SpmdApp for Uh3dProxy {
                 parts,
                 vec![
                     Instruction::mem(MemOp::Load, particles, 8, particle_stride).with_repeat(2),
-                    Instruction::mem(MemOp::Load, field, 8, AddressPattern::Random)
-                        .with_repeat(2),
+                    Instruction::mem(MemOp::Load, field, 8, AddressPattern::Random).with_repeat(2),
                     Instruction::mem(MemOp::Load, moments, 8, AddressPattern::Random),
                     Instruction::fp(FpOp::Fma).with_repeat(12),
                     Instruction::fp(FpOp::Div),
@@ -378,8 +377,7 @@ mod tests {
         let app = Uh3dProxy::paper_scale();
         let prog = app.rank_program(0, 8192);
         let blk = prog.program.block_by_name("particle-sort").unwrap();
-        let total =
-            blk.mem_refs_per_invocation() * app.cfg.timesteps;
+        let total = blk.mem_refs_per_invocation() * app.cfg.timesteps;
         assert!(
             (1e9..1e11).contains(&(total as f64)),
             "total sort memops {total:e}"
@@ -450,7 +448,12 @@ mod tests {
             .iter()
             .map(|b| b.mem_refs_per_invocation() as f64)
             .sum();
-        for name in ["particle-push", "current-deposit", "field-stencil", "diag-energy"] {
+        for name in [
+            "particle-push",
+            "current-deposit",
+            "field-stencil",
+            "diag-energy",
+        ] {
             let blk = prog.block_by_name(name).unwrap();
             for ins in &blk.instrs {
                 if ins.is_mem() {
@@ -466,7 +469,11 @@ mod tests {
         // The log-growing sort block stays influential (Figure 5's subject).
         let sort = prog.block_by_name("particle-sort").unwrap();
         let sort_refs = sort.mem_refs_per_invocation() as f64;
-        assert!(sort_refs / total > 0.001, "sort influence {}", sort_refs / total);
+        assert!(
+            sort_refs / total > 0.001,
+            "sort influence {}",
+            sort_refs / total
+        );
     }
 
     #[test]

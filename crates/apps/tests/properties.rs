@@ -17,7 +17,15 @@ fn arb_specfem() -> impl Strategy<Value = SpecfemProxy> {
         prop_oneof![Just(ScalingMode::Strong), Just(ScalingMode::Weak)],
     )
         .prop_map(
-            |(total_elements, gll, timesteps, norm_base, source_iters, collect_per_rank, scaling)| {
+            |(
+                total_elements,
+                gll,
+                timesteps,
+                norm_base,
+                source_iters,
+                collect_per_rank,
+                scaling,
+            )| {
                 SpecfemProxy {
                     cfg: SpecfemConfig {
                         total_elements,

@@ -6,9 +6,11 @@ use std::hint::black_box;
 use xtrace_cache::{CacheHierarchy, CacheLevelConfig, HierarchyConfig};
 
 fn hierarchy(depth: usize) -> HierarchyConfig {
-    let levels = [CacheLevelConfig::lru("L1", 32 * 1024, 64, 8, 2.0),
+    let levels = [
+        CacheLevelConfig::lru("L1", 32 * 1024, 64, 8, 2.0),
         CacheLevelConfig::lru("L2", 512 * 1024, 64, 8, 12.0),
-        CacheLevelConfig::lru("L3", 8 * 1024 * 1024, 64, 16, 40.0)];
+        CacheLevelConfig::lru("L3", 8 * 1024 * 1024, 64, 16, 40.0),
+    ];
     HierarchyConfig::new(levels[..depth].to_vec(), 200.0).unwrap()
 }
 
@@ -24,20 +26,16 @@ fn bench_cache(c: &mut Criterion) {
     let mut g = c.benchmark_group("cache_sim");
     g.throughput(Throughput::Elements(N));
     for depth in [1usize, 2, 3] {
-        g.bench_with_input(
-            BenchmarkId::new("strided", depth),
-            &depth,
-            |b, &depth| {
-                let mut cache = CacheHierarchy::new(hierarchy(depth));
-                let mut k = 0u64;
-                b.iter(|| {
-                    for _ in 0..N {
-                        k = k.wrapping_add(1);
-                        black_box(cache.access((k * 8) % (1 << 26), 8));
-                    }
-                });
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("strided", depth), &depth, |b, &depth| {
+            let mut cache = CacheHierarchy::new(hierarchy(depth));
+            let mut k = 0u64;
+            b.iter(|| {
+                for _ in 0..N {
+                    k = k.wrapping_add(1);
+                    black_box(cache.access((k * 8) % (1 << 26), 8));
+                }
+            });
+        });
         g.bench_with_input(BenchmarkId::new("random", depth), &depth, |b, &depth| {
             let mut cache = CacheHierarchy::new(hierarchy(depth));
             let mut k = 0u64;

@@ -3,7 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
-use xtrace_extrap::{fit_form, select_best, select_best_guarded, CanonicalForm, SelectionCriterion};
+use xtrace_extrap::{
+    fit_form, select_best, select_best_guarded, CanonicalForm, SelectionCriterion,
+};
 
 fn bench_fitting(c: &mut Criterion) {
     let xs = [96.0, 384.0, 1536.0];

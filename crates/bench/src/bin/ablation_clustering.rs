@@ -81,7 +81,10 @@ fn main() {
     }
 
     println!();
-    print_header(&["method", "predicted (s)", "vs collected %"], &[22, 13, 14]);
+    print_header(
+        &["method", "predicted (s)", "vs collected %"],
+        &[22, 13, 14],
+    );
     println!(
         "{:>22}  {:>13.3}  {:>13.2}",
         "longest task (paper)",

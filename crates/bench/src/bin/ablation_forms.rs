@@ -42,7 +42,10 @@ fn main() {
     println!("Ablation: canonical-form set (Section VI future work)\n");
 
     println!("SPECFEM3D proxy -> {SPECFEM_TARGET} cores (master-rank element families):");
-    print_header(&["form set", "extrap (s)", "gap %", "err %"], &[18, 10, 6, 6]);
+    print_header(
+        &["form set", "extrap (s)", "gap %", "err %"],
+        &[18, 10, 6, 6],
+    );
     let machine = target_machine();
     for (label, forms) in &sets {
         let cfg = ExtrapolationConfig {
@@ -67,7 +70,10 @@ fn main() {
     }
 
     println!("\nsymmetric stencil proxy (counts decay like 1/P) -> 128 cores:");
-    print_header(&["form set", "extrap (s)", "gap %", "err %"], &[18, 10, 6, 6]);
+    print_header(
+        &["form set", "extrap (s)", "gap %", "err %"],
+        &[18, 10, 6, 6],
+    );
     let stencil = StencilProxy::medium();
     let xt5 = presets::cray_xt5();
     for (label, forms) in &sets {

@@ -28,6 +28,7 @@ fn with_replacement(base: &MachineProfile, r: Replacement, suffix: &str) -> Mach
         base.sweep.clone(),
         base.fp_mem_overlap,
     )
+    .expect("valid derived profile")
 }
 
 fn main() {

@@ -26,7 +26,14 @@ fn main() {
          (counts are always exact; the budget bounds hit-rate estimation)\n"
     );
     print_header(
-        &["budget (refs)", "extrap (s)", "coll (s)", "measured", "gap %", "err %"],
+        &[
+            "budget (refs)",
+            "extrap (s)",
+            "coll (s)",
+            "measured",
+            "gap %",
+            "err %",
+        ],
         &[13, 10, 9, 9, 6, 6],
     );
 

@@ -21,14 +21,8 @@ fn main() {
     let tracer = paper_tracer();
     let cfg = ExtrapolationConfig::default();
 
-    let (_t, extrapolated, _f) = run_with_fits(
-        &app,
-        &UH3D_TRAINING,
-        UH3D_TARGET,
-        &machine,
-        &tracer,
-        &cfg,
-    );
+    let (_t, extrapolated, _f) =
+        run_with_fits(&app, &UH3D_TRAINING, UH3D_TARGET, &machine, &tracer, &cfg);
     let collected = collect_signature_with(&app, UH3D_TARGET, &machine, &tracer);
     let errors = element_errors(&extrapolated, collected.longest_task());
 
@@ -37,7 +31,13 @@ fn main() {
          (paper uses 0.1%: every element above it within 20%)\n"
     );
     print_header(
-        &["threshold", "influential", "max err %", "mean err %", "under 20%"],
+        &[
+            "threshold",
+            "influential",
+            "max err %",
+            "mean err %",
+            "under 20%",
+        ],
         &[9, 11, 9, 10, 9],
     );
 

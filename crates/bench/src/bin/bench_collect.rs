@@ -33,6 +33,7 @@ use xtrace_apps::SpecfemProxy;
 use xtrace_bench::seed_cache::{SeedAccessStream, SeedCacheHierarchy};
 use xtrace_bench::{target_machine, SPECFEM_TARGET, SPECFEM_TRAINING};
 use xtrace_cache::LevelCounts;
+use xtrace_core::{Pipeline, PipelineConfig};
 use xtrace_extrap::{element_errors, extrapolate_signature, ExtrapolationConfig};
 use xtrace_ir::BlockId;
 use xtrace_machine::MachineProfile;
@@ -87,6 +88,17 @@ struct CollectBench {
     /// Relative error between target-count runtime predictions extrapolated
     /// from the serial and from the memoized training traces.
     prediction_rel_err: f64,
+    /// Pipeline-engine cold run: collect + fit + synthesize + convolve,
+    /// populating the artifact store on the way out.
+    store_cold_s: f64,
+    /// Identical config, warm store: every artifact resumes as a cache hit.
+    store_resume_s: f64,
+    /// Cold wall / warm wall — the store-resume acceptance number.
+    store_resume_speedup: f64,
+    store_cache_hits: usize,
+    /// Relative error between the engine's warm and cold predictions
+    /// (must be exactly 0: a cache hit returns the stored artifact).
+    store_prediction_rel_err: f64,
 }
 
 /// The profiler's longest rank first, then worker ranks spread across the
@@ -149,8 +161,7 @@ fn seed_collect_rank(
         if refs_per_iter == 0 || total_iters == 0 {
             continue;
         }
-        let sample_iters =
-            total_iters.min((cfg.max_sampled_refs_per_block / refs_per_iter).max(1));
+        let sample_iters = total_iters.min((cfg.max_sampled_refs_per_block / refs_per_iter).max(1));
         let warmup_iters = sample_iters.min(total_iters - sample_iters);
         let mut counts = vec![LevelCounts::default(); blk.instrs.len()];
         let mut stream = SeedAccessStream::new(&rp.program, block_id, rank_seed);
@@ -286,7 +297,11 @@ fn main() {
 
     // Verification: the fast path must not change any answer.
     let mut max_rel_err = 0.0f64;
-    for (a, b) in serial_traces.iter().flatten().zip(memo_traces.iter().flatten()) {
+    for (a, b) in serial_traces
+        .iter()
+        .flatten()
+        .zip(memo_traces.iter().flatten())
+    {
         for e in element_errors(a, b) {
             max_rel_err = max_rel_err.max(e.rel_err);
         }
@@ -296,6 +311,36 @@ fn main() {
     let pred_serial = predict_target(&app, &longest(&serial_traces), target, &machine);
     let pred_memo = predict_target(&app, &longest(&memo_traces), target, &machine);
     let prediction_rel_err = relative_error(pred_memo, pred_serial);
+
+    // Legs 4+5: the xtrace-core pipeline engine, cold (populating a fresh
+    // artifact store) then warm (every artifact resumes as a cache hit).
+    let mut pcfg = PipelineConfig::new("specfem3d", machine.name.clone(), training.clone(), target);
+    pcfg.scale = if quick { "small" } else { "paper" }.into();
+    pcfg.fast_tracer = quick;
+    pcfg.validate = false;
+    let store_dir = std::env::temp_dir().join(format!("xtrace-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let engine_run = || {
+        let t0 = Instant::now();
+        let report = Pipeline::new(pcfg.clone())
+            .expect("valid bench config")
+            .with_store(&store_dir)
+            .expect("store opens")
+            .run()
+            .expect("pipeline runs");
+        (t0.elapsed().as_secs_f64(), report)
+    };
+    let (store_cold_s, cold_report) = engine_run();
+    let (store_resume_s, warm_report) = engine_run();
+    let _ = std::fs::remove_dir_all(&store_dir);
+    eprintln!(
+        "  engine cold    : {store_cold_s:.2} s\n  engine resume  : {store_resume_s:.2} s ({} artifacts reused)",
+        warm_report.cache_hits
+    );
+    let store_prediction_rel_err = relative_error(
+        warm_report.prediction.total_seconds,
+        cold_report.prediction.total_seconds,
+    );
 
     let report = CollectBench {
         app: SpmdApp::name(&app).to_string(),
@@ -330,6 +375,11 @@ fn main() {
         },
         max_element_rel_err: max_rel_err,
         prediction_rel_err,
+        store_cold_s,
+        store_resume_s,
+        store_resume_speedup: store_cold_s / store_resume_s,
+        store_cache_hits: warm_report.cache_hits,
+        store_prediction_rel_err,
     };
     std::fs::write(
         &out,
@@ -340,13 +390,16 @@ fn main() {
     println!(
         "speedup vs seed serial: {:.2}x  (kernel+gen {:.2}x, fan-out+memo {:.2}x)\n\
          memo hit rate: {:.1}%  max element err: {:.3e}  prediction err: {:.3e}\n\
+         store resume: {:.2}x ({} artifacts reused)\n\
          wrote {out}",
         report.speedup_vs_seed,
         report.speedup_kernel_and_gen,
         report.speedup_vs_current_serial,
         100.0 * report.memo.hit_rate,
         report.max_element_rel_err,
-        report.prediction_rel_err
+        report.prediction_rel_err,
+        report.store_resume_speedup,
+        report.store_cache_hits
     );
     assert!(
         report.max_element_rel_err == 0.0,
@@ -355,5 +408,15 @@ fn main() {
     assert!(
         report.prediction_rel_err <= 1e-6,
         "memoized collection changed the extrapolated prediction"
+    );
+    assert!(
+        report.store_prediction_rel_err == 0.0,
+        "store resume changed the prediction"
+    );
+    assert!(
+        report.store_cache_hits > 0 && report.store_resume_speedup >= 2.0,
+        "store resume must skip recomputation (got {:.2}x with {} hits)",
+        report.store_resume_speedup,
+        report.store_cache_hits
     );
 }

@@ -109,8 +109,7 @@ fn main() {
             let mut result = None;
             for _ in 0..reps {
                 let t0 = Instant::now();
-                let trace =
-                    extrapolate_signature(&traces, target, &ex_cfg).expect("valid ladder");
+                let trace = extrapolate_signature(&traces, target, &ex_cfg).expect("valid ladder");
                 best = best.min(t0.elapsed().as_secs_f64());
                 result = Some(trace);
             }
@@ -121,7 +120,10 @@ fn main() {
     let (serial_wall, serial_trace) = time_pool(1);
     eprintln!("  1 thread : {:.2} ms/extrapolation", 1e3 * serial_wall);
     let (parallel_wall, parallel_trace) = time_pool(threads);
-    eprintln!("  {threads} threads: {:.2} ms/extrapolation", 1e3 * parallel_wall);
+    eprintln!(
+        "  {threads} threads: {:.2} ms/extrapolation",
+        1e3 * parallel_wall
+    );
 
     let a = serde_json::to_string(&serial_trace).expect("serializable");
     let b = serde_json::to_string(&parallel_trace).expect("serializable");
@@ -153,5 +155,8 @@ fn main() {
         "fitting speedup {:.2}x over {} elements, bit-identical: {}\nwrote {out}",
         report.speedup, report.fitted_elements, report.bit_identical
     );
-    assert!(bit_identical, "parallel fitting changed the extrapolated trace");
+    assert!(
+        bit_identical,
+        "parallel fitting changed the extrapolated trace"
+    );
 }

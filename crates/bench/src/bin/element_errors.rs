@@ -21,13 +21,15 @@ fn audit(app: &dyn SpmdApp, training: &[u32], target: u32) {
     let machine = target_machine();
     let tracer = paper_tracer();
     let cfg = ExtrapolationConfig::default();
-    let (_t, extrapolated, _fits) =
-        run_with_fits(app, training, target, &machine, &tracer, &cfg);
+    let (_t, extrapolated, _fits) = run_with_fits(app, training, target, &machine, &tracer, &cfg);
     let collected = collect_signature_with(app, target, &machine, &tracer);
     let errors = element_errors(&extrapolated, collected.longest_task());
     let s = summarize(&errors, cfg.influence_threshold);
 
-    println!("\n== {} @ {target} cores (trained on {training:?}) ==", app.name());
+    println!(
+        "\n== {} @ {target} cores (trained on {training:?}) ==",
+        app.name()
+    );
     println!("elements compared:        {:>8}", s.n_total);
     println!("influential elements:     {:>8}", s.n_influential);
     println!(
@@ -42,7 +44,10 @@ fn audit(app: &dyn SpmdApp, training: &[u32], target: u32) {
         "influential under 20%:    {:>7.1}%",
         100.0 * s.frac_influential_under_20pct
     );
-    println!("max error (all elements): {:>7.1}%", 100.0 * s.max_rel_err_all);
+    println!(
+        "max error (all elements): {:>7.1}%",
+        100.0 * s.max_rel_err_all
+    );
 
     // Worst influential offenders, for inspection.
     let mut influential: Vec<_> = errors

@@ -32,7 +32,15 @@ fn run(app: &dyn ProxyAppDyn, training: &[u32], target: u32) {
 
     println!("\n== {} @ {target} cores ==", spmd.name());
     print_header(
-        &["trace", "memory (J)", "fp (J)", "comm (J)", "static (J)", "total (J)", "avg W"],
+        &[
+            "trace",
+            "memory (J)",
+            "fp (J)",
+            "comm (J)",
+            "static (J)",
+            "total (J)",
+            "avg W",
+        ],
         &[8, 10, 8, 8, 10, 10, 6],
     );
     for (label, e) in [("Extrap.", &e_ex), ("Coll.", &e_coll)] {

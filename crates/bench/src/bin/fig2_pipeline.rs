@@ -23,7 +23,10 @@ fn main() {
     let tracer = paper_tracer();
     let (rank, nranks) = (0u32, 96u32);
 
-    println!("Figure 2 pipeline: SPECFEM3D proxy, rank {rank} of {nranks}, target {}\n", machine.name);
+    println!(
+        "Figure 2 pipeline: SPECFEM3D proxy, rank {rank} of {nranks}, target {}\n",
+        machine.name
+    );
 
     // Stage 1: the "instrumented executable" (the rank program).
     let rp = app.rank_program(rank, nranks);
@@ -32,7 +35,11 @@ fn main() {
     println!("    blocks:  {:>12}", rp.program.blocks().len());
     println!(
         "    static instructions: {:>4}",
-        rp.program.blocks().iter().map(|b| b.instrs.len()).sum::<usize>()
+        rp.program
+            .blocks()
+            .iter()
+            .map(|b| b.instrs.len())
+            .sum::<usize>()
     );
     println!(
         "    memory image: {:>10.1} MB",
@@ -42,7 +49,10 @@ fn main() {
     // Stage 2: the dynamic address stream.
     let total_refs = rp.total_mem_refs();
     println!("\n[2] dynamic memory address stream");
-    println!("    full-run references: {total_refs:>14.3e}", total_refs = total_refs as f64);
+    println!(
+        "    full-run references: {total_refs:>14.3e}",
+        total_refs = total_refs as f64
+    );
     println!(
         "    raw stream volume:   {:>11.1} GB (16 B/record — infeasible to store)",
         total_refs as f64 * 16.0 / 1e9

@@ -56,11 +56,7 @@ fn main() {
             .iter()
             .find(|f| f.block == block && f.instr == instr && f.feature == fid)
             .expect("fit recorded for every element");
-        let coll_val = collected
-            .longest_task()
-            .block(block)
-            .unwrap()
-            .instrs[instr as usize]
+        let coll_val = collected.longest_task().block(block).unwrap().instrs[instr as usize]
             .features
             .get(fid);
         let ex_val = extrapolated.block(block).unwrap().instrs[instr as usize]

@@ -60,8 +60,7 @@ fn run_scenario(label: &str, train_sizes: [u64; 3], target_size: u64, p: u32) ->
         ],
         ..ExtrapolationConfig::default()
     };
-    let extrapolated =
-        extrapolate_series(&points, target_size as f64, &cfg).expect("valid series");
+    let extrapolated = extrapolate_series(&points, target_size as f64, &cfg).expect("valid series");
 
     let target_app = app_with_mesh(target_size);
     let collected = collect_signature_with(&target_app, p, &machine, &tracer);

@@ -82,7 +82,10 @@ fn main() {
     );
     print_row(&uh3d);
 
-    println!("\nmeasured runtimes: SPECFEM3D {:.1} s, UH3D {:.1} s", specfem.measured.total_seconds, uh3d.measured.total_seconds);
+    println!(
+        "\nmeasured runtimes: SPECFEM3D {:.1} s, UH3D {:.1} s",
+        specfem.measured.total_seconds, uh3d.measured.total_seconds
+    );
     println!(
         "extrapolated-vs-collected prediction gaps: SPECFEM3D {:.2}%, UH3D {:.2}%",
         100.0 * specfem.prediction_gap(),

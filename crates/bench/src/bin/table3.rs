@@ -33,7 +33,13 @@ fn main() {
         app.cfg.elem_work_bytes / 1024
     );
     print_header(
-        &["System", "96 cores", "384 cores", "1536 cores", "6144 cores"],
+        &[
+            "System",
+            "96 cores",
+            "384 cores",
+            "1536 cores",
+            "6144 cores",
+        ],
         &[16, 9, 9, 10, 10],
     );
 
@@ -41,7 +47,11 @@ fn main() {
         let l1_kb = machine.hierarchy.levels[0].size_bytes / 1024;
         let label = format!(
             "{} ({} KB)",
-            if machine.name.ends_with('a') { "A" } else { "B" },
+            if machine.name.ends_with('a') {
+                "A"
+            } else {
+                "B"
+            },
             l1_kb
         );
         let mut row = format!("{label:>16}");

@@ -24,7 +24,14 @@ fn main() {
         machine.name
     );
     print_header(
-        &["scaling", "extrap (s)", "coll (s)", "measured", "gap %", "err %"],
+        &[
+            "scaling",
+            "extrap (s)",
+            "coll (s)",
+            "measured",
+            "gap %",
+            "err %",
+        ],
         &[8, 10, 9, 9, 6, 6],
     );
 

@@ -134,10 +134,7 @@ impl HierarchyConfig {
                 ));
             }
             if w[1].latency_cycles < w[0].latency_cycles {
-                return Err(format!(
-                    "{} latency below inner {}",
-                    w[1].name, w[0].name
-                ));
+                return Err(format!("{} latency below inner {}", w[1].name, w[0].name));
             }
         }
         let llc = self.levels.last().expect("nonempty").latency_cycles;

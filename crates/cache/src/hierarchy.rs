@@ -135,29 +135,37 @@ pub struct CacheHierarchy {
 }
 
 impl CacheHierarchy {
-    /// Builds the simulator for a validated configuration.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the configuration is invalid or deeper than
-    /// [`MEMORY_LEVEL_CAP`]` - 1` levels.
-    pub fn new(config: HierarchyConfig) -> Self {
-        config
-            .validate()
-            .expect("invalid cache hierarchy configuration");
-        assert!(
-            config.depth() < MEMORY_LEVEL_CAP,
-            "at most {} cache levels supported",
-            MEMORY_LEVEL_CAP - 1
-        );
+    /// Builds the simulator, re-validating the configuration (whose
+    /// fields are public and may have been edited since construction).
+    pub fn try_new(config: HierarchyConfig) -> Result<Self, String> {
+        config.validate()?;
+        if config.depth() >= MEMORY_LEVEL_CAP {
+            return Err(format!(
+                "at most {} cache levels supported, got {}",
+                MEMORY_LEVEL_CAP - 1,
+                config.depth()
+            ));
+        }
         let levels = config.levels.iter().map(Level::new).collect();
         let l1_line_shift = config.levels[0].line_bytes.trailing_zeros();
-        Self {
+        Ok(Self {
             config,
             levels,
             l1_line_shift,
             last_line: EMPTY,
-        }
+        })
+    }
+
+    /// Builds the simulator for a configuration known to be valid (e.g.
+    /// one owned by a constructed `MachineProfile`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or deeper than
+    /// [`MEMORY_LEVEL_CAP`]` - 1` levels; use [`Self::try_new`] to handle
+    /// untrusted configurations gracefully.
+    pub fn new(config: HierarchyConfig) -> Self {
+        Self::try_new(config).expect("invalid cache hierarchy configuration")
     }
 
     /// The configuration this simulator mimics.
@@ -233,6 +241,19 @@ mod tests {
         let l1 = CacheLevelConfig::lru("L1", 256, 64, 2, 1.0);
         let l2 = CacheLevelConfig::lru("L2", 1024, 64, 2, 10.0);
         CacheHierarchy::new(HierarchyConfig::new(vec![l1, l2], 100.0).unwrap())
+    }
+
+    #[test]
+    fn try_new_rejects_invalid_configs_without_panicking() {
+        let good = HierarchyConfig::new(vec![CacheLevelConfig::lru("L1", 256, 64, 2, 1.0)], 100.0)
+            .unwrap();
+        assert!(CacheHierarchy::try_new(good.clone()).is_ok());
+        // Public fields can be corrupted after validated construction;
+        // try_new re-checks instead of panicking.
+        let mut bad = good;
+        bad.levels[0].line_bytes = 48; // not a power of two
+        let err = CacheHierarchy::try_new(bad).unwrap_err();
+        assert!(err.contains("power of two"), "got: {err}");
     }
 
     #[test]

@@ -1,12 +1,21 @@
 //! `xtrace` — command-line driver for the trace-extrapolation pipeline.
 //!
+//! This binary is a thin shell over `xtrace-core`: it parses flags into
+//! typed requests (most subcommands into a [`PipelineConfig`]), hands them
+//! to the library, and renders the results. All failure classes map onto
+//! distinct exit codes via [`XtraceError::exit_code`]: `2` for usage
+//! errors, `3` for filesystem/trace-format errors, `4` for model-layer
+//! errors.
+//!
 //! ```text
 //! xtrace machines                          list target-machine presets
 //! xtrace apps                              list proxy applications
 //! xtrace trace       --app A --ranks P --machine M [--rank R] [--scale S] [--out F]
 //! xtrace extrapolate --target P [--forms paper|extended] --out F T1.json T2.json T3.json
 //! xtrace predict     --trace F --app A --ranks P --machine M [--scale S]
-//! xtrace pipeline    --app A --training P1,P2,P3 --target P --machine M [--scale S]
+//! xtrace pipeline    --app A --training P1,P2,P3 --target P --machine M
+//!                    [--scale S] [--forms paper|extended] [--validate true|false]
+//!                    [--store DIR] [--out F]
 //! xtrace diff        --a F1 --b F2 [--threshold 0.001] [--top N]
 //! xtrace machine-export --machine M --out F.json
 //! xtrace inspect     --app A --ranks P [--rank R] [--scale S]
@@ -17,8 +26,12 @@
 //! artifact between benchmarking and prediction).
 //!
 //! Traces are stored as JSON (`.json`) or the compact binary format
-//! (anything else). `--scale` selects `small` (default; laptop-friendly)
-//! or `paper` (the full Table I configuration).
+//! (anything else). `--scale` selects `tiny`, `small` (default;
+//! laptop-friendly) or `paper` (the full Table I configuration).
+//!
+//! `xtrace pipeline --store DIR` files every stage artifact in an
+//! `xtrace-core` artifact store keyed by the config hash; re-running the
+//! identical command resumes from the store instead of recomputing.
 //!
 //! `--threads <N>` (accepted by every command) caps the rayon worker
 //! count used for block-parallel collection and parallel fitting;
@@ -28,31 +41,36 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use xtrace_apps::{ProxyApp, SpecfemProxy, StencilProxy, Uh3dProxy};
-use xtrace_extrap::{
-    extrapolate_signature, extrapolate_signature_detailed, CanonicalForm, ExtrapolationConfig,
-    FitReport,
+use xtrace_core::{
+    make_app, make_machine, FormSet, Pipeline, PipelineConfig, StageKind, StageObserver,
+    XtraceError,
 };
-use xtrace_machine::{presets, MachineProfile};
-use xtrace_psins::{ground_truth, predict_runtime, relative_error};
-use xtrace_spmd::{CommProfile, SpmdApp};
-use xtrace_tracer::{
-    collect_signature_with, from_bytes, load_json, save_json, to_bytes, TaskTrace, TracerConfig,
-};
+use xtrace_extrap::{extrapolate_signature_detailed, ExtrapolationConfig, FitReport};
+use xtrace_machine::presets;
+use xtrace_tracer::{from_bytes, load_json, save_json, to_bytes, IoError, TaskTrace, TracerConfig};
 
 fn usage() -> &'static str {
     "usage:\n  \
      xtrace machines\n  \
      xtrace apps\n  \
-     xtrace trace --app <name> --ranks <P> --machine <name> [--rank <R>] [--scale small|paper] [--out <file>]\n  \
+     xtrace trace --app <name> --ranks <P> --machine <name> [--rank <R>] [--scale tiny|small|paper] [--out <file>]\n  \
      xtrace extrapolate --target <P> [--forms paper|extended] [--report true] [--out <file>] <trace files...>\n  \
-     xtrace predict --trace <file> --app <name> --ranks <P> --machine <name> [--scale small|paper]\n  \
-     xtrace pipeline --app <name> --training <P1,P2,P3> --target <P> --machine <name> [--scale small|paper]\n  \
+     xtrace predict --trace <file> --app <name> --ranks <P> --machine <name> [--scale tiny|small|paper]\n  \
+     xtrace pipeline --app <name> --training <P1,P2,P3> --target <P> --machine <name>\n                  \
+     [--scale tiny|small|paper] [--forms paper|extended] [--validate true|false]\n                  \
+     [--tracer fast|default] [--store <dir>] [--out <file>]\n  \
      xtrace diff --a <file> --b <file> [--threshold <frac>] [--top <N>]\n  \
      xtrace machine-export --machine <name> --out <file.json>\n  \
-     xtrace inspect --app <name> --ranks <P> [--rank <R>] [--scale small|paper]\n\n\
+     xtrace inspect --app <name> --ranks <P> [--rank <R>] [--scale tiny|small|paper]\n\n\
      trace files ending in .json are JSON; all others use the compact binary format\n\
-     every command also accepts --threads <N> (rayon worker threads; 0 = all cores)"
+     every command also accepts --threads <N> (rayon worker threads; 0 = all cores)\n\
+     exit codes: 2 = usage error, 3 = I/O or trace-format error, 4 = model error"
+}
+
+type Result<T> = xtrace_core::Result<T>;
+
+fn usage_err(message: impl Into<String>) -> XtraceError {
+    XtraceError::Usage(message.into())
 }
 
 /// Minimal `--key value` argument scanner; positional arguments are
@@ -63,7 +81,7 @@ struct Args {
 }
 
 impl Args {
-    fn parse(argv: &[String]) -> Result<Self, String> {
+    fn parse(argv: &[String]) -> Result<Self> {
         let mut flags = Vec::new();
         let mut positional = Vec::new();
         let mut it = argv.iter();
@@ -71,7 +89,7 @@ impl Args {
             if let Some(key) = a.strip_prefix("--") {
                 let value = it
                     .next()
-                    .ok_or_else(|| format!("flag --{key} needs a value"))?;
+                    .ok_or_else(|| usage_err(format!("flag --{key} needs a value")))?;
                 flags.push((key.to_string(), value.clone()));
             } else {
                 positional.push(a.clone());
@@ -87,90 +105,33 @@ impl Args {
             .map(|(_, v)| v.as_str())
     }
 
-    fn require(&self, key: &str) -> Result<&str, String> {
-        self.get(key).ok_or_else(|| format!("missing --{key}"))
+    fn require(&self, key: &str) -> Result<&str> {
+        self.get(key)
+            .ok_or_else(|| usage_err(format!("missing --{key}")))
     }
 
-    fn parse_u32(&self, key: &str) -> Result<u32, String> {
+    fn parse_u32(&self, key: &str) -> Result<u32> {
         self.require(key)?
             .parse()
-            .map_err(|_| format!("--{key} must be a positive integer"))
+            .map_err(|_| usage_err(format!("--{key} must be a positive integer")))
     }
 }
 
-fn make_app(name: &str, scale: &str) -> Result<Box<dyn AppObj>, String> {
-    let paper = match scale {
-        "paper" => true,
-        "small" => false,
-        other => return Err(format!("unknown --scale {other:?} (small|paper)")),
-    };
-    match name {
-        "specfem3d" | "specfem3d-proxy" => Ok(Box::new(if paper {
-            SpecfemProxy::paper_scale()
-        } else {
-            SpecfemProxy::small()
-        })),
-        "uh3d" | "uh3d-proxy" => Ok(Box::new(if paper {
-            Uh3dProxy::paper_scale()
-        } else {
-            Uh3dProxy::small()
-        })),
-        "stencil3d" | "stencil3d-proxy" => Ok(Box::new(if paper {
-            StencilProxy::medium()
-        } else {
-            StencilProxy::small()
-        })),
-        other => Err(format!(
-            "unknown application {other:?} (specfem3d | uh3d | stencil3d)"
-        )),
-    }
-}
-
-/// Object-safe bundle of the two traits the CLI needs.
-trait AppObj {
-    fn spmd(&self) -> &dyn SpmdApp;
-    fn comm(&self, nranks: u32) -> CommProfile;
-}
-
-impl<T: ProxyApp> AppObj for T {
-    fn spmd(&self) -> &dyn SpmdApp {
-        self.as_spmd()
-    }
-    fn comm(&self, nranks: u32) -> CommProfile {
-        self.comm_profile(nranks)
-    }
-}
-
-fn make_machine(name: &str) -> Result<MachineProfile, String> {
-    // A path to an exported profile takes precedence over preset names.
-    if name.ends_with(".json") {
-        let s = std::fs::read_to_string(name).map_err(|e| format!("{name}: {e}"))?;
-        let spec: xtrace_machine::MachineProfileSpec =
-            serde_json::from_str(&s).map_err(|e| format!("{name}: {e}"))?;
-        return Ok(MachineProfile::from_spec(spec));
-    }
-    presets::by_name(name).ok_or_else(|| {
-        let names: Vec<String> = presets::all().into_iter().map(|m| m.name).collect();
-        format!("unknown machine {name:?}; available: {}", names.join(", "))
-    })
-}
-
-fn cmd_inspect(args: &Args) -> Result<(), String> {
+fn cmd_inspect(args: &Args) -> Result<()> {
     let app = make_app(args.require("app")?, args.get("scale").unwrap_or("small"))?;
     let ranks = args.parse_u32("ranks")?;
     let rank: u32 = args
         .get("rank")
         .unwrap_or("0")
         .parse()
-        .map_err(|_| "--rank must be an integer")?;
+        .map_err(|_| usage_err("--rank must be an integer"))?;
     if rank >= ranks {
-        return Err(format!("--rank {rank} out of range for {ranks} ranks"));
+        return Err(usage_err(format!(
+            "--rank {rank} out of range for {ranks} ranks"
+        )));
     }
     let rp = app.spmd().rank_program(rank, ranks);
-    println!(
-        "{} — rank {rank} of {ranks}\n",
-        app.spmd().name()
-    );
+    println!("{} — rank {rank} of {ranks}\n", app.spmd().name());
     print!("{}", xtrace_ir::render_program(&rp.program));
     println!("events:");
     for (i, e) in rp.events.iter().enumerate() {
@@ -179,12 +140,21 @@ fn cmd_inspect(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_machine_export(args: &Args) -> Result<(), String> {
+fn write_file(path: &str, body: impl AsRef<[u8]>) -> Result<()> {
+    std::fs::write(path, body).map_err(|e| {
+        XtraceError::Io(IoError::Io {
+            path: path.into(),
+            source: e,
+        })
+    })
+}
+
+fn cmd_machine_export(args: &Args) -> Result<()> {
     let machine = make_machine(args.require("machine")?)?;
     let out = args.require("out")?;
     let spec = machine.to_spec(); // measures the surface if needed
     let json = serde_json::to_string_pretty(&spec).expect("serializable");
-    std::fs::write(out, json).map_err(|e| format!("{out}: {e}"))?;
+    write_file(out, json)?;
     eprintln!(
         "exported {} ({} surface points) to {out}",
         machine.name,
@@ -193,25 +163,38 @@ fn cmd_machine_export(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn load_trace(path: &Path) -> Result<TaskTrace, String> {
+fn load_trace(path: &Path) -> Result<TaskTrace> {
     if path.extension().is_some_and(|e| e == "json") {
-        load_json(path).map_err(|e| format!("{}: {e}", path.display()))
+        Ok(load_json(path)?)
     } else {
-        let bytes = std::fs::read(path).map_err(|e| format!("{}: {e}", path.display()))?;
-        from_bytes(&bytes).map_err(|e| format!("{}: {e}", path.display()))
+        let bytes = std::fs::read(path).map_err(|e| {
+            XtraceError::Io(IoError::Io {
+                path: path.to_path_buf(),
+                source: e,
+            })
+        })?;
+        Ok(from_bytes(&bytes)?)
     }
 }
 
-fn store_trace(trace: &TaskTrace, path: &Path) -> Result<(), String> {
+fn store_trace(trace: &TaskTrace, path: &Path) -> Result<()> {
     if path.extension().is_some_and(|e| e == "json") {
-        save_json(trace, path).map_err(|e| format!("{}: {e}", path.display()))
+        Ok(save_json(trace, path)?)
     } else {
-        std::fs::write(path, to_bytes(trace)).map_err(|e| format!("{}: {e}", path.display()))
+        std::fs::write(path, to_bytes(trace)).map_err(|e| {
+            XtraceError::Io(IoError::Io {
+                path: path.to_path_buf(),
+                source: e,
+            })
+        })
     }
 }
 
-fn cmd_machines() -> Result<(), String> {
-    println!("{:<20} {:>7} {:>9} {:>24}", "name", "levels", "clock", "caches");
+fn cmd_machines() -> Result<()> {
+    println!(
+        "{:<20} {:>7} {:>9} {:>24}",
+        "name", "levels", "clock", "caches"
+    );
     for m in presets::all() {
         let caches: Vec<String> = m
             .hierarchy
@@ -230,23 +213,25 @@ fn cmd_machines() -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_apps() -> Result<(), String> {
+fn cmd_apps() -> Result<()> {
     println!("specfem3d   spectral-element seismic wave propagation proxy");
     println!("uh3d        hybrid particle-in-cell magnetosphere proxy");
     println!("stencil3d   3-D Jacobi relaxation proxy");
     Ok(())
 }
 
-fn cmd_trace(args: &Args) -> Result<(), String> {
+fn cmd_trace(args: &Args) -> Result<()> {
     let app = make_app(args.require("app")?, args.get("scale").unwrap_or("small"))?;
     let ranks = args.parse_u32("ranks")?;
     let machine = make_machine(args.require("machine")?)?;
     let cfg = TracerConfig::default();
 
-    let sig = collect_signature_with(app.spmd(), ranks, &machine, &cfg);
+    let sig = xtrace_tracer::collect_signature_with(app.spmd(), ranks, &machine, &cfg);
     let trace = match args.get("rank") {
         Some(r) => {
-            let r: u32 = r.parse().map_err(|_| "--rank must be an integer")?;
+            let r: u32 = r
+                .parse()
+                .map_err(|_| usage_err("--rank must be an integer"))?;
             xtrace_tracer::collect_task_trace(app.spmd(), r, ranks, &machine, &cfg)
         }
         None => sig.longest_task().clone(),
@@ -269,21 +254,19 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_extrapolate(args: &Args) -> Result<(), String> {
+fn cmd_extrapolate(args: &Args) -> Result<()> {
     let target = args.parse_u32("target")?;
-    let forms = match args.get("forms").unwrap_or("paper") {
-        "paper" => CanonicalForm::PAPER_SET.to_vec(),
-        "extended" => CanonicalForm::EXTENDED_SET.to_vec(),
-        other => return Err(format!("unknown --forms {other:?} (paper|extended)")),
-    };
+    let forms = FormSet::parse(args.get("forms").unwrap_or("paper"))?.forms();
     if args.positional.is_empty() {
-        return Err("extrapolate needs trace files as positional arguments".into());
+        return Err(usage_err(
+            "extrapolate needs trace files as positional arguments",
+        ));
     }
     let traces: Vec<TaskTrace> = args
         .positional
         .iter()
         .map(|p| load_trace(&PathBuf::from(p)))
-        .collect::<Result<_, _>>()?;
+        .collect::<Result<_>>()?;
     let cfg = ExtrapolationConfig {
         forms,
         // At least two training points (three is the paper's default); a
@@ -291,15 +274,17 @@ fn cmd_extrapolate(args: &Args) -> Result<(), String> {
         min_traces: traces.len().clamp(2, 3),
         ..ExtrapolationConfig::default()
     };
-    let (out, fits) =
-        extrapolate_signature_detailed(&traces, target, &cfg).map_err(|e| e.to_string())?;
+    let (out, fits) = extrapolate_signature_detailed(&traces, target, &cfg)?;
     eprintln!(
         "extrapolated {} from {:?} cores to {target}",
         out.app,
         traces.iter().map(|t| t.nranks).collect::<Vec<_>>()
     );
     if args.get("report").is_some_and(|v| v == "true") {
-        eprintln!("{}", FitReport::from_fits(&fits, cfg.influence_threshold).render());
+        eprintln!(
+            "{}",
+            FitReport::from_fits(&fits, cfg.influence_threshold).render()
+        );
     }
     match args.get("out") {
         Some(path) => store_trace(&out, &PathBuf::from(path))?,
@@ -311,13 +296,13 @@ fn cmd_extrapolate(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_predict(args: &Args) -> Result<(), String> {
+fn cmd_predict(args: &Args) -> Result<()> {
     let trace = load_trace(&PathBuf::from(args.require("trace")?))?;
     let app = make_app(args.require("app")?, args.get("scale").unwrap_or("small"))?;
     let ranks = args.parse_u32("ranks")?;
     let machine = make_machine(args.require("machine")?)?;
     let comm = app.comm(ranks);
-    let pred = predict_runtime(&trace, &comm, &machine);
+    let pred = xtrace_psins::try_predict_runtime(&trace, &comm, &machine)?;
     println!("application : {}", trace.app);
     println!("trace       : rank {} @ {} cores", trace.rank, trace.nranks);
     println!("machine     : {}", machine.name);
@@ -329,71 +314,131 @@ fn cmd_predict(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_pipeline(args: &Args) -> Result<(), String> {
-    let app = make_app(args.require("app")?, args.get("scale").unwrap_or("small"))?;
-    let machine = make_machine(args.require("machine")?)?;
-    let target = args.parse_u32("target")?;
+/// Narrates pipeline progress on stderr.
+struct EprintObserver;
+
+impl StageObserver for EprintObserver {
+    fn stage_finished(&mut self, stage: StageKind, seconds: f64) {
+        eprintln!("[{}] done in {seconds:.2}s", stage.label());
+    }
+    fn progress(&mut self, stage: StageKind, message: &str) {
+        eprintln!("[{}] {message}", stage.label());
+    }
+    fn cache_event(&mut self, stage: StageKind, artifact: &str, hit: bool) {
+        if hit {
+            eprintln!("[{}] reusing {artifact} from store", stage.label());
+        }
+    }
+}
+
+fn cmd_pipeline(args: &Args) -> Result<()> {
     let training: Vec<u32> = args
         .require("training")?
         .split(',')
-        .map(|s| s.trim().parse().map_err(|_| format!("bad core count {s:?}")))
-        .collect::<Result<_, _>>()?;
-    let cfg = TracerConfig::default();
-
-    let traces: Vec<TaskTrace> = training
-        .iter()
-        .map(|&p| {
-            let sig = collect_signature_with(app.spmd(), p, &machine, &cfg);
-            eprintln!("traced {p} cores (longest task = rank {})", sig.comm.longest_rank);
-            sig.longest_task().clone()
+        .map(|s| {
+            s.trim()
+                .parse()
+                .map_err(|_| usage_err(format!("bad core count {s:?}")))
         })
-        .collect();
-    let ex_cfg = ExtrapolationConfig {
-        min_traces: traces.len().clamp(2, 3),
-        ..ExtrapolationConfig::default()
+        .collect::<Result<_>>()?;
+    let mut config = PipelineConfig::new(
+        args.require("app")?,
+        args.require("machine")?,
+        training,
+        args.parse_u32("target")?,
+    );
+    config.scale = args.get("scale").unwrap_or("small").to_string();
+    config.forms = FormSet::parse(args.get("forms").unwrap_or("paper"))?;
+    config.validate = match args.get("validate").unwrap_or("true") {
+        "true" => true,
+        "false" => false,
+        other => {
+            return Err(usage_err(format!(
+                "--validate must be true|false, got {other:?}"
+            )))
+        }
     };
-    let extrapolated =
-        extrapolate_signature(&traces, target, &ex_cfg).map_err(|e| e.to_string())?;
-    let collected = collect_signature_with(app.spmd(), target, &machine, &cfg);
-    let comm = app.comm(target);
-    let pe = predict_runtime(&extrapolated, &comm, &machine);
-    let pc = predict_runtime(collected.longest_task(), &collected.comm, &machine);
-    let gt = ground_truth(app.spmd(), target, &machine, &cfg);
+    config.fast_tracer = match args.get("tracer").unwrap_or("default") {
+        "fast" => true,
+        "default" => false,
+        other => {
+            return Err(usage_err(format!(
+                "--tracer must be fast|default, got {other:?}"
+            )))
+        }
+    };
 
-    println!("\n{:<16} {:>6} {:>8} {:>12} {:>8}", "application", "cores", "trace", "runtime (s)", "% err");
-    for (label, p) in [("Extrap.", &pe), ("Coll.", &pc)] {
+    let mut pipeline = Pipeline::new(config)?.with_observer(Box::new(EprintObserver));
+    if let Some(dir) = args.get("store") {
+        pipeline = pipeline.with_store(dir)?;
+    }
+    let report = pipeline.run()?;
+
+    if let Some(v) = &report.validation {
         println!(
-            "{:<16} {:>6} {:>8} {:>12.3} {:>7.1}%",
-            extrapolated.app,
-            target,
-            label,
-            p.total_seconds,
-            100.0 * relative_error(p.total_seconds, gt.total_seconds)
+            "\n{:<16} {:>6} {:>8} {:>12} {:>8}",
+            "application", "cores", "trace", "runtime (s)", "% err"
+        );
+        for (label, total, err) in [
+            (
+                "Extrap.",
+                report.prediction.total_seconds,
+                v.extrapolated_error,
+            ),
+            ("Coll.", v.collected.total_seconds, v.collected_error),
+        ] {
+            println!(
+                "{:<16} {:>6} {:>8} {:>12.3} {:>7.1}%",
+                report.extrapolated.app,
+                report.extrapolated.nranks,
+                label,
+                total,
+                100.0 * err
+            );
+        }
+        println!("measured: {:.3} s", v.measured_seconds);
+    } else {
+        println!(
+            "{} @ {} cores: predicted {:.3} s (config {})",
+            report.extrapolated.app,
+            report.extrapolated.nranks,
+            report.prediction.total_seconds,
+            report.config_hash
         );
     }
-    println!("measured: {:.3} s", gt.total_seconds);
+    if report.cache_hits > 0 {
+        eprintln!(
+            "store: {} artifact(s) reused, {} computed",
+            report.cache_hits, report.cache_misses
+        );
+    }
+    if let Some(path) = args.get("out") {
+        let body = serde_json::to_string_pretty(&report.prediction).expect("serializable");
+        write_file(path, body + "\n")?;
+        eprintln!("wrote prediction to {path}");
+    }
     Ok(())
 }
 
-fn cmd_diff(args: &Args) -> Result<(), String> {
+fn cmd_diff(args: &Args) -> Result<()> {
     let a = load_trace(&PathBuf::from(args.require("a")?))?;
     let b = load_trace(&PathBuf::from(args.require("b")?))?;
     let threshold: f64 = args
         .get("threshold")
         .unwrap_or("0.001")
         .parse()
-        .map_err(|_| "--threshold must be a fraction")?;
+        .map_err(|_| usage_err("--threshold must be a fraction"))?;
     let top: usize = args
         .get("top")
         .unwrap_or("10")
         .parse()
-        .map_err(|_| "--top must be an integer")?;
+        .map_err(|_| usage_err("--top must be an integer"))?;
     if a.blocks.len() != b.blocks.len() {
-        return Err(format!(
+        return Err(XtraceError::Model(format!(
             "traces do not align: {} vs {} blocks",
             a.blocks.len(),
             b.blocks.len()
-        ));
+        )));
     }
     let errors = xtrace_extrap::element_errors(&a, &b);
     let summary = xtrace_extrap::summarize(&errors, threshold);
@@ -415,7 +460,10 @@ fn cmd_diff(args: &Args) -> Result<(), String> {
         "influential under 20%: {:.1}%",
         100.0 * summary.frac_influential_under_20pct
     );
-    println!("max error (all):       {:.2}%", 100.0 * summary.max_rel_err_all);
+    println!(
+        "max error (all):       {:.2}%",
+        100.0 * summary.max_rel_err_all
+    );
     let mut worst: Vec<_> = errors.iter().filter(|e| e.rel_err > 0.0).collect();
     worst.sort_by(|x, y| y.rel_err.partial_cmp(&x.rel_err).expect("finite"));
     if !worst.is_empty() {
@@ -436,20 +484,20 @@ fn cmd_diff(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn run() -> Result<(), String> {
+fn run() -> Result<()> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first() else {
-        return Err(usage().to_string());
+        return Err(usage_err(usage()));
     };
     let args = Args::parse(&argv[1..])?;
     if let Some(t) = args.get("threads") {
         let n: usize = t
             .parse()
-            .map_err(|_| "--threads must be a non-negative integer (0 = all cores)")?;
+            .map_err(|_| usage_err("--threads must be a non-negative integer (0 = all cores)"))?;
         rayon::ThreadPoolBuilder::new()
             .num_threads(n)
             .build_global()
-            .map_err(|e| format!("failed to configure thread pool: {e}"))?;
+            .map_err(|e| usage_err(format!("failed to configure thread pool: {e}")))?;
     }
     match cmd.as_str() {
         "machines" => cmd_machines(),
@@ -465,7 +513,7 @@ fn run() -> Result<(), String> {
             println!("{}", usage());
             Ok(())
         }
-        other => Err(format!("unknown command {other:?}\n{}", usage())),
+        other => Err(usage_err(format!("unknown command {other:?}\n{}", usage()))),
     }
 }
 
@@ -474,7 +522,7 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(e.exit_code())
         }
     }
 }

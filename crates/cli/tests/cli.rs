@@ -45,7 +45,13 @@ fn machines_lists_all_presets() {
     let out = xtrace(&["machines"]);
     assert!(out.status.success());
     let s = String::from_utf8_lossy(&out.stdout);
-    for name in ["opteron", "cray-xt5", "bluewaters-phase1", "system-a", "system-b"] {
+    for name in [
+        "opteron",
+        "cray-xt5",
+        "bluewaters-phase1",
+        "system-a",
+        "system-b",
+    ] {
         assert!(s.contains(name), "missing {name}");
     }
 }
@@ -113,7 +119,13 @@ fn full_pipeline_through_files_works() {
 #[test]
 fn trace_without_out_prints_json() {
     let out = xtrace(&[
-        "trace", "--app", "stencil3d", "--ranks", "2", "--machine", "opteron",
+        "trace",
+        "--app",
+        "stencil3d",
+        "--ranks",
+        "2",
+        "--machine",
+        "opteron",
     ]);
     assert!(out.status.success());
     let s = String::from_utf8_lossy(&out.stdout);
@@ -127,7 +139,14 @@ fn extrapolate_rejects_too_few_traces() {
     let dir = tmpdir("toofew");
     let path = dir.join("one.json");
     assert!(xtrace(&[
-        "trace", "--app", "stencil3d", "--ranks", "2", "--machine", "opteron", "--out",
+        "trace",
+        "--app",
+        "stencil3d",
+        "--ranks",
+        "2",
+        "--machine",
+        "opteron",
+        "--out",
         path.to_str().unwrap(),
     ])
     .status
@@ -139,7 +158,13 @@ fn extrapolate_rejects_too_few_traces() {
 #[test]
 fn unknown_machine_and_app_are_rejected_helpfully() {
     let out = xtrace(&[
-        "trace", "--app", "stencil3d", "--ranks", "2", "--machine", "cray-xt9",
+        "trace",
+        "--app",
+        "stencil3d",
+        "--ranks",
+        "2",
+        "--machine",
+        "cray-xt9",
     ]);
     assert!(!out.status.success());
     let err = String::from_utf8_lossy(&out.stderr);
@@ -147,7 +172,13 @@ fn unknown_machine_and_app_are_rejected_helpfully() {
     assert!(err.contains("cray-xt5"), "suggests valid names");
 
     let out = xtrace(&[
-        "trace", "--app", "lammps", "--ranks", "2", "--machine", "opteron",
+        "trace",
+        "--app",
+        "lammps",
+        "--ranks",
+        "2",
+        "--machine",
+        "opteron",
     ]);
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown application"));
@@ -167,20 +198,39 @@ fn diff_compares_two_traces() {
     let b = dir.join("b.json");
     for (p, path) in [(4u32, &a), (8, &b)] {
         assert!(xtrace(&[
-            "trace", "--app", "stencil3d", "--ranks", &p.to_string(), "--machine", "opteron",
-            "--out", path.to_str().unwrap(),
+            "trace",
+            "--app",
+            "stencil3d",
+            "--ranks",
+            &p.to_string(),
+            "--machine",
+            "opteron",
+            "--out",
+            path.to_str().unwrap(),
         ])
         .status
         .success());
     }
-    let out = xtrace(&["diff", "--a", a.to_str().unwrap(), "--b", b.to_str().unwrap()]);
+    let out = xtrace(&[
+        "diff",
+        "--a",
+        a.to_str().unwrap(),
+        "--b",
+        b.to_str().unwrap(),
+    ]);
     assert!(out.status.success(), "{out:?}");
     let s = String::from_utf8_lossy(&out.stdout);
     assert!(s.contains("elements compared"));
     assert!(s.contains("worst elements"), "4-vs-8-core traces differ");
 
     // Self-diff: zero error, no worst list.
-    let out = xtrace(&["diff", "--a", a.to_str().unwrap(), "--b", a.to_str().unwrap()]);
+    let out = xtrace(&[
+        "diff",
+        "--a",
+        a.to_str().unwrap(),
+        "--b",
+        a.to_str().unwrap(),
+    ]);
     assert!(out.status.success());
     let s = String::from_utf8_lossy(&out.stdout);
     assert!(s.contains("max error (all):       0.00%"), "{s}");
@@ -191,7 +241,11 @@ fn machine_export_roundtrips_through_trace() {
     let dir = tmpdir("machine");
     let profile = dir.join("opteron.json");
     let out = xtrace(&[
-        "machine-export", "--machine", "opteron", "--out", profile.to_str().unwrap(),
+        "machine-export",
+        "--machine",
+        "opteron",
+        "--out",
+        profile.to_str().unwrap(),
     ]);
     assert!(out.status.success(), "{out:?}");
     assert!(String::from_utf8_lossy(&out.stderr).contains("surface points"));
@@ -199,13 +253,22 @@ fn machine_export_roundtrips_through_trace() {
     // The exported file works anywhere a machine name does.
     let trace = dir.join("t.json");
     let out = xtrace(&[
-        "trace", "--app", "stencil3d", "--ranks", "4", "--machine",
-        profile.to_str().unwrap(), "--out", trace.to_str().unwrap(),
+        "trace",
+        "--app",
+        "stencil3d",
+        "--ranks",
+        "4",
+        "--machine",
+        profile.to_str().unwrap(),
+        "--out",
+        trace.to_str().unwrap(),
     ]);
     assert!(out.status.success(), "{out:?}");
     let t: serde_json::Value =
         serde_json::from_str(&std::fs::read_to_string(&trace).unwrap()).unwrap();
-    assert_eq!(t["machine"], "opteron");
+    // On-disk JSON traces use the versioned envelope.
+    assert_eq!(t["format"], "xtrace-task-trace");
+    assert_eq!(t["trace"]["machine"], "opteron");
 }
 
 #[test]
@@ -228,8 +291,15 @@ fn extrapolate_report_prints_fit_quality() {
     for p in [2u32, 4, 8] {
         let path = dir.join(format!("t{p}.json"));
         assert!(xtrace(&[
-            "trace", "--app", "stencil3d", "--ranks", &p.to_string(), "--machine", "opteron",
-            "--out", path.to_str().unwrap(),
+            "trace",
+            "--app",
+            "stencil3d",
+            "--ranks",
+            &p.to_string(),
+            "--machine",
+            "opteron",
+            "--out",
+            path.to_str().unwrap(),
         ])
         .status
         .success());
@@ -251,6 +321,219 @@ fn extrapolate_report_prints_fit_quality() {
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("fit report"), "{err}");
     assert!(err.contains("chosen forms"));
+}
+
+#[test]
+fn usage_errors_exit_with_code_2() {
+    for args in [
+        &[][..],
+        &["frobnicate"][..],
+        &["trace", "--app"][..],
+        &[
+            "trace",
+            "--app",
+            "lammps",
+            "--ranks",
+            "2",
+            "--machine",
+            "opteron",
+        ][..],
+        &[
+            "trace",
+            "--app",
+            "stencil3d",
+            "--ranks",
+            "2",
+            "--machine",
+            "cray-xt9",
+        ][..],
+        &[
+            "pipeline",
+            "--app",
+            "stencil3d",
+            "--training",
+            "2,4",
+            "--target",
+            "8",
+            "--machine",
+            "opteron",
+            "--validate",
+            "maybe",
+        ][..],
+    ] {
+        let out = xtrace(args);
+        assert_eq!(out.status.code(), Some(2), "args {args:?}: {out:?}");
+    }
+}
+
+#[test]
+fn io_errors_exit_with_code_3() {
+    // Unreadable input trace.
+    let out = xtrace(&[
+        "predict",
+        "--trace",
+        "/nonexistent/trace.json",
+        "--app",
+        "stencil3d",
+        "--ranks",
+        "4",
+        "--machine",
+        "opteron",
+    ]);
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+
+    // Unwritable output path.
+    let out = xtrace(&[
+        "trace",
+        "--app",
+        "stencil3d",
+        "--ranks",
+        "2",
+        "--machine",
+        "opteron",
+        "--out",
+        "/nonexistent-dir/t.json",
+    ]);
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("/nonexistent-dir/t.json"),
+        "names the path: {err}"
+    );
+}
+
+#[test]
+fn model_errors_exit_with_code_4() {
+    // Extrapolation with a duplicated core count is a model-layer error.
+    let dir = tmpdir("exit4");
+    let path = dir.join("t.json");
+    assert!(xtrace(&[
+        "trace",
+        "--app",
+        "stencil3d",
+        "--ranks",
+        "4",
+        "--machine",
+        "opteron",
+        "--out",
+        path.to_str().unwrap(),
+    ])
+    .status
+    .success());
+    let out = xtrace(&[
+        "extrapolate",
+        "--target",
+        "64",
+        path.to_str().unwrap(),
+        path.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(4), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("extrapolation"));
+}
+
+#[test]
+fn pipeline_store_resumes_on_second_run() {
+    let dir = tmpdir("store");
+    let store = dir.join("artifacts");
+    let args = [
+        "pipeline",
+        "--app",
+        "stencil3d",
+        "--training",
+        "2,4,8",
+        "--target",
+        "32",
+        "--machine",
+        "opteron",
+        "--validate",
+        "false",
+        "--store",
+        store.to_str().unwrap(),
+    ];
+    let cold = xtrace(&args);
+    assert!(cold.status.success(), "{cold:?}");
+    assert!(store.join("store.json").exists(), "manifest written");
+
+    let warm = xtrace(&args);
+    assert!(warm.status.success(), "{warm:?}");
+    let err = String::from_utf8_lossy(&warm.stderr);
+    assert!(err.contains("reusing"), "resume reuses artifacts: {err}");
+    assert!(err.contains("5 artifact(s) reused"), "{err}");
+    // Identical result either way.
+    let stdout = |o: &Output| String::from_utf8_lossy(&o.stdout).to_string();
+    assert_eq!(stdout(&cold), stdout(&warm));
+}
+
+#[test]
+fn pipeline_out_writes_prediction_json() {
+    let dir = tmpdir("predjson");
+    let out_path = dir.join("prediction.json");
+    let out = xtrace(&[
+        "pipeline",
+        "--app",
+        "stencil3d",
+        "--training",
+        "2,4,8",
+        "--target",
+        "32",
+        "--machine",
+        "opteron",
+        "--validate",
+        "false",
+        "--out",
+        out_path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let body = std::fs::read_to_string(&out_path).unwrap();
+    let pred: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert!(pred["total_seconds"].as_f64().unwrap() > 0.0);
+    assert!(body.contains("per_block"));
+}
+
+#[test]
+fn pipeline_golden_prediction_is_thread_invariant() {
+    // Satellite (c): the tiny SPECFEM proxy's prediction JSON must be
+    // byte-identical at any --threads and match the committed golden.
+    let dir = tmpdir("golden");
+    let run = |threads: &str, name: &str| {
+        let out_path = dir.join(name);
+        let out = xtrace(&[
+            "pipeline",
+            "--app",
+            "specfem3d",
+            "--scale",
+            "tiny",
+            "--training",
+            "6,24,96",
+            "--target",
+            "384",
+            "--machine",
+            "cray-xt5",
+            "--validate",
+            "false",
+            "--tracer",
+            "fast",
+            "--threads",
+            threads,
+            "--out",
+            out_path.to_str().unwrap(),
+        ]);
+        assert!(out.status.success(), "{out:?}");
+        std::fs::read_to_string(&out_path).unwrap()
+    };
+    let one = run("1", "t1.json");
+    let two = run("2", "t2.json");
+    assert_eq!(one, two, "prediction depends on --threads");
+
+    let golden_path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/golden/specfem_tiny_prediction.json");
+    let golden = std::fs::read_to_string(&golden_path).unwrap();
+    assert_eq!(
+        one.trim_end(),
+        golden.trim_end(),
+        "CLI prediction drifted from {}; re-bless with UPDATE_GOLDEN=1 if intentional",
+        golden_path.display()
+    );
 }
 
 #[test]

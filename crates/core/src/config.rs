@@ -1,0 +1,351 @@
+//! Pipeline configuration and its resolution into runnable inputs.
+//!
+//! [`PipelineConfig`] subsumes the scattered CLI flags (`--app`, `--scale`,
+//! `--machine`, `--training`, `--target`, `--forms`) into one validated
+//! value. Its [`PipelineConfig::config_hash`] is a stable fingerprint of
+//! every field that influences the pipeline's *output*, and is the key
+//! under which the [artifact store](crate::store) files results — two runs
+//! with the same hash are guaranteed to want the same artifacts.
+
+use serde::{Deserialize, Serialize};
+use xtrace_apps::{ProxyApp, SpecfemProxy, StencilProxy, Uh3dProxy};
+use xtrace_extrap::{CanonicalForm, ExtrapolationConfig};
+use xtrace_machine::{presets, MachineProfile};
+use xtrace_spmd::{CommProfile, SpmdApp};
+use xtrace_tracer::TracerConfig;
+
+use crate::error::{Result, XtraceError};
+
+/// Which canonical-form set the fitter may choose from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FormSet {
+    /// The paper's four forms (constant, linear, log, exponential).
+    Paper,
+    /// Section VI's extension (adds power/polynomial forms).
+    Extended,
+}
+
+impl FormSet {
+    /// Parses the CLI spelling.
+    pub fn parse(s: &str) -> Result<Self> {
+        match s {
+            "paper" => Ok(FormSet::Paper),
+            "extended" => Ok(FormSet::Extended),
+            other => Err(XtraceError::Usage(format!(
+                "unknown --forms {other:?} (paper|extended)"
+            ))),
+        }
+    }
+
+    /// The candidate forms this set allows.
+    pub fn forms(self) -> Vec<CanonicalForm> {
+        match self {
+            FormSet::Paper => CanonicalForm::PAPER_SET.to_vec(),
+            FormSet::Extended => CanonicalForm::EXTENDED_SET.to_vec(),
+        }
+    }
+
+    /// The CLI spelling.
+    pub fn label(self) -> &'static str {
+        match self {
+            FormSet::Paper => "paper",
+            FormSet::Extended => "extended",
+        }
+    }
+}
+
+/// Everything a pipeline run depends on, in one serializable value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Proxy application name (`specfem3d` | `uh3d` | `stencil3d`).
+    pub app: String,
+    /// Problem scale (`tiny` | `small` | `paper`).
+    pub scale: String,
+    /// Machine preset name, or a path to a profile exported with
+    /// `machine-export`.
+    pub machine: String,
+    /// Training core counts (at least two, strictly below `target`).
+    pub training: Vec<u32>,
+    /// Core count to extrapolate to.
+    pub target: u32,
+    /// Canonical-form set for the fitter.
+    pub forms: FormSet,
+    /// Whether to run the `Validate` stage (collect at the target count
+    /// and measure ground truth — far more expensive than the pipeline
+    /// proper).
+    pub validate: bool,
+    /// Use the light tracer sampling configuration instead of the default
+    /// (smaller sampled windows; used by tests and quick looks).
+    pub fast_tracer: bool,
+}
+
+impl PipelineConfig {
+    /// A config with the conventional defaults: paper forms, full
+    /// validation, default tracer sampling.
+    pub fn new(
+        app: impl Into<String>,
+        machine: impl Into<String>,
+        training: Vec<u32>,
+        target: u32,
+    ) -> Self {
+        Self {
+            app: app.into(),
+            scale: "small".into(),
+            machine: machine.into(),
+            training,
+            target,
+            forms: FormSet::Paper,
+            validate: true,
+            fast_tracer: false,
+        }
+    }
+
+    /// FNV-1a 64-bit fingerprint of the canonical JSON encoding of this
+    /// config, as a 16-digit hex string. Identical configs — and only
+    /// identical configs, modulo hash collisions — share artifact-store
+    /// entries.
+    pub fn config_hash(&self) -> String {
+        let canonical = serde_json::to_string(self).expect("config serializes");
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in canonical.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        format!("{h:016x}")
+    }
+
+    /// Validates the config and builds the app, machine, and per-stage
+    /// configurations the engine needs.
+    pub fn resolve(&self) -> Result<PipelineCtx> {
+        if self.training.len() < 2 {
+            return Err(XtraceError::Usage(format!(
+                "need at least 2 training core counts, got {}",
+                self.training.len()
+            )));
+        }
+        if let Some(&p) = self.training.iter().find(|&&p| p >= self.target) {
+            return Err(XtraceError::Usage(format!(
+                "training count {p} does not lie below the target {}",
+                self.target
+            )));
+        }
+        let app = make_app(&self.app, &self.scale)?;
+        let machine = make_machine(&self.machine)?;
+        let tracer = if self.fast_tracer {
+            TracerConfig::fast()
+        } else {
+            TracerConfig::default()
+        };
+        let extrap = ExtrapolationConfig {
+            forms: self.forms.forms(),
+            min_traces: self.training.len().clamp(2, 3),
+            ..ExtrapolationConfig::default()
+        };
+        Ok(PipelineCtx {
+            config: self.clone(),
+            config_hash: self.config_hash(),
+            app,
+            machine,
+            tracer,
+            extrap,
+            store: None,
+        })
+    }
+}
+
+/// Object-safe bundle of the two app capabilities the pipeline needs:
+/// the SPMD program (for tracing) and the communication profile (for the
+/// convolution).
+pub trait PipelineApp {
+    /// The traceable SPMD application.
+    fn spmd(&self) -> &dyn SpmdApp;
+    /// The MPI-profiling pass at `nranks`.
+    fn comm(&self, nranks: u32) -> CommProfile;
+}
+
+impl<T: ProxyApp> PipelineApp for T {
+    fn spmd(&self) -> &dyn SpmdApp {
+        self.as_spmd()
+    }
+    fn comm(&self, nranks: u32) -> CommProfile {
+        self.comm_profile(nranks)
+    }
+}
+
+/// Resolved pipeline inputs: the config plus everything constructed from
+/// it. Stages receive this immutably.
+pub struct PipelineCtx {
+    /// The originating configuration.
+    pub config: PipelineConfig,
+    /// [`PipelineConfig::config_hash`] of `config`, precomputed.
+    pub config_hash: String,
+    /// The proxy application.
+    pub app: Box<dyn PipelineApp>,
+    /// The target machine profile.
+    pub machine: MachineProfile,
+    /// Tracer sampling parameters.
+    pub tracer: TracerConfig,
+    /// Fitting parameters.
+    pub extrap: ExtrapolationConfig,
+    /// Artifact store for resume-as-cache-hit, when attached.
+    pub store: Option<crate::store::ArtifactStore>,
+}
+
+impl std::fmt::Debug for PipelineCtx {
+    // Not derivable: `app` is a trait object.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PipelineCtx")
+            .field("config", &self.config)
+            .field("config_hash", &self.config_hash)
+            .field("app", &self.app.spmd().name())
+            .field("machine", &self.machine.name)
+            .field("tracer", &self.tracer)
+            .field("extrap", &self.extrap)
+            .field("store", &self.store)
+            .finish()
+    }
+}
+
+/// The SPECFEM3D tiny-scale configuration shared by the golden pipeline
+/// test and quick CLI runs: a few thousand elements, ten timesteps.
+fn tiny_specfem() -> SpecfemProxy {
+    let mut app = SpecfemProxy::small();
+    app.cfg.total_elements = 6144;
+    app.cfg.timesteps = 10;
+    app.cfg.collect_per_rank = 4096;
+    app.cfg.source_iters = 500_000;
+    app
+}
+
+/// UH3D at tiny scale (matching the integration-test configuration).
+fn tiny_uh3d() -> Uh3dProxy {
+    let mut app = Uh3dProxy::small();
+    app.cfg.total_particles = 1 << 14;
+    app.cfg.grid_cells = 1 << 13;
+    app.cfg.sort_base = 512;
+    app
+}
+
+/// Builds a proxy application by name and scale.
+pub fn make_app(name: &str, scale: &str) -> Result<Box<dyn PipelineApp>> {
+    match scale {
+        "tiny" | "small" | "paper" => {}
+        other => {
+            return Err(XtraceError::Usage(format!(
+                "unknown --scale {other:?} (tiny|small|paper)"
+            )))
+        }
+    }
+    match name {
+        "specfem3d" | "specfem3d-proxy" => Ok(match scale {
+            "tiny" => Box::new(tiny_specfem()),
+            "paper" => Box::new(SpecfemProxy::paper_scale()),
+            _ => Box::new(SpecfemProxy::small()),
+        }),
+        "uh3d" | "uh3d-proxy" => Ok(match scale {
+            "tiny" => Box::new(tiny_uh3d()),
+            "paper" => Box::new(Uh3dProxy::paper_scale()),
+            _ => Box::new(Uh3dProxy::small()),
+        }),
+        "stencil3d" | "stencil3d-proxy" => Ok(match scale {
+            "paper" => Box::new(StencilProxy::medium()),
+            _ => Box::new(StencilProxy::small()),
+        }),
+        other => Err(XtraceError::Usage(format!(
+            "unknown application {other:?} (specfem3d | uh3d | stencil3d)"
+        ))),
+    }
+}
+
+/// Resolves a machine: a `.json` path is loaded as an exported
+/// [`xtrace_machine::MachineProfileSpec`]; anything else is looked up in
+/// the presets.
+pub fn make_machine(name: &str) -> Result<MachineProfile> {
+    if name.ends_with(".json") {
+        let s = std::fs::read_to_string(name).map_err(|e| {
+            XtraceError::Io(xtrace_tracer::IoError::Io {
+                path: name.into(),
+                source: e,
+            })
+        })?;
+        let spec: xtrace_machine::MachineProfileSpec = serde_json::from_str(&s).map_err(|e| {
+            XtraceError::Io(xtrace_tracer::IoError::Parse {
+                path: name.into(),
+                message: e.to_string(),
+            })
+        })?;
+        return Ok(MachineProfile::from_spec(spec)?);
+    }
+    presets::by_name(name).ok_or_else(|| {
+        let names: Vec<String> = presets::all().into_iter().map(|m| m.name).collect();
+        XtraceError::Usage(format!(
+            "unknown machine {name:?}; available: {}",
+            names.join(", ")
+        ))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> PipelineConfig {
+        PipelineConfig::new("stencil3d", "opteron", vec![2, 4, 8], 32)
+    }
+
+    #[test]
+    fn config_hash_is_stable_and_field_sensitive() {
+        let a = cfg();
+        assert_eq!(a.config_hash(), a.config_hash());
+        assert_eq!(a.config_hash().len(), 16);
+        let mut b = cfg();
+        b.target = 64;
+        assert_ne!(a.config_hash(), b.config_hash());
+        let mut c = cfg();
+        c.forms = FormSet::Extended;
+        assert_ne!(a.config_hash(), c.config_hash());
+    }
+
+    #[test]
+    fn resolve_validates_training_counts() {
+        let mut bad = cfg();
+        bad.training = vec![2];
+        assert!(matches!(bad.resolve().unwrap_err(), XtraceError::Usage(_)));
+        let mut bad = cfg();
+        bad.training = vec![2, 32];
+        let err = bad.resolve().unwrap_err();
+        assert!(err.to_string().contains("below the target"), "{err}");
+    }
+
+    #[test]
+    fn resolve_rejects_unknown_names_as_usage_errors() {
+        let mut bad = cfg();
+        bad.app = "lammps".into();
+        let err = bad.resolve().unwrap_err();
+        assert_eq!(err.exit_code(), crate::error::EXIT_USAGE);
+        assert!(err.to_string().contains("unknown application"));
+
+        let mut bad = cfg();
+        bad.machine = "cray-xt9".into();
+        let err = bad.resolve().unwrap_err();
+        assert!(err.to_string().contains("unknown machine"));
+        assert!(err.to_string().contains("cray-xt5"), "suggests valid names");
+
+        let mut bad = cfg();
+        bad.scale = "huge".into();
+        assert!(bad.resolve().is_err());
+    }
+
+    #[test]
+    fn every_scale_resolves_for_every_app() {
+        for app in ["specfem3d", "uh3d", "stencil3d"] {
+            for scale in ["tiny", "small", "paper"] {
+                let mut c = cfg();
+                c.app = app.into();
+                c.scale = scale.into();
+                let ctx = c.resolve().expect("resolves");
+                assert!(!ctx.app.spmd().name().is_empty());
+            }
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! The library-wide error model.
+//!
+//! Every lower crate keeps its own typed error (so none of them needs to
+//! depend on this one); [`XtraceError`] unifies them at the layer where a
+//! whole pipeline runs, and maps each failure class onto a process exit
+//! code for the CLI:
+//!
+//! | class                         | variant(s)                              | exit |
+//! |-------------------------------|-----------------------------------------|------|
+//! | bad invocation/configuration  | [`XtraceError::Usage`]                  | 2    |
+//! | filesystem / (de)serialization| [`XtraceError::Io`], [`XtraceError::Store`] | 3 |
+//! | model-layer failure           | [`XtraceError::Extrapolation`], [`XtraceError::Machine`], [`XtraceError::Predict`], [`XtraceError::Model`] | 4 |
+
+use xtrace_extrap::ExtrapolationError;
+use xtrace_machine::MachineError;
+use xtrace_psins::PredictError;
+use xtrace_tracer::{CodecError, IoError};
+
+/// Exit code for invocation/configuration errors.
+pub const EXIT_USAGE: u8 = 2;
+/// Exit code for filesystem and trace-format errors.
+pub const EXIT_IO: u8 = 3;
+/// Exit code for model-layer errors (extrapolation, machine, prediction).
+pub const EXIT_MODEL: u8 = 4;
+
+/// Any failure the xtrace pipeline can surface.
+#[derive(Debug)]
+pub enum XtraceError {
+    /// The request itself is malformed: unknown application, machine,
+    /// scale, flag value, or an inconsistent combination of them.
+    Usage(String),
+    /// A file could not be read, written, or parsed as a trace.
+    Io(IoError),
+    /// The artifact store is unusable (unreadable root, foreign layout,
+    /// or a manifest from a newer version of this library).
+    Store(String),
+    /// The training set could not be fit or extrapolated.
+    Extrapolation(ExtrapolationError),
+    /// A machine profile failed validation.
+    Machine(MachineError),
+    /// A prediction was requested for a mismatched trace/machine pair.
+    Predict(PredictError),
+    /// Any other model-layer invariant violation (e.g. an invalid cache
+    /// hierarchy reported as a plain message).
+    Model(String),
+}
+
+impl XtraceError {
+    /// The process exit code this error maps to.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            XtraceError::Usage(_) => EXIT_USAGE,
+            XtraceError::Io(_) | XtraceError::Store(_) => EXIT_IO,
+            XtraceError::Extrapolation(_)
+            | XtraceError::Machine(_)
+            | XtraceError::Predict(_)
+            | XtraceError::Model(_) => EXIT_MODEL,
+        }
+    }
+}
+
+impl std::fmt::Display for XtraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            XtraceError::Usage(m) => write!(f, "{m}"),
+            XtraceError::Io(e) => write!(f, "{e}"),
+            XtraceError::Store(m) => write!(f, "artifact store: {m}"),
+            XtraceError::Extrapolation(e) => write!(f, "extrapolation: {e}"),
+            XtraceError::Machine(e) => write!(f, "machine profile: {e}"),
+            XtraceError::Predict(e) => write!(f, "prediction: {e}"),
+            XtraceError::Model(m) => write!(f, "model: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for XtraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            XtraceError::Io(e) => Some(e),
+            XtraceError::Extrapolation(e) => Some(e),
+            XtraceError::Machine(e) => Some(e),
+            XtraceError::Predict(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<IoError> for XtraceError {
+    fn from(e: IoError) -> Self {
+        XtraceError::Io(e)
+    }
+}
+
+impl From<CodecError> for XtraceError {
+    fn from(e: CodecError) -> Self {
+        XtraceError::Io(IoError::Codec(e))
+    }
+}
+
+impl From<ExtrapolationError> for XtraceError {
+    fn from(e: ExtrapolationError) -> Self {
+        XtraceError::Extrapolation(e)
+    }
+}
+
+impl From<MachineError> for XtraceError {
+    fn from(e: MachineError) -> Self {
+        XtraceError::Machine(e)
+    }
+}
+
+impl From<PredictError> for XtraceError {
+    fn from(e: PredictError) -> Self {
+        XtraceError::Predict(e)
+    }
+}
+
+/// Convenience alias used across the pipeline engine.
+pub type Result<T> = std::result::Result<T, XtraceError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_map_by_failure_class() {
+        assert_eq!(XtraceError::Usage("x".into()).exit_code(), 2);
+        assert_eq!(XtraceError::Store("x".into()).exit_code(), 3);
+        assert_eq!(XtraceError::Model("x".into()).exit_code(), 4);
+        let io: XtraceError = IoError::UnsupportedVersion {
+            got: 9,
+            supported: 1,
+        }
+        .into();
+        assert_eq!(io.exit_code(), 3);
+        let ex: XtraceError = ExtrapolationError::DuplicateCoreCount(8).into();
+        assert_eq!(ex.exit_code(), 4);
+        let me: XtraceError = MachineError::InvalidClock(0.0).into();
+        assert_eq!(me.exit_code(), 4);
+    }
+
+    #[test]
+    fn display_prefixes_identify_the_layer() {
+        let e = XtraceError::from(ExtrapolationError::DuplicateCoreCount(8));
+        assert!(e.to_string().starts_with("extrapolation:"));
+        let e = XtraceError::from(MachineError::InvalidClock(0.0));
+        assert!(e.to_string().starts_with("machine profile:"));
+    }
+}

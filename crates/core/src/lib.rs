@@ -1,0 +1,55 @@
+//! # xtrace-core — the staged pipeline engine
+//!
+//! The crates below this one each own a slice of the paper's methodology
+//! (signature collection, canonical-form fitting, convolution); this crate
+//! owns the *run*: one typed engine that executes the Figure-2 flow
+//!
+//! ```text
+//! Collect ──> Fit ──> Synthesize ──> Convolve ──> Validate
+//! ```
+//!
+//! end to end, with a unified error model, per-stage timing and progress
+//! hooks, and a content-addressed artifact store that makes re-running an
+//! identical configuration a cache hit instead of a recomputation.
+//!
+//! * [`error`] — [`XtraceError`] wraps every lower-layer typed error and
+//!   maps each failure class onto a CLI exit code ([`EXIT_USAGE`],
+//!   [`EXIT_IO`], [`EXIT_MODEL`]).
+//! * [`config`] — [`PipelineConfig`] subsumes the scattered flag soup into
+//!   one value with a stable [fingerprint](PipelineConfig::config_hash).
+//! * [`stage`] — the five object-safe stage traits plus the paper-faithful
+//!   default implementations and the [`StageObserver`] progress hook.
+//! * [`store`] — the versioned [`ArtifactStore`], keyed by config hash,
+//!   reusing `xtrace-tracer`'s trace codecs.
+//! * [`pipeline`] — the [`Pipeline`] engine and its [`PipelineReport`].
+//!
+//! ## Use as a library
+//!
+//! ```
+//! use xtrace_core::{Pipeline, PipelineConfig};
+//!
+//! let mut cfg = PipelineConfig::new("stencil3d", "opteron", vec![2, 4, 8], 32);
+//! cfg.fast_tracer = true; // light sampling so the doctest stays quick
+//! cfg.validate = false;   // skip the expensive target-scale collection
+//! let report = Pipeline::new(cfg)?.run()?;
+//! assert!(report.prediction.total_seconds > 0.0);
+//! assert_eq!(report.extrapolated.nranks, 32);
+//! # Ok::<(), xtrace_core::XtraceError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod error;
+pub mod pipeline;
+pub mod stage;
+pub mod store;
+
+pub use config::{make_app, make_machine, FormSet, PipelineApp, PipelineConfig, PipelineCtx};
+pub use error::{Result, XtraceError, EXIT_IO, EXIT_MODEL, EXIT_USAGE};
+pub use pipeline::{Pipeline, PipelineReport, StageTiming, Validation};
+pub use stage::{
+    Collect, Convolve, DefaultCollect, DefaultConvolve, DefaultFit, DefaultSynthesize,
+    DefaultValidate, Fit, NullObserver, StageKind, StageObserver, Synthesize, Validate,
+};
+pub use store::{ArtifactStore, STORE_FORMAT, STORE_VERSION};

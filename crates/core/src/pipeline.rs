@@ -1,0 +1,510 @@
+//! The staged pipeline engine.
+//!
+//! [`Pipeline`] wires the five [stage traits](crate::stage) together,
+//! times each stage, reports progress through a
+//! [`StageObserver`](crate::stage::StageObserver), and — when an
+//! [`ArtifactStore`] is attached — reuses any artifact already filed
+//! under the run's config hash, so re-running an identical config resumes
+//! instead of recomputing:
+//!
+//! * each training trace is cached individually (`training-p<P>.bin`),
+//! * the synthetic trace short-circuits Fit + Synthesize
+//!   (`extrapolated.json`),
+//! * the prediction and validation records short-circuit Convolve and
+//!   Validate (`prediction.json`, `validation.json`).
+//!
+//! Store reuse assumes stages compute pure functions of the config, which
+//! holds for the default stage set. Swapping in a custom stage disables
+//! the reuse that the swap could invalidate: a custom `Collect` disables
+//! the store entirely for that run; a custom `Fit`/`Synthesize`/
+//! `Convolve`/`Validate` disables the engine-level artifact reuse while
+//! keeping per-trace collection caching.
+
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+use xtrace_psins::Prediction;
+use xtrace_tracer::TaskTrace;
+
+use crate::config::{PipelineConfig, PipelineCtx};
+use crate::error::Result;
+use crate::stage::{
+    Collect, Convolve, DefaultCollect, DefaultConvolve, DefaultFit, DefaultSynthesize,
+    DefaultValidate, Fit, NullObserver, StageKind, StageObserver, Synthesize, Validate,
+};
+use crate::store::ArtifactStore;
+
+/// Wall-clock time of one stage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageTiming {
+    /// Which stage.
+    pub stage: StageKind,
+    /// Elapsed seconds (including any artifact-store traffic).
+    pub seconds: f64,
+}
+
+/// How the extrapolated prediction compares against reality.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Validation {
+    /// Relative error of the extrapolated-trace prediction vs the
+    /// execution-driven measured runtime.
+    pub extrapolated_error: f64,
+    /// Relative error of the collected-trace prediction vs measured.
+    pub collected_error: f64,
+    /// Prediction from the trace actually collected at the target count.
+    pub collected: Prediction,
+    /// The execution-driven measured runtime in seconds.
+    pub measured_seconds: f64,
+}
+
+/// Everything a pipeline run produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineReport {
+    /// Config hash the artifacts were filed under.
+    pub config_hash: String,
+    /// Training core counts, in collection order.
+    pub training_counts: Vec<u32>,
+    /// The synthetic trace at the target core count.
+    pub extrapolated: TaskTrace,
+    /// The runtime prediction from the synthetic trace.
+    pub prediction: Prediction,
+    /// Validation against collection + ground truth, when enabled.
+    pub validation: Option<Validation>,
+    /// Per-stage wall-clock timings, in execution order.
+    pub timings: Vec<StageTiming>,
+    /// Artifact-store lookups that were reused.
+    pub cache_hits: usize,
+    /// Artifact-store lookups that had to be computed.
+    pub cache_misses: usize,
+}
+
+/// Forwards to a caller observer while counting cache traffic.
+struct Counting<'a> {
+    inner: &'a mut dyn StageObserver,
+    hits: usize,
+    misses: usize,
+}
+
+impl StageObserver for Counting<'_> {
+    fn stage_started(&mut self, stage: StageKind) {
+        self.inner.stage_started(stage);
+    }
+    fn stage_finished(&mut self, stage: StageKind, seconds: f64) {
+        self.inner.stage_finished(stage, seconds);
+    }
+    fn progress(&mut self, stage: StageKind, message: &str) {
+        self.inner.progress(stage, message);
+    }
+    fn cache_event(&mut self, stage: StageKind, artifact: &str, hit: bool) {
+        if hit {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+        self.inner.cache_event(stage, artifact, hit);
+    }
+}
+
+/// The engine: a resolved config plus one implementation per stage.
+pub struct Pipeline {
+    ctx: PipelineCtx,
+    observer: Box<dyn StageObserver>,
+    collect: Box<dyn Collect>,
+    fit: Box<dyn Fit>,
+    synthesize: Box<dyn Synthesize>,
+    convolve: Box<dyn Convolve>,
+    validate: Box<dyn Validate>,
+    custom_collect: bool,
+    custom_downstream: bool,
+}
+
+impl Pipeline {
+    /// Builds a pipeline with the default stage set.
+    pub fn new(config: PipelineConfig) -> Result<Self> {
+        Ok(Self {
+            ctx: config.resolve()?,
+            observer: Box::new(NullObserver),
+            collect: Box::new(DefaultCollect),
+            fit: Box::new(DefaultFit),
+            synthesize: Box::new(DefaultSynthesize),
+            convolve: Box::new(DefaultConvolve),
+            validate: Box::new(DefaultValidate),
+            custom_collect: false,
+            custom_downstream: false,
+        })
+    }
+
+    /// Attaches an artifact store rooted at `root`; identical re-runs
+    /// resume from it.
+    pub fn with_store(mut self, root: impl Into<std::path::PathBuf>) -> Result<Self> {
+        self.ctx.store = Some(ArtifactStore::open(root)?);
+        Ok(self)
+    }
+
+    /// Installs a progress observer.
+    pub fn with_observer(mut self, observer: Box<dyn StageObserver>) -> Self {
+        self.observer = observer;
+        self
+    }
+
+    /// Replaces the Collect stage (disables store reuse for this run).
+    pub fn with_collect(mut self, stage: Box<dyn Collect>) -> Self {
+        self.collect = stage;
+        self.custom_collect = true;
+        self
+    }
+
+    /// Replaces the Fit stage (disables engine-level artifact reuse).
+    pub fn with_fit(mut self, stage: Box<dyn Fit>) -> Self {
+        self.fit = stage;
+        self.custom_downstream = true;
+        self
+    }
+
+    /// Replaces the Synthesize stage (disables engine-level artifact
+    /// reuse).
+    pub fn with_synthesize(mut self, stage: Box<dyn Synthesize>) -> Self {
+        self.synthesize = stage;
+        self.custom_downstream = true;
+        self
+    }
+
+    /// Replaces the Convolve stage (disables engine-level artifact
+    /// reuse).
+    pub fn with_convolve(mut self, stage: Box<dyn Convolve>) -> Self {
+        self.convolve = stage;
+        self.custom_downstream = true;
+        self
+    }
+
+    /// Replaces the Validate stage (disables engine-level artifact
+    /// reuse).
+    pub fn with_validate(mut self, stage: Box<dyn Validate>) -> Self {
+        self.validate = stage;
+        self.custom_downstream = true;
+        self
+    }
+
+    /// The resolved inputs (read-only).
+    pub fn ctx(&self) -> &PipelineCtx {
+        &self.ctx
+    }
+
+    /// Runs Collect → Fit → Synthesize → Convolve → Validate.
+    pub fn run(&mut self) -> Result<PipelineReport> {
+        if self.custom_collect {
+            self.ctx.store = None;
+        }
+        let hash = self.ctx.config_hash.clone();
+        let engine_store = if self.custom_downstream {
+            None
+        } else {
+            self.ctx.store.clone()
+        };
+        let mut obs = Counting {
+            inner: self.observer.as_mut(),
+            hits: 0,
+            misses: 0,
+        };
+        let mut timings = Vec::with_capacity(5);
+
+        // Collect. Per-trace caching lives inside DefaultCollect.
+        obs.stage_started(StageKind::Collect);
+        let t = Instant::now();
+        let traces = self.collect.collect(&self.ctx, &mut obs)?;
+        let dt = t.elapsed().as_secs_f64();
+        obs.stage_finished(StageKind::Collect, dt);
+        timings.push(StageTiming {
+            stage: StageKind::Collect,
+            seconds: dt,
+        });
+
+        // Fit + Synthesize, short-circuited together by a filed synthetic
+        // trace (a SignatureFit is an intermediate and is not persisted).
+        let cached = match &engine_store {
+            Some(store) => {
+                let hit = store.get_trace_json(&hash, "extrapolated")?;
+                obs.cache_event(StageKind::Synthesize, "extrapolated", hit.is_some());
+                hit
+            }
+            None => None,
+        };
+        let extrapolated = match cached {
+            Some(trace) => {
+                for stage in [StageKind::Fit, StageKind::Synthesize] {
+                    obs.stage_started(stage);
+                    obs.stage_finished(stage, 0.0);
+                    timings.push(StageTiming {
+                        stage,
+                        seconds: 0.0,
+                    });
+                }
+                trace
+            }
+            None => {
+                obs.stage_started(StageKind::Fit);
+                let t = Instant::now();
+                let fit = self.fit.fit(&self.ctx, &mut obs, &traces)?;
+                let dt = t.elapsed().as_secs_f64();
+                obs.stage_finished(StageKind::Fit, dt);
+                timings.push(StageTiming {
+                    stage: StageKind::Fit,
+                    seconds: dt,
+                });
+
+                obs.stage_started(StageKind::Synthesize);
+                let t = Instant::now();
+                let trace = self.synthesize.synthesize(&self.ctx, &mut obs, &fit)?;
+                let dt = t.elapsed().as_secs_f64();
+                obs.stage_finished(StageKind::Synthesize, dt);
+                timings.push(StageTiming {
+                    stage: StageKind::Synthesize,
+                    seconds: dt,
+                });
+                if let Some(store) = &engine_store {
+                    store.put_trace_json(&hash, "extrapolated", &trace)?;
+                }
+                trace
+            }
+        };
+
+        // Convolve.
+        obs.stage_started(StageKind::Convolve);
+        let t = Instant::now();
+        let cached = match &engine_store {
+            Some(store) => {
+                let hit = store.get_json::<Prediction>(&hash, "prediction")?;
+                obs.cache_event(StageKind::Convolve, "prediction", hit.is_some());
+                hit
+            }
+            None => None,
+        };
+        let prediction = match cached {
+            Some(p) => p,
+            None => {
+                let p = self.convolve.convolve(&self.ctx, &mut obs, &extrapolated)?;
+                if let Some(store) = &engine_store {
+                    store.put_json(&hash, "prediction", &p)?;
+                }
+                p
+            }
+        };
+        let dt = t.elapsed().as_secs_f64();
+        obs.stage_finished(StageKind::Convolve, dt);
+        timings.push(StageTiming {
+            stage: StageKind::Convolve,
+            seconds: dt,
+        });
+
+        // Validate (only when the config asks for it).
+        obs.stage_started(StageKind::Validate);
+        let t = Instant::now();
+        let cached = match &engine_store {
+            Some(store) if self.ctx.config.validate => {
+                let hit = store.get_json::<Validation>(&hash, "validation")?;
+                obs.cache_event(StageKind::Validate, "validation", hit.is_some());
+                hit
+            }
+            _ => None,
+        };
+        let validation = match cached {
+            Some(v) => Some(v),
+            None => {
+                let v = self.validate.validate(&self.ctx, &mut obs, &prediction)?;
+                if let (Some(store), Some(v)) = (&engine_store, &v) {
+                    store.put_json(&hash, "validation", v)?;
+                }
+                v
+            }
+        };
+        let dt = t.elapsed().as_secs_f64();
+        obs.stage_finished(StageKind::Validate, dt);
+        timings.push(StageTiming {
+            stage: StageKind::Validate,
+            seconds: dt,
+        });
+
+        Ok(PipelineReport {
+            config_hash: hash,
+            training_counts: self.ctx.config.training.clone(),
+            extrapolated,
+            prediction,
+            validation,
+            timings,
+            cache_hits: obs.hits,
+            cache_misses: obs.misses,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FormSet;
+    use crate::error::XtraceError;
+    use std::path::PathBuf;
+
+    fn quick_config() -> PipelineConfig {
+        let mut cfg = PipelineConfig::new("stencil3d", "opteron", vec![2, 4, 8], 32);
+        cfg.fast_tracer = true;
+        cfg.validate = false;
+        cfg
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("xtrace-core-pipeline-tests")
+            .join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn pipeline_runs_and_reports_all_stages() {
+        let report = Pipeline::new(quick_config()).unwrap().run().unwrap();
+        assert_eq!(report.training_counts, vec![2, 4, 8]);
+        assert_eq!(report.extrapolated.nranks, 32);
+        assert!(report.prediction.total_seconds > 0.0);
+        assert!(report.validation.is_none(), "validation disabled");
+        let stages: Vec<_> = report.timings.iter().map(|t| t.stage).collect();
+        assert_eq!(
+            stages,
+            vec![
+                StageKind::Collect,
+                StageKind::Fit,
+                StageKind::Synthesize,
+                StageKind::Convolve,
+                StageKind::Validate
+            ]
+        );
+        assert_eq!(
+            report.cache_hits + report.cache_misses,
+            0,
+            "no store attached"
+        );
+    }
+
+    #[test]
+    fn validation_compares_against_ground_truth() {
+        let mut cfg = quick_config();
+        cfg.validate = true;
+        let report = Pipeline::new(cfg).unwrap().run().unwrap();
+        let v = report.validation.expect("validation ran");
+        assert!(v.measured_seconds > 0.0);
+        assert!(v.extrapolated_error >= 0.0);
+        assert!(v.collected.total_seconds > 0.0);
+    }
+
+    #[test]
+    fn second_run_resumes_from_the_store() {
+        let root = tmp("resume");
+        let run = || {
+            Pipeline::new(quick_config())
+                .unwrap()
+                .with_store(&root)
+                .unwrap()
+                .run()
+                .unwrap()
+        };
+        let cold = run();
+        assert_eq!(cold.cache_hits, 0);
+        assert!(cold.cache_misses > 0);
+
+        let warm = run();
+        assert_eq!(warm.cache_misses, 0, "every artifact reused");
+        // 3 training traces + extrapolated + prediction.
+        assert_eq!(warm.cache_hits, 5);
+        assert_eq!(warm.prediction, cold.prediction);
+        assert_eq!(warm.extrapolated, cold.extrapolated);
+    }
+
+    #[test]
+    fn config_changes_miss_the_store() {
+        let root = tmp("keyed");
+        let mut p = Pipeline::new(quick_config())
+            .unwrap()
+            .with_store(&root)
+            .unwrap();
+        p.run().unwrap();
+        let mut changed = quick_config();
+        changed.forms = FormSet::Extended;
+        let report = Pipeline::new(changed)
+            .unwrap()
+            .with_store(&root)
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(report.cache_hits, 0, "different config hash, fresh entry");
+    }
+
+    #[test]
+    fn custom_stage_disables_engine_artifact_reuse() {
+        struct IdentityFit;
+        impl crate::stage::Fit for IdentityFit {
+            fn fit(
+                &self,
+                ctx: &PipelineCtx,
+                _obs: &mut dyn StageObserver,
+                traces: &[xtrace_tracer::TaskTrace],
+            ) -> crate::error::Result<xtrace_extrap::SignatureFit> {
+                Ok(xtrace_extrap::fit_signature(
+                    traces,
+                    ctx.config.target,
+                    &ctx.extrap,
+                )?)
+            }
+        }
+        let root = tmp("custom");
+        // Seed the store with a default run.
+        Pipeline::new(quick_config())
+            .unwrap()
+            .with_store(&root)
+            .unwrap()
+            .run()
+            .unwrap();
+        let report = Pipeline::new(quick_config())
+            .unwrap()
+            .with_store(&root)
+            .unwrap()
+            .with_fit(Box::new(IdentityFit))
+            .run()
+            .unwrap();
+        // Training traces still reuse; extrapolated/prediction do not.
+        assert_eq!(report.cache_hits, 3);
+    }
+
+    #[test]
+    fn invalid_store_root_is_a_store_error() {
+        let err = Pipeline::new(quick_config())
+            .unwrap()
+            .with_store("/proc/definitely-not-writable/store")
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, XtraceError::Store(_)));
+    }
+
+    #[test]
+    fn observer_sees_stage_lifecycle() {
+        #[derive(Default)]
+        struct Recording(std::rc::Rc<std::cell::RefCell<Vec<String>>>);
+        impl StageObserver for Recording {
+            fn stage_started(&mut self, stage: StageKind) {
+                self.0.borrow_mut().push(format!("start:{}", stage.label()));
+            }
+            fn stage_finished(&mut self, stage: StageKind, _s: f64) {
+                self.0.borrow_mut().push(format!("end:{}", stage.label()));
+            }
+        }
+        let log = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let obs = Recording(log.clone());
+        Pipeline::new(quick_config())
+            .unwrap()
+            .with_observer(Box::new(obs))
+            .run()
+            .unwrap();
+        let events = log.borrow();
+        assert_eq!(events.first().map(String::as_str), Some("start:collect"));
+        assert!(events.contains(&"end:synthesize".to_string()));
+        assert_eq!(events.last().map(String::as_str), Some("end:validate"));
+    }
+}

@@ -1,0 +1,243 @@
+//! Typed pipeline stages.
+//!
+//! The paper's Figure-2 flow — collect signatures at small core counts,
+//! fit canonical forms, synthesize the signature at the target count,
+//! convolve it with the machine profile, and validate against a real
+//! collection — becomes five object-safe traits. The engine
+//! ([`crate::pipeline::Pipeline`]) wires the default implementations
+//! together; callers can swap any stage (e.g. a `Fit` that restricts the
+//! form set, or a `Collect` that replays archived traces) without touching
+//! the rest.
+//!
+//! Stage implementations report progress through a [`StageObserver`];
+//! the engine adds wall-clock timing per stage on top.
+
+use xtrace_extrap::{fit_signature, synthesize_from_fit, SignatureFit};
+use xtrace_psins::{ground_truth, relative_error, try_predict_runtime, Prediction};
+use xtrace_tracer::{collect_signature_with, TaskTrace};
+
+use crate::config::PipelineCtx;
+use crate::error::Result;
+use crate::pipeline::Validation;
+
+/// The five pipeline stages, in execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageKind {
+    /// Trace the application at each training core count.
+    Collect,
+    /// Fit canonical forms to every feature element.
+    Fit,
+    /// Synthesize the extrapolated trace at the target count.
+    Synthesize,
+    /// Convolve the synthetic trace with the machine profile.
+    Convolve,
+    /// Compare against a collected trace and the execution-driven
+    /// ground truth.
+    Validate,
+}
+
+impl StageKind {
+    /// Human-readable stage name.
+    pub fn label(self) -> &'static str {
+        match self {
+            StageKind::Collect => "collect",
+            StageKind::Fit => "fit",
+            StageKind::Synthesize => "synthesize",
+            StageKind::Convolve => "convolve",
+            StageKind::Validate => "validate",
+        }
+    }
+}
+
+/// Receives progress callbacks as the pipeline runs. All methods have
+/// empty defaults, so an observer implements only what it cares about.
+pub trait StageObserver {
+    /// A stage is about to run.
+    fn stage_started(&mut self, _stage: StageKind) {}
+    /// A stage finished; `seconds` is its wall-clock time.
+    fn stage_finished(&mut self, _stage: StageKind, _seconds: f64) {}
+    /// Free-form progress from inside a stage (e.g. one training count
+    /// traced).
+    fn progress(&mut self, _stage: StageKind, _message: &str) {}
+    /// An artifact-store lookup resolved; `hit` says whether the artifact
+    /// was reused instead of recomputed.
+    fn cache_event(&mut self, _stage: StageKind, _artifact: &str, _hit: bool) {}
+}
+
+/// The do-nothing observer.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullObserver;
+
+impl StageObserver for NullObserver {}
+
+/// Stage 1: produce one training trace per configured core count.
+pub trait Collect {
+    /// Returns the training traces in the same order as
+    /// `ctx.config.training`.
+    fn collect(&self, ctx: &PipelineCtx, obs: &mut dyn StageObserver) -> Result<Vec<TaskTrace>>;
+}
+
+/// Stage 2: fit canonical forms to the training set.
+pub trait Fit {
+    /// Returns the per-element fits evaluated at the target core count.
+    fn fit(
+        &self,
+        ctx: &PipelineCtx,
+        obs: &mut dyn StageObserver,
+        traces: &[TaskTrace],
+    ) -> Result<SignatureFit>;
+}
+
+/// Stage 3: synthesize the extrapolated trace from the fits.
+pub trait Synthesize {
+    /// Returns the synthetic task trace at the target count.
+    fn synthesize(
+        &self,
+        ctx: &PipelineCtx,
+        obs: &mut dyn StageObserver,
+        fit: &SignatureFit,
+    ) -> Result<TaskTrace>;
+}
+
+/// Stage 4: convolve a trace with the machine profile.
+pub trait Convolve {
+    /// Returns the runtime prediction for `trace`.
+    fn convolve(
+        &self,
+        ctx: &PipelineCtx,
+        obs: &mut dyn StageObserver,
+        trace: &TaskTrace,
+    ) -> Result<Prediction>;
+}
+
+/// Stage 5: measure how good the extrapolated prediction is.
+pub trait Validate {
+    /// Returns the validation record, or `None` when validation is
+    /// disabled by the config.
+    fn validate(
+        &self,
+        ctx: &PipelineCtx,
+        obs: &mut dyn StageObserver,
+        prediction: &Prediction,
+    ) -> Result<Option<Validation>>;
+}
+
+/// Default `Collect`: trace the most computationally demanding task at
+/// each training count with the context's tracer configuration. When a
+/// store is attached, each training trace is cached individually under
+/// `training-p<P>`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DefaultCollect;
+
+impl Collect for DefaultCollect {
+    fn collect(&self, ctx: &PipelineCtx, obs: &mut dyn StageObserver) -> Result<Vec<TaskTrace>> {
+        let mut traces = Vec::with_capacity(ctx.config.training.len());
+        for &p in &ctx.config.training {
+            let artifact = format!("training-p{p}");
+            if let Some(store) = &ctx.store {
+                let cached = store.get_trace(&ctx.config_hash, &artifact)?;
+                let hit = cached.is_some();
+                obs.cache_event(StageKind::Collect, &artifact, hit);
+                if let Some(trace) = cached {
+                    traces.push(trace);
+                    continue;
+                }
+            }
+            let sig = collect_signature_with(ctx.app.spmd(), p, &ctx.machine, &ctx.tracer);
+            obs.progress(
+                StageKind::Collect,
+                &format!(
+                    "traced {p} cores (longest task = rank {})",
+                    sig.comm.longest_rank
+                ),
+            );
+            if let Some(store) = &ctx.store {
+                store.put_trace(&ctx.config_hash, &artifact, sig.longest_task())?;
+            }
+            traces.push(sig.longest_task().clone());
+        }
+        Ok(traces)
+    }
+}
+
+/// Default `Fit`: the paper's per-element canonical-form selection.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DefaultFit;
+
+impl Fit for DefaultFit {
+    fn fit(
+        &self,
+        ctx: &PipelineCtx,
+        obs: &mut dyn StageObserver,
+        traces: &[TaskTrace],
+    ) -> Result<SignatureFit> {
+        let fit = fit_signature(traces, ctx.config.target, &ctx.extrap)?;
+        obs.progress(
+            StageKind::Fit,
+            &format!("fit {} feature elements", fit.fits.len()),
+        );
+        Ok(fit)
+    }
+}
+
+/// Default `Synthesize`: evaluate the fits into a task trace.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DefaultSynthesize;
+
+impl Synthesize for DefaultSynthesize {
+    fn synthesize(
+        &self,
+        _ctx: &PipelineCtx,
+        _obs: &mut dyn StageObserver,
+        fit: &SignatureFit,
+    ) -> Result<TaskTrace> {
+        Ok(synthesize_from_fit(fit))
+    }
+}
+
+/// Default `Convolve`: Eq. (1) with the app's communication profile at
+/// the target count.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DefaultConvolve;
+
+impl Convolve for DefaultConvolve {
+    fn convolve(
+        &self,
+        ctx: &PipelineCtx,
+        _obs: &mut dyn StageObserver,
+        trace: &TaskTrace,
+    ) -> Result<Prediction> {
+        let comm = ctx.app.comm(ctx.config.target);
+        Ok(try_predict_runtime(trace, &comm, &ctx.machine)?)
+    }
+}
+
+/// Default `Validate`: collect a real trace at the target count, predict
+/// from it, and measure the execution-driven ground truth.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DefaultValidate;
+
+impl Validate for DefaultValidate {
+    fn validate(
+        &self,
+        ctx: &PipelineCtx,
+        obs: &mut dyn StageObserver,
+        prediction: &Prediction,
+    ) -> Result<Option<Validation>> {
+        if !ctx.config.validate {
+            return Ok(None);
+        }
+        let target = ctx.config.target;
+        let sig = collect_signature_with(ctx.app.spmd(), target, &ctx.machine, &ctx.tracer);
+        obs.progress(StageKind::Validate, &format!("collected {target} cores"));
+        let collected = try_predict_runtime(sig.longest_task(), &sig.comm, &ctx.machine)?;
+        let gt = ground_truth(ctx.app.spmd(), target, &ctx.machine, &ctx.tracer);
+        obs.progress(StageKind::Validate, "measured ground truth");
+        Ok(Some(Validation {
+            extrapolated_error: relative_error(prediction.total_seconds, gt.total_seconds),
+            collected_error: relative_error(collected.total_seconds, gt.total_seconds),
+            collected,
+            measured_seconds: gt.total_seconds,
+        }))
+    }
+}

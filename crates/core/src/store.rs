@@ -1,0 +1,258 @@
+//! Content-addressed, versioned artifact store.
+//!
+//! Pipeline outputs are filed under the run's
+//! [config hash](crate::config::PipelineConfig::config_hash):
+//!
+//! ```text
+//! <root>/store.json                   manifest (format + version)
+//! <root>/<hash>/training-p<P>.bin     training traces (compact binary codec)
+//! <root>/<hash>/extrapolated.json     synthetic trace (versioned JSON envelope)
+//! <root>/<hash>/prediction.json       runtime prediction
+//! <root>/<hash>/validation.json       validation record
+//! ```
+//!
+//! Because the hash covers every output-relevant config field, *resume is
+//! a cache hit*: re-running an identical pipeline finds each artifact and
+//! skips the computation that produced it, while any config change lands
+//! in a fresh entry. Serialization is delegated to `xtrace-tracer`'s codec
+//! (`to_bytes`/`from_bytes`, `save_json`/`parse_json`) so the store and
+//! the CLI share one on-disk trace format.
+//!
+//! A missing artifact reads as `Ok(None)`; so does a *corrupt* one (the
+//! pipeline recomputes and overwrites it). Only environmental failures —
+//! an unreadable root, a manifest written by a newer library version —
+//! are errors.
+
+use std::io::ErrorKind;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+use xtrace_tracer::{from_bytes, parse_json, save_json, to_bytes, TaskTrace};
+
+use crate::error::{Result, XtraceError};
+
+/// Manifest `format` field.
+pub const STORE_FORMAT: &str = "xtrace-artifact-store";
+/// Current store layout version.
+pub const STORE_VERSION: u32 = 1;
+
+/// A directory of pipeline artifacts keyed by config hash.
+#[derive(Debug, Clone)]
+pub struct ArtifactStore {
+    root: PathBuf,
+}
+
+fn store_err(path: &Path, e: std::io::Error) -> XtraceError {
+    XtraceError::Store(format!("{}: {e}", path.display()))
+}
+
+impl ArtifactStore {
+    /// Opens (or initializes) a store rooted at `root`.
+    ///
+    /// A fresh directory gets a manifest; an existing one must carry a
+    /// manifest with this library's format and a version no newer than
+    /// [`STORE_VERSION`].
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self> {
+        let root = root.into();
+        std::fs::create_dir_all(&root).map_err(|e| store_err(&root, e))?;
+        let manifest = root.join("store.json");
+        match std::fs::read_to_string(&manifest) {
+            Ok(s) => {
+                let v: serde_json::Value = serde_json::from_str(&s).map_err(|e| {
+                    XtraceError::Store(format!("{}: bad manifest: {e}", manifest.display()))
+                })?;
+                if v["format"].as_str() != Some(STORE_FORMAT) {
+                    return Err(XtraceError::Store(format!(
+                        "{}: not an xtrace artifact store",
+                        root.display()
+                    )));
+                }
+                let version = v["version"].as_u64().unwrap_or(0) as u32;
+                if version > STORE_VERSION {
+                    return Err(XtraceError::Store(format!(
+                        "{}: store version {version} is newer than supported {STORE_VERSION}",
+                        root.display()
+                    )));
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::NotFound => {
+                let body = format!(
+                    "{{\n  \"format\": \"{STORE_FORMAT}\",\n  \"version\": {STORE_VERSION}\n}}\n"
+                );
+                std::fs::write(&manifest, body).map_err(|e| store_err(&manifest, e))?;
+            }
+            Err(e) => return Err(store_err(&manifest, e)),
+        }
+        Ok(Self { root })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn entry(&self, hash: &str, name: &str) -> PathBuf {
+        self.root.join(hash).join(name)
+    }
+
+    fn ensure_entry_dir(&self, hash: &str) -> Result<()> {
+        let dir = self.root.join(hash);
+        std::fs::create_dir_all(&dir).map_err(|e| store_err(&dir, e))
+    }
+
+    fn read_artifact(&self, hash: &str, name: &str) -> Result<Option<Vec<u8>>> {
+        let path = self.entry(hash, name);
+        match std::fs::read(&path) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(store_err(&path, e)),
+        }
+    }
+
+    /// Files a trace under `<hash>/<name>.bin` (binary codec).
+    pub fn put_trace(&self, hash: &str, name: &str, trace: &TaskTrace) -> Result<()> {
+        self.ensure_entry_dir(hash)?;
+        let path = self.entry(hash, &format!("{name}.bin"));
+        std::fs::write(&path, to_bytes(trace)).map_err(|e| store_err(&path, e))
+    }
+
+    /// Looks a binary trace up; corrupt artifacts read as a miss.
+    pub fn get_trace(&self, hash: &str, name: &str) -> Result<Option<TaskTrace>> {
+        match self.read_artifact(hash, &format!("{name}.bin"))? {
+            Some(bytes) => Ok(from_bytes(&bytes).ok()),
+            None => Ok(None),
+        }
+    }
+
+    /// Files a trace under `<hash>/<name>.json` (versioned JSON envelope).
+    pub fn put_trace_json(&self, hash: &str, name: &str, trace: &TaskTrace) -> Result<()> {
+        self.ensure_entry_dir(hash)?;
+        let path = self.entry(hash, &format!("{name}.json"));
+        Ok(save_json(trace, &path)?)
+    }
+
+    /// Looks a JSON-envelope trace up; corrupt artifacts read as a miss.
+    pub fn get_trace_json(&self, hash: &str, name: &str) -> Result<Option<TaskTrace>> {
+        let file = format!("{name}.json");
+        match self.read_artifact(hash, &file)? {
+            Some(bytes) => match String::from_utf8(bytes) {
+                Ok(s) => Ok(parse_json(&s, &self.entry(hash, &file)).ok()),
+                Err(_) => Ok(None),
+            },
+            None => Ok(None),
+        }
+    }
+
+    /// Files any serializable value under `<hash>/<name>.json`.
+    pub fn put_json<T: Serialize>(&self, hash: &str, name: &str, value: &T) -> Result<()> {
+        self.ensure_entry_dir(hash)?;
+        let path = self.entry(hash, &format!("{name}.json"));
+        let body = serde_json::to_string_pretty(value)
+            .map_err(|e| XtraceError::Store(format!("{}: {e}", path.display())))?;
+        std::fs::write(&path, body).map_err(|e| store_err(&path, e))
+    }
+
+    /// Looks a JSON value up; corrupt artifacts read as a miss.
+    pub fn get_json<T: Deserialize>(&self, hash: &str, name: &str) -> Result<Option<T>> {
+        match self.read_artifact(hash, &format!("{name}.json"))? {
+            Some(bytes) => match String::from_utf8(bytes) {
+                Ok(s) => Ok(serde_json::from_str(&s).ok()),
+                Err(_) => Ok(None),
+            },
+            None => Ok(None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtrace_machine::presets;
+    use xtrace_tracer::{collect_signature_with, TracerConfig};
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("xtrace-core-store-tests")
+            .join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_trace() -> TaskTrace {
+        let app = xtrace_apps::StencilProxy::small();
+        let machine = presets::opteron();
+        collect_signature_with(&app, 2, &machine, &TracerConfig::fast())
+            .longest_task()
+            .clone()
+    }
+
+    #[test]
+    fn open_writes_a_manifest_and_reopens() {
+        let root = tmp("manifest");
+        let store = ArtifactStore::open(&root).unwrap();
+        let manifest = std::fs::read_to_string(root.join("store.json")).unwrap();
+        assert!(manifest.contains(STORE_FORMAT));
+        drop(store);
+        ArtifactStore::open(&root).expect("reopen succeeds");
+    }
+
+    #[test]
+    fn open_rejects_newer_store_versions() {
+        let root = tmp("newer");
+        std::fs::create_dir_all(&root).unwrap();
+        std::fs::write(
+            root.join("store.json"),
+            format!("{{\"format\": \"{STORE_FORMAT}\", \"version\": 99}}"),
+        )
+        .unwrap();
+        let err = ArtifactStore::open(&root).unwrap_err();
+        assert!(matches!(err, XtraceError::Store(_)));
+        assert!(err.to_string().contains("newer than supported"));
+    }
+
+    #[test]
+    fn open_rejects_foreign_manifests() {
+        let root = tmp("foreign");
+        std::fs::create_dir_all(&root).unwrap();
+        std::fs::write(root.join("store.json"), "{\"format\": \"something-else\"}").unwrap();
+        assert!(ArtifactStore::open(&root).is_err());
+    }
+
+    #[test]
+    fn binary_and_json_traces_roundtrip() {
+        let store = ArtifactStore::open(tmp("roundtrip")).unwrap();
+        let trace = sample_trace();
+        assert_eq!(store.get_trace("h", "training-p2").unwrap(), None);
+        store.put_trace("h", "training-p2", &trace).unwrap();
+        assert_eq!(
+            store.get_trace("h", "training-p2").unwrap(),
+            Some(trace.clone())
+        );
+        store.put_trace_json("h", "extrapolated", &trace).unwrap();
+        assert_eq!(
+            store.get_trace_json("h", "extrapolated").unwrap(),
+            Some(trace)
+        );
+    }
+
+    #[test]
+    fn corrupt_artifacts_read_as_misses() {
+        let root = tmp("corrupt");
+        let store = ArtifactStore::open(&root).unwrap();
+        let trace = sample_trace();
+        store.put_trace("h", "t", &trace).unwrap();
+        std::fs::write(root.join("h").join("t.bin"), b"garbage").unwrap();
+        assert_eq!(store.get_trace("h", "t").unwrap(), None);
+        store.put_json("h", "v", &42u32).unwrap();
+        std::fs::write(root.join("h").join("v.json"), "not json").unwrap();
+        assert_eq!(store.get_json::<u32>("h", "v").unwrap(), None);
+    }
+
+    #[test]
+    fn entries_are_isolated_by_hash() {
+        let store = ArtifactStore::open(tmp("isolated")).unwrap();
+        let trace = sample_trace();
+        store.put_trace("aaaa", "t", &trace).unwrap();
+        assert_eq!(store.get_trace("bbbb", "t").unwrap(), None);
+    }
+}

@@ -113,10 +113,7 @@ pub fn summarize(errors: &[ElementError], influence_threshold: f64) -> ErrorSumm
         .iter()
         .filter(|e| e.influence >= influence_threshold)
         .collect();
-    let max_inf = influential
-        .iter()
-        .map(|e| e.rel_err)
-        .fold(0.0f64, f64::max);
+    let max_inf = influential.iter().map(|e| e.rel_err).fold(0.0f64, f64::max);
     let mean_inf = if influential.is_empty() {
         0.0
     } else {
@@ -125,8 +122,7 @@ pub fn summarize(errors: &[ElementError], influence_threshold: f64) -> ErrorSumm
     let under = if influential.is_empty() {
         1.0
     } else {
-        influential.iter().filter(|e| e.rel_err < 0.20).count() as f64
-            / influential.len() as f64
+        influential.iter().filter(|e| e.rel_err < 0.20).count() as f64 / influential.len() as f64
     };
     ErrorSummary {
         n_total: errors.len(),

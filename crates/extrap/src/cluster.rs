@@ -153,14 +153,8 @@ pub fn cluster_tasks(traces: &[TaskTrace], k: usize) -> Clustering {
     // total.
     let centroid_members = (0..k)
         .map(|c| {
-            let members: Vec<usize> = (0..points.len())
-                .filter(|&i| assignments[i] == c)
-                .collect();
-            let pool: &[usize] = if members.is_empty() {
-                &order
-            } else {
-                &members
-            };
+            let members: Vec<usize> = (0..points.len()).filter(|&i| assignments[i] == c).collect();
+            let pool: &[usize] = if members.is_empty() { &order } else { &members };
             *pool
                 .iter()
                 .min_by(|&&a, &&b| {
@@ -299,7 +293,9 @@ mod tests {
 
     #[test]
     fn single_cluster_contains_everything() {
-        let tasks: Vec<TaskTrace> = (0..5).map(|r| task(4, r, 1e6 * (r + 1) as f64, 0.9)).collect();
+        let tasks: Vec<TaskTrace> = (0..5)
+            .map(|r| task(4, r, 1e6 * (r + 1) as f64, 0.9))
+            .collect();
         let c = cluster_tasks(&tasks, 1);
         assert!(c.assignments.iter().all(|&a| a == 0));
         assert_eq!(c.members(0).len(), 5);

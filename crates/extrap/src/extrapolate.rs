@@ -20,7 +20,7 @@
 
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use xtrace_tracer::{FeatureId, FeatureVector, TaskTrace};
+use xtrace_tracer::{FeatureId, TaskTrace};
 
 use crate::fit::{select_best_guarded, SelectionCriterion};
 use crate::forms::{CanonicalForm, FittedModel};
@@ -145,6 +145,40 @@ impl std::fmt::Display for ExtrapolationError {
 
 impl std::error::Error for ExtrapolationError {}
 
+/// The fitted invocation/iteration models of one block.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BlockModels {
+    /// Model of the block's invocation count across core counts.
+    pub invocations: FittedModel,
+    /// Model of the block's per-invocation trip count.
+    pub iterations: FittedModel,
+}
+
+/// The complete fitted model of a signature: the output of the *Fit*
+/// phase and the sole input of the *Synthesize* phase.
+///
+/// [`fit_signature`] produces one; [`synthesize_from_fit`] turns it into
+/// the synthetic [`TaskTrace`]. The two-phase split lets pipeline engines
+/// time, persist, and resume the phases independently; composing them is
+/// bit-identical to the fused [`extrapolate_signature_detailed`] API,
+/// which is itself implemented as exactly that composition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SignatureFit {
+    /// The largest training trace — the structural template synthesis
+    /// copies block/instruction layout (and non-extrapolated fields) from.
+    pub base: TaskTrace,
+    /// Abscissa the models are evaluated at (the target core count, or an
+    /// arbitrary input-parameter value for the series API).
+    pub target_x: f64,
+    /// Core-count label of the synthetic trace.
+    pub out_nranks: u32,
+    /// Per-element fits, grouped per instruction in block-major order;
+    /// within an instruction, in `FeatureId::all(base.depth)` order.
+    pub fits: Vec<ElementFit>,
+    /// Per-block invocation/iteration models, in block order.
+    pub block_models: Vec<BlockModels>,
+}
+
 /// The chosen model for one extrapolated element (reported by the detailed
 /// API and the figure benches).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -217,6 +251,19 @@ pub fn extrapolate_signature_detailed(
     target: u32,
     cfg: &ExtrapolationConfig,
 ) -> Result<(TaskTrace, Vec<ElementFit>), ExtrapolationError> {
+    let fit = fit_signature(traces, target, cfg)?;
+    let trace = synthesize_from_fit(&fit);
+    Ok((trace, fit.fits))
+}
+
+/// The *Fit* phase: validates the training family, fits the canonical
+/// forms to every feature element, and returns the complete signature
+/// model. Feed the result to [`synthesize_from_fit`].
+pub fn fit_signature(
+    traces: &[TaskTrace],
+    target: u32,
+    cfg: &ExtrapolationConfig,
+) -> Result<SignatureFit, ExtrapolationError> {
     if traces.len() < cfg.min_traces.max(1) {
         return Err(ExtrapolationError::TooFewTraces {
             got: traces.len(),
@@ -242,7 +289,7 @@ pub fn extrapolate_signature_detailed(
     }
 
     let xs: Vec<f64> = sorted.iter().map(|t| f64::from(t.nranks)).collect();
-    Ok(synthesize(&sorted, &xs, f64::from(target), target, cfg))
+    Ok(fit_sorted(&sorted, &xs, f64::from(target), target, cfg))
 }
 
 /// Generic-series extrapolation: the same per-element methodology over an
@@ -296,7 +343,9 @@ pub fn extrapolate_series_detailed(
     }
     let xs: Vec<f64> = order.iter().map(|(x, _)| *x).collect();
     let out_nranks = sorted.last().expect("nonempty").nranks;
-    Ok(synthesize(&sorted, &xs, target_x, out_nranks, cfg))
+    let fit = fit_sorted(&sorted, &xs, target_x, out_nranks, cfg);
+    let trace = synthesize_from_fit(&fit);
+    Ok((trace, fit.fits))
 }
 
 /// Checks that the traces form one family: same application, same target
@@ -342,7 +391,7 @@ fn validate_family(sorted: &[&TaskTrace]) -> Result<(), ExtrapolationError> {
     Ok(())
 }
 
-/// Fits every element of one instruction and evaluates it at `tx`.
+/// Fits every element of one instruction.
 ///
 /// Pure function of its inputs, so instructions can be fitted in parallel;
 /// the returned fits are in `feature_ids` order.
@@ -354,11 +403,10 @@ fn fit_instr(
     feature_ids: &[FeatureId],
     bi: usize,
     ii: usize,
-) -> (FeatureVector, Vec<ElementFit>) {
+) -> Vec<ElementFit> {
     let base = *sorted.last().expect("nonempty");
     let bb = &base.blocks[bi];
     let base_instr = &bb.instrs[ii];
-    let mut features = base_instr.features;
     let influence = base.influence(&base_instr.features);
     let mut fits = Vec::with_capacity(feature_ids.len());
     for &fid in feature_ids {
@@ -367,15 +415,6 @@ fn fit_instr(
             .map(|t| t.blocks[bi].instrs[ii].features.get(fid))
             .collect();
         let model = select_best_guarded(&cfg.forms, xs, &ys, cfg.criterion, tx);
-        let mut v = model.eval(tx);
-        if fid.is_rate() {
-            v = v.clamp(0.0, 1.0);
-        } else if fid == FeatureId::Ilp {
-            v = v.max(1.0);
-        } else {
-            v = v.max(0.0);
-        }
-        features.set(fid, v);
         fits.push(ElementFit {
             block: bb.name.clone(),
             instr: ii as u32,
@@ -385,31 +424,22 @@ fn fit_instr(
             influence,
         });
     }
-    // Restore cumulative monotonicity of the hit-rate vector.
-    for l in 1..features.hit_rates.len() {
-        features.hit_rates[l] = features.hit_rates[l].max(features.hit_rates[l - 1]);
-    }
-    for l in base.depth..features.hit_rates.len() {
-        features.hit_rates[l] = 1.0;
-    }
-    (features, fits)
+    fits
 }
 
-/// The synthesis core: fit every element over `xs`, evaluate at `tx`,
-/// post-process, and assemble the synthetic trace (labeled `out_nranks`).
+/// The fitting core: fit every element over `xs` and bundle the models.
 ///
 /// Instructions are independent fitting problems, so the element fits fan
 /// out over `(block, instruction)` pairs with rayon. The collect is
 /// ordered and the fits of each pair are concatenated in pair order, so
-/// the output — trace and fit report both — is bit-identical to the serial
-/// evaluation at any thread count.
-fn synthesize(
+/// the output is bit-identical to serial evaluation at any thread count.
+fn fit_sorted(
     sorted: &[&TaskTrace],
     xs: &[f64],
     tx: f64,
     out_nranks: u32,
     cfg: &ExtrapolationConfig,
-) -> (TaskTrace, Vec<ElementFit>) {
+) -> SignatureFit {
     let base = *sorted.last().expect("nonempty");
     let feature_ids = FeatureId::all(base.depth);
 
@@ -419,38 +449,85 @@ fn synthesize(
         .enumerate()
         .flat_map(|(bi, bb)| (0..bb.instrs.len()).map(move |ii| (bi, ii)))
         .collect();
-    let fitted: Vec<(FeatureVector, Vec<ElementFit>)> = pairs
+    let fits: Vec<ElementFit> = pairs
         .par_iter()
         .map(|&(bi, ii)| fit_instr(sorted, xs, tx, cfg, &feature_ids, bi, ii))
+        .collect::<Vec<_>>()
+        .into_iter()
+        .flatten()
         .collect();
-    let mut fitted = fitted.into_iter();
 
-    let mut fits = Vec::new();
+    // Block-level invocation/iteration counts get the same treatment.
+    let block_models = (0..base.blocks.len())
+        .map(|bi| {
+            let series = |f: &dyn Fn(&TaskTrace) -> f64| -> Vec<f64> {
+                sorted.iter().map(|t| f(t)).collect()
+            };
+            BlockModels {
+                invocations: select_best_guarded(
+                    &cfg.forms,
+                    xs,
+                    &series(&|t| t.blocks[bi].invocations as f64),
+                    cfg.criterion,
+                    tx,
+                ),
+                iterations: select_best_guarded(
+                    &cfg.forms,
+                    xs,
+                    &series(&|t| t.blocks[bi].iterations as f64),
+                    cfg.criterion,
+                    tx,
+                ),
+            }
+        })
+        .collect();
+
+    SignatureFit {
+        base: base.clone(),
+        target_x: tx,
+        out_nranks,
+        fits,
+        block_models,
+    }
+}
+
+/// The *Synthesize* phase: evaluates every fitted model at the target,
+/// post-processes the vectors back to physical ranges (counts clamped
+/// non-negative, rates to `[0, 1]` with cumulative monotonicity across
+/// cache levels restored), and assembles the synthetic trace.
+///
+/// Deterministic and bit-identical to the fused extrapolation APIs.
+pub fn synthesize_from_fit(fit: &SignatureFit) -> TaskTrace {
+    let base = &fit.base;
+    let tx = fit.target_x;
+    let feature_ids = FeatureId::all(base.depth);
+    let mut chunks = fit.fits.chunks(feature_ids.len());
+
     let mut out_blocks = Vec::with_capacity(base.blocks.len());
-    for (bi, bb) in base.blocks.iter().enumerate() {
-        // Block-level invocation/iteration counts get the same treatment.
-        let series =
-            |f: &dyn Fn(&TaskTrace) -> f64| -> Vec<f64> { sorted.iter().map(|t| f(t)).collect() };
-        let inv_model = select_best_guarded(
-            &cfg.forms,
-            xs,
-            &series(&|t| t.blocks[bi].invocations as f64),
-            cfg.criterion,
-            tx,
-        );
-        let iter_model = select_best_guarded(
-            &cfg.forms,
-            xs,
-            &series(&|t| t.blocks[bi].iterations as f64),
-            cfg.criterion,
-            tx,
-        );
-
+    for (bb, models) in base.blocks.iter().zip(&fit.block_models) {
         let mut out_instrs = Vec::with_capacity(bb.instrs.len());
         for base_instr in &bb.instrs {
-            let (features, mut instr_fits) =
-                fitted.next().expect("one fitted entry per instruction");
-            fits.append(&mut instr_fits);
+            let instr_fits = chunks.next().expect("one fit chunk per instruction");
+            let mut features = base_instr.features;
+            for ef in instr_fits {
+                let fid = ef.feature;
+                let mut v = ef.model.eval(tx);
+                if fid.is_rate() {
+                    v = v.clamp(0.0, 1.0);
+                } else if fid == FeatureId::Ilp {
+                    v = v.max(1.0);
+                } else {
+                    v = v.max(0.0);
+                }
+                features.set(fid, v);
+            }
+            // Restore cumulative monotonicity of the hit-rate vector.
+            for l in 1..features.hit_rates.len() {
+                features.hit_rates[l] = features.hit_rates[l].max(features.hit_rates[l - 1]);
+            }
+            for l in base.depth..features.hit_rates.len() {
+                features.hit_rates[l] = 1.0;
+            }
             out_instrs.push(xtrace_tracer::InstrRecord {
                 instr: base_instr.instr,
                 pattern: base_instr.pattern.clone(),
@@ -461,23 +538,20 @@ fn synthesize(
         out_blocks.push(xtrace_tracer::BlockRecord {
             name: bb.name.clone(),
             source: bb.source.clone(),
-            invocations: inv_model.eval(tx).max(0.0).round() as u64,
-            iterations: iter_model.eval(tx).max(0.0).round() as u64,
+            invocations: models.invocations.eval(tx).max(0.0).round() as u64,
+            iterations: models.iterations.eval(tx).max(0.0).round() as u64,
             instrs: out_instrs,
         });
     }
 
-    (
-        TaskTrace {
-            app: base.app.clone(),
-            rank: base.rank,
-            nranks: out_nranks,
-            machine: base.machine.clone(),
-            depth: base.depth,
-            blocks: out_blocks,
-        },
-        fits,
-    )
+    TaskTrace {
+        app: base.app.clone(),
+        rank: base.rank,
+        nranks: fit.out_nranks,
+        machine: base.machine.clone(),
+        depth: base.depth,
+        blocks: out_blocks,
+    }
 }
 
 #[cfg(test)]
@@ -586,9 +660,18 @@ mod tests {
         let cfg = ExtrapolationConfig::default();
         let (_, fits) = extrapolate_signature_detailed(&training(), 8192, &cfg).unwrap();
         let find = |fid: FeatureId| fits.iter().find(|f| f.feature == fid).unwrap();
-        assert_eq!(find(FeatureId::HitRate(0)).model.form, CanonicalForm::Constant);
-        assert_eq!(find(FeatureId::HitRate(1)).model.form, CanonicalForm::Linear);
-        assert_eq!(find(FeatureId::ExecCount).model.form, CanonicalForm::Logarithmic);
+        assert_eq!(
+            find(FeatureId::HitRate(0)).model.form,
+            CanonicalForm::Constant
+        );
+        assert_eq!(
+            find(FeatureId::HitRate(1)).model.form,
+            CanonicalForm::Linear
+        );
+        assert_eq!(
+            find(FeatureId::ExecCount).model.form,
+            CanonicalForm::Logarithmic
+        );
         assert_eq!(find(FeatureId::ExecCount).values.len(), 3);
     }
 
@@ -624,8 +707,8 @@ mod tests {
     #[test]
     fn rejects_too_few_traces() {
         let t = training();
-        let err = extrapolate_signature(&t[..2], 8192, &ExtrapolationConfig::default())
-            .unwrap_err();
+        let err =
+            extrapolate_signature(&t[..2], 8192, &ExtrapolationConfig::default()).unwrap_err();
         assert_eq!(err, ExtrapolationError::TooFewTraces { got: 2, need: 3 });
     }
 
@@ -640,8 +723,8 @@ mod tests {
 
     #[test]
     fn rejects_target_not_larger() {
-        let err = extrapolate_signature(&training(), 4096, &ExtrapolationConfig::default())
-            .unwrap_err();
+        let err =
+            extrapolate_signature(&training(), 4096, &ExtrapolationConfig::default()).unwrap_err();
         assert_eq!(
             err,
             ExtrapolationError::TargetNotLarger {
@@ -735,11 +818,7 @@ mod tests {
             extrapolate_series(&points, 1e7, &ExtrapolationConfig::default()).unwrap_err(),
             ExtrapolationError::DuplicatePoint(1e6)
         );
-        let points = vec![
-            (f64::NAN, t0.clone()),
-            (2e6, t0.clone()),
-            (4e6, t0.clone()),
-        ];
+        let points = vec![(f64::NAN, t0.clone()), (2e6, t0.clone()), (4e6, t0.clone())];
         assert!(matches!(
             extrapolate_series(&points, 1e7, &ExtrapolationConfig::default()),
             Err(ExtrapolationError::NonFinitePoint(_))
@@ -765,8 +844,7 @@ mod tests {
             .map(|t| (f64::from(t.nranks), t.clone()))
             .collect();
         let a = extrapolate_signature(&traces, 8192, &ExtrapolationConfig::default()).unwrap();
-        let mut b =
-            extrapolate_series(&points, 8192.0, &ExtrapolationConfig::default()).unwrap();
+        let mut b = extrapolate_series(&points, 8192.0, &ExtrapolationConfig::default()).unwrap();
         // The series API labels the output with the base count.
         b.nranks = 8192;
         assert_eq!(a, b);

@@ -50,11 +50,7 @@ fn quad_fit(xs: &[f64], ys: &[f64]) -> Option<[f64; 3]> {
     let sy: f64 = ys.iter().sum();
     let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| x * y).sum();
     let sx2y: f64 = xs.iter().zip(ys).map(|(x, y)| x * x * y).sum();
-    let mut m = [
-        [n, s1, s2, sy],
-        [s1, s2, s3, sxy],
-        [s2, s3, s4, sx2y],
-    ];
+    let mut m = [[n, s1, s2, sy], [s1, s2, s3, sxy], [s2, s3, s4, sx2y]];
     for col in 0..3 {
         let pivot = (col..3).max_by(|&a, &b| {
             m[a][col]
@@ -158,10 +154,7 @@ pub fn fit_form(form: CanonicalForm, xs: &[f64], ys: &[f64]) -> Option<FittedMod
 
 /// Fits every applicable form from `forms`.
 pub fn fit_all(forms: &[CanonicalForm], xs: &[f64], ys: &[f64]) -> Vec<FittedModel> {
-    forms
-        .iter()
-        .filter_map(|&f| fit_form(f, xs, ys))
-        .collect()
+    forms.iter().filter_map(|&f| fit_form(f, xs, ys)).collect()
 }
 
 /// Fits all candidate forms and returns the best per `criterion`, breaking
@@ -213,8 +206,16 @@ fn sort_fits(fits: &mut [FittedModel], ys: &[f64], criterion: SelectionCriterion
             SelectionCriterion::Sse => m.sse,
             SelectionCriterion::Aicc => m.aicc(),
         };
-        let ka = key(a).max(if criterion == SelectionCriterion::Sse { 0.0 } else { f64::MIN });
-        let kb = key(b).max(if criterion == SelectionCriterion::Sse { 0.0 } else { f64::MIN });
+        let ka = key(a).max(if criterion == SelectionCriterion::Sse {
+            0.0
+        } else {
+            f64::MIN
+        });
+        let kb = key(b).max(if criterion == SelectionCriterion::Sse {
+            0.0
+        } else {
+            f64::MIN
+        });
         let tied = match criterion {
             SelectionCriterion::Sse => ka < floor && kb < floor,
             SelectionCriterion::Aicc => (ka - kb).abs() < 1e-9 * ka.abs().max(kb.abs()).max(1e-30),
@@ -346,7 +347,12 @@ mod tests {
 
     #[test]
     fn log_fit_rejects_nonpositive_x() {
-        assert!(fit_form(CanonicalForm::Logarithmic, &[0.0, 1.0, 2.0], &[1.0, 2.0, 3.0]).is_none());
+        assert!(fit_form(
+            CanonicalForm::Logarithmic,
+            &[0.0, 1.0, 2.0],
+            &[1.0, 2.0, 3.0]
+        )
+        .is_none());
     }
 
     #[test]
@@ -366,7 +372,12 @@ mod tests {
     #[test]
     fn non_finite_data_rejected() {
         assert!(fit_form(CanonicalForm::Linear, P, &[1.0, f64::NAN, 2.0]).is_none());
-        assert!(fit_form(CanonicalForm::Linear, &[1.0, f64::INFINITY, 3.0], &[1.0, 2.0, 3.0]).is_none());
+        assert!(fit_form(
+            CanonicalForm::Linear,
+            &[1.0, f64::INFINITY, 3.0],
+            &[1.0, 2.0, 3.0]
+        )
+        .is_none());
     }
 
     #[test]
@@ -406,7 +417,12 @@ mod tests {
     fn aicc_with_five_points_picks_true_form() {
         let xs = [256.0, 512.0, 1024.0, 2048.0, 4096.0];
         let ys: Vec<f64> = xs.iter().map(|x| 0.1 + 3e-5 * x).collect();
-        let best = select_best(&CanonicalForm::PAPER_SET, &xs, &ys, SelectionCriterion::Aicc);
+        let best = select_best(
+            &CanonicalForm::PAPER_SET,
+            &xs,
+            &ys,
+            SelectionCriterion::Aicc,
+        );
         assert_eq!(best.form, CanonicalForm::Linear);
     }
 
@@ -488,7 +504,10 @@ mod tests {
             SelectionCriterion::Sse,
             8192.0,
         );
-        assert_eq!(g, select_best(&CanonicalForm::PAPER_SET, P, &ys, SelectionCriterion::Sse));
+        assert_eq!(
+            g,
+            select_best(&CanonicalForm::PAPER_SET, P, &ys, SelectionCriterion::Sse)
+        );
         assert_eq!(g.form, CanonicalForm::Logarithmic);
         assert!(g.eval(8192.0) > 5.0, "no clamping applied");
     }

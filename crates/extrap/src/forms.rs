@@ -64,7 +64,11 @@ impl CanonicalForm {
             CanonicalForm::Linear => a + b * x,
             CanonicalForm::Logarithmic => a + b * x.max(f64::MIN_POSITIVE).ln(),
             CanonicalForm::Exponential => a * (b * x).clamp(-700.0, 700.0).exp(),
-            CanonicalForm::Power => a * (b * x.max(f64::MIN_POSITIVE).ln()).clamp(-700.0, 700.0).exp(),
+            CanonicalForm::Power => {
+                a * (b * x.max(f64::MIN_POSITIVE).ln())
+                    .clamp(-700.0, 700.0)
+                    .exp()
+            }
             CanonicalForm::Quadratic => a + b * x + c * x * x,
         }
     }
@@ -161,8 +165,13 @@ mod tests {
         let p = [2.0, 3.0, 0.5];
         assert_eq!(CanonicalForm::Constant.eval(&p, 10.0), 2.0);
         assert_eq!(CanonicalForm::Linear.eval(&p, 10.0), 32.0);
-        assert!((CanonicalForm::Logarithmic.eval(&p, 10.0) - (2.0 + 3.0 * 10f64.ln())).abs() < 1e-12);
-        assert!((CanonicalForm::Exponential.eval(&[2.0, 0.1, 0.0], 10.0) - 2.0 * 1f64.exp()).abs() < 1e-12);
+        assert!(
+            (CanonicalForm::Logarithmic.eval(&p, 10.0) - (2.0 + 3.0 * 10f64.ln())).abs() < 1e-12
+        );
+        assert!(
+            (CanonicalForm::Exponential.eval(&[2.0, 0.1, 0.0], 10.0) - 2.0 * 1f64.exp()).abs()
+                < 1e-12
+        );
         assert!((CanonicalForm::Power.eval(&[2.0, 2.0, 0.0], 3.0) - 18.0).abs() < 1e-12);
         assert_eq!(CanonicalForm::Quadratic.eval(&p, 10.0), 2.0 + 30.0 + 50.0);
     }
@@ -233,10 +242,7 @@ mod tests {
             n: 3,
         };
         assert_eq!(exact.r2(0.0), 1.0);
-        let wrong = FittedModel {
-            sse: 1.0,
-            ..exact
-        };
+        let wrong = FittedModel { sse: 1.0, ..exact };
         assert_eq!(wrong.r2(0.0), 0.0);
         assert!((exact.r2(2.0) - 1.0).abs() < 1e-12);
     }

@@ -164,8 +164,7 @@ mod tests {
     fn report() -> FitReport {
         let traces = vec![trace_at(1024), trace_at(2048), trace_at(4096)];
         let (_t, fits) =
-            extrapolate_signature_detailed(&traces, 8192, &ExtrapolationConfig::default())
-                .unwrap();
+            extrapolate_signature_detailed(&traces, 8192, &ExtrapolationConfig::default()).unwrap();
         FitReport::from_fits(&fits, 0.001)
     }
 

@@ -126,11 +126,7 @@ pub fn synthesize_full_signature(
     let tx = f64::from(target);
     let mut groups = Vec::with_capacity(k_eff);
     let mut absolute = Vec::with_capacity(k_eff);
-    for ((reps, fracs), members) in rep_series
-        .into_iter()
-        .zip(&frac_series)
-        .zip(&member_series)
-    {
+    for ((reps, fracs), members) in rep_series.into_iter().zip(&frac_series).zip(&member_series) {
         let trace = extrapolate_signature(&reps, target, cfg)?;
         let stable_membership = members.windows(2).all(|w| w[0] == w[1]);
         let ranks = if stable_membership {
@@ -235,9 +231,8 @@ mod tests {
 
     #[test]
     fn groups_cover_all_target_ranks() {
-        let sig =
-            synthesize_full_signature(&per_count(), 8192, 2, &ExtrapolationConfig::default())
-                .unwrap();
+        let sig = synthesize_full_signature(&per_count(), 8192, 2, &ExtrapolationConfig::default())
+            .unwrap();
         assert_eq!(sig.nranks, 8192);
         assert_eq!(sig.total_ranks(), 8192);
         assert_eq!(sig.groups.len(), 2);
@@ -245,9 +240,8 @@ mod tests {
 
     #[test]
     fn master_group_is_first_and_small() {
-        let sig =
-            synthesize_full_signature(&per_count(), 8192, 2, &ExtrapolationConfig::default())
-                .unwrap();
+        let sig = synthesize_full_signature(&per_count(), 8192, 2, &ExtrapolationConfig::default())
+            .unwrap();
         // Heaviest-first ordering: at 8192 the master (linear work, ~8e6
         // ops) outweighs a worker (1e9/8192 ~ 1.2e5 ops).
         assert!(sig.groups[0].trace.total_mem_ops() > sig.groups[1].trace.total_mem_ops());
@@ -260,9 +254,8 @@ mod tests {
 
     #[test]
     fn master_trace_extrapolates_linearly() {
-        let sig =
-            synthesize_full_signature(&per_count(), 8192, 2, &ExtrapolationConfig::default())
-                .unwrap();
+        let sig = synthesize_full_signature(&per_count(), 8192, 2, &ExtrapolationConfig::default())
+            .unwrap();
         let got = sig.groups[0].trace.total_mem_ops();
         let truth = 1e3 * 8192.0;
         assert!((got - truth).abs() / truth < 1e-6, "{got} vs {truth}");
@@ -270,9 +263,8 @@ mod tests {
 
     #[test]
     fn fractions_are_recorded_per_training_count() {
-        let sig =
-            synthesize_full_signature(&per_count(), 8192, 2, &ExtrapolationConfig::default())
-                .unwrap();
+        let sig = synthesize_full_signature(&per_count(), 8192, 2, &ExtrapolationConfig::default())
+            .unwrap();
         for g in &sig.groups {
             assert_eq!(g.training_fractions.len(), 3);
             for &f in &g.training_fractions {
@@ -284,9 +276,8 @@ mod tests {
 
     #[test]
     fn k_one_degenerates_to_single_group() {
-        let sig =
-            synthesize_full_signature(&per_count(), 8192, 1, &ExtrapolationConfig::default())
-                .unwrap();
+        let sig = synthesize_full_signature(&per_count(), 8192, 1, &ExtrapolationConfig::default())
+            .unwrap();
         assert_eq!(sig.groups.len(), 1);
         assert_eq!(sig.groups[0].ranks, 8192);
     }

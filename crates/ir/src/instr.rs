@@ -158,13 +158,8 @@ mod tests {
 
     #[test]
     fn builders_set_fields() {
-        let i = Instruction::mem(
-            MemOp::Load,
-            RegionId(3),
-            8,
-            AddressPattern::unit(8),
-        )
-        .with_repeat(4);
+        let i =
+            Instruction::mem(MemOp::Load, RegionId(3), 8, AddressPattern::unit(8)).with_repeat(4);
         assert!(i.is_mem());
         assert!(!i.is_store());
         assert_eq!(i.repeat, 4);
@@ -187,7 +182,10 @@ mod tests {
             MemOp::Load,
             RegionId(1),
             4,
-            AddressPattern::Stencil { points: 3, plane: 64 },
+            AddressPattern::Stencil {
+                points: 3,
+                plane: 64,
+            },
         );
         let s = serde_json::to_string(&i).unwrap();
         let back: Instruction = serde_json::from_str(&s).unwrap();

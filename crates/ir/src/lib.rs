@@ -39,7 +39,7 @@ pub mod stream;
 pub use block::{BasicBlock, SourceLoc};
 pub use display::render_program;
 pub use ids::{BlockId, InstrId, RegionId};
-pub use instr::{FpOp, Instruction, InstrKind, MemOp};
+pub use instr::{FpOp, InstrKind, Instruction, MemOp};
 pub use pattern::AddressPattern;
 pub use program::{Program, ProgramBuilder, ProgramError};
 pub use region::MemoryRegion;

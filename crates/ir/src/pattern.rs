@@ -197,7 +197,11 @@ mod tests {
         assert_eq!(AddressPattern::Random.label(), "random");
         assert_eq!(AddressPattern::unit(8).label(), "strided");
         assert_eq!(
-            AddressPattern::Stencil { points: 2, plane: 8 }.label(),
+            AddressPattern::Stencil {
+                points: 2,
+                plane: 8
+            }
+            .label(),
             "stencil"
         );
     }

@@ -47,7 +47,10 @@ impl std::fmt::Display for ProgramError {
             ProgramError::DuplicateBlockName(n) => write!(f, "duplicate block name {n:?}"),
             ProgramError::DuplicateRegionName(n) => write!(f, "duplicate region name {n:?}"),
             ProgramError::RefWiderThanRegion { block, region } => {
-                write!(f, "block {block} has a reference wider than region {region}")
+                write!(
+                    f,
+                    "block {block} has a reference wider than region {region}"
+                )
             }
         }
     }
@@ -225,7 +228,10 @@ mod tests {
         let p = b.build().unwrap();
 
         assert_eq!(p.region_base(r0), 4096);
-        assert_eq!(p.region_base(r1), 4096 + 4096 + 4096 + MemoryRegion::STAGGER);
+        assert_eq!(
+            p.region_base(r1),
+            4096 + 4096 + 4096 + MemoryRegion::STAGGER
+        );
         assert_eq!(
             p.region_base(r2),
             4096 + (4096 + 4096) + (8192 + 4096) + 2 * MemoryRegion::STAGGER

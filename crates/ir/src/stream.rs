@@ -68,7 +68,12 @@ enum Cursor {
         elem: u64,
     },
     /// Pure function of the access index `k`; nothing to incrementalize.
-    Random { k: u64, seed: u64, elems: u64, elem: u64 },
+    Random {
+        k: u64,
+        seed: u64,
+        elems: u64,
+        elem: u64,
+    },
 }
 
 impl Cursor {
@@ -141,7 +146,12 @@ impl Cursor {
                 }
                 off * *elem
             }
-            Cursor::Random { k, seed, elems, elem } => {
+            Cursor::Random {
+                k,
+                seed,
+                elems,
+                elem,
+            } => {
                 let mut h = SplitMix64::new(*seed ^ SplitMix64::mix(*k));
                 *k += 1;
                 h.next_below(*elems) * *elem
@@ -200,12 +210,7 @@ impl AccessStream {
 
     /// Memory accesses one invocation will generate.
     pub fn accesses_per_invocation(&self) -> u64 {
-        self.iterations
-            * self
-                .specs
-                .iter()
-                .map(|s| u64::from(s.repeat))
-                .sum::<u64>()
+        self.iterations * self.specs.iter().map(|s| u64::from(s.repeat)).sum::<u64>()
     }
 
     /// Runs one invocation (`block.iterations` trips), calling `sink` for
@@ -326,8 +331,22 @@ mod tests {
             (AddressPattern::Strided { stride: 264 }, 1 << 12, 8),
             (AddressPattern::Strided { stride: 1 << 13 }, 1 << 12, 8),
             (AddressPattern::Random, 1 << 10, 8),
-            (AddressPattern::Stencil { points: 3, plane: 1000 }, 1 << 12, 8),
-            (AddressPattern::Stencil { points: 7, plane: 1 << 14 }, 1 << 12, 4),
+            (
+                AddressPattern::Stencil {
+                    points: 3,
+                    plane: 1000,
+                },
+                1 << 12,
+                8,
+            ),
+            (
+                AddressPattern::Stencil {
+                    points: 7,
+                    plane: 1 << 14,
+                },
+                1 << 12,
+                4,
+            ),
             (AddressPattern::unit(8), 8, 8),
         ];
         for (pattern, size, elem) in cases {

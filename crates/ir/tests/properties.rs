@@ -3,18 +3,14 @@
 //! proxy apps could construct.
 
 use proptest::prelude::*;
-use xtrace_ir::{
-    AddressPattern, BasicBlock, BlockId, Instruction, MemOp, Program, SourceLoc,
-};
+use xtrace_ir::{AddressPattern, BasicBlock, BlockId, Instruction, MemOp, Program, SourceLoc};
 
 fn arb_pattern() -> impl Strategy<Value = AddressPattern> {
     prop_oneof![
         (1u64..=8192).prop_map(|stride| AddressPattern::Strided { stride }),
         Just(AddressPattern::Random),
-        ((1u32..=27), (8u64..=65536)).prop_map(|(points, plane)| AddressPattern::Stencil {
-            points,
-            plane
-        }),
+        ((1u32..=27), (8u64..=65536))
+            .prop_map(|(points, plane)| AddressPattern::Stencil { points, plane }),
     ]
 }
 

@@ -46,4 +46,4 @@ pub use fp::FpRates;
 pub use memcost::{MemoryCostModel, PrefetchState, PREFETCH_STREAMS};
 pub use multimaps::{measure_surface, BandwidthSurface, SurfacePoint, SweepConfig};
 pub use power::PowerModel;
-pub use profile::{MachineProfile, MachineProfileSpec};
+pub use profile::{MachineError, MachineProfile, MachineProfileSpec};

@@ -294,8 +294,7 @@ pub fn measure_surface(
             SurfacePoint {
                 working_set: ws,
                 stride,
-                streaming: stride
-                    .is_some_and(|s| s <= u64::from(hierarchy.levels[0].line_bytes)),
+                streaming: stride.is_some_and(|s| s <= u64::from(hierarchy.levels[0].line_bytes)),
                 hit_rates,
                 bandwidth_bps: bytes as f64 / seconds.max(1e-30),
             }

@@ -37,6 +37,7 @@ pub fn opteron() -> MachineProfile {
         SweepConfig::default(),
         0.8,
     )
+    .expect("static preset")
 }
 
 /// Cray XT5 (Kraken-style) node: the *base* system all signatures were
@@ -60,6 +61,7 @@ pub fn cray_xt5() -> MachineProfile {
         SweepConfig::default(),
         0.8,
     )
+    .expect("static preset")
 }
 
 /// Phase-I Blue Waters-style (POWER7-flavored) target system of Table I.
@@ -88,6 +90,7 @@ pub fn bluewaters_phase1() -> MachineProfile {
         SweepConfig::default(),
         0.85,
     )
+    .expect("static preset")
 }
 
 /// Hypothetical System A of Table III: 12 KB L1 (3-way × 64 sets), with the
@@ -121,6 +124,7 @@ fn table3_system(name: &str, l1_bytes: u64, l1_assoc: u32) -> MachineProfile {
         SweepConfig::default(),
         0.8,
     )
+    .expect("static preset")
 }
 
 /// All presets, for exhaustive tests and the CLI's `--machine` flag.

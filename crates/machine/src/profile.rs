@@ -11,6 +11,37 @@ use crate::memcost::MemoryCostModel;
 use crate::multimaps::{measure_surface, BandwidthSurface, SweepConfig};
 use crate::power::PowerModel;
 
+/// Why a machine profile could not be constructed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MachineError {
+    /// The cache hierarchy violates a structural invariant.
+    InvalidHierarchy(String),
+    /// The floating-point rates are not usable.
+    InvalidFpRates(String),
+    /// The energy model is not usable.
+    InvalidPower(String),
+    /// The clock frequency is not positive.
+    InvalidClock(f64),
+    /// The memory/FP overlap factor is outside `[0, 1]`.
+    InvalidOverlap(f64),
+}
+
+impl std::fmt::Display for MachineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MachineError::InvalidHierarchy(m) => write!(f, "invalid cache hierarchy: {m}"),
+            MachineError::InvalidFpRates(m) => write!(f, "invalid FP rates: {m}"),
+            MachineError::InvalidPower(m) => write!(f, "invalid power model: {m}"),
+            MachineError::InvalidClock(hz) => write!(f, "clock must be positive, got {hz}"),
+            MachineError::InvalidOverlap(v) => {
+                write!(f, "fp/mem overlap must be a fraction in [0, 1], got {v}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
 /// A target (or base) system: cache structure, clock, FP rates, network,
 /// per-access memory cost parameters, and the lazily measured MultiMAPS
 /// surface.
@@ -67,7 +98,7 @@ impl Clone for MachineProfile {
 }
 
 impl MachineProfile {
-    /// Creates a profile; the surface is measured on first use.
+    /// Creates a validated profile; the surface is measured on first use.
     #[allow(clippy::too_many_arguments)]
     pub fn new(
         name: impl Into<String>,
@@ -78,15 +109,18 @@ impl MachineProfile {
         mem_cost: MemoryCostModel,
         sweep: SweepConfig,
         fp_mem_overlap: f64,
-    ) -> Self {
-        hierarchy.validate().expect("invalid hierarchy");
-        fp.validate().expect("invalid FP rates");
-        assert!(clock_hz > 0.0, "clock must be positive");
-        assert!(
-            (0.0..=1.0).contains(&fp_mem_overlap),
-            "overlap must be a fraction"
-        );
-        Self {
+    ) -> Result<Self, MachineError> {
+        hierarchy
+            .validate()
+            .map_err(MachineError::InvalidHierarchy)?;
+        fp.validate().map_err(MachineError::InvalidFpRates)?;
+        if clock_hz.is_nan() || clock_hz <= 0.0 {
+            return Err(MachineError::InvalidClock(clock_hz));
+        }
+        if !(0.0..=1.0).contains(&fp_mem_overlap) {
+            return Err(MachineError::InvalidOverlap(fp_mem_overlap));
+        }
+        Ok(Self {
             name: name.into(),
             hierarchy,
             clock_hz,
@@ -97,14 +131,14 @@ impl MachineProfile {
             fp_mem_overlap,
             power: PowerModel::generic(),
             surface: OnceLock::new(),
-        }
+        })
     }
 
     /// Replaces the energy model (builder style).
-    pub fn with_power(mut self, power: PowerModel) -> Self {
-        power.validate().expect("invalid power model");
+    pub fn with_power(mut self, power: PowerModel) -> Result<Self, MachineError> {
+        power.validate().map_err(MachineError::InvalidPower)?;
         self.power = power;
-        self
+        Ok(self)
     }
 
     /// Number of cache levels.
@@ -147,7 +181,7 @@ impl MachineProfile {
 
     /// Rebuilds a profile from a snapshot; the embedded surface is adopted
     /// verbatim (no re-measurement).
-    pub fn from_spec(spec: MachineProfileSpec) -> Self {
+    pub fn from_spec(spec: MachineProfileSpec) -> Result<Self, MachineError> {
         let profile = Self::new(
             spec.name,
             spec.hierarchy,
@@ -157,10 +191,10 @@ impl MachineProfile {
             spec.mem_cost,
             spec.sweep,
             spec.fp_mem_overlap,
-        )
-        .with_power(spec.power);
+        )?
+        .with_power(spec.power)?;
         let _ = profile.surface.set(spec.surface);
-        profile
+        Ok(profile)
     }
 }
 
@@ -215,6 +249,7 @@ mod tests {
             SweepConfig::coarse(),
             0.8,
         )
+        .unwrap()
     }
 
     #[test]
@@ -249,7 +284,7 @@ mod tests {
         let spec = p.to_spec();
         let json = serde_json::to_string(&spec).unwrap();
         let back_spec: MachineProfileSpec = serde_json::from_str(&json).unwrap();
-        let q = MachineProfile::from_spec(back_spec);
+        let q = MachineProfile::from_spec(back_spec).unwrap();
         assert_eq!(q.name, p.name);
         assert_eq!(q.hierarchy, p.hierarchy);
         // The surface was adopted, not re-measured: identical points.
@@ -265,15 +300,14 @@ mod tests {
         use crate::power::PowerModel;
         let mut pm = PowerModel::generic();
         pm.static_watts = 7.5;
-        let p = profile().with_power(pm);
+        let p = profile().with_power(pm).unwrap();
         assert_eq!(p.power.static_watts, 7.5);
     }
 
     #[test]
-    #[should_panic(expected = "overlap")]
-    fn bad_overlap_panics() {
+    fn bad_overlap_is_a_typed_error() {
         let p = profile();
-        MachineProfile::new(
+        let err = MachineProfile::new(
             "bad",
             p.hierarchy.clone(),
             1e9,
@@ -282,6 +316,26 @@ mod tests {
             MemoryCostModel::default(),
             SweepConfig::coarse(),
             1.5,
-        );
+        )
+        .unwrap_err();
+        assert_eq!(err, MachineError::InvalidOverlap(1.5));
+        assert!(err.to_string().contains("overlap"));
+    }
+
+    #[test]
+    fn bad_clock_is_a_typed_error() {
+        let p = profile();
+        let err = MachineProfile::new(
+            "bad",
+            p.hierarchy.clone(),
+            0.0,
+            FpRates::generic(),
+            p.net,
+            MemoryCostModel::default(),
+            SweepConfig::coarse(),
+            0.5,
+        )
+        .unwrap_err();
+        assert_eq!(err, MachineError::InvalidClock(0.0));
     }
 }

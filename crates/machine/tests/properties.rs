@@ -4,9 +4,7 @@
 
 use proptest::prelude::*;
 use xtrace_cache::{CacheLevelConfig, HierarchyConfig};
-use xtrace_machine::{
-    measure_surface, MemoryCostModel, PowerModel, PrefetchState, SweepConfig,
-};
+use xtrace_machine::{measure_surface, MemoryCostModel, PowerModel, PrefetchState, SweepConfig};
 
 fn hierarchy() -> HierarchyConfig {
     HierarchyConfig::new(

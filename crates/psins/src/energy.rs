@@ -17,8 +17,8 @@ use xtrace_machine::MachineProfile;
 use xtrace_spmd::{CommKind, CommProfile};
 use xtrace_tracer::TaskTrace;
 
-use crate::check_machine;
 use crate::predict::predict_runtime;
+use crate::{check_machine, try_check_machine, PredictError};
 
 /// A predicted energy budget for the traced task.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -63,12 +63,40 @@ fn comm_bytes(comm: &CommProfile) -> f64 {
 
 /// Predicts the traced task's energy on `machine` (works identically for
 /// collected and extrapolated traces).
+///
+/// Fails with [`PredictError::MachineMismatch`] if the trace was simulated
+/// against a different machine than `machine`.
+pub fn try_predict_energy(
+    trace: &TaskTrace,
+    comm: &CommProfile,
+    machine: &MachineProfile,
+) -> Result<EnergyPrediction, PredictError> {
+    try_check_machine(trace, machine)?;
+    Ok(energy_checked(trace, comm, machine))
+}
+
+/// Panicking form of [`try_predict_energy`] for traces known to match the
+/// machine.
+///
+/// # Panics
+///
+/// Panics if the trace was simulated against a different machine than
+/// `machine`.
 pub fn predict_energy(
     trace: &TaskTrace,
     comm: &CommProfile,
     machine: &MachineProfile,
 ) -> EnergyPrediction {
     check_machine(trace, machine);
+    energy_checked(trace, comm, machine)
+}
+
+/// Energy model over a trace already known to match `machine`.
+fn energy_checked(
+    trace: &TaskTrace,
+    comm: &CommProfile,
+    machine: &MachineProfile,
+) -> EnergyPrediction {
     let power = &machine.power;
     let mut memory_joules = 0.0;
     let mut fp_joules = 0.0;
@@ -80,8 +108,7 @@ pub fn predict_energy(
                     power.memory_joules(f.mem_ops, &f.hit_rates[..trace.depth], trace.depth);
             }
             // FLOPs: FMA counts double.
-            let flops =
-                f.fp_add + f.fp_mul + f.fp_div + f.fp_sqrt + 2.0 * f.fp_fma;
+            let flops = f.fp_add + f.fp_mul + f.fp_div + f.fp_sqrt + 2.0 * f.fp_fma;
             fp_joules += power.fp_joules(flops);
         }
     }

@@ -118,13 +118,9 @@ pub fn ground_truth_for_rank(
             stream.run_iterations(warmup_iters, &mut |a| {
                 let lvl = cache.access(a.addr, a.bytes);
                 // Warmup advances prefetch state but charges nothing.
-                machine.mem_cost.cycles(
-                    &machine.hierarchy,
-                    &mut prefetch,
-                    lvl,
-                    a.addr,
-                    a.is_store,
-                );
+                machine
+                    .mem_cost
+                    .cycles(&machine.hierarchy, &mut prefetch, lvl, a.addr, a.is_store);
             });
             stream.run_iterations(sample_iters, &mut |a| {
                 let lvl = cache.access(a.addr, a.bytes);
@@ -160,9 +156,7 @@ mod tests {
         let gt = ground_truth(&app, 4, &machine, &TracerConfig::fast());
         assert!(gt.compute_seconds > 0.0);
         assert!(gt.comm_seconds > 0.0);
-        assert!(
-            (gt.total_seconds - gt.compute_seconds - gt.comm_seconds).abs() < 1e-12
-        );
+        assert!((gt.total_seconds - gt.compute_seconds - gt.comm_seconds).abs() < 1e-12);
     }
 
     #[test]

@@ -29,14 +29,43 @@ pub mod ground_truth;
 pub mod predict;
 pub mod replay;
 
-pub use energy::{predict_energy, EnergyPrediction};
+pub use energy::{predict_energy, try_predict_energy, EnergyPrediction};
 pub use ground_truth::{ground_truth, ground_truth_for_rank, GroundTruth};
-pub use predict::{predict_runtime, BlockTime, Prediction};
+pub use predict::{predict_runtime, try_predict_runtime, BlockTime, Prediction};
 pub use replay::{
     ground_truth_application, replay_groups, replay_groups_traced, GroupComputeModel,
 };
 
 use xtrace_tracer::TaskTrace;
+
+/// Why a prediction could not be computed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PredictError {
+    /// The trace's simulated hierarchy does not match the profile the
+    /// prediction was asked against — its hit rates would be meaningless.
+    MachineMismatch {
+        /// Machine the trace was collected against.
+        trace_machine: String,
+        /// Machine the prediction was requested for.
+        profile_machine: String,
+    },
+}
+
+impl std::fmt::Display for PredictError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PredictError::MachineMismatch {
+                trace_machine,
+                profile_machine,
+            } => write!(
+                f,
+                "trace was collected against {trace_machine:?}, not {profile_machine:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PredictError {}
 
 /// Convenience: absolute relative error between a prediction and a
 /// reference runtime, as reported in the paper's Table I.
@@ -73,6 +102,22 @@ pub(crate) fn block_fp_seconds(
         ilp,
         machine.clock_hz,
     )
+}
+
+/// Shared helper: typed check that a trace was simulated against the given
+/// machine.
+pub(crate) fn try_check_machine(
+    trace: &TaskTrace,
+    machine: &xtrace_machine::MachineProfile,
+) -> Result<(), PredictError> {
+    if trace.machine == machine.name {
+        Ok(())
+    } else {
+        Err(PredictError::MachineMismatch {
+            trace_machine: trace.machine.clone(),
+            profile_machine: machine.name.clone(),
+        })
+    }
 }
 
 /// Shared helper: sanity-check that a trace was simulated against the given

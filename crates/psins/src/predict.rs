@@ -16,7 +16,7 @@ use xtrace_machine::MachineProfile;
 use xtrace_spmd::CommProfile;
 use xtrace_tracer::TaskTrace;
 
-use crate::{block_fp_seconds, check_machine};
+use crate::{block_fp_seconds, check_machine, try_check_machine, PredictError};
 
 /// Per-block time breakdown of a prediction.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -51,16 +51,36 @@ pub struct Prediction {
 /// Predicts the application runtime from a task trace (collected *or*
 /// extrapolated), the communication profile, and a machine profile.
 ///
+/// Fails with [`PredictError::MachineMismatch`] if the trace was simulated
+/// against a different machine than `machine` (the hit rates would be
+/// meaningless on another hierarchy).
+pub fn try_predict_runtime(
+    trace: &TaskTrace,
+    comm: &CommProfile,
+    machine: &MachineProfile,
+) -> Result<Prediction, PredictError> {
+    try_check_machine(trace, machine)?;
+    Ok(predict_checked(trace, comm, machine))
+}
+
+/// Panicking form of [`try_predict_runtime`] for traces known to match the
+/// machine.
+///
 /// # Panics
 ///
 /// Panics if the trace was simulated against a different machine than
-/// `machine` (the hit rates would be meaningless on another hierarchy).
+/// `machine`.
 pub fn predict_runtime(
     trace: &TaskTrace,
     comm: &CommProfile,
     machine: &MachineProfile,
 ) -> Prediction {
     check_machine(trace, machine);
+    predict_checked(trace, comm, machine)
+}
+
+/// Eq. (1) over a trace already known to match `machine`.
+fn predict_checked(trace: &TaskTrace, comm: &CommProfile, machine: &MachineProfile) -> Prediction {
     let surface = machine.surface();
     let mut per_block = Vec::with_capacity(trace.blocks.len());
     let mut memory_seconds = 0.0;
@@ -132,9 +152,7 @@ mod tests {
         assert!(pred.memory_seconds > 0.0);
         assert!(pred.fp_seconds > 0.0);
         assert!(pred.comm_seconds > 0.0);
-        assert!(
-            (pred.total_seconds - pred.compute_seconds - pred.comm_seconds).abs() < 1e-12
-        );
+        assert!((pred.total_seconds - pred.compute_seconds - pred.comm_seconds).abs() < 1e-12);
         // Overlap: combined compute within [max, sum] of the parts.
         assert!(pred.compute_seconds >= pred.memory_seconds.max(pred.fp_seconds) - 1e-12);
         assert!(pred.compute_seconds <= pred.memory_seconds + pred.fp_seconds + 1e-12);
@@ -189,6 +207,26 @@ mod tests {
         let sig = collect_signature_with(&app, 2, &xt5, &TracerConfig::fast());
         let other = presets::opteron();
         predict_runtime(sig.longest_task(), &sig.comm, &other);
+    }
+
+    #[test]
+    fn wrong_machine_is_a_typed_error() {
+        let app = StencilProxy::small();
+        let xt5 = presets::cray_xt5();
+        let sig = collect_signature_with(&app, 2, &xt5, &TracerConfig::fast());
+        let other = presets::opteron();
+        let err = try_predict_runtime(sig.longest_task(), &sig.comm, &other).unwrap_err();
+        assert_eq!(
+            err,
+            PredictError::MachineMismatch {
+                trace_machine: xt5.name.clone(),
+                profile_machine: other.name.clone(),
+            }
+        );
+        assert!(err.to_string().contains("collected against"));
+        // The matching case agrees with the panicking API bit-for-bit.
+        let ok = try_predict_runtime(sig.longest_task(), &sig.comm, &xt5).unwrap();
+        assert_eq!(ok, predict_runtime(sig.longest_task(), &sig.comm, &xt5));
     }
 
     #[test]

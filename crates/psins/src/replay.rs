@@ -76,8 +76,7 @@ impl GroupComputeModel {
                     .iter()
                     .zip(&trace.blocks)
                     .map(|(bt, block)| {
-                        let units =
-                            (block.invocations.max(1) * block.iterations.max(1)) as f64;
+                        let units = (block.invocations.max(1) * block.iterations.max(1)) as f64;
                         (bt.name.clone(), bt.combined_s / units)
                     })
                     .collect()
@@ -108,7 +107,10 @@ impl ComputeModel for GroupComputeModel {
     ) -> f64 {
         let group = self.assignment[rank as usize];
         let b = program.block(block);
-        self.per_iteration[group].get(&b.name).copied().unwrap_or(0.0)
+        self.per_iteration[group]
+            .get(&b.name)
+            .copied()
+            .unwrap_or(0.0)
             * b.iterations as f64
             * invocations as f64
     }
@@ -174,13 +176,8 @@ pub fn ground_truth_application(
                     self.machine,
                     self.cfg,
                 );
-                let exact_total = ground_truth_for_rank(
-                    self.app,
-                    rank,
-                    self.nranks,
-                    self.machine,
-                    self.cfg,
-                );
+                let exact_total =
+                    ground_truth_for_rank(self.app, rank, self.nranks, self.machine, self.cfg);
                 // Weight blocks by their convolved share (communication-free
                 // prediction), then scale so the sum equals the exact total.
                 let comm = xtrace_spmd::CommProfile {
@@ -201,8 +198,7 @@ pub fn ground_truth_application(
                     .iter()
                     .zip(&trace.blocks)
                     .map(|(bt, block)| {
-                        let units =
-                            (block.invocations.max(1) * block.iterations.max(1)) as f64;
+                        let units = (block.invocations.max(1) * block.iterations.max(1)) as f64;
                         (bt.name.clone(), bt.combined_s * scale / units)
                     })
                     .collect();
@@ -244,7 +240,11 @@ mod tests {
     use xtrace_machine::presets;
     use xtrace_tracer::collect_task_trace;
 
-    fn groups_for(app: &StencilProxy, nranks: u32, machine: &MachineProfile) -> Vec<(TaskTrace, u64)> {
+    fn groups_for(
+        app: &StencilProxy,
+        nranks: u32,
+        machine: &MachineProfile,
+    ) -> Vec<(TaskTrace, u64)> {
         // Two groups: rank 0's trace for the first rank, rank 1's for the rest.
         let cfg = TracerConfig::fast();
         let t0 = collect_task_trace(app, 0, nranks, machine, &cfg);

@@ -153,9 +153,7 @@ impl MpiProfiler {
 mod tests {
     use super::*;
     use crate::event::RankProgram;
-    use xtrace_ir::{
-        AddressPattern, BasicBlock, BlockId, Instruction, MemOp, Program, SourceLoc,
-    };
+    use xtrace_ir::{AddressPattern, BasicBlock, BlockId, Instruction, MemOp, Program, SourceLoc};
 
     /// Rank `P-1` does double work; all ranks allreduce then exchange.
     struct LastRankHeavy;

@@ -78,8 +78,7 @@ impl SimReport {
             .iter()
             .map(|r| r.compute_s)
             .fold(f64::MIN, f64::max);
-        let mean =
-            self.ranks.iter().map(|r| r.compute_s).sum::<f64>() / self.ranks.len() as f64;
+        let mean = self.ranks.iter().map(|r| r.compute_s).sum::<f64>() / self.ranks.len() as f64;
         if mean > 0.0 {
             max / mean
         } else {
@@ -206,8 +205,8 @@ fn simulate_programs_inner(
                         );
                         sync = sync.max(arrivals[n as usize]);
                     }
-                    let cost = net.exchange(neighbors.len() as u32, *bytes_per_neighbor)
-                        * *repeats as f64;
+                    let cost =
+                        net.exchange(neighbors.len() as u32, *bytes_per_neighbor) * *repeats as f64;
                     clocks[r] = sync + cost;
                     times[r].comm_s += clocks[r] - arrivals[r];
                 }
@@ -258,9 +257,7 @@ fn simulate_programs_inner(
 mod tests {
     use super::*;
     use crate::compute::NominalComputeModel;
-    use xtrace_ir::{
-        AddressPattern, BasicBlock, BlockId, Instruction, MemOp, Program, SourceLoc,
-    };
+    use xtrace_ir::{AddressPattern, BasicBlock, BlockId, Instruction, MemOp, Program, SourceLoc};
 
     /// Test app: rank r computes (r+1) heavy iterations, then allreduces.
     struct Skewed {
@@ -303,7 +300,12 @@ mod tests {
 
     #[test]
     fn slowest_rank_sets_total() {
-        let report = simulate(&Skewed { iters_scale: 1000 }, 4, &net(), &mut NominalComputeModel::default());
+        let report = simulate(
+            &Skewed { iters_scale: 1000 },
+            4,
+            &net(),
+            &mut NominalComputeModel::default(),
+        );
         let slowest = report.ranks[3].compute_s;
         let coll = net().allreduce(4, 8);
         assert!((report.total_seconds - (slowest + coll)).abs() < 1e-12);
@@ -312,7 +314,12 @@ mod tests {
 
     #[test]
     fn fast_ranks_accumulate_wait_time() {
-        let report = simulate(&Skewed { iters_scale: 1000 }, 4, &net(), &mut NominalComputeModel::default());
+        let report = simulate(
+            &Skewed { iters_scale: 1000 },
+            4,
+            &net(),
+            &mut NominalComputeModel::default(),
+        );
         // Rank 0 computes 1/4 of rank 3's time and waits the rest.
         assert!(report.ranks[0].comm_s > report.ranks[3].comm_s);
         // Everyone finishes the allreduce at the same instant.
@@ -323,7 +330,12 @@ mod tests {
 
     #[test]
     fn imbalance_reflects_skew() {
-        let report = simulate(&Skewed { iters_scale: 100 }, 4, &net(), &mut NominalComputeModel::default());
+        let report = simulate(
+            &Skewed { iters_scale: 100 },
+            4,
+            &net(),
+            &mut NominalComputeModel::default(),
+        );
         // compute times 1:2:3:4, mean 2.5, max 4 -> 1.6.
         assert!((report.compute_imbalance() - 1.6).abs() < 1e-9);
     }
@@ -376,8 +388,16 @@ mod tests {
 
     #[test]
     fn single_rank_runs_without_comm_cost() {
-        let report = simulate(&Skewed { iters_scale: 10 }, 1, &net(), &mut NominalComputeModel::default());
-        assert!(report.ranks[0].comm_s.abs() < 1e-15, "allreduce of 1 is free");
+        let report = simulate(
+            &Skewed { iters_scale: 10 },
+            1,
+            &net(),
+            &mut NominalComputeModel::default(),
+        );
+        assert!(
+            report.ranks[0].comm_s.abs() < 1e-15,
+            "allreduce of 1 is free"
+        );
         assert!(report.total_seconds > 0.0);
     }
 

@@ -2,9 +2,7 @@
 
 use proptest::prelude::*;
 use xtrace_ir::{AddressPattern, BasicBlock, BlockId, Instruction, MemOp, Program, SourceLoc};
-use xtrace_spmd::{
-    simulate, NetworkModel, NominalComputeModel, RankEvent, RankProgram, SpmdApp,
-};
+use xtrace_spmd::{simulate, NetworkModel, NominalComputeModel, RankEvent, RankProgram, SpmdApp};
 
 /// App where rank r's compute weight is `weights[r]`, ending in a barrier.
 struct Weighted {
@@ -23,12 +21,7 @@ impl SpmdApp for Weighted {
             "w",
             SourceLoc::new("t.c", 1, "f"),
             self.weights[rank as usize].max(1),
-            vec![Instruction::mem(
-                MemOp::Load,
-                r,
-                8,
-                AddressPattern::unit(8),
-            )],
+            vec![Instruction::mem(MemOp::Load, r, 8, AddressPattern::unit(8))],
         ));
         RankProgram {
             program: b.build().unwrap(),

@@ -67,11 +67,7 @@ impl TracerConfig {
 /// Collects the full application signature at `nranks`: runs the
 /// lightweight MPI profiling pass to find the most computationally
 /// demanding task, then traces that task against `machine`'s hierarchy.
-pub fn collect_signature(
-    app: &dyn SpmdApp,
-    nranks: u32,
-    machine: &MachineProfile,
-) -> AppSignature {
+pub fn collect_signature(app: &dyn SpmdApp, nranks: u32, machine: &MachineProfile) -> AppSignature {
     collect_signature_with(app, nranks, machine, &TracerConfig::default())
 }
 
@@ -213,8 +209,7 @@ fn trace_block(
     // to nothing over the real run — do not bias the sampled rates.
     // Fully simulated blocks get no warmup: their cold misses are real.
     let per_instr: Arc<Vec<LevelCounts>> = if refs_per_iter > 0 && total_iters > 0 {
-        let sample_iters =
-            total_iters.min((cfg.max_sampled_refs_per_block / refs_per_iter).max(1));
+        let sample_iters = total_iters.min((cfg.max_sampled_refs_per_block / refs_per_iter).max(1));
         let warmup_iters = sample_iters.min(total_iters - sample_iters);
         let simulate = || {
             let mut cache = CacheHierarchy::new(machine.hierarchy.clone());
@@ -232,12 +227,18 @@ fn trace_block(
         match memo {
             Some(m) => {
                 // Same derivation as AccessStream's per-instruction seed.
-                let key =
-                    block_sim_key(&rp.program, blk, machine, warmup_iters, sample_iters, |idx| {
+                let key = block_sim_key(
+                    &rp.program,
+                    blk,
+                    machine,
+                    warmup_iters,
+                    sample_iters,
+                    |idx| {
                         xtrace_ir::rng::SplitMix64::mix(
                             rank_seed ^ (u64::from(block_id.0) << 32) ^ idx as u64,
                         )
-                    });
+                    },
+                );
                 m.get_or_compute(key, simulate)
             }
             None => Arc::new(simulate()),
@@ -315,9 +316,7 @@ fn trace_block(
 mod tests {
     use super::*;
     use xtrace_cache::{CacheLevelConfig, HierarchyConfig};
-    use xtrace_ir::{
-        AddressPattern, BasicBlock, BlockId, FpOp, Instruction, Program, SourceLoc,
-    };
+    use xtrace_ir::{AddressPattern, BasicBlock, BlockId, FpOp, Instruction, Program, SourceLoc};
     use xtrace_machine::{FpRates, MemoryCostModel, SweepConfig};
     use xtrace_spmd::{NetworkModel, RankProgram};
 
@@ -339,6 +338,7 @@ mod tests {
             SweepConfig::coarse(),
             0.8,
         )
+        .expect("valid test machine")
     }
 
     /// One block: resident unit-stride loads into a 2 KiB region plus FMAs,
@@ -360,12 +360,7 @@ mod tests {
                 vec![
                     Instruction::mem(xtrace_ir::MemOp::Load, hot, 8, AddressPattern::unit(8)),
                     Instruction::mem(xtrace_ir::MemOp::Load, cold, 8, AddressPattern::Random),
-                    Instruction::mem(
-                        xtrace_ir::MemOp::Store,
-                        hot,
-                        8,
-                        AddressPattern::unit(8),
-                    ),
+                    Instruction::mem(xtrace_ir::MemOp::Store, hot, 8, AddressPattern::unit(8)),
                     Instruction::fp(FpOp::Fma).with_repeat(3),
                 ],
             ));
@@ -659,7 +654,10 @@ mod tests {
         assert_eq!(memo.misses(), 2);
         assert_eq!(memo.hits(), 6, "3 further ranks × 2 blocks each");
         for t in &traces[1..] {
-            assert_eq!(t.blocks[0].instrs[0].features.hit_rates, traces[0].blocks[0].instrs[0].features.hit_rates);
+            assert_eq!(
+                t.blocks[0].instrs[0].features.hit_rates,
+                traces[0].blocks[0].instrs[0].features.hit_rates
+            );
         }
     }
 

@@ -2,18 +2,26 @@
 //!
 //! PMaC's pipeline materializes one trace file per MPI task; the
 //! extrapolator and the PSiNS simulator both consume those files. Two
-//! formats are provided:
+//! formats are provided, both **versioned** so future readers can evolve
+//! the schema while rejecting files from the future:
 //!
 //! * **JSON** (via serde) — human-inspectable, used by the CLI and the
-//!   experiment harness;
+//!   experiment harness. Traces are wrapped in a
+//!   `{"format", "version", "trace"}` envelope; bare legacy traces
+//!   (version-0 files, written before the envelope existed) still load.
 //! * a **compact binary codec** (hand-rolled on `bytes`) — a few times
 //!   smaller and allocation-light, for bulk multi-rank collections.
+//!
+//! The `xtrace-core` artifact store persists traces through these exact
+//! functions, so every trace artifact on disk — CLI output, store entry,
+//! experiment dump — is one of these two formats.
 
 use std::fs;
 use std::io;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
 use xtrace_cache::MEMORY_LEVEL_CAP;
 use xtrace_ir::SourceLoc;
 
@@ -23,6 +31,10 @@ use crate::sig::{BlockRecord, FeatureVector, InstrRecord, TaskTrace};
 const MAGIC: &[u8; 4] = b"XTRC";
 /// Current binary format version.
 const VERSION: u16 = 1;
+/// Identifies the JSON envelope (the `format` field).
+pub const JSON_FORMAT: &str = "xtrace-task-trace";
+/// Current JSON envelope version.
+pub const JSON_VERSION: u32 = 1;
 
 /// Errors from the binary codec.
 #[derive(Debug)]
@@ -50,16 +62,128 @@ impl std::fmt::Display for CodecError {
 
 impl std::error::Error for CodecError {}
 
-/// Saves a trace as pretty-printed JSON.
-pub fn save_json(trace: &TaskTrace, path: &Path) -> io::Result<()> {
-    let s = serde_json::to_string_pretty(trace).expect("traces are serializable");
-    fs::write(path, s)
+/// Errors from trace-file persistence (either format, either direction).
+#[derive(Debug)]
+pub enum IoError {
+    /// The underlying filesystem operation failed.
+    Io {
+        /// File being read or written.
+        path: PathBuf,
+        /// The OS error.
+        source: io::Error,
+    },
+    /// The file is not parseable as a trace.
+    Parse {
+        /// File being read.
+        path: PathBuf,
+        /// Parser diagnostic.
+        message: String,
+    },
+    /// The file comes from a newer writer than this reader supports.
+    UnsupportedVersion {
+        /// Version found in the file.
+        got: u32,
+        /// Highest version this build reads.
+        supported: u32,
+    },
+    /// The binary codec rejected the buffer.
+    Codec(CodecError),
 }
 
-/// Loads a JSON trace.
-pub fn load_json(path: &Path) -> io::Result<TaskTrace> {
-    let s = fs::read_to_string(path)?;
-    serde_json::from_str(&s).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io { path, source } => write!(f, "{}: {source}", path.display()),
+            IoError::Parse { path, message } => {
+                write!(f, "{}: not a trace file: {message}", path.display())
+            }
+            IoError::UnsupportedVersion { got, supported } => write!(
+                f,
+                "trace file version {got} is newer than the supported version {supported}"
+            ),
+            IoError::Codec(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IoError::Io { source, .. } => Some(source),
+            IoError::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CodecError> for IoError {
+    fn from(e: CodecError) -> Self {
+        IoError::Codec(e)
+    }
+}
+
+/// The versioned JSON on-disk form of a trace.
+#[derive(Serialize, Deserialize)]
+struct TraceEnvelope {
+    format: String,
+    version: u32,
+    trace: TaskTrace,
+}
+
+/// Saves a trace as pretty-printed, versioned JSON.
+pub fn save_json(trace: &TaskTrace, path: &Path) -> Result<(), IoError> {
+    let envelope = TraceEnvelope {
+        format: JSON_FORMAT.to_string(),
+        version: JSON_VERSION,
+        trace: trace.clone(),
+    };
+    let s = serde_json::to_string_pretty(&envelope).map_err(|e| IoError::Parse {
+        path: path.to_path_buf(),
+        message: e.to_string(),
+    })?;
+    fs::write(path, s).map_err(|source| IoError::Io {
+        path: path.to_path_buf(),
+        source,
+    })
+}
+
+/// Loads a JSON trace — either the current envelope or a bare legacy
+/// (pre-envelope) trace object. Envelopes from a newer writer are
+/// rejected with [`IoError::UnsupportedVersion`].
+pub fn load_json(path: &Path) -> Result<TaskTrace, IoError> {
+    let s = fs::read_to_string(path).map_err(|source| IoError::Io {
+        path: path.to_path_buf(),
+        source,
+    })?;
+    parse_json(&s, path)
+}
+
+/// [`load_json`] on an in-memory string (shared with the artifact store).
+pub fn parse_json(s: &str, path: &Path) -> Result<TaskTrace, IoError> {
+    let probe: serde_json::Value = serde_json::from_str(s).map_err(|e| IoError::Parse {
+        path: path.to_path_buf(),
+        message: e.to_string(),
+    })?;
+    if probe["format"].as_str() == Some(JSON_FORMAT) {
+        let version = probe["version"].as_u64().unwrap_or(0) as u32;
+        if version > JSON_VERSION {
+            return Err(IoError::UnsupportedVersion {
+                got: version,
+                supported: JSON_VERSION,
+            });
+        }
+        let envelope: TraceEnvelope = serde_json::from_str(s).map_err(|e| IoError::Parse {
+            path: path.to_path_buf(),
+            message: e.to_string(),
+        })?;
+        Ok(envelope.trace)
+    } else {
+        // Legacy: a bare trace object (version 0).
+        serde_json::from_str(s).map_err(|e| IoError::Parse {
+            path: path.to_path_buf(),
+            message: e.to_string(),
+        })
+    }
 }
 
 /// Encodes a trace into the compact binary format.
@@ -287,14 +411,64 @@ mod tests {
         let path = dir.join("trace.json");
         save_json(&t, &path).unwrap();
         let back = load_json(&path).unwrap();
-        assert_eq!(back.app, t.app);
-        assert_eq!(back.blocks.len(), t.blocks.len());
+        assert_eq!(back, t, "envelope roundtrip is exact");
+        // The on-disk form is the versioned envelope.
+        let raw: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(raw["format"], JSON_FORMAT);
+        assert_eq!(raw["version"], u64::from(JSON_VERSION));
         std::fs::remove_file(&path).ok();
     }
 
     #[test]
+    fn legacy_bare_json_still_loads() {
+        let t = sample();
+        let dir = std::env::temp_dir().join("xtrace-io-test-legacy");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("legacy.json");
+        std::fs::write(&path, serde_json::to_string_pretty(&t).unwrap()).unwrap();
+        let back = load_json(&path).unwrap();
+        assert_eq!(back, t);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn json_rejects_forward_version() {
+        let t = sample();
+        let dir = std::env::temp_dir().join("xtrace-io-test-fwd");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("future.json");
+        save_json(&t, &path).unwrap();
+        let bumped = std::fs::read_to_string(&path).unwrap().replace(
+            &format!("\"version\": {JSON_VERSION}"),
+            &format!("\"version\": {}", JSON_VERSION + 41),
+        );
+        std::fs::write(&path, bumped).unwrap();
+        match load_json(&path) {
+            Err(IoError::UnsupportedVersion { got, supported }) => {
+                assert_eq!(got, JSON_VERSION + 41);
+                assert_eq!(supported, JSON_VERSION);
+            }
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn json_io_error_carries_path() {
+        let missing = Path::new("/nonexistent-dir-xtrace/trace.json");
+        match load_json(missing) {
+            Err(IoError::Io { path, .. }) => assert_eq!(path, missing),
+            other => panic!("expected Io error, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn rejects_bad_magic() {
-        assert!(matches!(from_bytes(b"NOPE\0\x01"), Err(CodecError::BadMagic)));
+        assert!(matches!(
+            from_bytes(b"NOPE\0\x01"),
+            Err(CodecError::BadMagic)
+        ));
     }
 
     #[test]

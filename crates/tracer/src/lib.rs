@@ -61,8 +61,9 @@ pub use collect::{
     collect_ranks, collect_ranks_memo, collect_signature, collect_signature_with,
     collect_task_trace, collect_task_trace_memo, rank_stream_seed, TracerConfig,
 };
-pub use io::{from_bytes, load_json, save_json, to_bytes, CodecError};
-pub use memo::SigMemo;
-pub use sig::{
-    AppSignature, BlockRecord, FeatureId, FeatureVector, InstrRecord, TaskTrace,
+pub use io::{
+    from_bytes, load_json, parse_json, save_json, to_bytes, CodecError, IoError, JSON_FORMAT,
+    JSON_VERSION,
 };
+pub use memo::SigMemo;
+pub use sig::{AppSignature, BlockRecord, FeatureId, FeatureVector, InstrRecord, TaskTrace};

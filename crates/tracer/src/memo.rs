@@ -172,13 +172,7 @@ impl SigMemo {
         key: u64,
         compute: impl FnOnce() -> Vec<LevelCounts>,
     ) -> Arc<Vec<LevelCounts>> {
-        let cell = Arc::clone(
-            self.map
-                .lock()
-                .expect("memo lock")
-                .entry(key)
-                .or_default(),
-        );
+        let cell = Arc::clone(self.map.lock().expect("memo lock").entry(key).or_default());
         let mut fresh = false;
         let value = cell.get_or_init(|| {
             fresh = true;

@@ -1,113 +1,96 @@
-//! Quickstart: the whole pipeline on a small 3-D Jacobi proxy.
+//! Quickstart: the whole pipeline on a 3-D Jacobi proxy, driven by the
+//! `xtrace-core` engine.
 //!
-//! 1. Collect application signatures at three small core counts.
-//! 2. Fit canonical forms to every feature element and extrapolate the
-//!    signature to a large core count.
-//! 3. Predict the large-scale runtime from the synthetic trace and compare
-//!    it against (a) a prediction from an actually collected trace and
-//!    (b) the execution-driven "measured" runtime.
+//! One [`PipelineConfig`] names the application, machine, training core
+//! counts, and extrapolation target; [`Pipeline::run`] executes the
+//! paper's Figure-2 flow (collect → fit → synthesize → convolve →
+//! validate) with per-stage progress and timing, and returns a
+//! [`PipelineReport`] carrying the synthetic trace, the runtime
+//! prediction, and the validation against an actually collected trace and
+//! the execution-driven "measured" runtime.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use xtrace::apps::{ProxyApp, StencilProxy};
-use xtrace::extrap::{
-    extrapolate_signature, extrapolate_signature_detailed, CanonicalForm, ExtrapolationConfig,
-};
-use xtrace::machine::presets;
-use xtrace::psins::{ground_truth, predict_runtime, relative_error};
-use xtrace::tracer::{collect_signature_with, TracerConfig};
+use xtrace::core::{FormSet, Pipeline, PipelineConfig, StageKind, StageObserver};
+
+/// Prints each stage's progress and wall-clock time as the engine runs.
+struct Narrator;
+
+impl StageObserver for Narrator {
+    fn progress(&mut self, stage: StageKind, message: &str) {
+        println!("  [{}] {message}", stage.label());
+    }
+    fn stage_finished(&mut self, stage: StageKind, seconds: f64) {
+        println!("  [{}] finished in {seconds:.2}s", stage.label());
+    }
+}
 
 fn main() {
-    let app = StencilProxy::medium();
-    let machine = presets::cray_xt5();
-    let tracer_cfg = TracerConfig::default();
-    let training_counts = [8u32, 16, 32];
-    let target = 128u32;
+    let mut cfg = PipelineConfig::new("stencil3d", "cray-xt5", vec![8, 16, 32], 128);
+    cfg.scale = "paper".into(); // the medium-sized Jacobi problem
 
-    println!("application : {}", xtrace::spmd::SpmdApp::name(&app));
-    println!("machine     : {}", machine.name);
-    println!("training    : {training_counts:?} cores -> target {target} cores\n");
+    println!("application : {} ({})", cfg.app, cfg.scale);
+    println!("machine     : {}", cfg.machine);
+    println!(
+        "training    : {:?} cores -> target {} cores",
+        cfg.training, cfg.target
+    );
+    println!("config hash : {}\n", cfg.config_hash());
 
-    // 1. Signatures at the training core counts.
-    let training: Vec<_> = training_counts
-        .iter()
-        .map(|&p| {
-            let sig = collect_signature_with(&app, p, &machine, &tracer_cfg);
-            println!(
-                "traced {p:>4} cores: longest task = rank {}, {} blocks, {:.2e} memory ops",
-                sig.comm.longest_rank,
-                sig.longest_task().blocks.len(),
-                sig.longest_task().total_mem_ops()
-            );
-            sig.longest_task().clone()
-        })
-        .collect();
-
-    // 2. Extrapolate to the target count.
-    let cfg = ExtrapolationConfig::default();
-    let (extrapolated, fits) =
-        extrapolate_signature_detailed(&training, target, &cfg).expect("valid training set");
-    println!("\ncanonical forms chosen across {} elements:", fits.len());
-    for form in [
-        xtrace::extrap::CanonicalForm::Constant,
-        xtrace::extrap::CanonicalForm::Linear,
-        xtrace::extrap::CanonicalForm::Logarithmic,
-        xtrace::extrap::CanonicalForm::Exponential,
-    ] {
-        let n = fits.iter().filter(|f| f.model.form == form).count();
-        println!("  {:<10} {n}", form.label());
-    }
+    // 1. The paper's pipeline: four canonical forms, full validation.
+    let report = Pipeline::new(cfg.clone())
+        .expect("valid config")
+        .with_observer(Box::new(Narrator))
+        .run()
+        .expect("pipeline runs");
 
     // The stencil proxy is perfectly symmetric, so the longest task's
     // counts decay like 1/P — a shape *outside* the span of the paper's
     // four forms (its observed elements were flat or growing). The
     // Section-VI power/polynomial extension captures it; extrapolate both
     // ways to show the difference.
-    let extended = extrapolate_signature(
-        &training,
-        target,
-        &ExtrapolationConfig {
-            forms: CanonicalForm::EXTENDED_SET.to_vec(),
-            ..ExtrapolationConfig::default()
-        },
-    )
-    .expect("valid training set");
+    let mut ext_cfg = cfg;
+    ext_cfg.forms = FormSet::Extended;
+    ext_cfg.validate = false; // reuse the validation from the first run
+    let extended = Pipeline::new(ext_cfg)
+        .expect("valid config")
+        .run()
+        .expect("pipeline runs");
 
-    // 3. Predict from the synthetic traces and validate.
-    let comm = app.comm_profile(target);
-    let pred_extrap = predict_runtime(&extrapolated, &comm, &machine);
-    let pred_extended = predict_runtime(&extended, &comm, &machine);
-
-    let collected = collect_signature_with(&app, target, &machine, &tracer_cfg);
-    let pred_collected = predict_runtime(collected.longest_task(), &collected.comm, &machine);
-
-    let measured = ground_truth(&app, target, &machine, &tracer_cfg);
-
+    let v = report.validation.as_ref().expect("validation enabled");
     println!("\n{:-^64}", " prediction at target scale ");
     println!(
         "{:<28} {:>12} {:>10}",
         "trace type", "runtime (s)", "% error"
     );
-    for (label, pred) in [
-        ("extrapolated (4 forms)", &pred_extrap),
-        ("extrapolated (+power, SVI)", &pred_extended),
-        ("collected trace", &pred_collected),
+    let ext_err =
+        (extended.prediction.total_seconds - v.measured_seconds).abs() / v.measured_seconds;
+    for (label, total, err) in [
+        (
+            "extrapolated (4 forms)",
+            report.prediction.total_seconds,
+            v.extrapolated_error,
+        ),
+        (
+            "extrapolated (+power, SVI)",
+            extended.prediction.total_seconds,
+            ext_err,
+        ),
+        (
+            "collected trace",
+            v.collected.total_seconds,
+            v.collected_error,
+        ),
     ] {
-        println!(
-            "{:<28} {:>12.4} {:>9.1}%",
-            label,
-            pred.total_seconds,
-            100.0 * relative_error(pred.total_seconds, measured.total_seconds)
-        );
+        println!("{:<28} {:>12.4} {:>9.1}%", label, total, 100.0 * err);
     }
     println!(
         "{:<28} {:>12.4}",
-        "measured (exec-driven sim)", measured.total_seconds
+        "measured (exec-driven sim)", v.measured_seconds
     );
 
-    let gap = relative_error(pred_extended.total_seconds, pred_collected.total_seconds);
-    println!(
-        "\nextended-extrapolation vs collected prediction gap: {:.2}%",
-        100.0 * gap
-    );
+    println!("\nstage timings:");
+    for t in &report.timings {
+        println!("  {:<12} {:>8.2}s", t.stage.label(), t.seconds);
+    }
 }

@@ -10,9 +10,7 @@
 //! Run with: `cargo run --release --example specfem_scaling`
 
 use xtrace::apps::{ProxyApp, SpecfemProxy};
-use xtrace::extrap::{
-    element_errors, extrapolate_signature, summarize, ExtrapolationConfig,
-};
+use xtrace::extrap::{element_errors, extrapolate_signature, summarize, ExtrapolationConfig};
 use xtrace::machine::presets;
 use xtrace::psins::{ground_truth, predict_runtime, relative_error};
 use xtrace::tracer::{collect_signature_with, TracerConfig};
@@ -54,11 +52,17 @@ fn main() {
     let pred_c = predict_runtime(collected, &comm, &machine);
     let measured = ground_truth(&app, target, &machine, &tracer_cfg);
 
-    println!("{:<14} {:>6} {:>8} {:>14} {:>9}", "application", "cores", "trace", "runtime (s)", "% error");
+    println!(
+        "{:<14} {:>6} {:>8} {:>14} {:>9}",
+        "application", "cores", "trace", "runtime (s)", "% error"
+    );
     for (label, pred) in [("Extrap.", &pred_e), ("Coll.", &pred_c)] {
         println!(
             "{:<14} {:>6} {:>8} {:>14.3} {:>8.1}%",
-            "SPECFEM3D", target, label, pred.total_seconds,
+            "SPECFEM3D",
+            target,
+            label,
+            pred.total_seconds,
             100.0 * relative_error(pred.total_seconds, measured.total_seconds)
         );
     }

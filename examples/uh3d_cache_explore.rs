@@ -72,12 +72,8 @@ fn main() {
 
     // Extrapolate from the three smallest counts to the largest and compare.
     let target = *counts.last().unwrap();
-    let extrapolated = extrapolate_signature(
-        &traces[..3],
-        target,
-        &ExtrapolationConfig::default(),
-    )
-    .expect("valid training set");
+    let extrapolated = extrapolate_signature(&traces[..3], target, &ExtrapolationConfig::default())
+        .expect("valid training set");
     let eb = extrapolated.block(block_name).unwrap();
     let cb = traces.last().unwrap().block(block_name).unwrap();
     println!("\nextrapolated vs collected at {target} cores:");

@@ -23,9 +23,7 @@ fn main() {
     let target = 96u32;
     let sample: Vec<u32> = (0..6).collect();
 
-    println!(
-        "whole-application replay: SPECFEM3D proxy, {training:?} -> {target} cores\n"
-    );
+    println!("whole-application replay: SPECFEM3D proxy, {training:?} -> {target} cores\n");
 
     // 1. Sample and trace a handful of tasks per training count.
     let per_count: Vec<_> = training

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Panic-free-library gate: fails if `unwrap()` or `panic!` appears in
+# library code of the Result-ified crates (tracer, extrap, psins, machine,
+# cache, cli, core). Library errors must flow through the typed error
+# model (`xtrace_core::XtraceError` and the per-crate errors it wraps).
+#
+# Allowlist, by construction rather than by enumeration:
+#   * unit-test modules — everything from the first `#[cfg(test)]` line to
+#     end-of-file is skipped (repo convention keeps test modules last);
+#   * comment lines (`// ...`), so docs may *mention* unwrap()/panic!;
+#   * crates/bench and tests/ trees — measurement and test scaffolding,
+#     not library code, are simply not scanned.
+# `expect("...")` remains allowed: every expect in library code documents a
+# statically-guaranteed invariant (e.g. construction of built-in presets).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+status=0
+for f in $(find crates/tracer/src crates/extrap/src crates/psins/src \
+    crates/machine/src crates/cache/src crates/cli/src crates/core/src \
+    -name '*.rs' | sort); do
+    hits=$(awk '/#\[cfg\(test\)\]/{exit} {print FNR": "$0}' "$f" \
+        | grep -v '^[0-9]*:[[:space:]]*//' \
+        | grep 'unwrap()\|panic!' || true)
+    if [ -n "$hits" ]; then
+        echo "$f: unwrap()/panic! in library code (use the typed error model):" >&2
+        echo "$hits" >&2
+        status=1
+    fi
+done
+
+if [ "$status" -eq 0 ]; then
+    echo "no_panic_gate: library code is unwrap()/panic!-free"
+fi
+exit $status

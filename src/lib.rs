@@ -22,7 +22,11 @@
 //! * [`psins`] — the convolution/replay simulator and execution-driven
 //!   ground truth,
 //! * [`extrap`] — the paper's contribution: canonical-form fitting and
-//!   trace extrapolation.
+//!   trace extrapolation,
+//! * [`core`] — the staged pipeline engine: typed Collect → Fit →
+//!   Synthesize → Convolve → Validate stages, the unified
+//!   [`core::XtraceError`] model, and the content-addressed artifact
+//!   store that makes identical re-runs resume as cache hits.
 //!
 //! ## Quickstart
 //!
@@ -55,6 +59,7 @@
 
 pub use xtrace_apps as apps;
 pub use xtrace_cache as cache;
+pub use xtrace_core as core;
 pub use xtrace_extrap as extrap;
 pub use xtrace_ir as ir;
 pub use xtrace_machine as machine;

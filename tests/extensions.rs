@@ -65,7 +65,9 @@ fn series_extrapolation_over_problem_size_via_facade() {
     assert_eq!(ex.nranks, p, "core count unchanged on the size axis");
     // Worker counts grow linearly with the mesh: check the stiffness block.
     let coll = collect_signature_with(&mk(49_152), p, &machine, &cfg);
-    let e = ex.block("stiffness-matmul").unwrap().instrs[0].features.mem_ops;
+    let e = ex.block("stiffness-matmul").unwrap().instrs[0]
+        .features
+        .mem_ops;
     let c = coll
         .longest_task()
         .block("stiffness-matmul")
@@ -137,7 +139,7 @@ fn machine_profiles_roundtrip_through_spec_files() {
     let machine = presets::opteron();
     let spec = machine.to_spec();
     let json = serde_json::to_string(&spec).unwrap();
-    let reloaded = MachineProfile::from_spec(serde_json::from_str(&json).unwrap());
+    let reloaded = MachineProfile::from_spec(serde_json::from_str(&json).unwrap()).unwrap();
 
     // Predictions through the reloaded profile match the original.
     let app = StencilProxy::small();

@@ -2,6 +2,7 @@
 //! across crates, at laptop scale.
 
 use xtrace::apps::{ProxyApp, SpecfemProxy, StencilProxy, Uh3dProxy};
+use xtrace::core::{Pipeline, PipelineConfig};
 use xtrace::extrap::{
     element_errors, extrapolate_signature, extrapolate_signature_detailed, summarize,
     CanonicalForm, ExtrapolationConfig,
@@ -102,10 +103,12 @@ fn uh3d_pipeline_runs_and_log_block_extrapolates_exactly() {
     let collected = collect_signature_with(&app, 64, &machine, &cfg);
     let sort_extrap = extrapolated.block("particle-sort").unwrap();
     let sort_coll = collected.longest_task().block("particle-sort").unwrap();
-    let rel = (sort_extrap.instrs[0].features.mem_ops - sort_coll.instrs[0].features.mem_ops)
-        .abs()
+    let rel = (sort_extrap.instrs[0].features.mem_ops - sort_coll.instrs[0].features.mem_ops).abs()
         / sort_coll.instrs[0].features.mem_ops;
-    assert!(rel < 1e-6, "log-block counts extrapolate exactly, got {rel}");
+    assert!(
+        rel < 1e-6,
+        "log-block counts extrapolate exactly, got {rel}"
+    );
 }
 
 #[test]
@@ -132,6 +135,36 @@ fn influential_element_errors_stay_bounded() {
         "only {}% of influential elements under 20%",
         100.0 * summary.frac_influential_under_20pct
     );
+}
+
+#[test]
+fn engine_matches_manual_composition_bit_for_bit() {
+    // The staged engine must be a pure refactor of the hand-written
+    // pipeline: same traces in, bit-identical prediction out.
+    let mut cfg = PipelineConfig::new("specfem3d", "cray-xt5", vec![6, 24, 96], 384);
+    cfg.scale = "tiny".into();
+    cfg.fast_tracer = true;
+    cfg.validate = false;
+    let report = Pipeline::new(cfg).unwrap().run().unwrap();
+
+    let app = small_specfem();
+    let machine = presets::cray_xt5();
+    let tcfg = TracerConfig::fast();
+    let training: Vec<_> = [6u32, 24, 96]
+        .iter()
+        .map(|&p| {
+            collect_signature_with(&app, p, &machine, &tcfg)
+                .longest_task()
+                .clone()
+        })
+        .collect();
+    let extrapolated =
+        extrapolate_signature(&training, 384, &ExtrapolationConfig::default()).unwrap();
+    let manual = predict_runtime(&extrapolated, &app.comm_profile(384), &machine);
+
+    assert_eq!(report.extrapolated, extrapolated);
+    assert_eq!(report.prediction.total_seconds, manual.total_seconds);
+    assert_eq!(report.prediction.per_block, manual.per_block);
 }
 
 #[test]

@@ -32,12 +32,12 @@ fn hardware_threads() -> usize {
 
 /// Threads a parallel call issued on this thread will use.
 pub fn current_num_threads() -> usize {
-    INSTALLED.with(Cell::get).unwrap_or_else(|| {
-        match GLOBAL.load(Ordering::Relaxed) {
+    INSTALLED
+        .with(Cell::get)
+        .unwrap_or_else(|| match GLOBAL.load(Ordering::Relaxed) {
             0 => hardware_threads(),
             n => n,
-        }
-    })
+        })
 }
 
 /// Error type for pool construction (the stand-in cannot actually fail;

@@ -85,9 +85,7 @@ impl Value {
         match *self {
             Value::U64(u) => Some(u),
             Value::I64(i) if i >= 0 => Some(i as u64),
-            Value::F64(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => {
-                Some(f as u64)
-            }
+            Value::F64(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => Some(f as u64),
             _ => None,
         }
     }
@@ -384,13 +382,13 @@ ser_de_tuple! {
 /// Reads and deserializes a struct field from an object's pairs.
 pub fn field<T: Deserialize>(v: &Value, name: &str) -> Result<T, Error> {
     match v.get(name) {
-        Some(f) => T::from_value(f)
-            .map_err(|e| Error::msg(format!("field `{name}`: {e}"))),
+        Some(f) => T::from_value(f).map_err(|e| Error::msg(format!("field `{name}`: {e}"))),
         // Missing fields only deserialize if the target accepts null
         // (i.e. Option), matching the common serde default behaviour the
         // workspace relies on.
-        None => T::from_value(&Value::Null)
-            .map_err(|_| Error::msg(format!("missing field `{name}`"))),
+        None => {
+            T::from_value(&Value::Null).map_err(|_| Error::msg(format!("missing field `{name}`")))
+        }
     }
 }
 
@@ -399,9 +397,7 @@ pub fn variant<'v>(v: &'v Value, enum_name: &str) -> Result<(&'v str, &'v Value)
     static NULL: Value = Value::Null;
     match v {
         Value::Str(s) => Ok((s.as_str(), &NULL)),
-        Value::Object(pairs) if pairs.len() == 1 => {
-            Ok((pairs[0].0.as_str(), &pairs[0].1))
-        }
+        Value::Object(pairs) if pairs.len() == 1 => Ok((pairs[0].0.as_str(), &pairs[0].1)),
         other => Err(Error::msg(format!(
             "expected {enum_name} variant (string or single-key object), found {}",
             other.kind()
@@ -426,10 +422,7 @@ mod tests {
     fn primitive_roundtrips() {
         assert_eq!(u32::from_value(&42u32.to_value()).unwrap(), 42);
         assert_eq!(f64::from_value(&3.25f64.to_value()).unwrap(), 3.25);
-        assert_eq!(
-            Option::<u32>::from_value(&Value::Null).unwrap(),
-            None
-        );
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
         let arr = [0.1f64, 0.2, 0.3, 0.4];
         assert_eq!(<[f64; 4]>::from_value(&arr.to_value()).unwrap(), arr);
     }

@@ -45,9 +45,16 @@ struct Item {
 
 enum Body {
     UnitStruct,
-    TupleStruct { arity: usize },
-    NamedStruct { fields: Vec<String>, transparent: bool },
-    Enum { variants: Vec<Variant> },
+    TupleStruct {
+        arity: usize,
+    },
+    NamedStruct {
+        fields: Vec<String>,
+        transparent: bool,
+    },
+    Enum {
+        variants: Vec<Variant>,
+    },
 }
 
 struct Variant {
@@ -79,14 +86,19 @@ fn parse_item(input: TokenStream) -> Item {
     let body = match (kind.as_str(), it.next()) {
         ("struct", Some(TokenTree::Punct(p))) if p.as_char() == ';' => Body::UnitStruct,
         ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
-            Body::TupleStruct { arity: tuple_arity(&g) }
+            Body::TupleStruct {
+                arity: tuple_arity(&g),
+            }
         }
         ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
-            Body::NamedStruct { fields: named_fields(&g), transparent }
+            Body::NamedStruct {
+                fields: named_fields(&g),
+                transparent,
+            }
         }
-        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
-            Body::Enum { variants: enum_variants(&g) }
-        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => Body::Enum {
+            variants: enum_variants(&g),
+        },
         (k, t) => panic!("serde derive stand-in: unsupported item `{k}` with body {t:?}"),
     };
     Item { name, body }
@@ -248,23 +260,25 @@ fn gen_serialize(item: &Item) -> String {
     let name = &item.name;
     let body = match &item.body {
         Body::UnitStruct => "::serde::Value::Null".to_string(),
-        Body::TupleStruct { arity: 1 } => {
-            "::serde::Serialize::to_value(&self.0)".to_string()
-        }
+        Body::TupleStruct { arity: 1 } => "::serde::Serialize::to_value(&self.0)".to_string(),
         Body::TupleStruct { arity } => {
             let items: Vec<String> = (0..*arity)
                 .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
                 .collect();
             format!("::serde::Value::Array(vec![{}])", items.join(", "))
         }
-        Body::NamedStruct { fields, transparent } if *transparent && fields.len() == 1 => {
+        Body::NamedStruct {
+            fields,
+            transparent,
+        } if *transparent && fields.len() == 1 => {
             format!("::serde::Serialize::to_value(&self.{})", fields[0])
         }
-        Body::NamedStruct { fields, .. } => object_literal(
-            fields
-                .iter()
-                .map(|f| (f.clone(), format!("::serde::Serialize::to_value(&self.{f})"))),
-        ),
+        Body::NamedStruct { fields, .. } => object_literal(fields.iter().map(|f| {
+            (
+                f.clone(),
+                format!("::serde::Serialize::to_value(&self.{f})"),
+            )
+        })),
         Body::Enum { variants } => {
             let mut arms = String::new();
             for v in variants {
@@ -275,8 +289,7 @@ fn gen_serialize(item: &Item) -> String {
                          ::serde::Value::Str(::std::string::String::from(\"{vname}\")),\n"
                     )),
                     VariantKind::Tuple(arity) => {
-                        let binds: Vec<String> =
-                            (0..*arity).map(|i| format!("__f{i}")).collect();
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("__f{i}")).collect();
                         let payload = if *arity == 1 {
                             "::serde::Serialize::to_value(__f0)".to_string()
                         } else {
@@ -293,11 +306,10 @@ fn gen_serialize(item: &Item) -> String {
                         ));
                     }
                     VariantKind::Struct(fields) => {
-                        let payload = object_literal(
-                            fields
-                                .iter()
-                                .map(|f| (f.clone(), format!("::serde::Serialize::to_value({f})"))),
-                        );
+                        let payload =
+                            object_literal(fields.iter().map(|f| {
+                                (f.clone(), format!("::serde::Serialize::to_value({f})"))
+                            }));
                         arms.push_str(&format!(
                             "{name}::{vname} {{ {} }} => ::serde::Value::Object(vec![\
                              (::std::string::String::from(\"{vname}\"), {payload})]),\n",
@@ -334,7 +346,10 @@ fn gen_deserialize(item: &Item) -> String {
             format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
         }
         Body::TupleStruct { arity } => tuple_from_array(name, "__v", *arity),
-        Body::NamedStruct { fields, transparent } if *transparent && fields.len() == 1 => {
+        Body::NamedStruct {
+            fields,
+            transparent,
+        } if *transparent && fields.len() == 1 => {
             format!(
                 "Ok({name} {{ {}: ::serde::Deserialize::from_value(__v)? }})",
                 fields[0]
@@ -360,11 +375,8 @@ fn gen_deserialize(item: &Item) -> String {
                          ::serde::Deserialize::from_value(__payload)?)),\n"
                     )),
                     VariantKind::Tuple(arity) => {
-                        let ctor = tuple_from_array(
-                            &format!("{name}::{vname}"),
-                            "__payload",
-                            *arity,
-                        );
+                        let ctor =
+                            tuple_from_array(&format!("{name}::{vname}"), "__payload", *arity);
                         arms.push_str(&format!("\"{vname}\" => {{ {ctor} }}\n"));
                     }
                     VariantKind::Struct(fields) => {

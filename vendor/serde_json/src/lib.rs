@@ -418,10 +418,7 @@ impl Parser<'_> {
                                 .and_then(|h| std::str::from_utf8(h).ok())
                                 .and_then(|h| u32::from_str_radix(h, 16).ok())
                                 .ok_or_else(|| {
-                                    Error::msg(format!(
-                                        "bad \\u escape at offset {}",
-                                        self.pos
-                                    ))
+                                    Error::msg(format!("bad \\u escape at offset {}", self.pos))
                                 })?;
                             // Surrogate pairs are out of scope for this
                             // stand-in; the workspace never emits them.
@@ -517,7 +514,10 @@ mod tests {
     #[test]
     fn pretty_indents() {
         let v: Value = from_str(r#"{"k": [1]}"#).unwrap();
-        assert_eq!(to_string_pretty(&v).unwrap(), "{\n  \"k\": [\n    1\n  ]\n}");
+        assert_eq!(
+            to_string_pretty(&v).unwrap(),
+            "{\n  \"k\": [\n    1\n  ]\n}"
+        );
     }
 
     #[test]
