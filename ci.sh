@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Local CI gate: build, tests, lints, and smoke runs of the two
+# Local CI gate: build, tests, lints, and smoke runs of the
 # performance-regression benches. Everything runs offline against the
 # vendored dependency stubs.
 set -euo pipefail
@@ -23,7 +23,8 @@ bash scripts/no_panic_gate.sh
 echo "== clippy (crates touched by the perf and refactor work) =="
 cargo clippy --offline -p xtrace-ir -p xtrace-cache -p xtrace-tracer \
     -p xtrace-extrap -p xtrace-machine -p xtrace-psins -p xtrace-core \
-    -p xtrace-bench -p xtrace-cli --all-targets -- -D warnings
+    -p xtrace-bench -p xtrace-cli -p xtrace-spmd -p xtrace-apps \
+    --all-targets -- -D warnings
 
 echo "== bench smoke (quick configs) =="
 tmp=$(mktemp -d)
@@ -32,7 +33,12 @@ XTRACE_BENCH_QUICK=1 cargo run -q --release --offline -p xtrace-bench \
     --bin bench_collect -- --threads 4 --out "$tmp/BENCH_collect.json"
 XTRACE_BENCH_QUICK=1 cargo run -q --release --offline -p xtrace-bench \
     --bin bench_extrap -- --threads 4 --out "$tmp/BENCH_extrap.json"
-for f in BENCH_collect.json BENCH_extrap.json; do
+# bench_convolve's quick mode asserts correctness, not wall-clock: all
+# replay legs bit-identical, ConvolveCache warm hits, golden-pipeline
+# prediction rel err exactly 0.
+XTRACE_BENCH_QUICK=1 cargo run -q --release --offline -p xtrace-bench \
+    --bin bench_convolve -- --threads 4 --out "$tmp/BENCH_convolve.json"
+for f in BENCH_collect.json BENCH_extrap.json BENCH_convolve.json; do
     test -s "$tmp/$f" || { echo "missing bench report $f" >&2; exit 1; }
 done
 

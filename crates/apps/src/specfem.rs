@@ -353,6 +353,20 @@ impl SpmdApp for SpecfemProxy {
             ],
         }
     }
+
+    /// A rank's program is a function of its element share and whether it
+    /// is the master, so those two facts are the whole class key. The
+    /// share takes at most two values (remainder ranks get one extra
+    /// element), encoded as "differs from the last rank's share" — the
+    /// last rank always holds the base share.
+    fn rank_class(&self, rank: u32, nranks: u32) -> Option<u64> {
+        let extra = self.elements_of(rank, nranks) != self.elements_of(nranks - 1, nranks);
+        Some(u64::from(extra) << 1 | u64::from(rank == 0))
+    }
+
+    fn exchange_partners(&self, rank: u32, nranks: u32) -> Vec<Vec<u32>> {
+        vec![neighbors6(rank, nranks)]
+    }
 }
 
 impl ProxyApp for SpecfemProxy {
@@ -585,5 +599,20 @@ mod tests {
         let rp = SpecfemProxy::small().rank_program(0, 1);
         assert!(rp.total_mem_refs() > 0);
         assert!(rp.total_flops() > 0);
+    }
+
+    #[test]
+    fn rank_classes_match_materialized_grouping() {
+        use xtrace_spmd::RankClasses;
+        let app = SpecfemProxy::small();
+        // 768 elements over 100 ranks leaves a remainder, so remainder
+        // workers, plain workers, and the master are all present.
+        for p in [1u32, 7, 100] {
+            let fast = RankClasses::try_from_app(&app, p).unwrap();
+            let programs: Vec<_> = (0..p).map(|r| app.rank_program(r, p)).collect();
+            let slow = RankClasses::try_from_programs(&programs).unwrap();
+            assert_eq!(fast.assignment(), slow.assignment(), "p={p}");
+            assert!(fast.num_classes() <= 3, "p={p}: {}", fast.num_classes());
+        }
     }
 }

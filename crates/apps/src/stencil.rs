@@ -133,6 +133,18 @@ impl SpmdApp for StencilProxy {
             ],
         }
     }
+
+    /// Programs depend only on the rank's cell share, which takes at most
+    /// two values (remainder ranks get one extra cell).
+    fn rank_class(&self, rank: u32, nranks: u32) -> Option<u64> {
+        let cells = scaled_share(self.cfg.grid_cells, rank, nranks, self.cfg.scaling).max(1);
+        let last = scaled_share(self.cfg.grid_cells, nranks - 1, nranks, self.cfg.scaling).max(1);
+        Some(u64::from(cells != last))
+    }
+
+    fn exchange_partners(&self, rank: u32, nranks: u32) -> Vec<Vec<u32>> {
+        vec![neighbors6(rank, nranks)]
+    }
 }
 
 impl ProxyApp for StencilProxy {
@@ -172,5 +184,19 @@ mod tests {
         let t8 = total(8);
         let rel = (t4 as f64 - t8 as f64).abs() / t4 as f64;
         assert!(rel < 0.01, "strong scaling conserves total work: {rel}");
+    }
+
+    #[test]
+    fn rank_classes_match_materialized_grouping() {
+        use xtrace_spmd::RankClasses;
+        let app = StencilProxy::small();
+        // 4096 cells over 80 ranks leaves a remainder.
+        for p in [1u32, 80] {
+            let fast = RankClasses::try_from_app(&app, p).unwrap();
+            let programs: Vec<_> = (0..p).map(|r| app.rank_program(r, p)).collect();
+            let slow = RankClasses::try_from_programs(&programs).unwrap();
+            assert_eq!(fast.assignment(), slow.assignment(), "p={p}");
+            assert!(fast.num_classes() <= 2, "p={p}");
+        }
     }
 }

@@ -320,6 +320,21 @@ impl SpmdApp for Uh3dProxy {
             ],
         }
     }
+
+    /// Programs are a function of the particle share, the cell share, and
+    /// mastership; each share takes at most two values (remainder ranks
+    /// carry one extra unit), encoded as "differs from the last rank".
+    fn rank_class(&self, rank: u32, nranks: u32) -> Option<u64> {
+        let last = nranks - 1;
+        let pe = self.particles_of(rank, nranks) != self.particles_of(last, nranks);
+        let ce = self.cells_of(rank, nranks) != self.cells_of(last, nranks);
+        Some(u64::from(pe) << 2 | u64::from(ce) << 1 | u64::from(rank == 0))
+    }
+
+    fn exchange_partners(&self, rank: u32, nranks: u32) -> Vec<Vec<u32>> {
+        let n = neighbors6(rank, nranks);
+        vec![n.clone(), n]
+    }
 }
 
 impl ProxyApp for Uh3dProxy {
@@ -495,5 +510,20 @@ mod tests {
     fn small_config_is_cheap_to_trace() {
         let rp = Uh3dProxy::small().rank_program(0, 2);
         assert!(rp.total_mem_refs() < 1_000_000);
+    }
+
+    #[test]
+    fn rank_classes_match_materialized_grouping() {
+        use xtrace_spmd::RankClasses;
+        let app = Uh3dProxy::small();
+        // 4096 particles / 2048 cells over 96 ranks: both shares carry
+        // remainders, at different rank boundaries.
+        for p in [1u32, 96] {
+            let fast = RankClasses::try_from_app(&app, p).unwrap();
+            let programs: Vec<_> = (0..p).map(|r| app.rank_program(r, p)).collect();
+            let slow = RankClasses::try_from_programs(&programs).unwrap();
+            assert_eq!(fast.assignment(), slow.assignment(), "p={p}");
+            assert!(fast.num_classes() <= 5, "p={p}: {}", fast.num_classes());
+        }
     }
 }

@@ -12,6 +12,7 @@
 //! testbed (our substrate is a parametric simulator).
 
 pub mod seed_cache;
+pub mod seed_sim;
 
 use xtrace_apps::{ProxyApp, SpecfemProxy, Uh3dProxy};
 use xtrace_extrap::{

@@ -164,6 +164,21 @@ impl ArtifactStore {
     }
 }
 
+/// Convolved group tables are pure functions of (trace, machine), so the
+/// store memoizes them under a shared `convolve/` entry keyed by the
+/// replay layer's content hash — any pipeline run (or bench) touching the
+/// same group traces reuses them. Best-effort by contract: I/O failures
+/// degrade to recomputation.
+impl xtrace_psins::ConvolveCache for ArtifactStore {
+    fn get_group(&self, key: &str) -> Option<xtrace_psins::GroupBlockTimes> {
+        self.get_json("convolve", key).ok().flatten()
+    }
+
+    fn put_group(&self, key: &str, value: &xtrace_psins::GroupBlockTimes) {
+        let _ = self.put_json("convolve", key, value);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -254,5 +269,36 @@ mod tests {
         let trace = sample_trace();
         store.put_trace("aaaa", "t", &trace).unwrap();
         assert_eq!(store.get_trace("bbbb", "t").unwrap(), None);
+    }
+
+    #[test]
+    fn store_memoizes_convolved_group_tables() {
+        use xtrace_psins::{ConvolveCache, GroupBlockTimes};
+        let store = ArtifactStore::open(tmp("convolve")).unwrap();
+        let table = GroupBlockTimes {
+            columns: vec!["jacobi-sweep".into(), "residual".into()],
+            per_iteration: vec![1.25e-9, 3.5e-10],
+        };
+        assert!(store.get_group("deadbeefdeadbeef").is_none());
+        store.put_group("deadbeefdeadbeef", &table);
+        assert_eq!(store.get_group("deadbeefdeadbeef"), Some(table));
+    }
+
+    #[test]
+    fn cached_replay_model_reuses_store_entries() {
+        use xtrace_psins::GroupComputeModel;
+        let store = ArtifactStore::open(tmp("convolve-model")).unwrap();
+        let app = xtrace_apps::StencilProxy::small();
+        let machine = presets::opteron();
+        let cfg = TracerConfig::fast();
+        let t0 = xtrace_tracer::collect_task_trace(&app, 0, 4, &machine, &cfg);
+        let t1 = xtrace_tracer::collect_task_trace(&app, 1, 4, &machine, &cfg);
+        let groups = vec![(t0, 1u64), (t1, 3u64)];
+        let (_, cold) =
+            GroupComputeModel::try_new_cached(&groups, 4, &machine, &store).expect("cold");
+        assert_eq!(cold, 0);
+        let (_, warm) =
+            GroupComputeModel::try_new_cached(&groups, 4, &machine, &store).expect("warm");
+        assert_eq!(warm, 2);
     }
 }

@@ -427,11 +427,36 @@ fn fit_instr(
     fits
 }
 
+/// Fewest element fits for which the rayon fan-out pays for itself.
+///
+/// Each fit is well under a microsecond of work (BENCH_extrap measures
+/// ~0.4 µs), while spawning and joining a handful of threads costs on the
+/// order of 100 µs — which is why BENCH_extrap measured a 0.77x "speedup"
+/// on the 420-element paper signature. Signatures below this count take
+/// the serial loop unconditionally; past it the fitting work dominates the
+/// fan-out by several times.
+pub const MIN_PAR_FIT_ELEMENTS: usize = 1024;
+
+/// True when [`extrapolate_signature`] will fan element fitting out over
+/// the rayon pool for a signature with `n_elements` element fits:
+/// the signature must be large enough to amortize thread spawn/join (see
+/// [`MIN_PAR_FIT_ELEMENTS`]), the installed pool must have more than one
+/// thread, and the host must actually have more than one core (threads in
+/// excess of cores only add scheduling overhead). Exposed so benches can
+/// tell a genuine fan-out measurement from two runs of the same serial
+/// path.
+pub fn parallel_fit_enabled(n_elements: usize) -> bool {
+    n_elements >= MIN_PAR_FIT_ELEMENTS
+        && rayon::current_num_threads() > 1
+        && std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get) > 1
+}
+
 /// The fitting core: fit every element over `xs` and bundle the models.
 ///
 /// Instructions are independent fitting problems, so the element fits fan
-/// out over `(block, instruction)` pairs with rayon. The collect is
-/// ordered and the fits of each pair are concatenated in pair order, so
+/// out over `(block, instruction)` pairs with rayon — but only when the
+/// fan-out can pay for itself (see [`parallel_fit_enabled`]). The collect
+/// is ordered and the fits of each pair are concatenated in pair order, so
 /// the output is bit-identical to serial evaluation at any thread count.
 fn fit_sorted(
     sorted: &[&TaskTrace],
@@ -449,13 +474,21 @@ fn fit_sorted(
         .enumerate()
         .flat_map(|(bi, bb)| (0..bb.instrs.len()).map(move |ii| (bi, ii)))
         .collect();
-    let fits: Vec<ElementFit> = pairs
-        .par_iter()
-        .map(|&(bi, ii)| fit_instr(sorted, xs, tx, cfg, &feature_ids, bi, ii))
-        .collect::<Vec<_>>()
-        .into_iter()
-        .flatten()
-        .collect();
+    let parallel = parallel_fit_enabled(pairs.len() * feature_ids.len());
+    let fits: Vec<ElementFit> = if parallel {
+        pairs
+            .par_iter()
+            .map(|&(bi, ii)| fit_instr(sorted, xs, tx, cfg, &feature_ids, bi, ii))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .flatten()
+            .collect()
+    } else {
+        pairs
+            .iter()
+            .flat_map(|&(bi, ii)| fit_instr(sorted, xs, tx, cfg, &feature_ids, bi, ii))
+            .collect()
+    };
 
     // Block-level invocation/iteration counts get the same treatment.
     let block_models = (0..base.blocks.len())

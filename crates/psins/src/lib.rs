@@ -33,13 +33,14 @@ pub use energy::{predict_energy, try_predict_energy, EnergyPrediction};
 pub use ground_truth::{ground_truth, ground_truth_for_rank, GroundTruth};
 pub use predict::{predict_runtime, try_predict_runtime, BlockTime, Prediction};
 pub use replay::{
-    ground_truth_application, replay_groups, replay_groups_traced, GroupComputeModel,
+    ground_truth_application, replay_groups, replay_groups_traced, try_replay_groups,
+    try_replay_groups_traced, ConvolveCache, GroupBlockTimes, GroupComputeModel,
 };
 
 use xtrace_tracer::TaskTrace;
 
 /// Why a prediction could not be computed.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Clone, PartialEq)]
 pub enum PredictError {
     /// The trace's simulated hierarchy does not match the profile the
     /// prediction was asked against — its hit rates would be meaningless.
@@ -48,6 +49,19 @@ pub enum PredictError {
         trace_machine: String,
         /// Machine the prediction was requested for.
         profile_machine: String,
+    },
+    /// Signature groups cover fewer ranks than the replay needs.
+    GroupCoverage {
+        /// Ranks the groups cover.
+        covered: u64,
+        /// Ranks the replay was asked for.
+        needed: u64,
+    },
+    /// The bulk-synchronous replay itself failed (malformed rank programs,
+    /// an SPMD violation, or a bad neighbor list).
+    Simulation {
+        /// The engine's error description.
+        detail: String,
     },
 }
 
@@ -61,7 +75,22 @@ impl std::fmt::Display for PredictError {
                 f,
                 "trace was collected against {trace_machine:?}, not {profile_machine:?}"
             ),
+            PredictError::GroupCoverage { covered, needed } => {
+                write!(f, "groups cover {covered} ranks, need {needed}")
+            }
+            PredictError::Simulation { detail } => {
+                write!(f, "replay simulation failed: {detail}")
+            }
         }
+    }
+}
+
+// Debug delegates to Display so `.expect(...)` panics in the panicking
+// wrappers carry the human-readable message (and the substrings the
+// long-standing `#[should_panic(expected = ...)]` tests assert on).
+impl std::fmt::Debug for PredictError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Display::fmt(self, f)
     }
 }
 

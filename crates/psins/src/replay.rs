@@ -10,21 +10,103 @@
 //! script — synchronization waits, halo dependencies, collectives — to
 //! produce an application-level runtime.
 //!
+//! The replay path is built to scale to the paper's target core counts
+//! (6144/8192 ranks): convolution runs once per signature group (in
+//! parallel across groups when a thread pool is available), the engine
+//! deduplicates rank classes via [`xtrace_spmd::RankClasses`] so per-rank
+//! program materialization never happens, and convolved group tables can
+//! be memoized across pipeline runs through a [`ConvolveCache`].
+//!
 //! An exact counterpart, [`ground_truth_application`], runs every rank's
 //! address streams with exact per-access costs through the same engine, so
 //! replay predictions can be validated end to end.
 
 use std::collections::HashMap;
 
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
 use xtrace_machine::MachineProfile;
-use xtrace_spmd::{
-    simulate_programs, simulate_programs_traced, ComputeModel, RankProgram, SimReport, SpmdApp,
-    TimelineEntry,
-};
+use xtrace_spmd::{ComputeModel, SimError, SimReport, SpmdApp, TimelineEntry};
 use xtrace_tracer::{TaskTrace, TracerConfig};
 
 use crate::ground_truth::ground_truth_for_rank;
-use crate::predict::predict_runtime;
+use crate::predict::try_predict_runtime;
+use crate::PredictError;
+
+/// Convolved per-iteration block times of one signature group — the unit
+/// of work a [`ConvolveCache`] memoizes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupBlockTimes {
+    /// Block names, in the group trace's block order.
+    pub columns: Vec<String>,
+    /// Convolved seconds per loop iteration, parallel to `columns`.
+    pub per_iteration: Vec<f64>,
+}
+
+/// Memoization store for per-group convolution results.
+///
+/// The convolution of a group trace against a machine profile is pure, so
+/// pipeline runs that share traces (e.g. resumed experiments, benches
+/// sweeping core counts) can reuse it. `xtrace-core`'s `ArtifactStore`
+/// implements this over its content-addressed JSON store.
+///
+/// Implementations are best-effort: a `get_group` miss (or a dropped
+/// `put_group`) only costs recomputation, never correctness — serde JSON
+/// round-trips `f64`s exactly, so cached and recomputed tables are
+/// bit-identical.
+pub trait ConvolveCache {
+    /// Looks up a previously stored group table.
+    fn get_group(&self, key: &str) -> Option<GroupBlockTimes>;
+    /// Stores a group table under `key`.
+    fn put_group(&self, key: &str, value: &GroupBlockTimes);
+}
+
+/// FNV-1a over the concatenation of `parts`, as a fixed-width hex string.
+fn fnv1a_hex(parts: &[&[u8]]) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for part in parts {
+        for &byte in *part {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    format!("{h:016x}")
+}
+
+/// Cache key of one group's convolution: machine identity plus the full
+/// serialized trace (hit rates, block structure, counts).
+fn convolve_key(trace: &TaskTrace, machine: &MachineProfile) -> String {
+    let trace_bytes = xtrace_tracer::to_bytes(trace);
+    fnv1a_hex(&[machine.name.as_bytes(), b"\0", &trace_bytes])
+}
+
+/// Convolves one group trace into per-iteration block times.
+fn convolve_group(
+    trace: &TaskTrace,
+    nranks: u32,
+    machine: &MachineProfile,
+) -> Result<GroupBlockTimes, PredictError> {
+    // Convolve once per group; communication is replayed by the engine, so
+    // only block times are used here.
+    let comm = xtrace_spmd::CommProfile {
+        nranks,
+        longest_rank: trace.rank,
+        events: vec![],
+        compute_imbalance: 1.0,
+    };
+    let pred = try_predict_runtime(trace, &comm, machine)?;
+    let mut columns = Vec::with_capacity(pred.per_block.len());
+    let mut per_iteration = Vec::with_capacity(pred.per_block.len());
+    for (bt, block) in pred.per_block.iter().zip(&trace.blocks) {
+        let units = (block.invocations.max(1) * block.iterations.max(1)) as f64;
+        columns.push(bt.name.clone());
+        per_iteration.push(bt.combined_s / units);
+    }
+    Ok(GroupBlockTimes {
+        columns,
+        per_iteration,
+    })
+}
 
 /// A [`ComputeModel`] that charges each rank's compute segments from its
 /// signature group's convolved per-block times.
@@ -34,15 +116,23 @@ use crate::predict::predict_runtime;
 /// assigned to groups in order, so the heaviest group covers the lowest
 /// ranks — matching the master-rank structure of the proxies, where rank 0
 /// is the most computationally demanding task.
+///
+/// Block times are interned: the hot [`ComputeModel::seconds`] path is a
+/// borrowed-str map lookup plus an indexed row read — no per-call `String`
+/// allocation. The model also exposes its group assignment as
+/// [`ComputeModel::class_key`], so the engine charges it once per (rank
+/// class, group) pair instead of once per rank.
 pub struct GroupComputeModel {
-    /// Per group: block name → convolved seconds per loop iteration.
+    /// Block name → column index (union over groups, first-seen order).
+    name_ix: HashMap<String, usize>,
+    /// Per group: column index → convolved seconds per loop iteration.
     ///
     /// Charging per *iteration* (not per invocation) makes the model
     /// transferable across ranks whose programs share block shapes but
     /// differ in trip counts — e.g. a worker's token-sized master block
     /// costs next to nothing even though the group trace came from the
     /// master.
-    per_iteration: Vec<HashMap<String, f64>>,
+    per_iteration: Vec<Vec<f64>>,
     /// Rank → group index.
     assignment: Vec<usize>,
 }
@@ -55,31 +145,108 @@ impl GroupComputeModel {
     /// Panics if the groups cover fewer ranks than `nranks` or a group's
     /// trace was collected against a different machine.
     pub fn new(groups: &[(TaskTrace, u64)], nranks: u32, machine: &MachineProfile) -> Self {
+        Self::try_new(groups, nranks, machine).expect("replay model construction failed")
+    }
+
+    /// Fallible form of [`GroupComputeModel::new`].
+    pub fn try_new(
+        groups: &[(TaskTrace, u64)],
+        nranks: u32,
+        machine: &MachineProfile,
+    ) -> Result<Self, PredictError> {
+        let tables = Self::convolve_all(groups, nranks, machine, None)?.0;
+        Ok(Self::from_tables(groups, nranks, tables))
+    }
+
+    /// Like [`GroupComputeModel::try_new`], memoizing per-group convolution
+    /// results in `cache`. Returns the model and the number of cache hits.
+    pub fn try_new_cached(
+        groups: &[(TaskTrace, u64)],
+        nranks: u32,
+        machine: &MachineProfile,
+        cache: &dyn ConvolveCache,
+    ) -> Result<(Self, usize), PredictError> {
+        let (tables, hits) = Self::convolve_all(groups, nranks, machine, Some(cache))?;
+        Ok((Self::from_tables(groups, nranks, tables), hits))
+    }
+
+    /// Checks coverage and convolves every group (parallel across groups
+    /// when a pool is available and there is more than one group to do).
+    fn convolve_all(
+        groups: &[(TaskTrace, u64)],
+        nranks: u32,
+        machine: &MachineProfile,
+        cache: Option<&dyn ConvolveCache>,
+    ) -> Result<(Vec<GroupBlockTimes>, usize), PredictError> {
         let covered: u64 = groups.iter().map(|(_, n)| n).sum();
-        assert!(
-            covered >= u64::from(nranks),
-            "groups cover {covered} ranks, need {nranks}"
-        );
-        let per_iteration = groups
-            .iter()
-            .map(|(trace, _)| {
-                // Convolve once per group; communication is replayed by the
-                // engine, so only block times are used here.
-                let comm = xtrace_spmd::CommProfile {
-                    nranks,
-                    longest_rank: trace.rank,
-                    events: vec![],
-                    compute_imbalance: 1.0,
-                };
-                let pred = predict_runtime(trace, &comm, machine);
-                pred.per_block
-                    .iter()
-                    .zip(&trace.blocks)
-                    .map(|(bt, block)| {
-                        let units = (block.invocations.max(1) * block.iterations.max(1)) as f64;
-                        (bt.name.clone(), bt.combined_s / units)
-                    })
+        if covered < u64::from(nranks) {
+            return Err(PredictError::GroupCoverage {
+                covered,
+                needed: u64::from(nranks),
+            });
+        }
+
+        let mut hits = 0usize;
+        let mut slots: Vec<Option<GroupBlockTimes>> = vec![None; groups.len()];
+        let mut keys: Vec<Option<String>> = vec![None; groups.len()];
+        if let Some(cache) = cache {
+            for (gi, (trace, _)) in groups.iter().enumerate() {
+                let key = convolve_key(trace, machine);
+                if let Some(table) = cache.get_group(&key) {
+                    slots[gi] = Some(table);
+                    hits += 1;
+                }
+                keys[gi] = Some(key);
+            }
+        }
+
+        let pending: Vec<usize> = (0..groups.len())
+            .filter(|&gi| slots[gi].is_none())
+            .collect();
+        let computed: Vec<Result<GroupBlockTimes, PredictError>> =
+            if pending.len() >= 2 && rayon::current_num_threads() > 1 {
+                pending
+                    .par_iter()
+                    .map(|&gi| convolve_group(&groups[gi].0, nranks, machine))
                     .collect()
+            } else {
+                pending
+                    .iter()
+                    .map(|&gi| convolve_group(&groups[gi].0, nranks, machine))
+                    .collect()
+            };
+        for (&gi, result) in pending.iter().zip(computed) {
+            let table = result?;
+            if let (Some(cache), Some(key)) = (cache, keys[gi].as_deref()) {
+                cache.put_group(key, &table);
+            }
+            slots[gi] = Some(table);
+        }
+        let tables = slots
+            .into_iter()
+            .map(|t| t.expect("every group slot was filled"))
+            .collect();
+        Ok((tables, hits))
+    }
+
+    /// Interns the per-group tables into the shared column layout and lays
+    /// out the rank → group assignment.
+    fn from_tables(groups: &[(TaskTrace, u64)], nranks: u32, tables: Vec<GroupBlockTimes>) -> Self {
+        let mut name_ix: HashMap<String, usize> = HashMap::new();
+        for table in &tables {
+            for name in &table.columns {
+                let next = name_ix.len();
+                name_ix.entry(name.clone()).or_insert(next);
+            }
+        }
+        let per_iteration = tables
+            .iter()
+            .map(|table| {
+                let mut row = vec![0.0f64; name_ix.len()];
+                for (name, &secs) in table.columns.iter().zip(&table.per_iteration) {
+                    row[name_ix[name]] = secs;
+                }
+                row
             })
             .collect();
         let mut assignment = Vec::with_capacity(nranks as usize);
@@ -91,6 +258,7 @@ impl GroupComputeModel {
             }
         }
         Self {
+            name_ix,
             per_iteration,
             assignment,
         }
@@ -107,25 +275,50 @@ impl ComputeModel for GroupComputeModel {
     ) -> f64 {
         let group = self.assignment[rank as usize];
         let b = program.block(block);
-        self.per_iteration[group]
-            .get(&b.name)
-            .copied()
-            .unwrap_or(0.0)
-            * b.iterations as f64
-            * invocations as f64
+        let per_iter = self
+            .name_ix
+            .get(b.name.as_str())
+            .map_or(0.0, |&ix| self.per_iteration[group][ix]);
+        per_iter * b.iterations as f64 * invocations as f64
+    }
+
+    /// Charges depend only on the rank's group, so ranks sharing a group
+    /// are one dedup class.
+    fn class_key(&self, rank: u32) -> Option<u64> {
+        Some(self.assignment[rank as usize] as u64)
+    }
+}
+
+fn sim_err(err: SimError) -> PredictError {
+    PredictError::Simulation {
+        detail: err.to_string(),
     }
 }
 
 /// Replays the whole application with per-group convolved compute times.
+///
+/// # Panics
+///
+/// Panics on undersized groups, machine mismatches, or malformed rank
+/// programs; see [`try_replay_groups`] for the typed-error form.
 pub fn replay_groups(
     app: &dyn SpmdApp,
     nranks: u32,
     groups: &[(TaskTrace, u64)],
     machine: &MachineProfile,
 ) -> SimReport {
-    let programs: Vec<RankProgram> = (0..nranks).map(|r| app.rank_program(r, nranks)).collect();
-    let mut model = GroupComputeModel::new(groups, nranks, machine);
-    simulate_programs(&programs, &machine.net, &mut model)
+    try_replay_groups(app, nranks, groups, machine).expect("whole-application replay failed")
+}
+
+/// Fallible form of [`replay_groups`].
+pub fn try_replay_groups(
+    app: &dyn SpmdApp,
+    nranks: u32,
+    groups: &[(TaskTrace, u64)],
+    machine: &MachineProfile,
+) -> Result<SimReport, PredictError> {
+    let mut model = GroupComputeModel::try_new(groups, nranks, machine)?;
+    xtrace_spmd::try_simulate(app, nranks, &machine.net, &mut model).map_err(sim_err)
 }
 
 /// Like [`replay_groups`], additionally returning the predicted replay
@@ -137,77 +330,109 @@ pub fn replay_groups_traced(
     groups: &[(TaskTrace, u64)],
     machine: &MachineProfile,
 ) -> (SimReport, Vec<TimelineEntry>) {
-    let programs: Vec<RankProgram> = (0..nranks).map(|r| app.rank_program(r, nranks)).collect();
-    let mut model = GroupComputeModel::new(groups, nranks, machine);
-    simulate_programs_traced(&programs, &machine.net, &mut model)
+    try_replay_groups_traced(app, nranks, groups, machine).expect("whole-application replay failed")
+}
+
+/// Fallible form of [`replay_groups_traced`].
+pub fn try_replay_groups_traced(
+    app: &dyn SpmdApp,
+    nranks: u32,
+    groups: &[(TaskTrace, u64)],
+    machine: &MachineProfile,
+) -> Result<(SimReport, Vec<TimelineEntry>), PredictError> {
+    let mut model = GroupComputeModel::try_new(groups, nranks, machine)?;
+    xtrace_spmd::try_simulate_traced(app, nranks, &machine.net, &mut model).map_err(sim_err)
+}
+
+/// A per-iteration block-time table for one rank, in the shared column
+/// layout of the exact model.
+fn exact_rank_table(
+    app: &dyn SpmdApp,
+    rank: u32,
+    nranks: u32,
+    machine: &MachineProfile,
+    cfg: &TracerConfig,
+) -> Vec<(String, f64)> {
+    // One exact execution per rank; apportion its total compute over
+    // blocks proportionally to the convolution-free split, then scale so
+    // the sum equals the exact total.
+    let trace = xtrace_tracer::collect_task_trace(app, rank, nranks, machine, cfg);
+    let exact_total = ground_truth_for_rank(app, rank, nranks, machine, cfg);
+    let comm = xtrace_spmd::CommProfile {
+        nranks,
+        longest_rank: rank,
+        events: vec![],
+        compute_imbalance: 1.0,
+    };
+    let pred = crate::predict::predict_runtime(&trace, &comm, machine);
+    let pred_total: f64 = pred.per_block.iter().map(|b| b.combined_s).sum();
+    let scale = if pred_total > 0.0 {
+        exact_total / pred_total
+    } else {
+        0.0
+    };
+    pred.per_block
+        .iter()
+        .zip(&trace.blocks)
+        .map(|(bt, block)| {
+            let units = (block.invocations.max(1) * block.iterations.max(1)) as f64;
+            (bt.name.clone(), bt.combined_s * scale / units)
+        })
+        .collect()
 }
 
 /// Exact whole-application measurement: every rank's compute time comes
 /// from executing its address streams with exact per-access costs, then the
 /// same engine replays the event script. Cost scales with `nranks` (one
-/// sampled execution per rank); intended for validation at moderate scale.
+/// sampled execution per rank, fanned out over the rayon pool when one is
+/// available); intended for validation at moderate scale.
 pub fn ground_truth_application(
     app: &dyn SpmdApp,
     nranks: u32,
     machine: &MachineProfile,
     cfg: &TracerConfig,
 ) -> SimReport {
-    // Per-rank *total* compute seconds, apportioned to blocks by the BSP
-    // engine via a per-rank, per-block time table.
-    struct ExactModel<'a> {
-        app: &'a dyn SpmdApp,
-        nranks: u32,
-        machine: &'a MachineProfile,
-        cfg: &'a TracerConfig,
-        // rank -> block name -> seconds per invocation
-        cache: HashMap<u32, HashMap<String, f64>>,
-    }
-    impl ExactModel<'_> {
-        fn tables(&mut self, rank: u32) -> &HashMap<String, f64> {
-            if !self.cache.contains_key(&rank) {
-                // One exact execution per rank; apportion its total compute
-                // over blocks proportionally to the convolution-free split
-                // that ground_truth_for_rank already performs internally.
-                // Recompute per-block here from the trace + exact totals.
-                let trace = xtrace_tracer::collect_task_trace(
-                    self.app,
-                    rank,
-                    self.nranks,
-                    self.machine,
-                    self.cfg,
-                );
-                let exact_total =
-                    ground_truth_for_rank(self.app, rank, self.nranks, self.machine, self.cfg);
-                // Weight blocks by their convolved share (communication-free
-                // prediction), then scale so the sum equals the exact total.
-                let comm = xtrace_spmd::CommProfile {
-                    nranks: self.nranks,
-                    longest_rank: rank,
-                    events: vec![],
-                    compute_imbalance: 1.0,
-                };
-                let pred = predict_runtime(&trace, &comm, self.machine);
-                let pred_total: f64 = pred.per_block.iter().map(|b| b.combined_s).sum();
-                let scale = if pred_total > 0.0 {
-                    exact_total / pred_total
-                } else {
-                    0.0
-                };
-                let table = pred
-                    .per_block
-                    .iter()
-                    .zip(&trace.blocks)
-                    .map(|(bt, block)| {
-                        let units = (block.invocations.max(1) * block.iterations.max(1)) as f64;
-                        (bt.name.clone(), bt.combined_s * scale / units)
-                    })
-                    .collect();
-                self.cache.insert(rank, table);
-            }
-            &self.cache[&rank]
+    // Build every rank's exact table up front: the builds are independent
+    // and pure, so they parallelize; ordered reassembly keeps the model
+    // (and therefore the report) identical to a serial build.
+    let ranks: Vec<u32> = (0..nranks).collect();
+    let raw_tables: Vec<Vec<(String, f64)>> = if nranks >= 2 && rayon::current_num_threads() > 1 {
+        ranks
+            .par_iter()
+            .map(|&r| exact_rank_table(app, r, nranks, machine, cfg))
+            .collect()
+    } else {
+        ranks
+            .iter()
+            .map(|&r| exact_rank_table(app, r, nranks, machine, cfg))
+            .collect()
+    };
+
+    // Intern block names so the hot charging path is allocation-free.
+    let mut name_ix: HashMap<String, usize> = HashMap::new();
+    for table in &raw_tables {
+        for (name, _) in table {
+            let next = name_ix.len();
+            name_ix.entry(name.clone()).or_insert(next);
         }
     }
-    impl ComputeModel for ExactModel<'_> {
+    let tables: Vec<Vec<f64>> = raw_tables
+        .into_iter()
+        .map(|table| {
+            let mut row = vec![0.0f64; name_ix.len()];
+            for (name, secs) in table {
+                row[name_ix[&name]] = secs;
+            }
+            row
+        })
+        .collect();
+
+    struct ExactModel {
+        name_ix: HashMap<String, usize>,
+        /// rank → column index → seconds per iteration.
+        tables: Vec<Vec<f64>>,
+    }
+    impl ComputeModel for ExactModel {
         fn seconds(
             &mut self,
             rank: u32,
@@ -216,26 +441,27 @@ pub fn ground_truth_application(
             invocations: u64,
         ) -> f64 {
             let b = program.block(block);
-            let iters = b.iterations as f64;
-            let name = b.name.clone();
-            self.tables(rank).get(&name).copied().unwrap_or(0.0) * iters * invocations as f64
+            let per_iter = self
+                .name_ix
+                .get(b.name.as_str())
+                .map_or(0.0, |&ix| self.tables[rank as usize][ix]);
+            per_iter * b.iterations as f64 * invocations as f64
+        }
+
+        /// Every rank has its own measured table, so no two ranks dedup.
+        fn class_key(&self, rank: u32) -> Option<u64> {
+            Some(u64::from(rank))
         }
     }
 
-    let programs: Vec<RankProgram> = (0..nranks).map(|r| app.rank_program(r, nranks)).collect();
-    let mut model = ExactModel {
-        app,
-        nranks,
-        machine,
-        cfg,
-        cache: HashMap::new(),
-    };
-    simulate_programs(&programs, &machine.net, &mut model)
+    let mut model = ExactModel { name_ix, tables };
+    xtrace_spmd::simulate(app, nranks, &machine.net, &mut model)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Mutex;
     use xtrace_apps::StencilProxy;
     use xtrace_machine::presets;
     use xtrace_tracer::collect_task_trace;
@@ -275,7 +501,7 @@ mod tests {
         let machine = presets::cray_xt5();
         let cfg = TracerConfig::fast();
         let sig = xtrace_tracer::collect_signature_with(&app, 8, &machine, &cfg);
-        let single = predict_runtime(sig.longest_task(), &sig.comm, &machine);
+        let single = crate::predict::predict_runtime(sig.longest_task(), &sig.comm, &machine);
         let groups = groups_for(&app, 8, &machine);
         let replay = replay_groups(&app, 8, &groups, &machine);
         let rel = (replay.total_seconds - single.total_seconds).abs() / single.total_seconds;
@@ -326,5 +552,93 @@ mod tests {
         let cfg = TracerConfig::fast();
         let t0 = collect_task_trace(&app, 0, 8, &machine, &cfg);
         GroupComputeModel::new(&[(t0, 2)], 8, &machine);
+    }
+
+    #[test]
+    fn undersized_groups_report_typed_errors() {
+        let app = StencilProxy::small();
+        let machine = presets::cray_xt5();
+        let cfg = TracerConfig::fast();
+        let t0 = collect_task_trace(&app, 0, 8, &machine, &cfg);
+        let err = GroupComputeModel::try_new(&[(t0, 2)], 8, &machine)
+            .err()
+            .expect("undersized groups must fail");
+        assert_eq!(
+            err,
+            PredictError::GroupCoverage {
+                covered: 2,
+                needed: 8
+            }
+        );
+        assert!(err.to_string().contains("groups cover 2 ranks, need 8"));
+    }
+
+    #[test]
+    fn machine_mismatch_reports_typed_errors() {
+        let app = StencilProxy::small();
+        let machine = presets::cray_xt5();
+        let cfg = TracerConfig::fast();
+        let t0 = collect_task_trace(&app, 0, 4, &machine, &cfg);
+        let other = presets::bluewaters_phase1();
+        let err = GroupComputeModel::try_new(&[(t0, 4)], 4, &other)
+            .err()
+            .expect("machine mismatch must fail");
+        assert!(matches!(err, PredictError::MachineMismatch { .. }));
+    }
+
+    /// In-memory ConvolveCache for tests.
+    #[derive(Default)]
+    struct MemCache {
+        map: Mutex<HashMap<String, GroupBlockTimes>>,
+    }
+    impl ConvolveCache for MemCache {
+        fn get_group(&self, key: &str) -> Option<GroupBlockTimes> {
+            self.map.lock().expect("cache lock").get(key).cloned()
+        }
+        fn put_group(&self, key: &str, value: &GroupBlockTimes) {
+            self.map
+                .lock()
+                .expect("cache lock")
+                .insert(key.to_string(), value.clone());
+        }
+    }
+
+    #[test]
+    fn cached_construction_is_bit_identical_and_hits_on_reuse() {
+        let app = StencilProxy::medium();
+        let machine = presets::cray_xt5();
+        let groups = groups_for(&app, 8, &machine);
+        let cache = MemCache::default();
+
+        let (_, cold_hits) =
+            GroupComputeModel::try_new_cached(&groups, 8, &machine, &cache).expect("cold build");
+        assert_eq!(cold_hits, 0);
+        let (_, warm_hits) =
+            GroupComputeModel::try_new_cached(&groups, 8, &machine, &cache).expect("warm build");
+        assert_eq!(warm_hits, 2, "both group tables should come from cache");
+
+        // The replay through the cache matches the uncached replay exactly.
+        let mut cached_model = GroupComputeModel::try_new_cached(&groups, 8, &machine, &cache)
+            .expect("warm build")
+            .0;
+        let mut plain_model = GroupComputeModel::try_new(&groups, 8, &machine).expect("build");
+        let a = xtrace_spmd::try_simulate(&app, 8, &machine.net, &mut cached_model)
+            .expect("cached replay");
+        let b = xtrace_spmd::try_simulate(&app, 8, &machine.net, &mut plain_model)
+            .expect("plain replay");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn group_tables_key_on_machine_and_trace() {
+        let app = StencilProxy::small();
+        let machine = presets::cray_xt5();
+        let cfg = TracerConfig::fast();
+        let t0 = collect_task_trace(&app, 0, 4, &machine, &cfg);
+        let t1 = collect_task_trace(&app, 1, 4, &machine, &cfg);
+        let k00 = convolve_key(&t0, &machine);
+        let k10 = convolve_key(&t1, &machine);
+        assert_ne!(k00, k10, "different traces must not collide");
+        assert_eq!(k00, convolve_key(&t0, &machine), "keys are deterministic");
     }
 }

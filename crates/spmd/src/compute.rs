@@ -18,6 +18,21 @@ pub trait ComputeModel {
     /// Seconds rank `rank` spends invoking `block` of `program`
     /// `invocations` times.
     fn seconds(&mut self, rank: u32, program: &Program, block: BlockId, invocations: u64) -> f64;
+
+    /// Optional rank-equivalence key enabling class deduplication in the
+    /// engine.
+    ///
+    /// Contract: two ranks returning equal `Some` keys must be charged the
+    /// *same* seconds for the same `(program, block, invocations)` inputs.
+    /// The engine then calls [`ComputeModel::seconds`] once per (rank
+    /// class, model key) pair and reuses the result across the member
+    /// ranks. Returning `None` (the default) opts the model out: every
+    /// rank is charged individually, exactly like the naive engine — the
+    /// safe choice for arbitrary (e.g. closure-based) models whose
+    /// rank-dependence the engine cannot see.
+    fn class_key(&self, _rank: u32) -> Option<u64> {
+        None
+    }
 }
 
 /// Flat-rate model: every memory reference and FLOP costs a fixed time.
@@ -49,6 +64,11 @@ impl ComputeModel for NominalComputeModel {
         let refs = b.mem_refs_per_invocation() * invocations;
         let flops = b.flops_per_invocation() * invocations;
         refs as f64 * self.secs_per_memref + flops as f64 * self.secs_per_flop
+    }
+
+    /// Rates are rank-independent, so every rank is in one class.
+    fn class_key(&self, _rank: u32) -> Option<u64> {
+        Some(0)
     }
 }
 
@@ -109,5 +129,16 @@ mod tests {
         let (p, blk) = program();
         let mut m = |rank: u32, _: &Program, _: BlockId, inv: u64| f64::from(rank) + inv as f64;
         assert_eq!(m.seconds(2, &p, blk, 3), 5.0);
+    }
+
+    #[test]
+    fn class_keys_reflect_rank_dependence() {
+        // The nominal model is rank-independent: one class for all ranks.
+        let nominal = NominalComputeModel::default();
+        assert_eq!(nominal.class_key(0), nominal.class_key(7));
+        assert!(nominal.class_key(0).is_some());
+        // Closures may be rank-dependent, so they must opt out of dedup.
+        let m = |rank: u32, _: &Program, _: BlockId, inv: u64| f64::from(rank) + inv as f64;
+        assert_eq!(ComputeModel::class_key(&m, 3), None);
     }
 }

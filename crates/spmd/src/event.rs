@@ -148,12 +148,54 @@ impl RankProgram {
 /// `rank_program(rank, nranks)` must return the same value every time it is
 /// called with the same arguments, and every rank's event list must have the
 /// same shape (length and [`RankEvent::kind_tag`] sequence).
-pub trait SpmdApp {
+///
+/// `Sync` is a supertrait so rank programs can be materialized and replayed
+/// from a rayon fan-out; implementors are plain problem descriptions, so
+/// this costs nothing.
+pub trait SpmdApp: Sync {
     /// Application name, used to label traces and experiment output.
     fn name(&self) -> &str;
 
     /// Builds the program rank `rank` of `nranks` executes.
     fn rank_program(&self, rank: u32, nranks: u32) -> RankProgram;
+
+    /// Optional cheap rank-equivalence key enabling class deduplication in
+    /// the engine (`sim::RankClasses`).
+    ///
+    /// Contract: two ranks returning equal `Some` keys must produce
+    /// [`SpmdApp::rank_program`]s that are identical *except* for the
+    /// neighbor lists of their `Exchange` events (which come from
+    /// [`SpmdApp::exchange_partners`] instead). Keys are opaque — only
+    /// equality matters. Return `None` (the default) to opt out; the
+    /// engine then falls back to materializing every rank's program and
+    /// grouping by structural equality, which is still correct but costs
+    /// O(nranks) program builds.
+    ///
+    /// In debug builds the engine cross-checks the key against fully
+    /// materialized programs, so a key that merges unequal ranks fails
+    /// loudly rather than silently mispredicting.
+    fn rank_class(&self, _rank: u32, _nranks: u32) -> Option<u64> {
+        None
+    }
+
+    /// The per-rank `Exchange` neighbor lists, one entry per `Exchange`
+    /// event in script order.
+    ///
+    /// This is the only part of a rank's script allowed to differ within a
+    /// [`SpmdApp::rank_class`] equivalence class, so the engine asks for it
+    /// separately. The default extracts the lists from a full
+    /// [`SpmdApp::rank_program`] build — correct, but it defeats the point
+    /// of class dedup; override it (cheaply) together with `rank_class`.
+    fn exchange_partners(&self, rank: u32, nranks: u32) -> Vec<Vec<u32>> {
+        self.rank_program(rank, nranks)
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                RankEvent::Exchange { neighbors, .. } => Some(neighbors.clone()),
+                _ => None,
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]

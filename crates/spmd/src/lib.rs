@@ -38,5 +38,8 @@ pub use event::{RankEvent, RankProgram, SpmdApp};
 pub use net::NetworkModel;
 pub use profile::{CommEventRecord, CommKind, CommProfile, MpiProfiler};
 pub use sim::{
-    simulate, simulate_programs, simulate_programs_traced, RankTimes, SimReport, TimelineEntry,
+    simulate, simulate_programs, simulate_programs_naive, simulate_programs_traced, try_simulate,
+    try_simulate_classes, try_simulate_programs, try_simulate_programs_naive,
+    try_simulate_programs_traced, try_simulate_traced, try_simulate_with, RankClasses, RankTimes,
+    SimError, SimOptions, SimReport, TimelineEntry,
 };

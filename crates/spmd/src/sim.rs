@@ -8,7 +8,37 @@
 //! is the application runtime; the gap between a rank's arrival at a
 //! synchronization point and its departure is attributed to communication
 //! (it is wait-plus-wire time, exactly how MPI profilers attribute it).
+//!
+//! # Rank-class deduplication
+//!
+//! SPMD rank programs are identical within master/worker classes: at a
+//! fixed core count the proxies produce two or three distinct programs
+//! (master, remainder worker, plain worker), not `nranks` of them. The
+//! engine exploits that through [`RankClasses`]: one representative
+//! program is materialized per class, the compute model is charged once
+//! per (class, [`ComputeModel::class_key`]) pair, and only the per-rank
+//! state that genuinely differs — clocks, synchronization waits, and
+//! `Exchange` neighbor lists — is kept per rank. This collapses the
+//! O(nranks) program builds and model charges of the naive engine to
+//! O(classes) while producing bit-identical [`SimReport`]s: every
+//! per-rank floating-point update is performed in the same order with the
+//! same values as the naive per-rank walk (the reference implementation is
+//! kept as [`simulate_programs_naive`] and equality is enforced by
+//! proptests).
+//!
+//! # Parallel stepping
+//!
+//! Between synchronization points every rank's advance depends only on the
+//! pre-event clocks, so each event is applied in two phases: a pure
+//! per-rank update computation (fanned out over rank chunks with rayon
+//! when the pool and rank count warrant it) followed by an in-order commit.
+//! Chunking only partitions index space — each rank's value is computed
+//! from the same snapshot by the same expression — so reports are
+//! bit-identical at any thread count.
 
+use std::collections::HashMap;
+
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use crate::compute::ComputeModel;
@@ -87,7 +117,383 @@ impl SimReport {
     }
 }
 
+/// Why a simulation could not be run.
+#[derive(Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The simulation was asked for zero ranks.
+    NoRanks,
+    /// A rank's program failed [`RankProgram::validate`].
+    InvalidRank {
+        /// Offending rank.
+        rank: u32,
+        /// The validation failure.
+        detail: String,
+    },
+    /// A rank's event count differs from rank 0's (an SPMD violation).
+    EventCountMismatch {
+        /// Offending rank.
+        rank: u32,
+    },
+    /// A rank's event kind differs from rank 0's at the same index (an
+    /// SPMD violation).
+    EventKindMismatch {
+        /// Offending rank.
+        rank: u32,
+        /// Offending event index.
+        event: usize,
+    },
+    /// An exchange partner list names a rank outside the job.
+    BadNeighbor {
+        /// Offending rank.
+        rank: u32,
+        /// The out-of-range neighbor.
+        neighbor: u32,
+    },
+    /// An app's [`SpmdApp::rank_class`] / [`SpmdApp::exchange_partners`]
+    /// overrides disagree with its materialized rank programs.
+    ClassContract {
+        /// Offending rank.
+        rank: u32,
+        /// What disagreed.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::NoRanks => write!(f, "need at least one rank"),
+            SimError::InvalidRank { rank, detail } => write!(f, "rank {rank}: {detail}"),
+            SimError::EventCountMismatch { rank } => write!(
+                f,
+                "rank {rank} event count differs from rank 0 (SPMD violation)"
+            ),
+            SimError::EventKindMismatch { rank, event } => write!(
+                f,
+                "rank {rank} event {event} kind differs from rank 0 (SPMD violation)"
+            ),
+            SimError::BadNeighbor { rank, neighbor } => write!(
+                f,
+                "rank {rank} exchanges with out-of-range neighbor {neighbor}"
+            ),
+            SimError::ClassContract { rank, detail } => {
+                write!(f, "rank {rank} violates the rank-class contract: {detail}")
+            }
+        }
+    }
+}
+
+// Debug delegates to Display so `.expect(...)` panics in the legacy
+// wrappers carry the human-readable message (and the substrings the
+// long-standing `#[should_panic(expected = ...)]` tests assert on).
+impl std::fmt::Debug for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Display::fmt(self, f)
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Engine tuning knobs. The defaults are correct for every caller; they
+/// exist so benches and determinism tests can force specific paths.
+#[derive(Debug, Clone, Copy)]
+pub struct SimOptions {
+    /// Allow the per-rank update fan-out over the rayon pool. The engine
+    /// additionally requires a multi-thread pool and at least
+    /// `min_parallel_ranks` ranks, so small jobs never pay thread-spawn
+    /// overhead.
+    pub parallel: bool,
+    /// Rank count below which updates always run serially.
+    pub min_parallel_ranks: usize,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        Self {
+            parallel: true,
+            min_parallel_ranks: 256,
+        }
+    }
+}
+
+/// Rank-class decomposition of an SPMD job: one representative
+/// [`RankProgram`] per equivalence class plus the per-rank residue (class
+/// assignment and `Exchange` neighbor lists).
+///
+/// Two ranks are in the same class when their programs are identical
+/// except for `Exchange` neighbor lists. For the proxy apps that yields
+/// two or three classes at any core count, so materializing and
+/// compute-charging per class instead of per rank collapses the dominant
+/// replay cost from O(nranks) to O(1).
+#[derive(Debug, Clone)]
+pub struct RankClasses {
+    /// One representative program per class, in first-seen (rank) order.
+    representatives: Vec<RankProgram>,
+    /// Rank → class index.
+    assignment: Vec<u32>,
+    /// Rank → (`Exchange` slot in script order) → neighbor list.
+    partners: Vec<Vec<Vec<u32>>>,
+}
+
+/// True when the two programs differ at most in `Exchange` neighbor lists.
+fn same_class(a: &RankProgram, b: &RankProgram) -> bool {
+    if a.program != b.program || a.events.len() != b.events.len() {
+        return false;
+    }
+    a.events.iter().zip(&b.events).all(|(x, y)| match (x, y) {
+        (
+            RankEvent::Exchange {
+                bytes_per_neighbor: bx,
+                repeats: rx,
+                ..
+            },
+            RankEvent::Exchange {
+                bytes_per_neighbor: by,
+                repeats: ry,
+                ..
+            },
+        ) => bx == by && rx == ry,
+        _ => x == y,
+    })
+}
+
+/// The `Exchange` neighbor lists of a program, in script order.
+fn exchange_lists(p: &RankProgram) -> Vec<Vec<u32>> {
+    p.events
+        .iter()
+        .filter_map(|e| match e {
+            RankEvent::Exchange { neighbors, .. } => Some(neighbors.clone()),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Shape/validity check shared by the naive engine and class building.
+fn validate_programs(programs: &[RankProgram]) -> Result<(), SimError> {
+    if programs.is_empty() {
+        return Err(SimError::NoRanks);
+    }
+    let nranks = programs.len() as u32;
+    let nevents = programs[0].events.len();
+    for (r, p) in programs.iter().enumerate() {
+        if let Err(detail) = p.validate(nranks) {
+            return Err(SimError::InvalidRank {
+                rank: r as u32,
+                detail,
+            });
+        }
+        if p.events.len() != nevents {
+            return Err(SimError::EventCountMismatch { rank: r as u32 });
+        }
+        for (i, e) in p.events.iter().enumerate() {
+            if e.kind_tag() != programs[0].events[i].kind_tag() {
+                return Err(SimError::EventKindMismatch {
+                    rank: r as u32,
+                    event: i,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+impl RankClasses {
+    /// Number of ranks in the job.
+    pub fn nranks(&self) -> u32 {
+        self.assignment.len() as u32
+    }
+
+    /// Number of equivalence classes.
+    pub fn num_classes(&self) -> usize {
+        self.representatives.len()
+    }
+
+    /// The representative programs, in first-seen (rank) order.
+    pub fn representatives(&self) -> &[RankProgram] {
+        &self.representatives
+    }
+
+    /// Rank → class index.
+    pub fn assignment(&self) -> &[u32] {
+        &self.assignment
+    }
+
+    /// Groups already-materialized programs by structural equality (modulo
+    /// `Exchange` neighbors). O(nranks × classes) comparisons — the
+    /// correct-by-construction path used when no cheap class key exists.
+    pub fn try_from_programs(programs: &[RankProgram]) -> Result<Self, SimError> {
+        validate_programs(programs)?;
+        let mut representatives: Vec<RankProgram> = Vec::new();
+        let mut assignment = Vec::with_capacity(programs.len());
+        let mut partners = Vec::with_capacity(programs.len());
+        for p in programs {
+            let c = match representatives.iter().position(|rep| same_class(rep, p)) {
+                Some(c) => c,
+                None => {
+                    representatives.push(p.clone());
+                    representatives.len() - 1
+                }
+            };
+            assignment.push(c as u32);
+            partners.push(exchange_lists(p));
+        }
+        Ok(Self {
+            representatives,
+            assignment,
+            partners,
+        })
+    }
+
+    /// Builds classes from an app's [`SpmdApp::rank_class`] keys without
+    /// materializing every rank's program — the O(classes) fast path.
+    ///
+    /// Falls back to [`RankClasses::try_from_programs`] when the app does
+    /// not provide keys. In debug builds the keys and partner lists are
+    /// verified against fully materialized programs.
+    pub fn try_from_app(app: &dyn SpmdApp, nranks: u32) -> Result<Self, SimError> {
+        if nranks == 0 {
+            return Err(SimError::NoRanks);
+        }
+        let keys: Option<Vec<u64>> = (0..nranks).map(|r| app.rank_class(r, nranks)).collect();
+        let Some(keys) = keys else {
+            let programs: Vec<RankProgram> =
+                (0..nranks).map(|r| app.rank_program(r, nranks)).collect();
+            return Self::try_from_programs(&programs);
+        };
+
+        let mut key_to_class: HashMap<u64, u32> = HashMap::new();
+        let mut representatives: Vec<RankProgram> = Vec::new();
+        let mut assignment = Vec::with_capacity(nranks as usize);
+        let mut partners = Vec::with_capacity(nranks as usize);
+        for r in 0..nranks {
+            let c = match key_to_class.get(&keys[r as usize]) {
+                Some(&c) => c,
+                None => {
+                    let c = representatives.len() as u32;
+                    representatives.push(app.rank_program(r, nranks));
+                    key_to_class.insert(keys[r as usize], c);
+                    c
+                }
+            };
+            assignment.push(c);
+            partners.push(app.exchange_partners(r, nranks));
+        }
+        let classes = Self {
+            representatives,
+            assignment,
+            partners,
+        };
+        classes.validate()?;
+        #[cfg(debug_assertions)]
+        classes.verify_app_contract(app, nranks)?;
+        Ok(classes)
+    }
+
+    /// Internal consistency check used by the engine: representative
+    /// programs are valid, classes agree on event shape, and every rank's
+    /// partner lists line up with the script's `Exchange` slots.
+    fn validate(&self) -> Result<(), SimError> {
+        let nranks = self.assignment.len();
+        if nranks == 0 || self.representatives.is_empty() {
+            return Err(SimError::NoRanks);
+        }
+        let first_rank_of = |class: usize| -> u32 {
+            self.assignment
+                .iter()
+                .position(|&c| c as usize == class)
+                .map(|r| r as u32)
+                .unwrap_or(0)
+        };
+        let base = &self.representatives[self.assignment[0] as usize];
+        let nevents = base.events.len();
+        for (c, rep) in self.representatives.iter().enumerate() {
+            if let Err(detail) = rep.validate(nranks as u32) {
+                return Err(SimError::InvalidRank {
+                    rank: first_rank_of(c),
+                    detail,
+                });
+            }
+            if rep.events.len() != nevents {
+                return Err(SimError::EventCountMismatch {
+                    rank: first_rank_of(c),
+                });
+            }
+            for (i, e) in rep.events.iter().enumerate() {
+                if e.kind_tag() != base.events[i].kind_tag() {
+                    return Err(SimError::EventKindMismatch {
+                        rank: first_rank_of(c),
+                        event: i,
+                    });
+                }
+            }
+        }
+        let nslots = base
+            .events
+            .iter()
+            .filter(|e| matches!(e, RankEvent::Exchange { .. }))
+            .count();
+        for (r, lists) in self.partners.iter().enumerate() {
+            if (self.assignment[r] as usize) >= self.representatives.len() {
+                return Err(SimError::ClassContract {
+                    rank: r as u32,
+                    detail: format!("class {} out of range", self.assignment[r]),
+                });
+            }
+            if lists.len() != nslots {
+                return Err(SimError::ClassContract {
+                    rank: r as u32,
+                    detail: format!(
+                        "{} exchange partner lists for {nslots} Exchange events",
+                        lists.len()
+                    ),
+                });
+            }
+            for list in lists {
+                for &n in list {
+                    if n as usize >= nranks {
+                        return Err(SimError::BadNeighbor {
+                            rank: r as u32,
+                            neighbor: n,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Debug-build safety net for app-provided class keys: materialize
+    /// every rank's program and check it really is its representative
+    /// modulo `Exchange` neighbors, and that `exchange_partners` agrees
+    /// with the program.
+    #[cfg(debug_assertions)]
+    fn verify_app_contract(&self, app: &dyn SpmdApp, nranks: u32) -> Result<(), SimError> {
+        for r in 0..nranks {
+            let p = app.rank_program(r, nranks);
+            let rep = &self.representatives[self.assignment[r as usize] as usize];
+            if !same_class(rep, &p) {
+                return Err(SimError::ClassContract {
+                    rank: r,
+                    detail: "rank_class key equates programs that differ beyond Exchange \
+                             neighbor lists"
+                        .into(),
+                });
+            }
+            if exchange_lists(&p) != self.partners[r as usize] {
+                return Err(SimError::ClassContract {
+                    rank: r,
+                    detail: "exchange_partners disagrees with rank_program".into(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Simulates `app` on `nranks` ranks.
+///
+/// Uses the class-deduplicated engine; apps providing
+/// [`SpmdApp::rank_class`] keys skip the per-rank program builds entirely.
 ///
 /// # Panics
 ///
@@ -99,19 +505,69 @@ pub fn simulate(
     net: &NetworkModel,
     compute: &mut dyn ComputeModel,
 ) -> SimReport {
-    assert!(nranks > 0, "need at least one rank");
-    let programs: Vec<RankProgram> = (0..nranks).map(|r| app.rank_program(r, nranks)).collect();
-    simulate_programs(&programs, net, compute)
+    expect_sim(try_simulate(app, nranks, net, compute))
+}
+
+/// Fallible form of [`simulate`].
+pub fn try_simulate(
+    app: &dyn SpmdApp,
+    nranks: u32,
+    net: &NetworkModel,
+    compute: &mut dyn ComputeModel,
+) -> Result<SimReport, SimError> {
+    try_simulate_with(app, nranks, net, compute, SimOptions::default())
+}
+
+/// [`try_simulate`] with explicit engine options.
+pub fn try_simulate_with(
+    app: &dyn SpmdApp,
+    nranks: u32,
+    net: &NetworkModel,
+    compute: &mut dyn ComputeModel,
+    opts: SimOptions,
+) -> Result<SimReport, SimError> {
+    let classes = RankClasses::try_from_app(app, nranks)?;
+    simulate_classes_inner(&classes, net, compute, opts, None)
+}
+
+/// Like [`try_simulate`], additionally recording the full replay timeline.
+pub fn try_simulate_traced(
+    app: &dyn SpmdApp,
+    nranks: u32,
+    net: &NetworkModel,
+    compute: &mut dyn ComputeModel,
+) -> Result<(SimReport, Vec<TimelineEntry>), SimError> {
+    let classes = RankClasses::try_from_app(app, nranks)?;
+    let mut timeline = Vec::new();
+    let report = simulate_classes_inner(
+        &classes,
+        net,
+        compute,
+        SimOptions::default(),
+        Some(&mut |e| timeline.push(e)),
+    )?;
+    Ok((report, timeline))
 }
 
 /// Simulates pre-built rank programs (used when the caller already
-/// materialized them, e.g. the tracer).
+/// materialized them, e.g. the tracer). Programs are grouped into rank
+/// classes first, so the compute model is still charged once per class.
 pub fn simulate_programs(
     programs: &[RankProgram],
     net: &NetworkModel,
     compute: &mut dyn ComputeModel,
 ) -> SimReport {
-    simulate_programs_inner(programs, net, compute, &mut |_| {})
+    expect_sim(try_simulate_programs(programs, net, compute))
+}
+
+/// Fallible form of [`simulate_programs`].
+pub fn try_simulate_programs(
+    programs: &[RankProgram],
+    net: &NetworkModel,
+    compute: &mut dyn ComputeModel,
+) -> Result<SimReport, SimError> {
+    let classes = RankClasses::try_from_programs(programs)?;
+    simulate_classes_inner(&classes, net, compute, SimOptions::default(), None)
 }
 
 /// Like [`simulate_programs`], additionally recording the full replay
@@ -121,9 +577,67 @@ pub fn simulate_programs_traced(
     net: &NetworkModel,
     compute: &mut dyn ComputeModel,
 ) -> (SimReport, Vec<TimelineEntry>) {
+    expect_sim_traced(try_simulate_programs_traced(programs, net, compute))
+}
+
+/// Fallible form of [`simulate_programs_traced`].
+pub fn try_simulate_programs_traced(
+    programs: &[RankProgram],
+    net: &NetworkModel,
+    compute: &mut dyn ComputeModel,
+) -> Result<(SimReport, Vec<TimelineEntry>), SimError> {
+    let classes = RankClasses::try_from_programs(programs)?;
     let mut timeline = Vec::new();
-    let report = simulate_programs_inner(programs, net, compute, &mut |e| timeline.push(e));
-    (report, timeline)
+    let report = simulate_classes_inner(
+        &classes,
+        net,
+        compute,
+        SimOptions::default(),
+        Some(&mut |e| timeline.push(e)),
+    )?;
+    Ok((report, timeline))
+}
+
+/// Runs the deduplicated engine over a prepared class decomposition.
+pub fn try_simulate_classes(
+    classes: &RankClasses,
+    net: &NetworkModel,
+    compute: &mut dyn ComputeModel,
+    opts: SimOptions,
+) -> Result<SimReport, SimError> {
+    simulate_classes_inner(classes, net, compute, opts, None)
+}
+
+/// The frozen reference engine: walks every rank individually, charging
+/// the compute model per rank, exactly as the engine worked before class
+/// deduplication. Kept public so benches can measure the dedup speedup and
+/// proptests can assert bit-identical reports.
+pub fn simulate_programs_naive(
+    programs: &[RankProgram],
+    net: &NetworkModel,
+    compute: &mut dyn ComputeModel,
+) -> SimReport {
+    expect_sim(try_simulate_programs_naive(programs, net, compute))
+}
+
+/// Fallible form of [`simulate_programs_naive`].
+pub fn try_simulate_programs_naive(
+    programs: &[RankProgram],
+    net: &NetworkModel,
+    compute: &mut dyn ComputeModel,
+) -> Result<SimReport, SimError> {
+    validate_programs(programs)?;
+    Ok(naive_inner(programs, net, compute))
+}
+
+fn expect_sim(res: Result<SimReport, SimError>) -> SimReport {
+    res.expect("SPMD simulation failed")
+}
+
+fn expect_sim_traced(
+    res: Result<(SimReport, Vec<TimelineEntry>), SimError>,
+) -> (SimReport, Vec<TimelineEntry>) {
+    res.expect("SPMD simulation failed")
 }
 
 fn event_kind_name(e: &RankEvent) -> &'static str {
@@ -137,33 +651,205 @@ fn event_kind_name(e: &RankEvent) -> &'static str {
     }
 }
 
-fn simulate_programs_inner(
-    programs: &[RankProgram],
+/// Computes `f(rank)` for every rank, optionally fanning out over rank
+/// chunks. `f` must be pure over the pre-event snapshot; chunking only
+/// partitions index space and results are reassembled in rank order, so
+/// the output is identical to the serial path at any thread count.
+fn run_per_rank<F>(par: bool, nranks: usize, f: &F) -> Vec<(f64, f64, f64)>
+where
+    F: Fn(usize) -> (f64, f64, f64) + Sync,
+{
+    if !par {
+        return (0..nranks).map(f).collect();
+    }
+    let threads = rayon::current_num_threads().max(1);
+    let chunk = nranks.div_ceil(threads * 4).max(1);
+    let ranges: Vec<(usize, usize)> = (0..nranks)
+        .step_by(chunk)
+        .map(|lo| (lo, (lo + chunk).min(nranks)))
+        .collect();
+    let chunks: Vec<Vec<(f64, f64, f64)>> = ranges
+        .par_iter()
+        .map(|&(lo, hi)| (lo..hi).map(f).collect())
+        .collect();
+    chunks.into_iter().flatten().collect()
+}
+
+/// The deduplicated bulk-synchronous engine.
+///
+/// Each event is applied in two phases: per-rank `(new_clock, Δcompute,
+/// Δcomm)` updates computed purely from the pre-event clocks (serially or
+/// chunk-parallel), then an in-order commit that also emits timeline
+/// entries when tracing. The per-rank arithmetic is exactly the naive
+/// engine's — same values, same order — so reports are bit-identical.
+fn simulate_classes_inner(
+    classes: &RankClasses,
     net: &NetworkModel,
     compute: &mut dyn ComputeModel,
-    record: &mut dyn FnMut(TimelineEntry),
-) -> SimReport {
-    let nranks = programs.len();
-    assert!(nranks > 0, "need at least one rank");
-    let nevents = programs[0].events.len();
-    for (r, p) in programs.iter().enumerate() {
-        if let Err(e) = p.validate(nranks as u32) {
-            panic!("rank {r}: {e}");
+    opts: SimOptions,
+    mut record: Option<&mut dyn FnMut(TimelineEntry)>,
+) -> Result<SimReport, SimError> {
+    classes.validate()?;
+    let nranks = classes.assignment.len();
+    let assignment = &classes.assignment;
+    let reps = &classes.representatives;
+    let nevents = reps[0].events.len();
+
+    // Refined compute-charging groups: (program class, model class key).
+    // A model without keys opts out — every rank forms its own group and
+    // is charged individually, exactly like the naive engine.
+    let keys: Option<Vec<u64>> = (0..nranks).map(|r| compute.class_key(r as u32)).collect();
+    let (group_of, group_reps): (Vec<u32>, Vec<u32>) = match keys {
+        Some(keys) => {
+            let mut map: HashMap<(u32, u64), u32> = HashMap::new();
+            let mut group_of = Vec::with_capacity(nranks);
+            let mut group_reps: Vec<u32> = Vec::new();
+            for r in 0..nranks {
+                let ck = (assignment[r], keys[r]);
+                let g = match map.get(&ck) {
+                    Some(&g) => g,
+                    None => {
+                        let g = group_reps.len() as u32;
+                        group_reps.push(r as u32);
+                        map.insert(ck, g);
+                        g
+                    }
+                };
+                group_of.push(g);
+            }
+            (group_of, group_reps)
         }
-        assert_eq!(
-            p.events.len(),
-            nevents,
-            "rank {r} event count differs from rank 0 (SPMD violation)"
-        );
-        for (i, e) in p.events.iter().enumerate() {
-            assert_eq!(
-                e.kind_tag(),
-                programs[0].events[i].kind_tag(),
-                "rank {r} event {i} kind differs from rank 0 (SPMD violation)"
-            );
+        None => ((0..nranks as u32).collect(), (0..nranks as u32).collect()),
+    };
+
+    let par = record.is_none()
+        && opts.parallel
+        && nranks >= opts.min_parallel_ranks
+        && rayon::current_num_threads() > 1;
+
+    let mut clocks = vec![0.0f64; nranks];
+    let mut times = vec![RankTimes::default(); nranks];
+    let mut exchange_slot = 0usize;
+
+    for i in 0..nevents {
+        let kind_name = event_kind_name(&reps[0].events[i]);
+        let updates: Vec<(f64, f64, f64)> = match &reps[0].events[i] {
+            RankEvent::Compute { .. } => {
+                // Charge the model once per refined group at the group's
+                // lowest member rank; every member advances by that dt.
+                let mut dts = vec![0.0f64; group_reps.len()];
+                for (g, &rep_rank) in group_reps.iter().enumerate() {
+                    let p = &reps[assignment[rep_rank as usize] as usize];
+                    if let RankEvent::Compute { block, invocations } = &p.events[i] {
+                        let dt = compute.seconds(rep_rank, &p.program, *block, *invocations);
+                        debug_assert!(dt.is_finite() && dt >= 0.0);
+                        dts[g] = dt;
+                    }
+                }
+                let arrivals = &clocks;
+                run_per_rank(par, nranks, &|r| {
+                    let dt = dts[group_of[r] as usize];
+                    (arrivals[r] + dt, dt, 0.0)
+                })
+            }
+            RankEvent::Exchange { .. } => {
+                let slot = exchange_slot;
+                exchange_slot += 1;
+                // Wire cost depends only on (class, partner count): compute
+                // each distinct combination once.
+                let mut costs: HashMap<(u32, usize), f64> = HashMap::new();
+                for (r, &c) in assignment.iter().enumerate() {
+                    let len = classes.partners[r][slot].len();
+                    if let RankEvent::Exchange {
+                        bytes_per_neighbor,
+                        repeats,
+                        ..
+                    } = &reps[c as usize].events[i]
+                    {
+                        costs.entry((c, len)).or_insert_with(|| {
+                            net.exchange(len as u32, *bytes_per_neighbor) * *repeats as f64
+                        });
+                    }
+                }
+                let arrivals = &clocks;
+                let partners = &classes.partners;
+                run_per_rank(par, nranks, &|r| {
+                    let list = &partners[r][slot];
+                    let mut sync = arrivals[r];
+                    for &n in list {
+                        sync = sync.max(arrivals[n as usize]);
+                    }
+                    let end = sync + costs[&(assignment[r], list.len())];
+                    (end, 0.0, end - arrivals[r])
+                })
+            }
+            _ => {
+                // Collectives: a global rank-order max fold (preserved
+                // bit-for-bit from the naive engine), then a per-class
+                // cost.
+                let global = clocks.iter().cloned().fold(f64::MIN, f64::max);
+                let costs: Vec<f64> = reps
+                    .iter()
+                    .map(|p| match &p.events[i] {
+                        RankEvent::Allreduce { bytes, repeats } => {
+                            net.allreduce(nranks as u32, *bytes) * *repeats as f64
+                        }
+                        RankEvent::Broadcast { bytes, repeats } => {
+                            net.broadcast(nranks as u32, *bytes) * *repeats as f64
+                        }
+                        RankEvent::Alltoall {
+                            bytes_per_pair,
+                            repeats,
+                        } => net.alltoall(nranks as u32, *bytes_per_pair) * *repeats as f64,
+                        RankEvent::Barrier { repeats } => {
+                            net.barrier(nranks as u32) * *repeats as f64
+                        }
+                        _ => 0.0,
+                    })
+                    .collect();
+                let arrivals = &clocks;
+                run_per_rank(par, nranks, &|r| {
+                    let end = global + costs[assignment[r] as usize];
+                    (end, 0.0, end - arrivals[r])
+                })
+            }
+        };
+
+        // Commit phase: write clocks and breakdowns in rank order, tracing
+        // if asked.
+        for (r, &(end, dcompute, dcomm)) in updates.iter().enumerate() {
+            if let Some(rec) = record.as_deref_mut() {
+                rec(TimelineEntry {
+                    rank: r as u32,
+                    event_index: i,
+                    kind: kind_name.to_string(),
+                    start_s: clocks[r],
+                    end_s: end,
+                });
+            }
+            clocks[r] = end;
+            times[r].compute_s += dcompute;
+            times[r].comm_s += dcomm;
         }
     }
 
+    for (r, t) in times.iter_mut().enumerate() {
+        t.finish_s = clocks[r];
+    }
+    Ok(SimReport {
+        total_seconds: clocks.iter().cloned().fold(0.0, f64::max),
+        ranks: times,
+    })
+}
+
+/// The pre-dedup per-rank walk (already shape-validated).
+fn naive_inner(
+    programs: &[RankProgram],
+    net: &NetworkModel,
+    compute: &mut dyn ComputeModel,
+) -> SimReport {
+    let nranks = programs.len();
+    let nevents = programs[0].events.len();
     let mut clocks = vec![0.0f64; nranks];
     let mut times = vec![RankTimes::default(); nranks];
 
@@ -184,7 +870,6 @@ fn simulate_programs_inner(
         };
 
         for (r, prog) in programs.iter().enumerate() {
-            let start = clocks[r];
             match &prog.events[i] {
                 RankEvent::Compute { block, invocations } => {
                     let dt = compute.seconds(r as u32, &prog.program, *block, *invocations);
@@ -199,10 +884,6 @@ fn simulate_programs_inner(
                 } => {
                     let mut sync = arrivals[r];
                     for &n in neighbors {
-                        assert!(
-                            (n as usize) < nranks,
-                            "rank {r} exchanges with out-of-range neighbor {n}"
-                        );
                         sync = sync.max(arrivals[n as usize]);
                     }
                     let cost =
@@ -234,13 +915,6 @@ fn simulate_programs_inner(
                     times[r].comm_s += clocks[r] - arrivals[r];
                 }
             }
-            record(TimelineEntry {
-                rank: r as u32,
-                event_index: i,
-                kind: event_kind_name(&prog.events[i]).to_string(),
-                start_s: start,
-                end_s: clocks[r],
-            });
         }
     }
 
@@ -438,6 +1112,17 @@ mod tests {
     }
 
     #[test]
+    fn misaligned_ranks_report_typed_errors() {
+        let err = try_simulate(&Misaligned, 2, &net(), &mut NominalComputeModel::default())
+            .expect_err("misaligned ranks must fail");
+        assert!(matches!(err, SimError::EventKindMismatch { rank: 1, .. }));
+        assert!(err.to_string().contains("SPMD violation"));
+        let err = try_simulate(&Ring, 0, &net(), &mut NominalComputeModel::default())
+            .expect_err("zero ranks must fail");
+        assert_eq!(err, SimError::NoRanks);
+    }
+
+    #[test]
     fn timeline_covers_every_rank_event_in_order() {
         let app = Skewed { iters_scale: 100 };
         let programs: Vec<_> = (0..4).map(|r| app.rank_program(r, 4)).collect();
@@ -470,5 +1155,153 @@ mod tests {
         let json = serde_json::to_string(&timeline).unwrap();
         let back: Vec<TimelineEntry> = serde_json::from_str(&json).unwrap();
         assert_eq!(back.len(), timeline.len());
+    }
+
+    #[test]
+    fn ring_collapses_to_one_class() {
+        // Identical programs, differing only in Exchange neighbors.
+        let programs: Vec<_> = (0..16).map(|r| Ring.rank_program(r, 16)).collect();
+        let classes = RankClasses::try_from_programs(&programs).unwrap();
+        assert_eq!(classes.num_classes(), 1);
+        assert_eq!(classes.nranks(), 16);
+    }
+
+    #[test]
+    fn skewed_ranks_stay_distinct_classes() {
+        let app = Skewed { iters_scale: 10 };
+        let programs: Vec<_> = (0..4).map(|r| app.rank_program(r, 4)).collect();
+        let classes = RankClasses::try_from_programs(&programs).unwrap();
+        assert_eq!(classes.num_classes(), 4, "distinct trip counts");
+    }
+
+    #[test]
+    fn dedup_report_is_bit_identical_to_naive() {
+        for nranks in [1u32, 2, 5, 8, 16] {
+            let programs: Vec<_> = (0..nranks).map(|r| Ring.rank_program(r, nranks)).collect();
+            let dedup = simulate_programs(&programs, &net(), &mut NominalComputeModel::default());
+            let naive =
+                simulate_programs_naive(&programs, &net(), &mut NominalComputeModel::default());
+            assert_eq!(dedup, naive, "nranks={nranks}");
+        }
+        let app = Skewed { iters_scale: 100 };
+        let programs: Vec<_> = (0..8).map(|r| app.rank_program(r, 8)).collect();
+        let dedup = simulate_programs(&programs, &net(), &mut NominalComputeModel::default());
+        let naive = simulate_programs_naive(&programs, &net(), &mut NominalComputeModel::default());
+        assert_eq!(dedup, naive);
+    }
+
+    /// App with a rank-class override: one master, workers all alike.
+    struct ClassedRing;
+    impl SpmdApp for ClassedRing {
+        fn name(&self) -> &str {
+            "classed-ring"
+        }
+        fn rank_program(&self, rank: u32, nranks: u32) -> RankProgram {
+            let mut p = Ring.rank_program(rank, nranks);
+            if rank == 0 {
+                // The master computes ten times the work.
+                if let RankEvent::Compute { invocations, .. } = &mut p.events[0] {
+                    *invocations = 10;
+                }
+            }
+            p
+        }
+        fn rank_class(&self, rank: u32, _nranks: u32) -> Option<u64> {
+            Some(u64::from(rank == 0))
+        }
+        fn exchange_partners(&self, rank: u32, nranks: u32) -> Vec<Vec<u32>> {
+            let left = (rank + nranks - 1) % nranks;
+            let right = (rank + 1) % nranks;
+            vec![vec![left, right]]
+        }
+    }
+
+    #[test]
+    fn app_class_keys_match_materialized_grouping() {
+        let fast = RankClasses::try_from_app(&ClassedRing, 12).unwrap();
+        assert_eq!(fast.num_classes(), 2);
+        let programs: Vec<_> = (0..12).map(|r| ClassedRing.rank_program(r, 12)).collect();
+        let slow = RankClasses::try_from_programs(&programs).unwrap();
+        assert_eq!(fast.assignment(), slow.assignment());
+        let a = simulate(
+            &ClassedRing,
+            12,
+            &net(),
+            &mut NominalComputeModel::default(),
+        );
+        let b = simulate_programs_naive(&programs, &net(), &mut NominalComputeModel::default());
+        assert_eq!(a, b);
+    }
+
+    /// A rank-dependent model must opt out of dedup and still match naive.
+    #[test]
+    fn keyless_models_are_charged_per_rank() {
+        let programs: Vec<_> = (0..6).map(|r| Ring.rank_program(r, 6)).collect();
+        let model = |rank: u32, _: &Program, _: BlockId, inv: u64| {
+            (f64::from(rank) + 1.0) * 1e-6 * inv as f64
+        };
+        let dedup = simulate_programs(&programs, &net(), &mut { model });
+        let naive = simulate_programs_naive(&programs, &net(), &mut { model });
+        assert_eq!(dedup, naive);
+        // Rank-dependent charges really did land per rank.
+        assert!(dedup.ranks[5].compute_s > dedup.ranks[0].compute_s);
+    }
+
+    #[test]
+    fn forced_parallel_stepping_is_bit_identical() {
+        // min_parallel_ranks=1 forces the chunked path even on small jobs;
+        // a 4-thread pool makes the stub actually spawn workers.
+        let app = Skewed { iters_scale: 100 };
+        let nranks = 16u32;
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .expect("pool");
+        let forced = pool.install(|| {
+            try_simulate_with(
+                &app,
+                nranks,
+                &net(),
+                &mut NominalComputeModel::default(),
+                SimOptions {
+                    parallel: true,
+                    min_parallel_ranks: 1,
+                },
+            )
+            .expect("simulate")
+        });
+        let serial = try_simulate_with(
+            &app,
+            nranks,
+            &net(),
+            &mut NominalComputeModel::default(),
+            SimOptions {
+                parallel: false,
+                min_parallel_ranks: 1,
+            },
+        )
+        .expect("simulate");
+        assert_eq!(forced, serial);
+    }
+
+    #[test]
+    fn bad_partner_list_is_rejected() {
+        let programs: Vec<_> = (0..4).map(|r| Ring.rank_program(r, 4)).collect();
+        let mut classes = RankClasses::try_from_programs(&programs).unwrap();
+        classes.partners[2][0] = vec![9];
+        let err = try_simulate_classes(
+            &classes,
+            &net(),
+            &mut NominalComputeModel::default(),
+            SimOptions::default(),
+        )
+        .expect_err("out-of-range neighbor");
+        assert!(matches!(
+            err,
+            SimError::BadNeighbor {
+                rank: 2,
+                neighbor: 9
+            }
+        ));
     }
 }

@@ -2,7 +2,10 @@
 
 use proptest::prelude::*;
 use xtrace_ir::{AddressPattern, BasicBlock, BlockId, Instruction, MemOp, Program, SourceLoc};
-use xtrace_spmd::{simulate, NetworkModel, NominalComputeModel, RankEvent, RankProgram, SpmdApp};
+use xtrace_spmd::{
+    simulate, try_simulate, try_simulate_classes, try_simulate_programs_naive, NetworkModel,
+    NominalComputeModel, RankClasses, RankEvent, RankProgram, SimOptions, SpmdApp,
+};
 
 /// App where rank r's compute weight is `weights[r]`, ending in a barrier.
 struct Weighted {
@@ -33,6 +36,144 @@ impl SpmdApp for Weighted {
                 RankEvent::Barrier { repeats: 1 },
             ],
         }
+    }
+}
+
+/// Randomized master/worker app: ranks below `split` run `master_iters`
+/// block iterations, the rest `worker_iters`; the script is compute → ring
+/// exchange → allreduce. When `with_keys`, exact class keys are provided
+/// (masters and workers as two classes) so the engine takes the
+/// O(classes) fast path; otherwise it groups materialized programs
+/// structurally.
+struct SplitApp {
+    split: u32,
+    master_iters: u64,
+    worker_iters: u64,
+    bytes: u64,
+    with_keys: bool,
+}
+
+impl SplitApp {
+    fn iters_of(&self, rank: u32) -> u64 {
+        if rank < self.split {
+            self.master_iters
+        } else {
+            self.worker_iters
+        }
+    }
+}
+
+impl SpmdApp for SplitApp {
+    fn name(&self) -> &str {
+        "split"
+    }
+    fn rank_program(&self, rank: u32, nranks: u32) -> RankProgram {
+        let mut b = Program::builder();
+        let r = b.region("a", 4096, 8);
+        let blk = b.block(BasicBlock::new(
+            BlockId(0),
+            "w",
+            SourceLoc::new("t.c", 1, "f"),
+            self.iters_of(rank).max(1),
+            vec![Instruction::mem(MemOp::Load, r, 8, AddressPattern::unit(8))],
+        ));
+        let ring = vec![(rank + nranks - 1) % nranks, (rank + 1) % nranks];
+        RankProgram {
+            program: b.build().unwrap(),
+            events: vec![
+                RankEvent::Compute {
+                    block: blk,
+                    invocations: 1,
+                },
+                RankEvent::Exchange {
+                    neighbors: ring,
+                    bytes_per_neighbor: self.bytes,
+                    repeats: 1,
+                },
+                RankEvent::Allreduce {
+                    bytes: 8,
+                    repeats: 1,
+                },
+            ],
+        }
+    }
+    fn rank_class(&self, rank: u32, _nranks: u32) -> Option<u64> {
+        self.with_keys.then(|| u64::from(rank < self.split))
+    }
+}
+
+proptest! {
+    /// The class-deduplicated engine is bit-identical to the frozen naive
+    /// per-rank walk on randomized master/worker splits — with and without
+    /// app-provided class keys.
+    #[test]
+    fn dedup_matches_naive_on_random_splits(
+        nranks in 2u32..24,
+        split_seed in 0u32..1024,
+        master_iters in 1u64..100_000,
+        worker_iters in 1u64..100_000,
+        bytes in 1u64..1_000_000,
+    ) {
+        // A non-uniform master/worker boundary: anywhere from a single
+        // master to all-but-one masters.
+        let split = 1 + split_seed % (nranks - 1);
+        let net = NetworkModel::new(1e-6, 1e9);
+        let keyless = SplitApp { split, master_iters, worker_iters, bytes, with_keys: false };
+        let keyed = SplitApp { with_keys: true, ..keyless };
+
+        let programs: Vec<RankProgram> =
+            (0..nranks).map(|r| keyless.rank_program(r, nranks)).collect();
+        let naive =
+            try_simulate_programs_naive(&programs, &net, &mut NominalComputeModel::default())
+                .expect("naive walk");
+        let structural = try_simulate(&keyless, nranks, &net, &mut NominalComputeModel::default())
+            .expect("structural dedup");
+        let fast = try_simulate(&keyed, nranks, &net, &mut NominalComputeModel::default())
+            .expect("keyed dedup");
+        prop_assert_eq!(&structural, &naive);
+        prop_assert_eq!(&fast, &naive);
+    }
+
+    /// Parallel bulk-synchronous stepping reassembles chunks in rank order:
+    /// the report is bit-identical at any thread count, even when forced on
+    /// below the usual rank threshold.
+    #[test]
+    fn parallel_stepping_is_thread_invariant(
+        nranks in 2u32..24,
+        split_seed in 0u32..1024,
+        master_iters in 1u64..100_000,
+        worker_iters in 1u64..100_000,
+        bytes in 1u64..1_000_000,
+    ) {
+        // A non-uniform master/worker boundary: anywhere from a single
+        // master to all-but-one masters.
+        let split = 1 + split_seed % (nranks - 1);
+        let net = NetworkModel::new(1e-6, 1e9);
+        let app = SplitApp { split, master_iters, worker_iters, bytes, with_keys: true };
+        let classes = RankClasses::try_from_app(&app, nranks).expect("classes build");
+
+        let serial = try_simulate_classes(
+            &classes,
+            &net,
+            &mut NominalComputeModel::default(),
+            SimOptions { parallel: false, min_parallel_ranks: 1 },
+        )
+        .expect("serial stepping");
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .expect("pool");
+        let parallel = pool
+            .install(|| {
+                try_simulate_classes(
+                    &classes,
+                    &net,
+                    &mut NominalComputeModel::default(),
+                    SimOptions { parallel: true, min_parallel_ranks: 1 },
+                )
+            })
+            .expect("parallel stepping");
+        prop_assert_eq!(&parallel, &serial);
     }
 }
 
