@@ -20,11 +20,14 @@ cargo test -q --workspace --offline --doc
 echo "== panic-free library gate =="
 bash scripts/no_panic_gate.sh
 
+echo "== API-surface gate =="
+bash scripts/api_surface.sh --check
+
 echo "== clippy (crates touched by the perf and refactor work) =="
 cargo clippy --offline -p xtrace-ir -p xtrace-cache -p xtrace-tracer \
     -p xtrace-extrap -p xtrace-machine -p xtrace-psins -p xtrace-core \
     -p xtrace-bench -p xtrace-cli -p xtrace-spmd -p xtrace-apps \
-    --all-targets -- -D warnings
+    -p xtrace-obs --all-targets -- -D warnings
 
 echo "== bench smoke (quick configs) =="
 tmp=$(mktemp -d)
@@ -38,8 +41,36 @@ XTRACE_BENCH_QUICK=1 cargo run -q --release --offline -p xtrace-bench \
 # prediction rel err exactly 0.
 XTRACE_BENCH_QUICK=1 cargo run -q --release --offline -p xtrace-bench \
     --bin bench_convolve -- --threads 4 --out "$tmp/BENCH_convolve.json"
-for f in BENCH_collect.json BENCH_extrap.json BENCH_convolve.json; do
+# bench_obs's quick mode asserts the prediction is bit-identical with and
+# without a recorder attached (the <2% overhead gate runs in full mode).
+XTRACE_BENCH_QUICK=1 cargo run -q --release --offline -p xtrace-bench \
+    --bin bench_obs -- --out "$tmp/BENCH_obs.json"
+for f in BENCH_collect.json BENCH_extrap.json BENCH_convolve.json \
+    BENCH_obs.json; do
     test -s "$tmp/$f" || { echo "missing bench report $f" >&2; exit 1; }
 done
+
+echo "== metrics smoke (--metrics-out JSON keys) =="
+cargo run -q --release --offline -p xtrace-cli -- pipeline \
+    --app specfem3d --scale tiny --machine cray-xt5 \
+    --training 6,24,96 --target 384 --tracer fast --validate false \
+    --metrics-out "$tmp/metrics.json" >/dev/null
+python3 - "$tmp/metrics.json" <<'PY'
+import json, sys
+snap = json.load(open(sys.argv[1]))
+spans = {s["name"] for s in snap["spans"]}
+missing = {"pipeline", "collect", "fit", "synthesize", "convolve"} - spans
+assert not missing, f"missing stage spans: {sorted(missing)}"
+keys = set(snap["counters"]) | set(snap["gauges"])
+required = [
+    "tracer.sig_memo.hits", "tracer.sig_memo.misses",
+    "tracer.sig_memo.hit_rate_bp", "store.hits", "store.misses",
+    "extrap.fit_wins.Constant", "spmd.rank_classes",
+    "psins.convolve_cache.hits",
+]
+missing = [k for k in required if k not in keys]
+assert not missing, f"missing metrics keys: {missing}"
+print(f"metrics smoke: {len(spans)} spans, {len(keys)} metric keys, all required present")
+PY
 
 echo "== ci.sh: all green =="

@@ -27,7 +27,7 @@ fn bench_cache(c: &mut Criterion) {
     g.throughput(Throughput::Elements(N));
     for depth in [1usize, 2, 3] {
         g.bench_with_input(BenchmarkId::new("strided", depth), &depth, |b, &depth| {
-            let mut cache = CacheHierarchy::new(hierarchy(depth));
+            let mut cache = CacheHierarchy::try_new(hierarchy(depth)).unwrap();
             let mut k = 0u64;
             b.iter(|| {
                 for _ in 0..N {
@@ -37,7 +37,7 @@ fn bench_cache(c: &mut Criterion) {
             });
         });
         g.bench_with_input(BenchmarkId::new("random", depth), &depth, |b, &depth| {
-            let mut cache = CacheHierarchy::new(hierarchy(depth));
+            let mut cache = CacheHierarchy::try_new(hierarchy(depth)).unwrap();
             let mut k = 0u64;
             b.iter(|| {
                 for _ in 0..N {

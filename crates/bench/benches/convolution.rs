@@ -4,7 +4,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use xtrace_apps::{ProxyApp, StencilProxy};
 use xtrace_machine::presets;
-use xtrace_psins::predict_runtime;
+use xtrace_psins::try_predict_runtime;
 use xtrace_tracer::{collect_signature_with, TracerConfig};
 
 fn bench_convolution(c: &mut Criterion) {
@@ -17,7 +17,7 @@ fn bench_convolution(c: &mut Criterion) {
     let _ = machine.surface();
 
     c.bench_function("convolution/predict_runtime", |b| {
-        b.iter(|| black_box(predict_runtime(black_box(&trace), &comm, &machine)))
+        b.iter(|| black_box(try_predict_runtime(black_box(&trace), &comm, &machine).unwrap()))
     });
 }
 

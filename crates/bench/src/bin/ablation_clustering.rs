@@ -15,7 +15,7 @@ use xtrace_extrap::{
     cluster_tasks, extrapolate_clusters, extrapolate_signature, ExtrapolationConfig,
 };
 use xtrace_machine::presets;
-use xtrace_psins::{predict_runtime, relative_error};
+use xtrace_psins::{relative_error, try_predict_runtime};
 use xtrace_tracer::{collect_ranks, collect_signature_with, TracerConfig};
 
 fn main() {
@@ -49,7 +49,7 @@ fn main() {
     // Reference: collected trace at the target.
     let collected = collect_signature_with(&app, target, &machine, &tracer);
     let comm = app.comm_profile(target);
-    let p_coll = predict_runtime(collected.longest_task(), &collected.comm, &machine);
+    let p_coll = try_predict_runtime(collected.longest_task(), &collected.comm, &machine).unwrap();
 
     // Variant A: the paper's methodology (longest task only).
     let longest: Vec<_> = training
@@ -61,7 +61,7 @@ fn main() {
         })
         .collect();
     let ex_single = extrapolate_signature(&longest, target, &cfg).expect("valid ladder");
-    let p_single = predict_runtime(&ex_single, &comm, &machine);
+    let p_single = try_predict_runtime(&ex_single, &comm, &machine).unwrap();
 
     // Variant B: per-cluster extrapolation; the heaviest cluster's trace
     // plays the longest-task role.
@@ -72,7 +72,7 @@ fn main() {
     for k in [2usize, 4] {
         let clustered =
             extrapolate_clusters(&per_count, target, k, &cfg).expect("cluster extrapolation");
-        let p_clustered = predict_runtime(&clustered[0], &comm, &machine);
+        let p_clustered = try_predict_runtime(&clustered[0], &comm, &machine).unwrap();
         println!(
             "k = {k}: {} clusters extrapolated; heaviest-cluster prediction {:.3} s",
             clustered.len(),
@@ -92,7 +92,7 @@ fn main() {
         100.0 * relative_error(p_single.total_seconds, p_coll.total_seconds)
     );
     let clustered = extrapolate_clusters(&per_count, target, 2, &cfg).unwrap();
-    let p_clustered = predict_runtime(&clustered[0], &comm, &machine);
+    let p_clustered = try_predict_runtime(&clustered[0], &comm, &machine).unwrap();
     println!(
         "{:>22}  {:>13.3}  {:>13.2}",
         "k-means centroid (k=2)",

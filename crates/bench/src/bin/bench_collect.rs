@@ -37,7 +37,7 @@ use xtrace_core::{Pipeline, PipelineConfig};
 use xtrace_extrap::{element_errors, extrapolate_signature, ExtrapolationConfig};
 use xtrace_ir::BlockId;
 use xtrace_machine::MachineProfile;
-use xtrace_psins::{predict_runtime, relative_error};
+use xtrace_psins::{relative_error, try_predict_runtime};
 use xtrace_spmd::{MpiProfiler, RankEvent, SpmdApp};
 use xtrace_tracer::{
     collect_ranks_memo, collect_task_trace, rank_stream_seed, SigMemo, TaskTrace, TracerConfig,
@@ -190,7 +190,9 @@ fn predict_target(
         extrapolate_signature(longest_traces, target, &ExtrapolationConfig::default())
             .expect("valid training ladder");
     let comm = xtrace_apps::ProxyApp::comm_profile(app, target);
-    predict_runtime(&extrapolated, &comm, machine).total_seconds
+    try_predict_runtime(&extrapolated, &comm, machine)
+        .unwrap()
+        .total_seconds
 }
 
 fn main() {

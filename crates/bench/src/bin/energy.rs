@@ -14,7 +14,7 @@ use xtrace_bench::{
     ProxyAppDyn, SPECFEM_TARGET, SPECFEM_TRAINING, UH3D_TARGET, UH3D_TRAINING,
 };
 use xtrace_extrap::{extrapolate_signature, ExtrapolationConfig};
-use xtrace_psins::{predict_energy, relative_error};
+use xtrace_psins::{relative_error, try_predict_energy};
 use xtrace_tracer::collect_signature_with;
 
 fn run(app: &dyn ProxyAppDyn, training: &[u32], target: u32) {
@@ -27,8 +27,8 @@ fn run(app: &dyn ProxyAppDyn, training: &[u32], target: u32) {
     let collected = collect_signature_with(spmd, target, &machine, &tracer);
     let comm = app.comm_profile_dyn(target);
 
-    let e_ex = predict_energy(&extrapolated, &comm, &machine);
-    let e_coll = predict_energy(collected.longest_task(), &collected.comm, &machine);
+    let e_ex = try_predict_energy(&extrapolated, &comm, &machine).unwrap();
+    let e_coll = try_predict_energy(collected.longest_task(), &collected.comm, &machine).unwrap();
 
     println!("\n== {} @ {target} cores ==", spmd.name());
     print_header(

@@ -16,7 +16,7 @@ use xtrace_bench::{paper_tracer, print_header};
 use xtrace_extrap::{synthesize_full_signature, ExtrapolationConfig};
 use xtrace_machine::presets;
 use xtrace_psins::{
-    ground_truth, ground_truth_application, predict_runtime, relative_error, replay_groups,
+    ground_truth, ground_truth_application, relative_error, try_predict_runtime, try_replay_groups,
 };
 use xtrace_tracer::{collect_ranks, collect_signature_with};
 
@@ -72,8 +72,8 @@ fn main() {
     // the collected trace.
     let collected = collect_signature_with(&app, target, &machine, &tracer);
     let comm = app.comm_profile(target);
-    let p_group = predict_runtime(sig.longest(), &comm, &machine);
-    let p_coll = predict_runtime(collected.longest_task(), &collected.comm, &machine);
+    let p_group = try_predict_runtime(sig.longest(), &comm, &machine).unwrap();
+    let p_coll = try_predict_runtime(collected.longest_task(), &collected.comm, &machine).unwrap();
     println!(
         "\nheaviest-group prediction: {:.3} s (collected trace: {:.3} s, gap {:.2}%)",
         p_group.total_seconds,
@@ -84,7 +84,7 @@ fn main() {
     // The worker group predicts the *other* ranks' compute — information the
     // single-task methodology cannot provide.
     let worker = &sig.groups[1];
-    let p_worker = predict_runtime(&worker.trace, &comm, &machine);
+    let p_worker = try_predict_runtime(&worker.trace, &comm, &machine).unwrap();
     println!(
         "worker-group ({} ranks) compute prediction: {:.3} s",
         worker.ranks, p_worker.compute_seconds
@@ -99,7 +99,7 @@ fn main() {
         .iter()
         .map(|g| (g.trace.clone(), g.ranks))
         .collect();
-    let replay = replay_groups(&app, target, &groups, &machine);
+    let replay = try_replay_groups(&app, target, &groups, &machine).unwrap();
     let exact = ground_truth_application(&app, target, &machine, &tracer);
     let serial = ground_truth(&app, target, &machine, &tracer);
     println!(

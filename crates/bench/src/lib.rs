@@ -19,7 +19,7 @@ use xtrace_extrap::{
     extrapolate_signature, extrapolate_signature_detailed, ElementFit, ExtrapolationConfig,
 };
 use xtrace_machine::{presets, MachineProfile};
-use xtrace_psins::{ground_truth, predict_runtime, relative_error, GroundTruth, Prediction};
+use xtrace_psins::{ground_truth, relative_error, try_predict_runtime, GroundTruth, Prediction};
 use xtrace_spmd::SpmdApp;
 use xtrace_tracer::{collect_signature_with, BlockRecord, TaskTrace, TracerConfig};
 
@@ -120,8 +120,9 @@ pub fn run_table1_row(
     Table1Row {
         app: spmd.name().to_string(),
         cores: target,
-        extrap: predict_runtime(&extrapolated, &comm, machine),
-        collected: predict_runtime(collected_sig.longest_task(), &collected_sig.comm, machine),
+        extrap: try_predict_runtime(&extrapolated, &comm, machine).unwrap(),
+        collected: try_predict_runtime(collected_sig.longest_task(), &collected_sig.comm, machine)
+            .unwrap(),
         measured: ground_truth(spmd, target, machine, cfg),
     }
 }

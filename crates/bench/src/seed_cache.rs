@@ -270,7 +270,7 @@ mod tests {
         )
         .unwrap();
         let mut seed = SeedCacheHierarchy::new(cfg.clone());
-        let mut opt = CacheHierarchy::new(cfg);
+        let mut opt = CacheHierarchy::try_new(cfg).unwrap();
         let mut rng = SplitMix64::new(7);
         for i in 0..200_000u64 {
             // Mix of strided sweeps and random jumps over 128 KiB.

@@ -12,7 +12,7 @@
 use std::collections::HashMap;
 
 use xtrace_machine::MachineProfile;
-use xtrace_psins::predict_runtime;
+use xtrace_psins::try_predict_runtime;
 use xtrace_spmd::{ComputeModel, RankEvent, RankProgram, RankTimes, SimReport, SpmdApp};
 use xtrace_tracer::TaskTrace;
 
@@ -43,7 +43,7 @@ impl SeedGroupComputeModel {
                     events: vec![],
                     compute_imbalance: 1.0,
                 };
-                let pred = predict_runtime(trace, &comm, machine);
+                let pred = try_predict_runtime(trace, &comm, machine).unwrap();
                 pred.per_block
                     .iter()
                     .zip(&trace.blocks)

@@ -120,7 +120,7 @@ impl Level {
 ///     vec![CacheLevelConfig::lru("L1", 32 * 1024, 64, 8, 2.0)],
 ///     180.0,
 /// ).unwrap();
-/// let mut cache = CacheHierarchy::new(cfg);
+/// let mut cache = CacheHierarchy::try_new(cfg).unwrap();
 /// assert_eq!(cache.access(0x1000, 8), 1, "cold miss goes to memory");
 /// assert_eq!(cache.access(0x1000, 8), 0, "now L1-resident");
 /// ```
@@ -164,6 +164,11 @@ impl CacheHierarchy {
     /// Panics if the configuration is invalid or deeper than
     /// [`MEMORY_LEVEL_CAP`]` - 1` levels; use [`Self::try_new`] to handle
     /// untrusted configurations gracefully.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use try_new and handle the validation error; the panicking \
+                form will be removed"
+    )]
     pub fn new(config: HierarchyConfig) -> Self {
         Self::try_new(config).expect("invalid cache hierarchy configuration")
     }
@@ -240,7 +245,7 @@ mod tests {
     fn tiny() -> CacheHierarchy {
         let l1 = CacheLevelConfig::lru("L1", 256, 64, 2, 1.0);
         let l2 = CacheLevelConfig::lru("L2", 1024, 64, 2, 10.0);
-        CacheHierarchy::new(HierarchyConfig::new(vec![l1, l2], 100.0).unwrap())
+        CacheHierarchy::try_new(HierarchyConfig::new(vec![l1, l2], 100.0).unwrap()).unwrap()
     }
 
     #[test]
@@ -351,7 +356,8 @@ mod tests {
             replacement: Replacement::Fifo,
             ..CacheLevelConfig::lru("L1", 256, 64, 2, 1.0)
         };
-        let mut c = CacheHierarchy::new(HierarchyConfig::new(vec![l1], 100.0).unwrap());
+        let mut c =
+            CacheHierarchy::try_new(HierarchyConfig::new(vec![l1], 100.0).unwrap()).unwrap();
         c.access(0, 8); // line 0 filled first
         c.access(128, 8); // line 2
         c.access(0, 8); // hit; FIFO order unchanged
@@ -367,7 +373,7 @@ mod tests {
                 replacement: Replacement::Random,
                 ..CacheLevelConfig::lru("L1", 256, 64, 2, 1.0)
             };
-            CacheHierarchy::new(HierarchyConfig::new(vec![l1], 100.0).unwrap())
+            CacheHierarchy::try_new(HierarchyConfig::new(vec![l1], 100.0).unwrap()).unwrap()
         };
         let run = |mut c: CacheHierarchy| {
             (0..2000u64)
@@ -383,7 +389,8 @@ mod tests {
             replacement: Replacement::Random,
             ..CacheLevelConfig::lru("L1", 256, 64, 2, 1.0)
         };
-        let mut c = CacheHierarchy::new(HierarchyConfig::new(vec![l1], 100.0).unwrap());
+        let mut c =
+            CacheHierarchy::try_new(HierarchyConfig::new(vec![l1], 100.0).unwrap()).unwrap();
         c.access(0, 8); // set 0, one way used
         c.access(128, 8); // set 0, second way: must not evict line 0
         assert_eq!(c.access(0, 8), 0);
@@ -393,7 +400,7 @@ mod tests {
     #[test]
     fn single_level_hierarchy_reports_memory_as_level_one() {
         let l1 = CacheLevelConfig::lru("L1", 256, 64, 2, 1.0);
-        let mut c = CacheHierarchy::new(HierarchyConfig::new(vec![l1], 50.0).unwrap());
+        let mut c = CacheHierarchy::try_new(HierarchyConfig::new(vec![l1], 50.0).unwrap()).unwrap();
         assert_eq!(c.depth(), 1);
         assert_eq!(c.access(0, 8), 1);
         assert_eq!(c.access(0, 8), 0);
@@ -404,7 +411,7 @@ mod tests {
         // Unit-stride 8-byte accesses over a region much larger than the
         // cache: exactly 1 miss per 64-byte line -> 7/8 of accesses hit L1.
         let l1 = CacheLevelConfig::lru("L1", 4096, 64, 4, 1.0);
-        let mut c = CacheHierarchy::new(HierarchyConfig::new(vec![l1], 50.0).unwrap());
+        let mut c = CacheHierarchy::try_new(HierarchyConfig::new(vec![l1], 50.0).unwrap()).unwrap();
         let n = 1 << 16;
         let mut hits = 0u64;
         for k in 0..n {
@@ -418,6 +425,7 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "invalid cache hierarchy")]
+    #[allow(deprecated)] // the deprecated panicking constructor is what's under test
     fn invalid_config_panics() {
         let bad = CacheLevelConfig::lru("L1", 1000, 48, 3, 1.0);
         CacheHierarchy::new(HierarchyConfig {

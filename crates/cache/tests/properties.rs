@@ -66,7 +66,7 @@ proptest! {
             vec![CacheLevelConfig::lru("L1", size, line, assoc, 1.0)],
             100.0,
         ).unwrap();
-        let mut sim = CacheHierarchy::new(cfg);
+        let mut sim = CacheHierarchy::try_new(cfg).unwrap();
         let mut oracle = RefLru::new(size, u64::from(line), assoc as usize);
 
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
@@ -92,7 +92,7 @@ proptest! {
             ],
             200.0,
         ).unwrap();
-        let mut sim = CacheHierarchy::new(cfg);
+        let mut sim = CacheHierarchy::try_new(cfg).unwrap();
         let mut counts = LevelCounts::default();
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         for _ in 0..naddr {
@@ -123,7 +123,7 @@ proptest! {
             vec![CacheLevelConfig::lru("L1", 1 << 12, 64, 4, 1.0)],
             100.0,
         ).unwrap();
-        let mut sim = CacheHierarchy::new(cfg);
+        let mut sim = CacheHierarchy::try_new(cfg).unwrap();
         for &a in &addrs {
             sim.access(a, 8);
             prop_assert_eq!(sim.access(a, 8), 0, "retouch of {} missed", a);
@@ -141,7 +141,7 @@ proptest! {
             vec![CacheLevelConfig::lru("L1", 64 * 64, 64, 64, 1.0)],
             100.0,
         ).unwrap();
-        let mut sim = CacheHierarchy::new(cfg);
+        let mut sim = CacheHierarchy::try_new(cfg).unwrap();
         for round in 0..rounds {
             for i in 0..nlines {
                 let lvl = sim.access(i * 64, 8);

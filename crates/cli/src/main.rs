@@ -33,6 +33,12 @@
 //! `xtrace-core` artifact store keyed by the config hash; re-running the
 //! identical command resumes from the store instead of recomputing.
 //!
+//! `xtrace pipeline --metrics-out metrics.json` attaches an `xtrace-obs`
+//! recorder to the run and writes the full metrics snapshot (per-stage
+//! spans, kernel counters, histograms) as JSON; `--metrics table` renders
+//! the same snapshot human-readably on stderr. Metrics never change the
+//! prediction — the report is bit-identical with or without them.
+//!
 //! `--threads <N>` (accepted by every command) caps the rayon worker
 //! count used for block-parallel collection and parallel fitting;
 //! `0` or omitting the flag uses all hardware threads. Results are
@@ -58,7 +64,8 @@ fn usage() -> &'static str {
      xtrace predict --trace <file> --app <name> --ranks <P> --machine <name> [--scale tiny|small|paper]\n  \
      xtrace pipeline --app <name> --training <P1,P2,P3> --target <P> --machine <name>\n                  \
      [--scale tiny|small|paper] [--forms paper|extended] [--validate true|false]\n                  \
-     [--tracer fast|default] [--store <dir>] [--out <file>]\n  \
+     [--tracer fast|default] [--store <dir>] [--out <file>]\n                  \
+     [--metrics-out <file.json>] [--metrics table]\n  \
      xtrace diff --a <file> --b <file> [--threshold <frac>] [--top <N>]\n  \
      xtrace machine-export --machine <name> --out <file.json>\n  \
      xtrace inspect --app <name> --ranks <P> [--rank <R>] [--scale tiny|small|paper]\n\n\
@@ -368,9 +375,24 @@ fn cmd_pipeline(args: &Args) -> Result<()> {
         }
     };
 
+    let metrics_table = match args.get("metrics") {
+        None | Some("none") => false,
+        Some("table") => true,
+        Some(other) => {
+            return Err(usage_err(format!(
+                "--metrics must be table|none, got {other:?}"
+            )))
+        }
+    };
+    let metrics_out = args.get("metrics-out");
+
     let mut pipeline = Pipeline::new(config)?.with_observer(Box::new(EprintObserver));
     if let Some(dir) = args.get("store") {
         pipeline = pipeline.with_store(dir)?;
+    }
+    let recorder = (metrics_table || metrics_out.is_some()).then(xtrace_obs::Recorder::new);
+    if let Some(rec) = &recorder {
+        pipeline = pipeline.with_recorder(rec.clone());
     }
     let report = pipeline.run()?;
 
@@ -416,6 +438,16 @@ fn cmd_pipeline(args: &Args) -> Result<()> {
         let body = serde_json::to_string_pretty(&report.prediction).expect("serializable");
         write_file(path, body + "\n")?;
         eprintln!("wrote prediction to {path}");
+    }
+    if let Some(rec) = &recorder {
+        let snapshot = rec.snapshot();
+        if metrics_table {
+            eprintln!("{}", snapshot.render_table());
+        }
+        if let Some(path) = metrics_out {
+            write_file(path, snapshot.to_json() + "\n")?;
+            eprintln!("wrote metrics to {path}");
+        }
     }
     Ok(())
 }

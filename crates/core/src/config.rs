@@ -55,7 +55,13 @@ impl FormSet {
 }
 
 /// Everything a pipeline run depends on, in one serializable value.
+///
+/// Construct with [`PipelineConfig::new`] for the conventional defaults,
+/// or [`PipelineConfig::builder`] to set optional knobs fluently. The
+/// struct is `#[non_exhaustive]` so fields can be added without breaking
+/// downstream crates; existing fields stay public and mutable.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub struct PipelineConfig {
     /// Proxy application name (`specfem3d` | `uh3d` | `stencil3d`).
     pub app: String,
@@ -97,6 +103,31 @@ impl PipelineConfig {
             forms: FormSet::Paper,
             validate: true,
             fast_tracer: false,
+        }
+    }
+
+    /// Starts a builder with the same defaults as [`PipelineConfig::new`].
+    ///
+    /// ```
+    /// use xtrace_core::{FormSet, PipelineConfig};
+    ///
+    /// let cfg = PipelineConfig::builder("stencil3d", "opteron", vec![2, 4, 8], 32)
+    ///     .scale("tiny")
+    ///     .forms(FormSet::Extended)
+    ///     .validate(false)
+    ///     .fast_tracer(true)
+    ///     .build();
+    /// assert_eq!(cfg.scale, "tiny");
+    /// assert!(!cfg.validate);
+    /// ```
+    pub fn builder(
+        app: impl Into<String>,
+        machine: impl Into<String>,
+        training: Vec<u32>,
+        target: u32,
+    ) -> PipelineConfigBuilder {
+        PipelineConfigBuilder {
+            config: Self::new(app, machine, training, target),
         }
     }
 
@@ -150,6 +181,50 @@ impl PipelineConfig {
             extrap,
             store: None,
         })
+    }
+}
+
+/// Fluent constructor for [`PipelineConfig`], started by
+/// [`PipelineConfig::builder`]. Each setter overrides one default; `build`
+/// returns the finished config (validation still happens in
+/// [`PipelineConfig::resolve`], where the error context lives).
+#[derive(Debug, Clone)]
+pub struct PipelineConfigBuilder {
+    config: PipelineConfig,
+}
+
+impl PipelineConfigBuilder {
+    /// Problem scale (`tiny` | `small` | `paper`; default `small`).
+    #[must_use]
+    pub fn scale(mut self, scale: impl Into<String>) -> Self {
+        self.config.scale = scale.into();
+        self
+    }
+
+    /// Canonical-form set for the fitter (default [`FormSet::Paper`]).
+    #[must_use]
+    pub fn forms(mut self, forms: FormSet) -> Self {
+        self.config.forms = forms;
+        self
+    }
+
+    /// Whether to run the expensive `Validate` stage (default `true`).
+    #[must_use]
+    pub fn validate(mut self, validate: bool) -> Self {
+        self.config.validate = validate;
+        self
+    }
+
+    /// Use the light tracer sampling configuration (default `false`).
+    #[must_use]
+    pub fn fast_tracer(mut self, fast: bool) -> Self {
+        self.config.fast_tracer = fast;
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> PipelineConfig {
+        self.config
     }
 }
 
@@ -304,6 +379,25 @@ mod tests {
         let mut c = cfg();
         c.forms = FormSet::Extended;
         assert_ne!(a.config_hash(), c.config_hash());
+    }
+
+    #[test]
+    fn builder_matches_new_and_overrides_defaults() {
+        let built = PipelineConfig::builder("stencil3d", "opteron", vec![2, 4, 8], 32).build();
+        assert_eq!(built, cfg());
+        assert_eq!(built.config_hash(), cfg().config_hash());
+
+        let custom = PipelineConfig::builder("uh3d", "cray-xt5", vec![4, 8], 64)
+            .scale("tiny")
+            .forms(FormSet::Extended)
+            .validate(false)
+            .fast_tracer(true)
+            .build();
+        assert_eq!(custom.scale, "tiny");
+        assert_eq!(custom.forms, FormSet::Extended);
+        assert!(!custom.validate);
+        assert!(custom.fast_tracer);
+        custom.resolve().expect("builder output resolves");
     }
 
     #[test]

@@ -25,6 +25,7 @@ pub const EXIT_MODEL: u8 = 4;
 
 /// Any failure the xtrace pipeline can surface.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum XtraceError {
     /// The request itself is malformed: unknown application, machine,
     /// scale, flag value, or an inconsistent combination of them.

@@ -28,9 +28,10 @@
 //! ```
 //! use xtrace_core::{Pipeline, PipelineConfig};
 //!
-//! let mut cfg = PipelineConfig::new("stencil3d", "opteron", vec![2, 4, 8], 32);
-//! cfg.fast_tracer = true; // light sampling so the doctest stays quick
-//! cfg.validate = false;   // skip the expensive target-scale collection
+//! let cfg = PipelineConfig::builder("stencil3d", "opteron", vec![2, 4, 8], 32)
+//!     .fast_tracer(true) // light sampling so the doctest stays quick
+//!     .validate(false)   // skip the expensive target-scale collection
+//!     .build();
 //! let report = Pipeline::new(cfg)?.run()?;
 //! assert!(report.prediction.total_seconds > 0.0);
 //! assert_eq!(report.extrapolated.nranks, 32);
@@ -45,7 +46,10 @@ pub mod pipeline;
 pub mod stage;
 pub mod store;
 
-pub use config::{make_app, make_machine, FormSet, PipelineApp, PipelineConfig, PipelineCtx};
+pub use config::{
+    make_app, make_machine, FormSet, PipelineApp, PipelineConfig, PipelineConfigBuilder,
+    PipelineCtx,
+};
 pub use error::{Result, XtraceError, EXIT_IO, EXIT_MODEL, EXIT_USAGE};
 pub use pipeline::{Pipeline, PipelineReport, StageTiming, Validation};
 pub use stage::{

@@ -109,6 +109,7 @@ impl StageObserver for Counting<'_> {
 pub struct Pipeline {
     ctx: PipelineCtx,
     observer: Box<dyn StageObserver>,
+    recorder: Option<std::sync::Arc<xtrace_obs::Recorder>>,
     collect: Box<dyn Collect>,
     fit: Box<dyn Fit>,
     synthesize: Box<dyn Synthesize>,
@@ -124,6 +125,7 @@ impl Pipeline {
         Ok(Self {
             ctx: config.resolve()?,
             observer: Box::new(NullObserver),
+            recorder: None,
             collect: Box::new(DefaultCollect),
             fit: Box::new(DefaultFit),
             synthesize: Box::new(DefaultSynthesize),
@@ -144,6 +146,17 @@ impl Pipeline {
     /// Installs a progress observer.
     pub fn with_observer(mut self, observer: Box<dyn StageObserver>) -> Self {
         self.observer = observer;
+        self
+    }
+
+    /// Attaches an observability recorder. For the duration of
+    /// [`Pipeline::run`] the recorder is also installed as the ambient
+    /// [`xtrace_obs`] recorder (process-global), so the hot kernels'
+    /// counters — sig-memo hits, fit wins per canonical form, rank
+    /// classes, convolve-cache hits, artifact-store traffic — land in the
+    /// same snapshot as the engine's per-stage spans.
+    pub fn with_recorder(mut self, recorder: std::sync::Arc<xtrace_obs::Recorder>) -> Self {
+        self.recorder = Some(recorder);
         self
     }
 
@@ -208,6 +221,40 @@ impl Pipeline {
         };
         let mut timings = Vec::with_capacity(5);
 
+        // Observability: while the run is in flight the recorder is the
+        // ambient one, so kernel counters land next to the stage spans.
+        let recorder = self.recorder.clone();
+        let _ambient = recorder.clone().map(xtrace_obs::install);
+        if let Some(rec) = &recorder {
+            // Pre-register the headline counters so every snapshot carries
+            // them (reading zero when the run never touches that path —
+            // e.g. ConvolveCache is only exercised by the replay
+            // extension).
+            let m = rec.metrics();
+            for name in [
+                "tracer.sig_memo.hits",
+                "tracer.sig_memo.misses",
+                "tracer.blocks_simulated",
+                "store.hits",
+                "store.misses",
+                "store.writes",
+                "extrap.elements_fit",
+                "spmd.events_stepped",
+                "psins.groups_convolved",
+                "psins.convolve_cache.hits",
+                "psins.convolve_cache.misses",
+            ] {
+                m.counter(name);
+            }
+            m.gauge("spmd.rank_classes");
+        }
+        let run_start = Instant::now();
+        let stage_span = |stage: StageKind, seconds: f64| {
+            if let Some(rec) = &recorder {
+                rec.record_span(Some(xtrace_obs::STAGE_PARENT), stage.label(), seconds);
+            }
+        };
+
         // Collect. Per-trace caching lives inside DefaultCollect.
         obs.stage_started(StageKind::Collect);
         let t = Instant::now();
@@ -218,6 +265,7 @@ impl Pipeline {
             stage: StageKind::Collect,
             seconds: dt,
         });
+        stage_span(StageKind::Collect, dt);
 
         // Fit + Synthesize, short-circuited together by a filed synthetic
         // trace (a SignatureFit is an intermediate and is not persisted).
@@ -238,6 +286,7 @@ impl Pipeline {
                         stage,
                         seconds: 0.0,
                     });
+                    stage_span(stage, 0.0);
                 }
                 trace
             }
@@ -251,6 +300,7 @@ impl Pipeline {
                     stage: StageKind::Fit,
                     seconds: dt,
                 });
+                stage_span(StageKind::Fit, dt);
 
                 obs.stage_started(StageKind::Synthesize);
                 let t = Instant::now();
@@ -261,6 +311,7 @@ impl Pipeline {
                     stage: StageKind::Synthesize,
                     seconds: dt,
                 });
+                stage_span(StageKind::Synthesize, dt);
                 if let Some(store) = &engine_store {
                     store.put_trace_json(&hash, "extrapolated", &trace)?;
                 }
@@ -295,6 +346,7 @@ impl Pipeline {
             stage: StageKind::Convolve,
             seconds: dt,
         });
+        stage_span(StageKind::Convolve, dt);
 
         // Validate (only when the config asks for it).
         obs.stage_started(StageKind::Validate);
@@ -323,6 +375,15 @@ impl Pipeline {
             stage: StageKind::Validate,
             seconds: dt,
         });
+        stage_span(StageKind::Validate, dt);
+
+        if let Some(rec) = &recorder {
+            rec.record_span(
+                None,
+                xtrace_obs::STAGE_PARENT,
+                run_start.elapsed().as_secs_f64(),
+            );
+        }
 
         Ok(PipelineReport {
             config_hash: hash,

@@ -14,7 +14,7 @@
 
 use xtrace_extrap::{fit_signature, synthesize_from_fit, SignatureFit};
 use xtrace_psins::{ground_truth, relative_error, try_predict_runtime, Prediction};
-use xtrace_tracer::{collect_signature_with, TaskTrace};
+use xtrace_tracer::{collect_signature_memo, collect_signature_with, SigMemo, TaskTrace};
 
 use crate::config::PipelineCtx;
 use crate::error::Result;
@@ -131,8 +131,17 @@ pub struct DefaultCollect;
 
 impl Collect for DefaultCollect {
     fn collect(&self, ctx: &PipelineCtx, obs: &mut dyn StageObserver) -> Result<Vec<TaskTrace>> {
+        let recorder = xtrace_obs::current();
+        // One memo across the whole training sweep: identical block
+        // simulations recur across core counts, and memoization is
+        // result-identical, so this only trades time for memory.
+        let memo = SigMemo::new();
         let mut traces = Vec::with_capacity(ctx.config.training.len());
         for &p in &ctx.config.training {
+            // One phase span per training count, nested under the stage.
+            let _phase = recorder
+                .as_ref()
+                .map(|rec| rec.child_span(StageKind::Collect.label(), &format!("p{p}")));
             let artifact = format!("training-p{p}");
             if let Some(store) = &ctx.store {
                 let cached = store.get_trace(&ctx.config_hash, &artifact)?;
@@ -143,7 +152,7 @@ impl Collect for DefaultCollect {
                     continue;
                 }
             }
-            let sig = collect_signature_with(ctx.app.spmd(), p, &ctx.machine, &ctx.tracer);
+            let sig = collect_signature_memo(ctx.app.spmd(), p, &ctx.machine, &ctx.tracer, &memo);
             obs.progress(
                 StageKind::Collect,
                 &format!(
@@ -155,6 +164,14 @@ impl Collect for DefaultCollect {
                 store.put_trace(&ctx.config_hash, &artifact, sig.longest_task())?;
             }
             traces.push(sig.longest_task().clone());
+        }
+        // Memo totals are scheduling-invariant: misses equal the number of
+        // unique block-simulation keys, hits the remainder.
+        let metrics = xtrace_obs::metrics();
+        metrics.counter("tracer.sig_memo.hits").add(memo.hits());
+        metrics.counter("tracer.sig_memo.misses").add(memo.misses());
+        if let Some(rate_bp) = (memo.hits() * 10_000).checked_div(memo.hits() + memo.misses()) {
+            metrics.gauge("tracer.sig_memo.hit_rate_bp").set(rate_bp);
         }
         Ok(traces)
     }

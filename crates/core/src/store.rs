@@ -46,6 +46,18 @@ fn store_err(path: &Path, e: std::io::Error) -> XtraceError {
     XtraceError::Store(format!("{}: {e}", path.display()))
 }
 
+// Observability: store traffic is cold-path (file I/O), so per-call
+// handle registration against the ambient registry is fine here.
+fn record_lookup(hit: bool) {
+    xtrace_obs::metrics()
+        .counter(if hit { "store.hits" } else { "store.misses" })
+        .incr();
+}
+
+fn record_write() {
+    xtrace_obs::metrics().counter("store.writes").incr();
+}
+
 impl ArtifactStore {
     /// Opens (or initializes) a store rooted at `root`.
     ///
@@ -113,34 +125,42 @@ impl ArtifactStore {
     pub fn put_trace(&self, hash: &str, name: &str, trace: &TaskTrace) -> Result<()> {
         self.ensure_entry_dir(hash)?;
         let path = self.entry(hash, &format!("{name}.bin"));
-        std::fs::write(&path, to_bytes(trace)).map_err(|e| store_err(&path, e))
+        std::fs::write(&path, to_bytes(trace)).map_err(|e| store_err(&path, e))?;
+        record_write();
+        Ok(())
     }
 
     /// Looks a binary trace up; corrupt artifacts read as a miss.
     pub fn get_trace(&self, hash: &str, name: &str) -> Result<Option<TaskTrace>> {
-        match self.read_artifact(hash, &format!("{name}.bin"))? {
-            Some(bytes) => Ok(from_bytes(&bytes).ok()),
-            None => Ok(None),
-        }
+        let found = match self.read_artifact(hash, &format!("{name}.bin"))? {
+            Some(bytes) => from_bytes(&bytes).ok(),
+            None => None,
+        };
+        record_lookup(found.is_some());
+        Ok(found)
     }
 
     /// Files a trace under `<hash>/<name>.json` (versioned JSON envelope).
     pub fn put_trace_json(&self, hash: &str, name: &str, trace: &TaskTrace) -> Result<()> {
         self.ensure_entry_dir(hash)?;
         let path = self.entry(hash, &format!("{name}.json"));
-        Ok(save_json(trace, &path)?)
+        save_json(trace, &path)?;
+        record_write();
+        Ok(())
     }
 
     /// Looks a JSON-envelope trace up; corrupt artifacts read as a miss.
     pub fn get_trace_json(&self, hash: &str, name: &str) -> Result<Option<TaskTrace>> {
         let file = format!("{name}.json");
-        match self.read_artifact(hash, &file)? {
+        let found = match self.read_artifact(hash, &file)? {
             Some(bytes) => match String::from_utf8(bytes) {
-                Ok(s) => Ok(parse_json(&s, &self.entry(hash, &file)).ok()),
-                Err(_) => Ok(None),
+                Ok(s) => parse_json(&s, &self.entry(hash, &file)).ok(),
+                Err(_) => None,
             },
-            None => Ok(None),
-        }
+            None => None,
+        };
+        record_lookup(found.is_some());
+        Ok(found)
     }
 
     /// Files any serializable value under `<hash>/<name>.json`.
@@ -149,18 +169,22 @@ impl ArtifactStore {
         let path = self.entry(hash, &format!("{name}.json"));
         let body = serde_json::to_string_pretty(value)
             .map_err(|e| XtraceError::Store(format!("{}: {e}", path.display())))?;
-        std::fs::write(&path, body).map_err(|e| store_err(&path, e))
+        std::fs::write(&path, body).map_err(|e| store_err(&path, e))?;
+        record_write();
+        Ok(())
     }
 
     /// Looks a JSON value up; corrupt artifacts read as a miss.
     pub fn get_json<T: Deserialize>(&self, hash: &str, name: &str) -> Result<Option<T>> {
-        match self.read_artifact(hash, &format!("{name}.json"))? {
+        let found = match self.read_artifact(hash, &format!("{name}.json"))? {
             Some(bytes) => match String::from_utf8(bytes) {
-                Ok(s) => Ok(serde_json::from_str(&s).ok()),
-                Err(_) => Ok(None),
+                Ok(s) => serde_json::from_str(&s).ok(),
+                Err(_) => None,
             },
-            None => Ok(None),
-        }
+            None => None,
+        };
+        record_lookup(found.is_some());
+        Ok(found)
     }
 }
 

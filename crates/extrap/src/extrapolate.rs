@@ -490,6 +490,29 @@ fn fit_sorted(
             .collect()
     };
 
+    // Observability: per-canonical-form win counts are a pure function of
+    // the input series, so they are identical on the serial and parallel
+    // paths; which path ran depends on the installed thread pool and is
+    // therefore recorded under the scheduling-dependent prefix.
+    let obs = xtrace_obs::metrics();
+    if obs.enabled() {
+        obs.counter(if parallel {
+            "sched.extrap.parallel_fit_calls"
+        } else {
+            "sched.extrap.serial_fit_calls"
+        })
+        .incr();
+        obs.counter("extrap.elements_fit").add(fits.len() as u64);
+        let mut wins: std::collections::BTreeMap<&'static str, u64> =
+            std::collections::BTreeMap::new();
+        for fit in &fits {
+            *wins.entry(fit.model.form.label()).or_insert(0) += 1;
+        }
+        for (label, n) in wins {
+            obs.counter(&format!("extrap.fit_wins.{label}")).add(n);
+        }
+    }
+
     // Block-level invocation/iteration counts get the same treatment.
     let block_models = (0..base.blocks.len())
         .map(|bi| {

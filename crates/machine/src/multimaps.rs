@@ -231,7 +231,8 @@ fn run_point(
 ) -> (LevelCounts, f64) {
     let elem = u64::from(cfg.elem_bytes);
     let elems = (working_set / elem).max(1);
-    let mut cache = CacheHierarchy::new(hierarchy.clone());
+    let mut cache = CacheHierarchy::try_new(hierarchy.clone())
+        .expect("machine profile carries a valid hierarchy");
     let mut state = PrefetchState::default();
     let addr_of = |k: u64| -> u64 {
         let idx = match stride {

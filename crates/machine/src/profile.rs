@@ -13,6 +13,7 @@ use crate::power::PowerModel;
 
 /// Why a machine profile could not be constructed.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum MachineError {
     /// The cache hierarchy violates a structural invariant.
     InvalidHierarchy(String),

@@ -1,0 +1,228 @@
+//! Exporters: the in-memory [`Snapshot`] (what tests and benches consume),
+//! its JSON form (what `--metrics-out` writes), and a human-readable
+//! table.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::SCHED_PREFIX;
+use crate::span::SpanRecord;
+
+/// One non-empty log2 bucket of a histogram.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BucketCount {
+    /// Smallest value the bucket holds.
+    pub lo: u64,
+    /// Largest value the bucket holds.
+    pub hi: u64,
+    /// Observations in `[lo, hi]`.
+    pub count: u64,
+}
+
+/// A histogram's exported state: total observations plus its non-empty
+/// log2 buckets in ascending order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Non-empty buckets, ascending.
+    pub buckets: Vec<BucketCount>,
+}
+
+/// Everything a [`crate::Recorder`] saw: spans in completion order and the
+/// full metrics registry. Serializes to the `--metrics-out` JSON document.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Finished spans, in completion order.
+    pub spans: Vec<SpanRecord>,
+    /// Counter totals by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, u64>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// The JSON document `--metrics-out` writes.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("snapshot is a plain serializable tree")
+    }
+
+    /// Parses a snapshot back from [`Snapshot::to_json`] output.
+    pub fn from_json(s: &str) -> Result<Snapshot, String> {
+        serde_json::from_str(s).map_err(|e| format!("invalid metrics snapshot: {e}"))
+    }
+
+    /// The deterministic core of the snapshot: span durations zeroed and
+    /// scheduling-dependent (`sched.`-prefixed) metrics dropped. Two runs
+    /// of the same pipeline — at any rayon thread count — must produce
+    /// equal masked snapshots; the golden and thread-invariance tests
+    /// assert exactly that.
+    pub fn masked(&self) -> Snapshot {
+        let drop_sched = |m: &BTreeMap<String, u64>| -> BTreeMap<String, u64> {
+            m.iter()
+                .filter(|(k, _)| !k.starts_with(SCHED_PREFIX))
+                .map(|(k, v)| (k.clone(), *v))
+                .collect()
+        };
+        Snapshot {
+            spans: self
+                .spans
+                .iter()
+                .map(|s| SpanRecord {
+                    name: s.name.clone(),
+                    parent: s.parent.clone(),
+                    seconds: 0.0,
+                })
+                .collect(),
+            counters: drop_sched(&self.counters),
+            gauges: drop_sched(&self.gauges),
+            histograms: self
+                .histograms
+                .iter()
+                .filter(|(k, _)| !k.starts_with(SCHED_PREFIX))
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        }
+    }
+
+    /// A fixed-width human-readable rendering: the span tree (indented by
+    /// parent chains, completion order otherwise preserved), then
+    /// counters, gauges, and histograms.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str("spans:\n");
+        // Roots first, then children under them, preserving completion
+        // order within each level. Orphan parents render as roots.
+        let mut children: BTreeMap<&str, Vec<&SpanRecord>> = BTreeMap::new();
+        let mut roots: Vec<&SpanRecord> = Vec::new();
+        let known: std::collections::BTreeSet<&str> =
+            self.spans.iter().map(|s| s.name.as_str()).collect();
+        for s in &self.spans {
+            match s.parent.as_deref().filter(|p| known.contains(p)) {
+                Some(p) => children.entry(p).or_default().push(s),
+                None => roots.push(s),
+            }
+        }
+        fn emit(
+            out: &mut String,
+            span: &SpanRecord,
+            depth: usize,
+            children: &BTreeMap<&str, Vec<&SpanRecord>>,
+        ) {
+            out.push_str(&format!(
+                "  {:indent$}{:<24} {:>12.6}s\n",
+                "",
+                span.name,
+                span.seconds,
+                indent = 2 * depth
+            ));
+            if depth < 16 {
+                for c in children.get(span.name.as_str()).into_iter().flatten() {
+                    emit(out, c, depth + 1, children);
+                }
+            }
+        }
+        for r in &roots {
+            emit(&mut out, r, 0, &children);
+        }
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (k, v) in &self.counters {
+                out.push_str(&format!("  {k:<40} {v:>16}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (k, v) in &self.gauges {
+                out.push_str(&format!("  {k:<40} {v:>16}\n"));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms:\n");
+            for (k, h) in &self.histograms {
+                out.push_str(&format!("  {k:<40} {:>16} obs\n", h.count));
+                for b in &h.buckets {
+                    out.push_str(&format!(
+                        "    [{:>12}, {:>12}] {:>16}\n",
+                        b.lo, b.hi, b.count
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        Snapshot {
+            spans: vec![
+                SpanRecord {
+                    name: "collect".into(),
+                    parent: Some("pipeline".into()),
+                    seconds: 1.5,
+                },
+                SpanRecord {
+                    name: "pipeline".into(),
+                    parent: None,
+                    seconds: 2.0,
+                },
+            ],
+            counters: [
+                ("tracer.blocks_simulated".to_string(), 42u64),
+                ("sched.extrap.parallel_fit".to_string(), 1u64),
+            ]
+            .into_iter()
+            .collect(),
+            gauges: [("spmd.rank_classes".to_string(), 2u64)]
+                .into_iter()
+                .collect(),
+            histograms: [(
+                "tracer.block_refs".to_string(),
+                HistogramSnapshot {
+                    count: 3,
+                    buckets: vec![BucketCount {
+                        lo: 4,
+                        hi: 7,
+                        count: 3,
+                    }],
+                },
+            )]
+            .into_iter()
+            .collect(),
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let snap = sample();
+        let back = Snapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn masked_zeroes_timing_and_drops_sched_metrics() {
+        let m = sample().masked();
+        assert!(m.spans.iter().all(|s| s.seconds == 0.0));
+        assert_eq!(m.spans.len(), 2, "span tree shape is preserved");
+        assert!(m.counters.contains_key("tracer.blocks_simulated"));
+        assert!(!m.counters.keys().any(|k| k.starts_with("sched.")));
+        assert_eq!(m.gauges["spmd.rank_classes"], 2);
+    }
+
+    #[test]
+    fn table_renders_tree_and_sections() {
+        let t = sample().render_table();
+        assert!(t.contains("pipeline"));
+        assert!(t.contains("    collect"), "child is indented:\n{t}");
+        assert!(t.contains("tracer.blocks_simulated"));
+        assert!(t.contains("spmd.rank_classes"));
+        assert!(t.contains("[           4,            7]"));
+    }
+}

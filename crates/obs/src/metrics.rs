@@ -1,0 +1,332 @@
+//! The metrics registry: named counters, gauges, and log2-bucketed
+//! histograms cheap enough for hot kernels.
+//!
+//! The cost model has two tiers. **Registration** (`Metrics::counter`,
+//! `::gauge`, `::histogram`) does the `String` work — a map lookup under a
+//! mutex — and returns a *handle* that shares the underlying atomic cell.
+//! **Recording** through a handle is a single relaxed atomic RMW, no
+//! locking, no hashing; kernels register their handles once at entry and
+//! carry them into their loops. A handle obtained from
+//! [`Metrics::disabled`] carries no cell, so every recording call is one
+//! branch on a local `Option` — the "no recorder installed" fast path the
+//! bench harness bounds at <2% overhead.
+//!
+//! Counters only ever increase and must be scheduling-invariant: the same
+//! run must produce the same totals at any rayon thread count. Metrics
+//! that genuinely depend on scheduling (parallel vs serial path taken,
+//! chunk fan-out counts) use the reserved **`sched.` name prefix**, which
+//! [`crate::Snapshot::masked`] strips so golden and thread-invariance
+//! tests compare only the deterministic remainder.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use crate::export::{BucketCount, HistogramSnapshot};
+
+/// Name prefix for scheduling-dependent metrics (parallel path taken,
+/// chunk counts). Stripped by [`crate::Snapshot::masked`].
+pub const SCHED_PREFIX: &str = "sched.";
+
+/// Number of log2 buckets: bucket `i` counts values whose bit length is
+/// `i`, i.e. values in `[2^(i-1), 2^i)`, with bucket 0 counting zeros.
+const BUCKETS: usize = 65;
+
+/// Shared histogram cells (one atomic per log2 bucket).
+pub(crate) struct HistogramCells {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl HistogramCells {
+    fn new() -> Self {
+        HistogramCells {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    #[inline]
+    fn record(&self, value: u64) {
+        let idx = (u64::BITS - value.leading_zeros()) as usize;
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        let mut count = 0;
+        let mut buckets = Vec::new();
+        for (i, b) in self.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n > 0 {
+                count += n;
+                let (lo, hi) = if i == 0 {
+                    (0, 0)
+                } else {
+                    (1u64 << (i - 1), (1u64 << (i - 1)) - 1 + (1u64 << (i - 1)))
+                };
+                buckets.push(BucketCount { lo, hi, count: n });
+            }
+        }
+        HistogramSnapshot { count, buckets }
+    }
+}
+
+/// A monotonically increasing counter handle. Cloning shares the cell.
+#[derive(Clone, Default)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// A handle that drops every increment (the no-recorder fast path).
+    pub const fn disabled() -> Self {
+        Counter(None)
+    }
+
+    /// Adds `n` to the counter. One relaxed atomic add when live, one
+    /// local branch when disabled.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value (0 when disabled).
+    pub fn get(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |cell| cell.load(Ordering::Relaxed))
+    }
+}
+
+/// A last-value-wins gauge handle (e.g. "rank classes found").
+#[derive(Clone, Default)]
+pub struct Gauge(Option<Arc<AtomicU64>>);
+
+impl Gauge {
+    /// A handle that drops every store.
+    pub const fn disabled() -> Self {
+        Gauge(None)
+    }
+
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, value: u64) {
+        if let Some(cell) = &self.0 {
+            cell.store(value, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 when disabled).
+    pub fn get(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |cell| cell.load(Ordering::Relaxed))
+    }
+}
+
+/// A log2-bucketed histogram handle (e.g. "sampled references per block").
+#[derive(Clone, Default)]
+pub struct Histogram(Option<Arc<HistogramCells>>);
+
+impl Histogram {
+    /// A handle that drops every observation.
+    pub const fn disabled() -> Self {
+        Histogram(None)
+    }
+
+    /// Records one observation of `value`.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        if let Some(cells) = &self.0 {
+            cells.record(value);
+        }
+    }
+}
+
+struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: Mutex<BTreeMap<String, Arc<HistogramCells>>>,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // Metric maps hold plain data; a panic mid-insert cannot leave them
+    // logically inconsistent, so poisoning is ignorable.
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The registry facade. `Metrics::disabled()` carries no registry, so
+/// every handle it vends is a no-op; a live `Metrics` (from
+/// [`crate::Recorder::metrics`] or the ambient [`crate::metrics`]) vends
+/// handles onto shared atomic cells.
+#[derive(Clone, Default)]
+pub struct Metrics {
+    inner: Option<Arc<Registry>>,
+}
+
+impl Metrics {
+    /// The no-op registry: all handles are disabled.
+    pub const fn disabled() -> Self {
+        Metrics { inner: None }
+    }
+
+    pub(crate) fn live() -> Self {
+        Metrics {
+            inner: Some(Arc::new(Registry {
+                counters: Mutex::new(BTreeMap::new()),
+                gauges: Mutex::new(BTreeMap::new()),
+                histograms: Mutex::new(BTreeMap::new()),
+            })),
+        }
+    }
+
+    /// Whether handles from this registry record anything.
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Registers (or re-opens) the counter `name` and returns its handle.
+    /// Call once per kernel entry, not per event.
+    pub fn counter(&self, name: &str) -> Counter {
+        match &self.inner {
+            None => Counter::disabled(),
+            Some(reg) => {
+                let mut map = lock(&reg.counters);
+                let cell = map
+                    .entry(name.to_string())
+                    .or_insert_with(|| Arc::new(AtomicU64::new(0)));
+                Counter(Some(Arc::clone(cell)))
+            }
+        }
+    }
+
+    /// Registers (or re-opens) the gauge `name` and returns its handle.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        match &self.inner {
+            None => Gauge::disabled(),
+            Some(reg) => {
+                let mut map = lock(&reg.gauges);
+                let cell = map
+                    .entry(name.to_string())
+                    .or_insert_with(|| Arc::new(AtomicU64::new(0)));
+                Gauge(Some(Arc::clone(cell)))
+            }
+        }
+    }
+
+    /// Registers (or re-opens) the histogram `name` and returns its handle.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        match &self.inner {
+            None => Histogram::disabled(),
+            Some(reg) => {
+                let mut map = lock(&reg.histograms);
+                let cells = map
+                    .entry(name.to_string())
+                    .or_insert_with(|| Arc::new(HistogramCells::new()));
+                Histogram(Some(Arc::clone(cells)))
+            }
+        }
+    }
+
+    pub(crate) fn counter_values(&self) -> BTreeMap<String, u64> {
+        match &self.inner {
+            None => BTreeMap::new(),
+            Some(reg) => lock(&reg.counters)
+                .iter()
+                .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+                .collect(),
+        }
+    }
+
+    pub(crate) fn gauge_values(&self) -> BTreeMap<String, u64> {
+        match &self.inner {
+            None => BTreeMap::new(),
+            Some(reg) => lock(&reg.gauges)
+                .iter()
+                .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+                .collect(),
+        }
+    }
+
+    pub(crate) fn histogram_values(&self) -> BTreeMap<String, HistogramSnapshot> {
+        match &self.inner {
+            None => BTreeMap::new(),
+            Some(reg) => lock(&reg.histograms)
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handles_record_nothing() {
+        let m = Metrics::disabled();
+        let c = m.counter("x");
+        c.add(7);
+        assert_eq!(c.get(), 0);
+        assert!(!m.enabled());
+        assert!(m.counter_values().is_empty());
+    }
+
+    #[test]
+    fn counter_handles_share_the_cell() {
+        let m = Metrics::live();
+        let a = m.counter("hits");
+        let b = m.counter("hits");
+        a.add(2);
+        b.incr();
+        assert_eq!(a.get(), 3);
+        assert_eq!(m.counter_values()["hits"], 3);
+    }
+
+    #[test]
+    fn gauge_is_last_value_wins() {
+        let m = Metrics::live();
+        let g = m.gauge("classes");
+        g.set(5);
+        g.set(2);
+        assert_eq!(g.get(), 2);
+        assert_eq!(m.gauge_values()["classes"], 2);
+    }
+
+    #[test]
+    fn histogram_buckets_by_bit_length() {
+        let m = Metrics::live();
+        let h = m.histogram("refs");
+        h.record(0); // bucket [0,0]
+        h.record(1); // [1,1]
+        h.record(5); // [4,7]
+        h.record(7); // [4,7]
+        let snap = &m.histogram_values()["refs"];
+        assert_eq!(snap.count, 4);
+        let lohi: Vec<(u64, u64, u64)> =
+            snap.buckets.iter().map(|b| (b.lo, b.hi, b.count)).collect();
+        assert_eq!(lohi, vec![(0, 0, 1), (1, 1, 1), (4, 7, 2)]);
+    }
+
+    #[test]
+    fn concurrent_increments_sum_exactly() {
+        let m = Metrics::live();
+        let c = m.counter("n");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.incr();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 40_000);
+    }
+}

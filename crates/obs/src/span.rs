@@ -1,0 +1,179 @@
+//! The span model and the [`Recorder`] that collects spans and metrics.
+//!
+//! A span is a named, monotonic-clock-timed scope with an optional parent
+//! name, so stage → phase → kernel nesting renders as a tree without any
+//! thread-local ambient state (the hot kernels run inside rayon pools,
+//! where a thread-local "current span" would silently detach). Parents are
+//! identified by name: the pipeline engine names its stage spans after
+//! [`STAGE_PARENT`]-rooted labels, and kernels attach to the stage that
+//! invokes them.
+
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use crate::export::Snapshot;
+use crate::metrics::Metrics;
+
+/// The conventional root span name the pipeline engine records under.
+pub const STAGE_PARENT: &str = "pipeline";
+
+/// One finished span.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanRecord {
+    /// Span name (e.g. `"collect"`, `"p96"`).
+    pub name: String,
+    /// Name of the enclosing span, if any.
+    pub parent: Option<String>,
+    /// Wall-clock duration, monotonic clock.
+    pub seconds: f64,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Collects spans and owns a live metrics registry. Install one ambiently
+/// with [`crate::install`] (the CLI does this for `--metrics-out`) or
+/// carry it explicitly; either way [`Recorder::snapshot`] returns
+/// everything recorded so far.
+#[derive(Default)]
+pub struct Recorder {
+    metrics: Metrics,
+    spans: Mutex<Vec<SpanRecord>>,
+}
+
+impl Recorder {
+    /// A fresh recorder with an empty span list and metrics registry.
+    pub fn new() -> Arc<Recorder> {
+        Arc::new(Recorder {
+            metrics: Metrics::live(),
+            spans: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// The recorder's metrics registry (live handles).
+    pub fn metrics(&self) -> Metrics {
+        self.metrics.clone()
+    }
+
+    /// Starts a root span; the returned guard records it when dropped or
+    /// [`SpanGuard::finish`]ed.
+    pub fn span(&self, name: &str) -> SpanGuard<'_> {
+        self.span_inner(None, name)
+    }
+
+    /// Starts a span nested (by name) under `parent`.
+    pub fn child_span(&self, parent: &str, name: &str) -> SpanGuard<'_> {
+        self.span_inner(Some(parent.to_string()), name)
+    }
+
+    fn span_inner(&self, parent: Option<String>, name: &str) -> SpanGuard<'_> {
+        SpanGuard {
+            recorder: self,
+            name: name.to_string(),
+            parent,
+            start: Instant::now(),
+            finished: false,
+        }
+    }
+
+    /// Records an already-measured span (for callers that time stages
+    /// themselves, like the pipeline engine).
+    pub fn record_span(&self, parent: Option<&str>, name: &str, seconds: f64) {
+        lock(&self.spans).push(SpanRecord {
+            name: name.to_string(),
+            parent: parent.map(str::to_string),
+            seconds,
+        });
+    }
+
+    /// Everything recorded so far: spans in completion order, plus all
+    /// counter/gauge/histogram values.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            spans: lock(&self.spans).clone(),
+            counters: self.metrics.counter_values(),
+            gauges: self.metrics.gauge_values(),
+            histograms: self.metrics.histogram_values(),
+        }
+    }
+}
+
+/// An in-flight span; records itself into the recorder on drop.
+pub struct SpanGuard<'a> {
+    recorder: &'a Recorder,
+    name: String,
+    parent: Option<String>,
+    start: Instant,
+    finished: bool,
+}
+
+impl SpanGuard<'_> {
+    /// Ends the span now (equivalent to dropping it).
+    pub fn finish(mut self) {
+        self.record();
+    }
+
+    fn record(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        self.recorder.record_span(
+            self.parent.as_deref(),
+            &self.name,
+            self.start.elapsed().as_secs_f64(),
+        );
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.record();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_in_completion_order_with_parents() {
+        let rec = Recorder::new();
+        {
+            let _outer = rec.span("pipeline");
+            rec.child_span("pipeline", "collect").finish();
+            rec.record_span(Some("collect"), "p96", 0.25);
+        }
+        let snap = rec.snapshot();
+        let names: Vec<(&str, Option<&str>)> = snap
+            .spans
+            .iter()
+            .map(|s| (s.name.as_str(), s.parent.as_deref()))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("collect", Some("pipeline")),
+                ("p96", Some("collect")),
+                ("pipeline", None),
+            ]
+        );
+        assert_eq!(snap.spans[1].seconds, 0.25);
+        assert!(snap.spans[0].seconds >= 0.0);
+    }
+
+    #[test]
+    fn recorder_metrics_feed_the_snapshot() {
+        let rec = Recorder::new();
+        rec.metrics().counter("k.hits").add(3);
+        rec.metrics().gauge("k.classes").set(2);
+        rec.metrics().histogram("k.sizes").record(9);
+        let snap = rec.snapshot();
+        assert_eq!(snap.counters["k.hits"], 3);
+        assert_eq!(snap.gauges["k.classes"], 2);
+        assert_eq!(snap.histograms["k.sizes"].count, 1);
+    }
+}

@@ -17,7 +17,7 @@ use xtrace_machine::MachineProfile;
 use xtrace_spmd::{CommKind, CommProfile};
 use xtrace_tracer::TaskTrace;
 
-use crate::predict::predict_runtime;
+use crate::predict::predict_checked;
 use crate::{check_machine, try_check_machine, PredictError};
 
 /// A predicted energy budget for the traced task.
@@ -82,6 +82,11 @@ pub fn try_predict_energy(
 ///
 /// Panics if the trace was simulated against a different machine than
 /// `machine`.
+#[deprecated(
+    since = "0.1.0",
+    note = "use try_predict_energy and handle PredictError; the panicking \
+            form will be removed"
+)]
 pub fn predict_energy(
     trace: &TaskTrace,
     comm: &CommProfile,
@@ -112,7 +117,7 @@ fn energy_checked(
             fp_joules += power.fp_joules(flops);
         }
     }
-    let runtime = predict_runtime(trace, comm, machine).total_seconds;
+    let runtime = predict_checked(trace, comm, machine).total_seconds;
     let comm_joules = power.net_joules(comm_bytes(comm));
     let static_joules = power.static_joules(runtime);
     let total = memory_joules + fp_joules + comm_joules + static_joules;
@@ -139,7 +144,7 @@ mod tests {
         let app = StencilProxy::medium();
         let machine = presets::cray_xt5();
         let sig = collect_signature_with(&app, p, &machine, &TracerConfig::fast());
-        predict_energy(sig.longest_task(), &sig.comm, &machine)
+        try_predict_energy(sig.longest_task(), &sig.comm, &machine).expect("machine matches")
     }
 
     #[test]
@@ -190,8 +195,9 @@ mod tests {
         let ex = extrapolate_signature(&training, 384, &ExtrapolationConfig::default()).unwrap();
         let coll = collect_signature_with(&app, 384, &machine, &cfg);
         let comm = app.comm_profile(384);
-        let e_ex = predict_energy(&ex, &comm, &machine);
-        let e_coll = predict_energy(coll.longest_task(), &coll.comm, &machine);
+        let e_ex = try_predict_energy(&ex, &comm, &machine).expect("machine matches");
+        let e_coll =
+            try_predict_energy(coll.longest_task(), &coll.comm, &machine).expect("machine matches");
         let gap = (e_ex.total_joules - e_coll.total_joules).abs() / e_coll.total_joules;
         assert!(
             gap < 0.05,
@@ -206,7 +212,8 @@ mod tests {
         let app = StencilProxy::medium();
         let machine = presets::cray_xt5();
         let sig = collect_signature_with(&app, 4, &machine, &TracerConfig::fast());
-        let base = predict_energy(sig.longest_task(), &sig.comm, &machine);
+        let base =
+            try_predict_energy(sig.longest_task(), &sig.comm, &machine).expect("machine matches");
         let mut degraded = sig.longest_task().clone();
         for b in &mut degraded.blocks {
             for i in &mut b.instrs {
@@ -215,7 +222,7 @@ mod tests {
                 }
             }
         }
-        let worse = predict_energy(&degraded, &sig.comm, &machine);
+        let worse = try_predict_energy(&degraded, &sig.comm, &machine).expect("machine matches");
         assert!(worse.memory_joules > 3.0 * base.memory_joules);
     }
 }

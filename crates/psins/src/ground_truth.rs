@@ -68,7 +68,8 @@ pub fn ground_truth_for_rank(
     cfg: &TracerConfig,
 ) -> f64 {
     let rp = app.rank_program(rank, nranks);
-    let mut cache = CacheHierarchy::new(machine.hierarchy.clone());
+    let mut cache = CacheHierarchy::try_new(machine.hierarchy.clone())
+        .expect("machine profile carries a valid hierarchy");
     let mut prefetch = PrefetchState::default();
     let seed = rank_stream_seed(cfg, rank);
 
@@ -144,7 +145,7 @@ pub fn ground_truth_for_rank(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::predict::predict_runtime;
+    use crate::predict::try_predict_runtime;
     use xtrace_apps::{StencilProxy, Uh3dProxy};
     use xtrace_machine::presets;
     use xtrace_tracer::collect_signature_with;
@@ -168,7 +169,7 @@ mod tests {
         let machine = presets::cray_xt5();
         let cfg = TracerConfig::fast();
         let sig = collect_signature_with(&app, 8, &machine, &cfg);
-        let pred = predict_runtime(sig.longest_task(), &sig.comm, &machine);
+        let pred = try_predict_runtime(sig.longest_task(), &sig.comm, &machine).unwrap();
         let gt = ground_truth(&app, 8, &machine, &cfg);
         let err = crate::relative_error(pred.total_seconds, gt.total_seconds);
         assert!(

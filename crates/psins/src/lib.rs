@@ -8,7 +8,7 @@
 //! both that prediction path and the independent "measured" number Table I
 //! compares against:
 //!
-//! * [`predict::predict_runtime`] — Eq. (1): per-instruction memory time
+//! * [`predict::try_predict_runtime`] — Eq. (1): per-instruction memory time
 //!   from operation counts, reference sizes, and MultiMAPS-surface
 //!   bandwidth looked up by cache hit rates; floating-point time from the
 //!   machine's arithmetic rates; per-block overlap combining; communication
@@ -29,18 +29,25 @@ pub mod ground_truth;
 pub mod predict;
 pub mod replay;
 
-pub use energy::{predict_energy, try_predict_energy, EnergyPrediction};
+#[allow(deprecated)] // the deprecated panicking forms stay re-exported until removal
+pub use energy::predict_energy;
+pub use energy::{try_predict_energy, EnergyPrediction};
 pub use ground_truth::{ground_truth, ground_truth_for_rank, GroundTruth};
-pub use predict::{predict_runtime, try_predict_runtime, BlockTime, Prediction};
+#[allow(deprecated)] // the deprecated panicking forms stay re-exported until removal
+pub use predict::predict_runtime;
+pub use predict::{try_predict_runtime, BlockTime, Prediction};
 pub use replay::{
-    ground_truth_application, replay_groups, replay_groups_traced, try_replay_groups,
-    try_replay_groups_traced, ConvolveCache, GroupBlockTimes, GroupComputeModel,
+    ground_truth_application, try_replay_groups, try_replay_groups_traced, ConvolveCache,
+    GroupBlockTimes, GroupComputeModel,
 };
+#[allow(deprecated)] // the deprecated panicking forms stay re-exported until removal
+pub use replay::{replay_groups, replay_groups_traced};
 
 use xtrace_tracer::TaskTrace;
 
 /// Why a prediction could not be computed.
 #[derive(Clone, PartialEq)]
+#[non_exhaustive]
 pub enum PredictError {
     /// The trace's simulated hierarchy does not match the profile the
     /// prediction was asked against — its hit rates would be meaningless.

@@ -70,6 +70,11 @@ pub fn try_predict_runtime(
 ///
 /// Panics if the trace was simulated against a different machine than
 /// `machine`.
+#[deprecated(
+    since = "0.1.0",
+    note = "use try_predict_runtime and handle PredictError; the panicking \
+            form will be removed"
+)]
 pub fn predict_runtime(
     trace: &TaskTrace,
     comm: &CommProfile,
@@ -80,7 +85,11 @@ pub fn predict_runtime(
 }
 
 /// Eq. (1) over a trace already known to match `machine`.
-fn predict_checked(trace: &TaskTrace, comm: &CommProfile, machine: &MachineProfile) -> Prediction {
+pub(crate) fn predict_checked(
+    trace: &TaskTrace,
+    comm: &CommProfile,
+    machine: &MachineProfile,
+) -> Prediction {
     let surface = machine.surface();
     let mut per_block = Vec::with_capacity(trace.blocks.len());
     let mut memory_seconds = 0.0;
@@ -142,7 +151,7 @@ mod tests {
         let app = StencilProxy::medium();
         let machine = presets::cray_xt5();
         let sig = collect_signature_with(&app, p, &machine, &TracerConfig::fast());
-        predict_runtime(sig.longest_task(), &sig.comm, &machine)
+        try_predict_runtime(sig.longest_task(), &sig.comm, &machine).expect("machine matches")
     }
 
     #[test]
@@ -186,7 +195,8 @@ mod tests {
         let app = StencilProxy::medium();
         let machine = presets::cray_xt5();
         let sig = collect_signature_with(&app, 4, &machine, &TracerConfig::fast());
-        let base = predict_runtime(sig.longest_task(), &sig.comm, &machine);
+        let base =
+            try_predict_runtime(sig.longest_task(), &sig.comm, &machine).expect("machine matches");
         let mut degraded = sig.longest_task().clone();
         for b in &mut degraded.blocks {
             for i in &mut b.instrs {
@@ -195,12 +205,13 @@ mod tests {
                 }
             }
         }
-        let worse = predict_runtime(&degraded, &sig.comm, &machine);
+        let worse = try_predict_runtime(&degraded, &sig.comm, &machine).expect("machine matches");
         assert!(worse.memory_seconds > 2.0 * base.memory_seconds);
     }
 
     #[test]
     #[should_panic(expected = "collected against")]
+    #[allow(deprecated)] // the deprecated panicking form is what's under test
     fn rejects_wrong_machine() {
         let app = StencilProxy::small();
         let xt5 = presets::cray_xt5();
@@ -226,7 +237,9 @@ mod tests {
         assert!(err.to_string().contains("collected against"));
         // The matching case agrees with the panicking API bit-for-bit.
         let ok = try_predict_runtime(sig.longest_task(), &sig.comm, &xt5).unwrap();
-        assert_eq!(ok, predict_runtime(sig.longest_task(), &sig.comm, &xt5));
+        #[allow(deprecated)]
+        let legacy = predict_runtime(sig.longest_task(), &sig.comm, &xt5);
+        assert_eq!(ok, legacy);
     }
 
     #[test]

@@ -222,6 +222,18 @@ impl GroupComputeModel {
             }
             slots[gi] = Some(table);
         }
+        // Observability: group and hit counts are input-determined (cache
+        // probing happens serially above), never scheduling-dependent.
+        let obs = xtrace_obs::metrics();
+        if obs.enabled() {
+            obs.counter("psins.groups_convolved")
+                .add(pending.len() as u64);
+            if cache.is_some() {
+                obs.counter("psins.convolve_cache.hits").add(hits as u64);
+                obs.counter("psins.convolve_cache.misses")
+                    .add(pending.len() as u64);
+            }
+        }
         let tables = slots
             .into_iter()
             .map(|t| t.expect("every group slot was filled"))
@@ -301,6 +313,11 @@ fn sim_err(err: SimError) -> PredictError {
 ///
 /// Panics on undersized groups, machine mismatches, or malformed rank
 /// programs; see [`try_replay_groups`] for the typed-error form.
+#[deprecated(
+    since = "0.1.0",
+    note = "use try_replay_groups and handle PredictError; the panicking \
+            form will be removed"
+)]
 pub fn replay_groups(
     app: &dyn SpmdApp,
     nranks: u32,
@@ -321,9 +338,19 @@ pub fn try_replay_groups(
     xtrace_spmd::try_simulate(app, nranks, &machine.net, &mut model).map_err(sim_err)
 }
 
-/// Like [`replay_groups`], additionally returning the predicted replay
+/// Like [`try_replay_groups`], additionally returning the predicted replay
 /// timeline — per-rank, per-event intervals a timeline viewer can render
 /// (the event-tracer half of PSiNS).
+///
+/// # Panics
+///
+/// Panics on undersized groups, machine mismatches, or malformed rank
+/// programs; see [`try_replay_groups_traced`] for the typed-error form.
+#[deprecated(
+    since = "0.1.0",
+    note = "use try_replay_groups_traced and handle PredictError; the \
+            panicking form will be removed"
+)]
 pub fn replay_groups_traced(
     app: &dyn SpmdApp,
     nranks: u32,
@@ -364,7 +391,9 @@ fn exact_rank_table(
         events: vec![],
         compute_imbalance: 1.0,
     };
-    let pred = crate::predict::predict_runtime(&trace, &comm, machine);
+    // The trace was just collected against `machine`, so the checked
+    // entry point's precondition holds by construction.
+    let pred = crate::predict::predict_checked(&trace, &comm, machine);
     let pred_total: f64 = pred.per_block.iter().map(|b| b.combined_s).sum();
     let scale = if pred_total > 0.0 {
         exact_total / pred_total
@@ -483,7 +512,7 @@ mod tests {
         let app = StencilProxy::medium();
         let machine = presets::cray_xt5();
         let groups = groups_for(&app, 8, &machine);
-        let report = replay_groups(&app, 8, &groups, &machine);
+        let report = try_replay_groups(&app, 8, &groups, &machine).unwrap();
         assert_eq!(report.ranks.len(), 8);
         assert!(report.total_seconds > 0.0);
         // Trailing allreduce synchronizes everyone.
@@ -501,9 +530,10 @@ mod tests {
         let machine = presets::cray_xt5();
         let cfg = TracerConfig::fast();
         let sig = xtrace_tracer::collect_signature_with(&app, 8, &machine, &cfg);
-        let single = crate::predict::predict_runtime(sig.longest_task(), &sig.comm, &machine);
+        let single =
+            crate::predict::try_predict_runtime(sig.longest_task(), &sig.comm, &machine).unwrap();
         let groups = groups_for(&app, 8, &machine);
-        let replay = replay_groups(&app, 8, &groups, &machine);
+        let replay = try_replay_groups(&app, 8, &groups, &machine).unwrap();
         let rel = (replay.total_seconds - single.total_seconds).abs() / single.total_seconds;
         assert!(
             rel < 0.15,
@@ -519,7 +549,7 @@ mod tests {
         let machine = presets::cray_xt5();
         let cfg = TracerConfig::fast();
         let groups = groups_for(&app, 8, &machine);
-        let replay = replay_groups(&app, 8, &groups, &machine);
+        let replay = try_replay_groups(&app, 8, &groups, &machine).unwrap();
         let exact = ground_truth_application(&app, 8, &machine, &cfg);
         let rel = (replay.total_seconds - exact.total_seconds).abs() / exact.total_seconds;
         assert!(
@@ -535,7 +565,7 @@ mod tests {
         let app = StencilProxy::small();
         let machine = presets::cray_xt5();
         let groups = groups_for(&app, 4, &machine);
-        let (report, timeline) = replay_groups_traced(&app, 4, &groups, &machine);
+        let (report, timeline) = try_replay_groups_traced(&app, 4, &groups, &machine).unwrap();
         // 4 ranks x 4 events (sweep, exchange, residual, allreduce).
         assert_eq!(timeline.len(), 16);
         assert!(timeline.iter().any(|e| e.kind == "compute"));

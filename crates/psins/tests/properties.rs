@@ -7,7 +7,7 @@ use std::sync::OnceLock;
 use proptest::prelude::*;
 use xtrace_ir::SourceLoc;
 use xtrace_machine::{presets, MachineProfile};
-use xtrace_psins::{predict_energy, predict_runtime};
+use xtrace_psins::{try_predict_energy, try_predict_runtime};
 use xtrace_spmd::{CommEventRecord, CommKind, CommProfile};
 use xtrace_tracer::{BlockRecord, FeatureVector, InstrRecord, TaskTrace};
 
@@ -85,13 +85,13 @@ proptest! {
         random in any::<bool>(),
     ) {
         let t = trace(mem_ops, monotone(a, b, c), fma, random);
-        let p = predict_runtime(&t, &comm(), machine());
+        let p = try_predict_runtime(&t, &comm(), machine()).unwrap();
         prop_assert!(p.total_seconds.is_finite());
         prop_assert!(p.total_seconds > 0.0);
         prop_assert!(p.memory_seconds > 0.0);
         prop_assert!(p.compute_seconds >= p.memory_seconds.max(p.fp_seconds) - 1e-12);
 
-        let e = predict_energy(&t, &comm(), machine());
+        let e = try_predict_energy(&t, &comm(), machine()).unwrap();
         prop_assert!(e.total_joules.is_finite() && e.total_joules > 0.0);
         prop_assert!(e.avg_watts >= machine().power.static_watts * (1.0 - 1e-9));
     }
@@ -104,12 +104,12 @@ proptest! {
         a in 0.0f64..1.0, b in 0.0f64..1.0, c in 0.0f64..1.0,
     ) {
         let rates = monotone(a, b, c);
-        let one = predict_runtime(&trace(mem_ops, rates, 0.0, false), &comm(), machine());
-        let many = predict_runtime(
+        let one = try_predict_runtime(&trace(mem_ops, rates, 0.0, false), &comm(), machine()).unwrap();
+        let many = try_predict_runtime(
             &trace(mem_ops * scale, rates, 0.0, false),
             &comm(),
             machine(),
-        );
+        ).unwrap();
         let ratio = many.memory_seconds / one.memory_seconds;
         prop_assert!((ratio - scale).abs() / scale < 1e-9, "ratio {ratio} vs {scale}");
     }
@@ -122,12 +122,12 @@ proptest! {
         random in any::<bool>(),
     ) {
         let rates = monotone(a, b, c);
-        let good = predict_runtime(&trace(mem_ops, rates, 0.0, random), &comm(), machine());
-        let bad = predict_runtime(
+        let good = try_predict_runtime(&trace(mem_ops, rates, 0.0, random), &comm(), machine()).unwrap();
+        let bad = try_predict_runtime(
             &trace(mem_ops, [0.0, 0.0, 0.0], 0.0, random),
             &comm(),
             machine(),
-        );
+        ).unwrap();
         prop_assert!(
             bad.memory_seconds >= good.memory_seconds * (1.0 - 1e-9),
             "zero locality {} vs {}",

@@ -119,6 +119,7 @@ impl SimReport {
 
 /// Why a simulation could not be run.
 #[derive(Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum SimError {
     /// The simulation was asked for zero ranks.
     NoRanks,
@@ -196,7 +197,12 @@ impl std::error::Error for SimError {}
 
 /// Engine tuning knobs. The defaults are correct for every caller; they
 /// exist so benches and determinism tests can force specific paths.
+///
+/// The struct is `#[non_exhaustive]`: construct it with
+/// [`SimOptions::default`] and refine with the `with_*` setters so new
+/// knobs can be added without breaking callers.
 #[derive(Debug, Clone, Copy)]
+#[non_exhaustive]
 pub struct SimOptions {
     /// Allow the per-rank update fan-out over the rayon pool. The engine
     /// additionally requires a multi-thread pool and at least
@@ -213,6 +219,22 @@ impl Default for SimOptions {
             parallel: true,
             min_parallel_ranks: 256,
         }
+    }
+}
+
+impl SimOptions {
+    /// Allows or forbids the per-rank update fan-out.
+    #[must_use]
+    pub fn with_parallel(mut self, parallel: bool) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    /// Sets the rank count below which updates always run serially.
+    #[must_use]
+    pub fn with_min_parallel_ranks(mut self, n: usize) -> Self {
+        self.min_parallel_ranks = n;
+        self
     }
 }
 
@@ -726,6 +748,23 @@ fn simulate_classes_inner(
         && opts.parallel
         && nranks >= opts.min_parallel_ranks
         && rayon::current_num_threads() > 1;
+
+    // Observability: class/group/event counts are functions of the input
+    // alone; whether the chunked path runs depends on the installed thread
+    // pool, so that lands under the scheduling-dependent prefix.
+    let obs = xtrace_obs::metrics();
+    if obs.enabled() {
+        obs.gauge("spmd.rank_classes").set(reps.len() as u64);
+        obs.gauge("spmd.compute_groups")
+            .set(group_reps.len() as u64);
+        obs.counter("spmd.events_stepped").add(nevents as u64);
+        obs.counter(if par {
+            "sched.spmd.parallel_sims"
+        } else {
+            "sched.spmd.serial_sims"
+        })
+        .incr();
+    }
 
     let mut clocks = vec![0.0f64; nranks];
     let mut times = vec![RankTimes::default(); nranks];

@@ -156,7 +156,7 @@ proptest! {
             &classes,
             &net,
             &mut NominalComputeModel::default(),
-            SimOptions { parallel: false, min_parallel_ranks: 1 },
+            SimOptions::default().with_parallel(false).with_min_parallel_ranks(1),
         )
         .expect("serial stepping");
         let pool = rayon::ThreadPoolBuilder::new()
@@ -169,7 +169,7 @@ proptest! {
                     &classes,
                     &net,
                     &mut NominalComputeModel::default(),
-                    SimOptions { parallel: true, min_parallel_ranks: 1 },
+                    SimOptions::default().with_parallel(true).with_min_parallel_ranks(1),
                 )
             })
             .expect("parallel stepping");

@@ -86,6 +86,25 @@ pub fn collect_signature_with(
     }
 }
 
+/// [`collect_signature_with`] answering block simulations from a
+/// caller-owned [`SigMemo`], so a training sweep over several core counts
+/// reuses identical block simulations across calls (memoization never
+/// changes the result — the key covers every simulation input).
+pub fn collect_signature_memo(
+    app: &dyn SpmdApp,
+    nranks: u32,
+    machine: &MachineProfile,
+    cfg: &TracerConfig,
+    memo: &SigMemo,
+) -> AppSignature {
+    let comm = MpiProfiler::default().profile(app, nranks, &machine.net);
+    let trace = collect_task_trace_memo(app, comm.longest_rank, nranks, machine, cfg, Some(memo));
+    AppSignature {
+        traces: vec![trace],
+        comm,
+    }
+}
+
 /// Traces several ranks in parallel (used by the Section-VI clustering
 /// extension, which needs more than the longest task), deduplicating
 /// identical block simulations through a shared [`SigMemo`].
@@ -212,7 +231,16 @@ fn trace_block(
         let sample_iters = total_iters.min((cfg.max_sampled_refs_per_block / refs_per_iter).max(1));
         let warmup_iters = sample_iters.min(total_iters - sample_iters);
         let simulate = || {
-            let mut cache = CacheHierarchy::new(machine.hierarchy.clone());
+            // Observability: one registration per block *simulation* (a
+            // memo hit never reaches this closure), so the per-reference
+            // loop below stays untouched. Totals are scheduling-invariant:
+            // the memo computes each unique key exactly once.
+            let obs = xtrace_obs::metrics();
+            obs.counter("tracer.blocks_simulated").incr();
+            obs.histogram("tracer.block_sample_refs")
+                .record(sample_iters.saturating_mul(refs_per_iter));
+            let mut cache = CacheHierarchy::try_new(machine.hierarchy.clone())
+                .expect("machine profile carries a valid hierarchy");
             let mut counts = vec![LevelCounts::default(); blk.instrs.len()];
             let mut stream = AccessStream::new(&rp.program, block_id, rank_seed);
             stream.run_iterations(warmup_iters, &mut |a| {
@@ -587,7 +615,7 @@ mod tests {
         // hierarchy carried across blocks.
         let rp = TwoBlocks.rank_program(0, 4);
         let rank_seed = rank_stream_seed(&cfg, 0);
-        let mut cache = CacheHierarchy::new(m.hierarchy.clone());
+        let mut cache = CacheHierarchy::try_new(m.hierarchy.clone()).unwrap();
         let mut shared_l1 = Vec::new();
         for (block_id, inv) in [(BlockId(0), 8u64), (BlockId(1), 8u64)] {
             let blk = rp.program.block(block_id);

@@ -58,8 +58,9 @@ pub mod memo;
 pub mod sig;
 
 pub use collect::{
-    collect_ranks, collect_ranks_memo, collect_signature, collect_signature_with,
-    collect_task_trace, collect_task_trace_memo, rank_stream_seed, TracerConfig,
+    collect_ranks, collect_ranks_memo, collect_signature, collect_signature_memo,
+    collect_signature_with, collect_task_trace, collect_task_trace_memo, rank_stream_seed,
+    TracerConfig,
 };
 pub use io::{
     from_bytes, load_json, parse_json, save_json, to_bytes, CodecError, IoError, JSON_FORMAT,

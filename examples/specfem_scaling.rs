@@ -12,7 +12,7 @@
 use xtrace::apps::{ProxyApp, SpecfemProxy};
 use xtrace::extrap::{element_errors, extrapolate_signature, summarize, ExtrapolationConfig};
 use xtrace::machine::presets;
-use xtrace::psins::{ground_truth, predict_runtime, relative_error};
+use xtrace::psins::{ground_truth, relative_error, try_predict_runtime};
 use xtrace::tracer::{collect_signature_with, TracerConfig};
 
 fn main() {
@@ -48,8 +48,8 @@ fn main() {
     let collected = collected_sig.longest_task();
     let comm = app.comm_profile(target);
 
-    let pred_e = predict_runtime(&extrapolated, &comm, &machine);
-    let pred_c = predict_runtime(collected, &comm, &machine);
+    let pred_e = try_predict_runtime(&extrapolated, &comm, &machine).unwrap();
+    let pred_c = try_predict_runtime(collected, &comm, &machine).unwrap();
     let measured = ground_truth(&app, target, &machine, &tracer_cfg);
 
     println!(

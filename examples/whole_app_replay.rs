@@ -9,7 +9,7 @@
 use xtrace::apps::{ProxyApp, SpecfemProxy};
 use xtrace::extrap::{synthesize_full_signature, ExtrapolationConfig};
 use xtrace::machine::presets;
-use xtrace::psins::{ground_truth_application, predict_energy, replay_groups};
+use xtrace::psins::{ground_truth_application, try_predict_energy, try_replay_groups};
 use xtrace::tracer::{collect_ranks, TracerConfig};
 
 fn main() {
@@ -48,7 +48,7 @@ fn main() {
         .iter()
         .map(|g| (g.trace.clone(), g.ranks))
         .collect();
-    let replay = replay_groups(&app, target, &groups, &machine);
+    let replay = try_replay_groups(&app, target, &groups, &machine).unwrap();
     let exact = ground_truth_application(&app, target, &machine, &tracer);
     println!(
         "\nreplay prediction: {:.4} s  (exact whole-app measurement: {:.4} s)",
@@ -63,7 +63,7 @@ fn main() {
     // 4. Energy budget of the master task at scale, from the same
     //    synthetic signature.
     let comm = app.comm_profile(target);
-    let energy = predict_energy(sig.longest(), &comm, &machine);
+    let energy = try_predict_energy(sig.longest(), &comm, &machine).unwrap();
     println!(
         "\nmaster-task energy at {target} cores: {:.2} J total ({:.2} J memory, \
          {:.2} J fp, avg {:.1} W)",

@@ -26,7 +26,10 @@
 //! * [`core`] — the staged pipeline engine: typed Collect → Fit →
 //!   Synthesize → Convolve → Validate stages, the unified
 //!   [`core::XtraceError`] model, and the content-addressed artifact
-//!   store that makes identical re-runs resume as cache hits.
+//!   store that makes identical re-runs resume as cache hits,
+//! * [`obs`] — the structured observability layer: spans, counters,
+//!   histograms, and snapshot exporters, wired through every stage and
+//!   hot kernel (zero-cost when no recorder is installed).
 //!
 //! ## Quickstart
 //!
@@ -34,7 +37,7 @@
 //! use xtrace::apps::{ProxyApp, SpecfemProxy};
 //! use xtrace::extrap::{ExtrapolationConfig, extrapolate_signature};
 //! use xtrace::machine::presets;
-//! use xtrace::psins::predict_runtime;
+//! use xtrace::psins::try_predict_runtime;
 //! use xtrace::tracer::collect_signature;
 //!
 //! // A small problem so the doctest runs quickly.
@@ -53,7 +56,7 @@
 //! let extrapolated = extrapolate_signature(&training, 128, &cfg).unwrap();
 //!
 //! // 3. Predict full-scale runtime from the synthetic trace.
-//! let prediction = predict_runtime(&extrapolated, &app.comm_profile(128), &machine);
+//! let prediction = try_predict_runtime(&extrapolated, &app.comm_profile(128), &machine).unwrap();
 //! assert!(prediction.total_seconds > 0.0);
 //! ```
 
@@ -63,6 +66,7 @@ pub use xtrace_core as core;
 pub use xtrace_extrap as extrap;
 pub use xtrace_ir as ir;
 pub use xtrace_machine as machine;
+pub use xtrace_obs as obs;
 pub use xtrace_psins as psins;
 pub use xtrace_spmd as spmd;
 pub use xtrace_tracer as tracer;

@@ -8,7 +8,8 @@ use xtrace::extrap::{
 };
 use xtrace::machine::{presets, MachineProfile};
 use xtrace::psins::{
-    ground_truth_application, predict_energy, predict_runtime, relative_error, replay_groups,
+    ground_truth_application, relative_error, try_predict_energy, try_predict_runtime,
+    try_replay_groups,
 };
 use xtrace::tracer::{collect_ranks, collect_signature_with, TracerConfig};
 
@@ -38,8 +39,8 @@ fn weak_scaling_extrapolates_nearly_perfectly() {
         .collect();
     let ex = extrapolate_signature(&training, 384, &ExtrapolationConfig::default()).unwrap();
     let coll = collect_signature_with(&app, 384, &machine, &cfg);
-    let pe = predict_runtime(&ex, &app.comm_profile(384), &machine);
-    let pc = predict_runtime(coll.longest_task(), &coll.comm, &machine);
+    let pe = try_predict_runtime(&ex, &app.comm_profile(384), &machine).unwrap();
+    let pc = try_predict_runtime(coll.longest_task(), &coll.comm, &machine).unwrap();
     let gap = relative_error(pe.total_seconds, pc.total_seconds);
     assert!(gap < 0.03, "weak-scaling gap {gap}");
 }
@@ -98,7 +99,7 @@ fn full_signature_covers_population_and_replays() {
         .iter()
         .map(|g| (g.trace.clone(), g.ranks))
         .collect();
-    let replay = replay_groups(&app, 192, &groups, &machine);
+    let replay = try_replay_groups(&app, 192, &groups, &machine).unwrap();
     let exact = ground_truth_application(&app, 192, &machine, &cfg);
     let err = relative_error(replay.total_seconds, exact.total_seconds);
     assert!(
@@ -127,8 +128,8 @@ fn energy_extrapolates_with_runtime() {
     let ex = extrapolate_signature(&training, 384, &ExtrapolationConfig::default()).unwrap();
     let coll = collect_signature_with(&app, 384, &machine, &cfg);
     let comm = app.comm_profile(384);
-    let e_ex = predict_energy(&ex, &comm, &machine);
-    let e_coll = predict_energy(coll.longest_task(), &coll.comm, &machine);
+    let e_ex = try_predict_energy(&ex, &comm, &machine).unwrap();
+    let e_coll = try_predict_energy(coll.longest_task(), &coll.comm, &machine).unwrap();
     let gap = relative_error(e_ex.total_joules, e_coll.total_joules);
     assert!(gap < 0.05, "energy gap {gap}");
     assert!(e_ex.avg_watts > machine.power.static_watts);
@@ -145,7 +146,7 @@ fn machine_profiles_roundtrip_through_spec_files() {
     let app = StencilProxy::small();
     let cfg = TracerConfig::fast();
     let sig = collect_signature_with(&app, 4, &machine, &cfg);
-    let a = predict_runtime(sig.longest_task(), &sig.comm, &machine);
-    let b = predict_runtime(sig.longest_task(), &sig.comm, &reloaded);
+    let a = try_predict_runtime(sig.longest_task(), &sig.comm, &machine).unwrap();
+    let b = try_predict_runtime(sig.longest_task(), &sig.comm, &reloaded).unwrap();
     assert!((a.total_seconds - b.total_seconds).abs() / a.total_seconds < 1e-9);
 }

@@ -1,0 +1,123 @@
+//! Observability contract tests (PR 4 satellite): the metrics a pipeline
+//! run emits are part of the public surface, so their *names and
+//! deterministic values* are pinned by a committed golden snapshot, their
+//! totals must not depend on the thread count, and recording them must not
+//! perturb the prediction by a single bit.
+//!
+//! Wall-clock span durations and scheduling-dependent `sched.*` counters
+//! are the only nondeterministic fields; [`Snapshot::masked`] zeroes the
+//! former and strips the latter, and everything left is required to be a
+//! pure function of the pipeline inputs.
+//!
+//! To re-bless the golden after an *intentional* metrics change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test observability
+//! ```
+//!
+//! then commit the refreshed `tests/golden/specfem_tiny_metrics.json` and
+//! explain the delta in the PR.
+
+use std::sync::Mutex;
+
+use xtrace::core::{Pipeline, PipelineConfig, PipelineReport};
+use xtrace::obs::{Recorder, Snapshot};
+
+// The ambient recorder is process-global; serialize the tests that
+// install one so concurrent test threads cannot cross-contaminate.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+/// Same tiny SPECFEM3D run as the golden-prediction test: three training
+/// counts, no validation stage, light tracer sampling.
+fn tiny_config() -> PipelineConfig {
+    PipelineConfig::builder("specfem3d", "cray-xt5", vec![6, 24, 96], 384)
+        .scale("tiny")
+        .fast_tracer(true)
+        .validate(false)
+        .build()
+}
+
+fn run_recorded() -> (PipelineReport, Snapshot) {
+    let recorder = Recorder::new();
+    let mut pipeline = Pipeline::new(tiny_config())
+        .unwrap()
+        .with_recorder(recorder.clone());
+    let report = pipeline.run().unwrap();
+    (report, recorder.snapshot())
+}
+
+fn golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/specfem_tiny_metrics.json")
+}
+
+#[test]
+fn masked_metrics_snapshot_matches_committed_golden() {
+    let _serial = SERIAL
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let (_, snapshot) = run_recorded();
+    let actual = snapshot.masked().to_json();
+
+    let path = golden_path();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, actual + "\n").unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden metrics snapshot at {} ({e}); run \
+             UPDATE_GOLDEN=1 cargo test --test observability",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual,
+        expected.trim_end_matches('\n'),
+        "masked metrics snapshot drifted from {}; if the change is \
+         intentional, re-bless with UPDATE_GOLDEN=1 and explain the \
+         delta in the PR",
+        path.display()
+    );
+}
+
+#[test]
+fn masked_metrics_are_thread_invariant() {
+    let _serial = SERIAL
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let run_at = |threads: usize| {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool");
+        pool.install(run_recorded)
+    };
+    let (report1, snap1) = run_at(1);
+    let (report4, snap4) = run_at(4);
+    assert_eq!(
+        snap1.masked(),
+        snap4.masked(),
+        "counter totals must not depend on the thread count"
+    );
+    assert_eq!(report1.prediction, report4.prediction);
+}
+
+#[test]
+fn recording_does_not_perturb_the_prediction() {
+    let _serial = SERIAL
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let plain = Pipeline::new(tiny_config()).unwrap().run().unwrap();
+    let (recorded, snapshot) = run_recorded();
+    // Bit-identical, not approximately equal: serialize both and compare
+    // the exact decimal expansions.
+    assert_eq!(
+        serde_json::to_string(&plain.prediction).unwrap(),
+        serde_json::to_string(&recorded.prediction).unwrap(),
+        "metrics recording changed the prediction"
+    );
+    assert_eq!(plain.extrapolated, recorded.extrapolated);
+    // And the run actually recorded something.
+    assert!(!snapshot.spans.is_empty());
+    assert!(snapshot.counters.values().any(|&v| v > 0));
+}

@@ -8,7 +8,7 @@ use xtrace::extrap::{
     CanonicalForm, ExtrapolationConfig,
 };
 use xtrace::machine::presets;
-use xtrace::psins::{ground_truth, predict_runtime, relative_error};
+use xtrace::psins::{ground_truth, relative_error, try_predict_runtime};
 use xtrace::spmd::SpmdApp;
 use xtrace::tracer::{collect_signature_with, TracerConfig};
 
@@ -39,8 +39,8 @@ fn specfem_pipeline_extrapolated_matches_collected_prediction() {
 
     let collected = collect_signature_with(&app, 384, &machine, &cfg);
     let comm = app.comm_profile(384);
-    let pe = predict_runtime(&extrapolated, &comm, &machine);
-    let pc = predict_runtime(collected.longest_task(), &collected.comm, &machine);
+    let pe = try_predict_runtime(&extrapolated, &comm, &machine).unwrap();
+    let pc = try_predict_runtime(collected.longest_task(), &collected.comm, &machine).unwrap();
 
     let gap = relative_error(pe.total_seconds, pc.total_seconds);
     assert!(
@@ -57,7 +57,7 @@ fn specfem_prediction_tracks_measured_runtime() {
     let machine = presets::cray_xt5();
     let cfg = TracerConfig::fast();
     let sig = collect_signature_with(&app, 96, &machine, &cfg);
-    let pred = predict_runtime(sig.longest_task(), &sig.comm, &machine);
+    let pred = try_predict_runtime(sig.longest_task(), &sig.comm, &machine).unwrap();
     let measured = ground_truth(&app, 96, &machine, &cfg);
     let err = relative_error(pred.total_seconds, measured.total_seconds);
     assert!(
@@ -160,7 +160,7 @@ fn engine_matches_manual_composition_bit_for_bit() {
         .collect();
     let extrapolated =
         extrapolate_signature(&training, 384, &ExtrapolationConfig::default()).unwrap();
-    let manual = predict_runtime(&extrapolated, &app.comm_profile(384), &machine);
+    let manual = try_predict_runtime(&extrapolated, &app.comm_profile(384), &machine).unwrap();
 
     assert_eq!(report.extrapolated, extrapolated);
     assert_eq!(report.prediction.total_seconds, manual.total_seconds);
@@ -182,7 +182,9 @@ fn whole_pipeline_is_deterministic() {
             })
             .collect();
         let ex = extrapolate_signature(&training, 32, &ExtrapolationConfig::default()).unwrap();
-        predict_runtime(&ex, &app.comm_profile(32), &machine).total_seconds
+        try_predict_runtime(&ex, &app.comm_profile(32), &machine)
+            .unwrap()
+            .total_seconds
     };
     assert_eq!(run(), run());
 }
@@ -199,8 +201,8 @@ fn signatures_transfer_across_target_machines() {
     let s_big = collect_signature_with(&app, 8, &m_big, &cfg);
     assert_eq!(s_small.longest_task().depth, 2);
     assert_eq!(s_big.longest_task().depth, 3);
-    let p_small = predict_runtime(s_small.longest_task(), &s_small.comm, &m_small);
-    let p_big = predict_runtime(s_big.longest_task(), &s_big.comm, &m_big);
+    let p_small = try_predict_runtime(s_small.longest_task(), &s_small.comm, &m_small).unwrap();
+    let p_big = try_predict_runtime(s_big.longest_task(), &s_big.comm, &m_big).unwrap();
     assert!(p_small.total_seconds > 0.0 && p_big.total_seconds > 0.0);
     assert_ne!(p_small.total_seconds, p_big.total_seconds);
 }
