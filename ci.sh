@@ -73,4 +73,28 @@ assert not missing, f"missing metrics keys: {missing}"
 print(f"metrics smoke: {len(spans)} spans, {len(keys)} metric keys, all required present")
 PY
 
+echo "== trace smoke (--trace-out / --diagnostics-out keys) =="
+cargo run -q --release --offline -p xtrace-cli -- pipeline \
+    --app specfem3d --scale tiny --machine cray-xt5 \
+    --training 6,24,96 --target 384 --tracer fast --validate false \
+    --trace-out "$tmp/obs/trace.json" \
+    --diagnostics-out "$tmp/obs/diagnostics.json" >/dev/null
+python3 - "$tmp/obs/trace.json" "$tmp/obs/diagnostics.json" <<'PY'
+import json, sys
+trace = json.load(open(sys.argv[1]))
+events = trace["traceEvents"]
+assert events, "empty traceEvents"
+for ev in events:
+    for key in ("name", "ph", "ts", "dur"):
+        assert key in ev, f"event missing {key}: {ev}"
+phases = {ev["ph"] for ev in events}
+assert "X" in phases, f"no duration events: {sorted(phases)}"
+diag = json.load(open(sys.argv[2]))
+for key in ("target_x", "training_xs", "form_wins", "elements"):
+    assert key in diag, f"diagnostics missing {key}"
+assert sum(diag["form_wins"].values()) == len(diag["elements"])
+print(f"trace smoke: {len(events)} trace events, "
+      f"{len(diag['elements'])} diagnosed elements, all required keys present")
+PY
+
 echo "== ci.sh: all green =="

@@ -9,6 +9,9 @@
 //!    the disabled fast path (one relaxed atomic load, no-op handles).
 //! 2. `recorded` — an [`xtrace_obs::Recorder`] attached: spans, counters,
 //!    gauges, and histograms all live.
+//! 3. `journal`  — [`Recorder::with_journal`]: everything above plus the
+//!    structured event journal (stage begin/end, per-count collects,
+//!    per-element fit decisions, rank-class attribution).
 //!
 //! The acceptance number is the *recorded* overhead fraction. At every
 //! instrumentation site the disabled path does strictly less work than
@@ -19,8 +22,9 @@
 //! ns/op for the record.
 //!
 //! Correctness gate (quick and full): the prediction and extrapolated
-//! signature must be bit-identical with and without the recorder.
-//! Performance gate (full mode only): recorded overhead < 2%.
+//! signature must be bit-identical across all three legs.
+//! Performance gate (full mode only): recorded overhead < 2%, journal
+//! overhead < 3%.
 //!
 //! Emits `BENCH_obs.json`. Run with:
 //! `cargo run --release -p xtrace-bench --bin bench_obs [-- --out F]`
@@ -30,7 +34,7 @@ use std::time::Instant;
 
 use serde::Serialize;
 use xtrace_core::{Pipeline, PipelineConfig, PipelineReport};
-use xtrace_obs::{Recorder, Snapshot};
+use xtrace_obs::{JournalSnapshot, Recorder, Snapshot};
 
 #[derive(Serialize)]
 struct ObsBench {
@@ -39,8 +43,11 @@ struct ObsBench {
     app: String,
     plain_wall_s: f64,
     recorded_wall_s: f64,
+    journal_wall_s: f64,
     /// recorded wall / plain wall − 1. Negative values are timer noise.
     recorded_overhead_frac: f64,
+    /// journal wall / plain wall − 1. Negative values are timer noise.
+    journal_overhead_frac: f64,
     /// Direct microbench of the disabled fast path: one ambient-registry
     /// lookup plus one counter increment per op, nothing installed.
     disabled_ns_per_op: f64,
@@ -48,7 +55,11 @@ struct ObsBench {
     spans_recorded: usize,
     /// Sum of all counter totals the recorded run accumulated.
     counter_events: u64,
-    /// Prediction and extrapolated signature identical across both legs.
+    /// Events the journal-enabled run buffered.
+    journal_events: usize,
+    /// Events the journal dropped once the buffer filled (0 expected).
+    journal_dropped: u64,
+    /// Prediction and extrapolated signature identical across all legs.
     bit_identical: bool,
 }
 
@@ -88,6 +99,19 @@ fn run_recorded(quick: bool) -> (PipelineReport, Snapshot) {
     (report, snapshot)
 }
 
+fn run_journaled(quick: bool) -> (PipelineReport, JournalSnapshot) {
+    let recorder = Recorder::with_journal();
+    let report = Pipeline::new(config(quick))
+        .expect("valid config")
+        .with_recorder(recorder.clone())
+        .run()
+        .expect("pipeline runs");
+    let journal = recorder
+        .journal_snapshot()
+        .expect("with_journal() recorder has a journal");
+    (report, journal)
+}
+
 fn disabled_ns_per_op(iters: u64) -> f64 {
     assert!(
         xtrace_obs::current().is_none(),
@@ -124,8 +148,10 @@ fn main() {
     // equally; min-of-reps then discards the noisy outliers.
     let mut plain_wall = f64::INFINITY;
     let mut recorded_wall = f64::INFINITY;
+    let mut journal_wall = f64::INFINITY;
     let mut plain = None;
     let mut recorded_leg = None;
+    let mut journal_leg = None;
     for _ in 0..reps {
         let (w, r) = timed(|| run_plain(quick));
         plain_wall = plain_wall.min(w);
@@ -133,15 +159,23 @@ fn main() {
         let (w, r) = timed(|| run_recorded(quick));
         recorded_wall = recorded_wall.min(w);
         recorded_leg = Some(r);
+        let (w, r) = timed(|| run_journaled(quick));
+        journal_wall = journal_wall.min(w);
+        journal_leg = Some(r);
     }
     let plain = plain.expect("at least one rep");
     let (recorded, snapshot) = recorded_leg.expect("at least one rep");
+    let (journaled, journal) = journal_leg.expect("at least one rep");
     let overhead = recorded_wall / plain_wall - 1.0;
+    let journal_overhead = journal_wall / plain_wall - 1.0;
     let ns_per_op = disabled_ns_per_op(if quick { 10_000_000 } else { 100_000_000 });
 
-    let bit_identical = serde_json::to_string(&plain.prediction).expect("serializes")
+    let plain_pred = serde_json::to_string(&plain.prediction).expect("serializes");
+    let bit_identical = plain_pred
         == serde_json::to_string(&recorded.prediction).expect("serializes")
-        && plain.extrapolated == recorded.extrapolated;
+        && plain_pred == serde_json::to_string(&journaled.prediction).expect("serializes")
+        && plain.extrapolated == recorded.extrapolated
+        && plain.extrapolated == journaled.extrapolated;
 
     let report = ObsBench {
         quick,
@@ -149,10 +183,14 @@ fn main() {
         app: "specfem3d/tiny".into(),
         plain_wall_s: plain_wall,
         recorded_wall_s: recorded_wall,
+        journal_wall_s: journal_wall,
         recorded_overhead_frac: overhead,
+        journal_overhead_frac: journal_overhead,
         disabled_ns_per_op: ns_per_op,
         spans_recorded: snapshot.spans.len(),
         counter_events: snapshot.counters.values().sum(),
+        journal_events: journal.events.len(),
+        journal_dropped: journal.dropped,
         bit_identical,
     };
     std::fs::write(
@@ -161,11 +199,16 @@ fn main() {
     )
     .expect("write report");
     println!(
-        "plain {:.1} ms, recorded {:.1} ms ({:+.2}% overhead), disabled path \
-         {:.2} ns/op, {} spans, {} counter events, bit-identical: {}\nwrote {out}",
+        "plain {:.1} ms, recorded {:.1} ms ({:+.2}%), journal {:.1} ms \
+         ({:+.2}%, {} events, {} dropped), disabled path {:.2} ns/op, \
+         {} spans, {} counter events, bit-identical: {}\nwrote {out}",
         1e3 * plain_wall,
         1e3 * recorded_wall,
         1e2 * overhead,
+        1e3 * journal_wall,
+        1e2 * journal_overhead,
+        report.journal_events,
+        report.journal_dropped,
         ns_per_op,
         report.spans_recorded,
         report.counter_events,
@@ -176,9 +219,13 @@ fn main() {
     // answer.
     assert!(
         report.bit_identical,
-        "recording metrics changed the prediction"
+        "recording metrics or journaling changed the prediction"
     );
     assert!(report.spans_recorded > 0 && report.counter_events > 0);
+    assert!(
+        report.journal_events > 0 && report.journal_dropped == 0,
+        "journal leg must buffer events without dropping any"
+    );
     // Performance gate (full mode only; quick runs assert correctness,
     // not wall-clock).
     if !quick {
@@ -186,6 +233,11 @@ fn main() {
             overhead < 0.02,
             "observability overhead above acceptance: {:+.2}%",
             1e2 * overhead
+        );
+        assert!(
+            journal_overhead < 0.03,
+            "journal overhead above acceptance: {:+.2}%",
+            1e2 * journal_overhead
         );
     }
 }

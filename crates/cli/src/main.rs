@@ -16,6 +16,7 @@
 //! xtrace pipeline    --app A --training P1,P2,P3 --target P --machine M
 //!                    [--scale S] [--forms paper|extended] [--validate true|false]
 //!                    [--store DIR] [--out F]
+//! xtrace report      same flags as pipeline, plus [--top N]
 //! xtrace diff        --a F1 --b F2 [--threshold 0.001] [--top N]
 //! xtrace machine-export --machine M --out F.json
 //! xtrace inspect     --app A --ranks P [--rank R] [--scale S]
@@ -38,6 +39,20 @@
 //! spans, kernel counters, histograms) as JSON; `--metrics table` renders
 //! the same snapshot human-readably on stderr. Metrics never change the
 //! prediction — the report is bit-identical with or without them.
+//!
+//! `--trace-out trace.json` additionally enables the structured event
+//! journal and exports it in Chrome Trace Event Format (open the file in
+//! <https://ui.perfetto.dev> or `chrome://tracing`); `--diagnostics-out`
+//! writes the per-element canonical-form fit diagnostics (candidate
+//! SSE/R², winner, residuals, extrapolation distance) as JSON. The
+//! journal is subject to the same guarantee as metrics: predictions are
+//! bit-identical with it on or off.
+//!
+//! `xtrace report` runs the same pipeline as `xtrace pipeline` with the
+//! journal always on and renders a run report on stdout: stage timing
+//! breakdown, the canonical-form win table, the `--top <N>` (default 5)
+//! worst-fit elements by winner R², and the per-rank-class compute vs.
+//! communication split of the largest simulated core count.
 //!
 //! `--threads <N>` (accepted by every command) caps the rayon worker
 //! count used for block-parallel collection and parallel fitting;
@@ -65,7 +80,12 @@ fn usage() -> &'static str {
      xtrace pipeline --app <name> --training <P1,P2,P3> --target <P> --machine <name>\n                  \
      [--scale tiny|small|paper] [--forms paper|extended] [--validate true|false]\n                  \
      [--tracer fast|default] [--store <dir>] [--out <file>]\n                  \
-     [--metrics-out <file.json>] [--metrics table]\n  \
+     [--metrics-out <file.json>] [--metrics table]\n                  \
+     [--trace-out <trace.json>] [--diagnostics-out <file.json>]\n  \
+     xtrace report --app <name> --training <P1,P2,P3> --target <P> --machine <name>\n                  \
+     [--scale tiny|small|paper] [--forms paper|extended] [--validate true|false]\n                  \
+     [--tracer fast|default] [--store <dir>] [--top <N>]\n                  \
+     [--metrics-out <file.json>] [--trace-out <trace.json>] [--diagnostics-out <file.json>]\n  \
      xtrace diff --a <file> --b <file> [--threshold <frac>] [--top <N>]\n  \
      xtrace machine-export --machine <name> --out <file.json>\n  \
      xtrace inspect --app <name> --ranks <P> [--rank <R>] [--scale tiny|small|paper]\n\n\
@@ -147,13 +167,23 @@ fn cmd_inspect(args: &Args) -> Result<()> {
     Ok(())
 }
 
+/// Writes an output file, creating missing parent directories. Both the
+/// directory creation and the write map failures onto
+/// [`XtraceError::Io`] (exit code 3) rather than surfacing a raw I/O
+/// error.
 fn write_file(path: &str, body: impl AsRef<[u8]>) -> Result<()> {
-    std::fs::write(path, body).map_err(|e| {
+    let io_err = |e: std::io::Error| {
         XtraceError::Io(IoError::Io {
             path: path.into(),
             source: e,
         })
-    })
+    };
+    if let Some(parent) = Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(io_err)?;
+        }
+    }
+    std::fs::write(path, body).map_err(io_err)
 }
 
 fn cmd_machine_export(args: &Args) -> Result<()> {
@@ -338,7 +368,9 @@ impl StageObserver for EprintObserver {
     }
 }
 
-fn cmd_pipeline(args: &Args) -> Result<()> {
+/// Parses the pipeline-shaped flags shared by `pipeline` and `report`
+/// into a [`PipelineConfig`].
+fn pipeline_config(args: &Args) -> Result<PipelineConfig> {
     let training: Vec<u32> = args
         .require("training")?
         .split(',')
@@ -374,7 +406,44 @@ fn cmd_pipeline(args: &Args) -> Result<()> {
             )))
         }
     };
+    Ok(config)
+}
 
+/// Writes the observability artifacts shared by `pipeline` and `report`:
+/// `--metrics-out` (snapshot JSON), `--trace-out` (Chrome trace), and
+/// `--diagnostics-out` (fit diagnostics JSON).
+fn write_obs_outputs(
+    args: &Args,
+    report: &xtrace_core::PipelineReport,
+    recorder: &std::sync::Arc<xtrace_obs::Recorder>,
+) -> Result<()> {
+    if let Some(path) = args.get("metrics-out") {
+        write_file(path, recorder.snapshot().to_json() + "\n")?;
+        eprintln!("wrote metrics to {path}");
+    }
+    if let Some(path) = args.get("trace-out") {
+        let journal = recorder.journal_snapshot().ok_or_else(|| {
+            XtraceError::Model("--trace-out needs the event journal (internal error)".into())
+        })?;
+        write_file(path, xtrace_obs::chrome_trace(&journal) + "\n")?;
+        eprintln!("wrote Chrome trace to {path} (open in https://ui.perfetto.dev)");
+    }
+    if let Some(path) = args.get("diagnostics-out") {
+        let diag = report.fit_diagnostics.as_ref().ok_or_else(|| {
+            XtraceError::Model(
+                "fit diagnostics unavailable: this run resumed the fit stage from a store \
+                 written before diagnostics existed — rerun after clearing the store"
+                    .into(),
+            )
+        })?;
+        write_file(path, diag.to_json() + "\n")?;
+        eprintln!("wrote fit diagnostics to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_pipeline(args: &Args) -> Result<()> {
+    let config = pipeline_config(args)?;
     let metrics_table = match args.get("metrics") {
         None | Some("none") => false,
         Some("table") => true,
@@ -384,13 +453,23 @@ fn cmd_pipeline(args: &Args) -> Result<()> {
             )))
         }
     };
-    let metrics_out = args.get("metrics-out");
+    let want_journal = args.get("trace-out").is_some();
+    let want_recorder = metrics_table
+        || want_journal
+        || args.get("metrics-out").is_some()
+        || args.get("diagnostics-out").is_some();
 
     let mut pipeline = Pipeline::new(config)?.with_observer(Box::new(EprintObserver));
     if let Some(dir) = args.get("store") {
         pipeline = pipeline.with_store(dir)?;
     }
-    let recorder = (metrics_table || metrics_out.is_some()).then(xtrace_obs::Recorder::new);
+    let recorder = if want_journal {
+        Some(xtrace_obs::Recorder::with_journal())
+    } else if want_recorder {
+        Some(xtrace_obs::Recorder::new())
+    } else {
+        None
+    };
     if let Some(rec) = &recorder {
         pipeline = pipeline.with_recorder(rec.clone());
     }
@@ -440,15 +519,153 @@ fn cmd_pipeline(args: &Args) -> Result<()> {
         eprintln!("wrote prediction to {path}");
     }
     if let Some(rec) = &recorder {
-        let snapshot = rec.snapshot();
         if metrics_table {
-            eprintln!("{}", snapshot.render_table());
+            eprintln!("{}", rec.snapshot().render_table());
         }
-        if let Some(path) = metrics_out {
-            write_file(path, snapshot.to_json() + "\n")?;
-            eprintln!("wrote metrics to {path}");
+        write_obs_outputs(args, &report, rec)?;
+    }
+    Ok(())
+}
+
+/// `xtrace report`: run the pipeline (journal always on) and render a
+/// human-readable run report — stage timing breakdown, canonical-form win
+/// table, the top-K worst-fit elements, and the per-rank-class compute
+/// vs. communication split from the replay journal.
+fn cmd_report(args: &Args) -> Result<()> {
+    let config = pipeline_config(args)?;
+    let top: usize = args
+        .get("top")
+        .unwrap_or("5")
+        .parse()
+        .map_err(|_| usage_err("--top must be an integer"))?;
+    let mut pipeline = Pipeline::new(config)?.with_observer(Box::new(EprintObserver));
+    if let Some(dir) = args.get("store") {
+        pipeline = pipeline.with_store(dir)?;
+    }
+    let recorder = xtrace_obs::Recorder::with_journal();
+    pipeline = pipeline.with_recorder(recorder.clone());
+    let report = pipeline.run()?;
+    let journal = recorder
+        .journal_snapshot()
+        .unwrap_or_else(|| xtrace_obs::JournalSnapshot {
+            events: Vec::new(),
+            dropped: 0,
+        });
+
+    println!("== xtrace run report ==");
+    println!(
+        "{} @ {} cores on {} — predicted {:.3} s (config {})",
+        report.extrapolated.app,
+        report.extrapolated.nranks,
+        report.extrapolated.machine,
+        report.prediction.total_seconds,
+        report.config_hash
+    );
+    if let Some(v) = &report.validation {
+        println!(
+            "validated: measured {:.3} s, extrapolated err {:.1}%, collected err {:.1}%",
+            v.measured_seconds,
+            100.0 * v.extrapolated_error,
+            100.0 * v.collected_error
+        );
+    }
+
+    let total: f64 = report.timings.iter().map(|t| t.seconds).sum();
+    println!("\nstage timings:");
+    for t in &report.timings {
+        let pct = if total > 0.0 {
+            100.0 * t.seconds / total
+        } else {
+            0.0
+        };
+        println!(
+            "  {:<12} {:>9.3} s  {:>5.1}%",
+            t.stage.label(),
+            t.seconds,
+            pct
+        );
+    }
+    println!("  {:<12} {:>9.3} s", "total", total);
+
+    match &report.fit_diagnostics {
+        Some(diag) => {
+            println!(
+                "\ncanonical-form wins ({} elements, extrapolation distance {:.1}x):",
+                diag.elements.len(),
+                diag.extrapolation_distance()
+            );
+            let total_wins: u64 = diag.form_wins.values().sum::<u64>().max(1);
+            for (form, n) in &diag.form_wins {
+                println!(
+                    "  {:<10} {:>6}  {:>5.1}%",
+                    form,
+                    n,
+                    100.0 * *n as f64 / total_wins as f64
+                );
+            }
+            println!("\nworst-fit elements (by winner R², top {top}):");
+            println!(
+                "  {:<22} {:<5} {:<14} {:<10} {:>11} {:>8}",
+                "block", "instr", "feature", "form", "sse", "R²"
+            );
+            for i in diag.worst_fit(top) {
+                let e = &diag.elements[i];
+                println!(
+                    "  {:<22} i{:<4} {:<14} {:<10} {:>11.4e} {:>8.4}",
+                    e.block, e.instr, e.feature, e.winner, e.winner_sse, e.winner_r2
+                );
+            }
+        }
+        None => println!(
+            "\nfit diagnostics unavailable (fit stage resumed from a pre-diagnostics store)"
+        ),
+    }
+
+    // Per-rank-class compute/comm split: the spmd.class_total journal
+    // events of the largest simulated core count (keep the last
+    // simulation's entry per class, e.g. the validation collect).
+    let max_nranks = journal
+        .events
+        .iter()
+        .filter(|e| e.name == "spmd.class_total")
+        .filter_map(|e| e.args.get("nranks"))
+        .fold(0.0f64, |a, &b| a.max(b));
+    if max_nranks > 0.0 {
+        let mut per_class: std::collections::BTreeMap<
+            u64,
+            &std::collections::BTreeMap<String, f64>,
+        > = std::collections::BTreeMap::new();
+        for e in &journal.events {
+            if e.name == "spmd.class_total" && e.args.get("nranks") == Some(&max_nranks) {
+                per_class.insert(e.args.get("class").copied().unwrap_or(0.0) as u64, &e.args);
+            }
+        }
+        println!(
+            "\nrank-class compute/comm split (p = {}):",
+            max_nranks as u64
+        );
+        for (c, a) in per_class {
+            let compute = a.get("compute_s").copied().unwrap_or(0.0);
+            let comm = a.get("comm_s").copied().unwrap_or(0.0);
+            let busy = (compute + comm).max(f64::MIN_POSITIVE);
+            println!(
+                "  class {c}: {:>6} ranks  compute {:>9.3} s ({:>5.1}%)  comm {:>9.3} s ({:>5.1}%)",
+                a.get("ranks").copied().unwrap_or(0.0) as u64,
+                compute,
+                100.0 * compute / busy,
+                comm,
+                100.0 * comm / busy
+            );
         }
     }
+
+    if report.cache_hits > 0 {
+        eprintln!(
+            "store: {} artifact(s) reused, {} computed",
+            report.cache_hits, report.cache_misses
+        );
+    }
+    write_obs_outputs(args, &report, &recorder)?;
     Ok(())
 }
 
@@ -538,6 +755,7 @@ fn run() -> Result<()> {
         "extrapolate" => cmd_extrapolate(&args),
         "predict" => cmd_predict(&args),
         "pipeline" => cmd_pipeline(&args),
+        "report" => cmd_report(&args),
         "diff" => cmd_diff(&args),
         "machine-export" => cmd_machine_export(&args),
         "inspect" => cmd_inspect(&args),

@@ -537,6 +537,113 @@ fn pipeline_golden_prediction_is_thread_invariant() {
 }
 
 #[test]
+fn report_subcommand_renders_run_report() {
+    let out = xtrace(&[
+        "report",
+        "--app",
+        "stencil3d",
+        "--training",
+        "2,4,8",
+        "--target",
+        "32",
+        "--machine",
+        "opteron",
+        "--validate",
+        "false",
+        "--top",
+        "3",
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let s = String::from_utf8_lossy(&out.stdout);
+    assert!(s.contains("xtrace run report"), "{s}");
+    assert!(s.contains("stage timings:"), "{s}");
+    assert!(s.contains("canonical-form wins"), "{s}");
+    assert!(s.contains("worst-fit elements"), "{s}");
+    assert!(s.contains("rank-class compute/comm split"), "{s}");
+}
+
+#[test]
+fn obs_outputs_create_missing_parent_dirs() {
+    let dir = tmpdir("obsout");
+    // The nested directory must not exist yet: creating it is the point.
+    let nested = dir.join("deeply/nested");
+    let _ = std::fs::remove_dir_all(dir.join("deeply"));
+    let metrics = nested.join("metrics.json");
+    let trace = nested.join("trace.json");
+    let diag = nested.join("diagnostics.json");
+    let out = xtrace(&[
+        "pipeline",
+        "--app",
+        "stencil3d",
+        "--training",
+        "2,4,8",
+        "--target",
+        "32",
+        "--machine",
+        "opteron",
+        "--validate",
+        "false",
+        "--metrics-out",
+        metrics.to_str().unwrap(),
+        "--trace-out",
+        trace.to_str().unwrap(),
+        "--diagnostics-out",
+        diag.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+
+    let metrics: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+    assert!(metrics["counters"].0.as_object().is_some(), "{metrics:?}");
+
+    // The Chrome trace carries the keys the viewers require.
+    let trace: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&trace).unwrap()).unwrap();
+    let events = trace["traceEvents"]
+        .0
+        .as_array()
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+    for ev in events {
+        for key in ["name", "ph", "ts", "dur"] {
+            assert!(ev.get(key).is_some(), "event missing {key}: {ev:?}");
+        }
+    }
+
+    let diag: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&diag).unwrap()).unwrap();
+    assert!(diag["form_wins"].0.as_object().is_some(), "{diag:?}");
+    assert!(!diag["elements"].0.as_array().unwrap().is_empty());
+    assert!(!diag["training_xs"].0.as_array().unwrap().is_empty());
+}
+
+#[test]
+fn obs_output_write_failure_exits_with_code_3() {
+    // /dev/null is a file, so creating a directory under it must fail and
+    // surface as the I/O exit code.
+    let out = xtrace(&[
+        "pipeline",
+        "--app",
+        "stencil3d",
+        "--training",
+        "2,4,8",
+        "--target",
+        "32",
+        "--machine",
+        "opteron",
+        "--validate",
+        "false",
+        "--trace-out",
+        "/dev/null/trace.json",
+    ]);
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("/dev/null/trace.json"),
+        "names the path"
+    );
+}
+
+#[test]
 fn pipeline_subcommand_prints_table() {
     let out = xtrace(&[
         "pipeline",

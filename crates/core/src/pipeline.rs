@@ -76,6 +76,12 @@ pub struct PipelineReport {
     pub cache_hits: usize,
     /// Artifact-store lookups that had to be computed.
     pub cache_misses: usize,
+    /// Per-element canonical-form fit diagnostics. Present whenever the
+    /// Fit stage ran this process; on store-resumed runs it is loaded
+    /// from the `fit-diagnostics` artifact (and is `None` when resuming
+    /// from a store written before diagnostics existed, or when no store
+    /// is attached on a short-circuited run).
+    pub fit_diagnostics: Option<xtrace_obs::FitDiagnostics>,
 }
 
 /// Forwards to a caller observer while counting cache traffic.
@@ -248,15 +254,29 @@ impl Pipeline {
             }
             m.gauge("spmd.rank_classes");
         }
+        // Journal: wall-clock begin/end per stage on the "pipeline" lane
+        // (the no-op handle when the recorder has no journal). Stage
+        // kernels emit their own fine-grained events through the ambient
+        // handle while the recorder is installed.
+        let journal = recorder
+            .as_ref()
+            .map(|rec| rec.journal())
+            .unwrap_or_default();
         let run_start = Instant::now();
+        journal.begin(xtrace_obs::STAGE_PARENT, "pipeline", &[]);
+        let stage_begin = |stage: StageKind| {
+            journal.begin(stage.label(), "pipeline", &[]);
+        };
         let stage_span = |stage: StageKind, seconds: f64| {
             if let Some(rec) = &recorder {
                 rec.record_span(Some(xtrace_obs::STAGE_PARENT), stage.label(), seconds);
             }
+            journal.end(stage.label(), "pipeline", &[]);
         };
 
         // Collect. Per-trace caching lives inside DefaultCollect.
         obs.stage_started(StageKind::Collect);
+        stage_begin(StageKind::Collect);
         let t = Instant::now();
         let traces = self.collect.collect(&self.ctx, &mut obs)?;
         let dt = t.elapsed().as_secs_f64();
@@ -277,10 +297,12 @@ impl Pipeline {
             }
             None => None,
         };
+        let mut fit_diagnostics: Option<xtrace_obs::FitDiagnostics> = None;
         let extrapolated = match cached {
             Some(trace) => {
                 for stage in [StageKind::Fit, StageKind::Synthesize] {
                     obs.stage_started(stage);
+                    stage_begin(stage);
                     obs.stage_finished(stage, 0.0);
                     timings.push(StageTiming {
                         stage,
@@ -288,10 +310,17 @@ impl Pipeline {
                     });
                     stage_span(stage, 0.0);
                 }
+                // The Fit stage was skipped; reload its diagnostics from
+                // the store (absent when the store predates them).
+                if let Some(store) = &engine_store {
+                    fit_diagnostics =
+                        store.get_json::<xtrace_obs::FitDiagnostics>(&hash, "fit-diagnostics")?;
+                }
                 trace
             }
             None => {
                 obs.stage_started(StageKind::Fit);
+                stage_begin(StageKind::Fit);
                 let t = Instant::now();
                 let fit = self.fit.fit(&self.ctx, &mut obs, &traces)?;
                 let dt = t.elapsed().as_secs_f64();
@@ -302,7 +331,26 @@ impl Pipeline {
                 });
                 stage_span(StageKind::Fit, dt);
 
+                // Diagnose the fit outside the stage timing: a pure,
+                // deterministic function of the fit, so it costs the same
+                // with and without a recorder and is bit-identical across
+                // thread counts.
+                let mut xs: Vec<f64> = self
+                    .ctx
+                    .config
+                    .training
+                    .iter()
+                    .map(|&p| f64::from(p))
+                    .collect();
+                xs.sort_by(f64::total_cmp);
+                let diagnostics = xtrace_extrap::diagnose_fit(&fit, &xs, &self.ctx.extrap);
+                if let Some(store) = &engine_store {
+                    store.put_json(&hash, "fit-diagnostics", &diagnostics)?;
+                }
+                fit_diagnostics = Some(diagnostics);
+
                 obs.stage_started(StageKind::Synthesize);
+                stage_begin(StageKind::Synthesize);
                 let t = Instant::now();
                 let trace = self.synthesize.synthesize(&self.ctx, &mut obs, &fit)?;
                 let dt = t.elapsed().as_secs_f64();
@@ -321,6 +369,7 @@ impl Pipeline {
 
         // Convolve.
         obs.stage_started(StageKind::Convolve);
+        stage_begin(StageKind::Convolve);
         let t = Instant::now();
         let cached = match &engine_store {
             Some(store) => {
@@ -350,6 +399,7 @@ impl Pipeline {
 
         // Validate (only when the config asks for it).
         obs.stage_started(StageKind::Validate);
+        stage_begin(StageKind::Validate);
         let t = Instant::now();
         let cached = match &engine_store {
             Some(store) if self.ctx.config.validate => {
@@ -384,6 +434,7 @@ impl Pipeline {
                 run_start.elapsed().as_secs_f64(),
             );
         }
+        journal.end(xtrace_obs::STAGE_PARENT, "pipeline", &[]);
 
         Ok(PipelineReport {
             config_hash: hash,
@@ -394,6 +445,7 @@ impl Pipeline {
             timings,
             cache_hits: obs.hits,
             cache_misses: obs.misses,
+            fit_diagnostics,
         })
     }
 }

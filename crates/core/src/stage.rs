@@ -170,9 +170,13 @@ impl Collect for DefaultCollect {
         let metrics = xtrace_obs::metrics();
         metrics.counter("tracer.sig_memo.hits").add(memo.hits());
         metrics.counter("tracer.sig_memo.misses").add(memo.misses());
-        if let Some(rate_bp) = (memo.hits() * 10_000).checked_div(memo.hits() + memo.misses()) {
-            metrics.gauge("tracer.sig_memo.hit_rate_bp").set(rate_bp);
-        }
+        // Guard the basis-point rate against zero-lookup runs (every
+        // training trace served from the store): report 0 bp rather than
+        // dividing by zero — and always set the gauge, so the key is
+        // present in every snapshot.
+        let lookups = memo.hits() + memo.misses();
+        let rate_bp = (memo.hits() * 10_000).checked_div(lookups).unwrap_or(0);
+        metrics.gauge("tracer.sig_memo.hit_rate_bp").set(rate_bp);
         Ok(traces)
     }
 }

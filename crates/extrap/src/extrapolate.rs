@@ -22,7 +22,7 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use xtrace_tracer::{FeatureId, TaskTrace};
 
-use crate::fit::{select_best_guarded, SelectionCriterion};
+use crate::fit::{fit_all, select_best_guarded, SelectionCriterion};
 use crate::forms::{CanonicalForm, FittedModel};
 
 /// Extrapolation parameters.
@@ -512,6 +512,33 @@ fn fit_sorted(
             obs.counter(&format!("extrap.fit_wins.{label}")).add(n);
         }
     }
+    // Journal: one instant per element fit decision. Emitted here, after
+    // the (possibly parallel) fan-out reassembled in pair order, so the
+    // stream order is deterministic; only the which-path-ran marker is
+    // scheduling-dependent and carries the sched. prefix for masking.
+    let journal = xtrace_obs::journal();
+    if journal.enabled() {
+        journal.instant(
+            if parallel {
+                "sched.extrap.parallel_fit"
+            } else {
+                "sched.extrap.serial_fit"
+            },
+            "fit",
+            &[],
+        );
+        for (i, fit) in fits.iter().enumerate() {
+            journal.instant(
+                &format!("extrap.fit.{}", fit.model.form.label()),
+                "fit",
+                &[
+                    ("index", i as f64),
+                    ("sse", fit.model.sse),
+                    ("influence", fit.influence),
+                ],
+            );
+        }
+    }
 
     // Block-level invocation/iteration counts get the same treatment.
     let block_models = (0..base.blocks.len())
@@ -607,6 +634,75 @@ pub fn synthesize_from_fit(fit: &SignatureFit) -> TaskTrace {
         machine: base.machine.clone(),
         depth: base.depth,
         blocks: out_blocks,
+    }
+}
+
+/// Builds the [`FitDiagnostics`](xtrace_obs::FitDiagnostics) record for a
+/// completed fit: per element, the winner plus the SSE/R² of *every*
+/// applicable candidate form (re-fit from the stored training values —
+/// cheap, and it keeps the fitting hot path untouched), the winner's
+/// training-point residuals, and the extrapolation distance.
+///
+/// `xs` are the training core counts in ascending order — the same
+/// abscissas [`fit_signature`] fitted over. Elements whose stored value
+/// series does not match `xs` in length (foreign `SignatureFit`s) get
+/// empty candidate/residual lists rather than wrong numbers.
+///
+/// Pure function of the fit, so the artifact is bit-identical across
+/// thread counts.
+pub fn diagnose_fit(
+    fit: &SignatureFit,
+    xs: &[f64],
+    cfg: &ExtrapolationConfig,
+) -> xtrace_obs::FitDiagnostics {
+    let mut form_wins: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+    let mut elements = Vec::with_capacity(fit.fits.len());
+    for ef in &fit.fits {
+        let winner = ef.model.form.label().to_string();
+        *form_wins.entry(winner.clone()).or_insert(0) += 1;
+        let ys = &ef.values;
+        let n = ys.len() as f64;
+        let mean = if ys.is_empty() {
+            0.0
+        } else {
+            ys.iter().sum::<f64>() / n
+        };
+        let ss_tot: f64 = ys.iter().map(|y| (y - mean) * (y - mean)).sum();
+        let (candidates, residuals) = if ys.len() == xs.len() && !ys.is_empty() {
+            let candidates = fit_all(&cfg.forms, xs, ys)
+                .iter()
+                .map(|m| xtrace_obs::CandidateFit {
+                    form: m.form.label().to_string(),
+                    sse: m.sse,
+                    r2: m.r2(ss_tot),
+                })
+                .collect();
+            let residuals = xs
+                .iter()
+                .zip(ys)
+                .map(|(&x, &y)| y - ef.model.eval(x))
+                .collect();
+            (candidates, residuals)
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        elements.push(xtrace_obs::ElementDiagnostics {
+            block: ef.block.clone(),
+            instr: ef.instr,
+            feature: ef.feature.label(),
+            winner,
+            winner_sse: ef.model.sse,
+            winner_r2: ef.model.r2(ss_tot),
+            candidates,
+            residuals,
+            influence: ef.influence,
+        });
+    }
+    xtrace_obs::FitDiagnostics {
+        target_x: fit.target_x,
+        training_xs: xs.to_vec(),
+        form_wins,
+        elements,
     }
 }
 
@@ -904,6 +1000,38 @@ mod tests {
         // The series API labels the output with the base count.
         b.nranks = 8192;
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn diagnose_fit_reports_candidates_residuals_and_distance() {
+        let traces = training();
+        let cfg = ExtrapolationConfig::default();
+        let fit = fit_signature(&traces, 8192, &cfg).unwrap();
+        let xs: Vec<f64> = {
+            let mut xs: Vec<f64> = traces.iter().map(|t| f64::from(t.nranks)).collect();
+            xs.sort_by(f64::total_cmp);
+            xs
+        };
+        let diag = diagnose_fit(&fit, &xs, &cfg);
+        assert_eq!(diag.elements.len(), fit.fits.len());
+        assert_eq!(diag.form_wins.values().sum::<u64>(), fit.fits.len() as u64);
+        assert_eq!(
+            diag.extrapolation_distance(),
+            8192.0 / xs.last().copied().unwrap()
+        );
+        for (e, ef) in diag.elements.iter().zip(&fit.fits) {
+            assert_eq!(e.winner, ef.model.form.label());
+            assert_eq!(e.residuals.len(), xs.len());
+            // The winner must be among the candidates with the same SSE.
+            let winner = e
+                .candidates
+                .iter()
+                .find(|c| c.form == e.winner)
+                .expect("winner among candidates");
+            assert!((winner.sse - e.winner_sse).abs() <= 1e-9 * (1.0 + e.winner_sse.abs()));
+        }
+        // Deterministic: a second diagnosis is bit-identical.
+        assert_eq!(diag, diagnose_fit(&fit, &xs, &cfg));
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub mod synth;
 pub use analysis::{element_errors, summarize, ElementError, ErrorSummary};
 pub use cluster::{cluster_tasks, extrapolate_clusters, Clustering};
 pub use extrapolate::{
-    extrapolate_series, extrapolate_series_detailed, extrapolate_signature,
+    diagnose_fit, extrapolate_series, extrapolate_series_detailed, extrapolate_signature,
     extrapolate_signature_detailed, fit_signature, parallel_fit_enabled, synthesize_from_fit,
     BlockModels, ElementFit, ExtrapolationConfig, ExtrapolationError, SignatureFit,
     MIN_PAR_FIT_ELEMENTS,

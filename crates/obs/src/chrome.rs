@@ -1,0 +1,315 @@
+//! Chrome Trace Event Format export for [`JournalSnapshot`]s.
+//!
+//! [`chrome_trace`] renders a journal as a `trace.json` document loadable
+//! in [Perfetto](https://ui.perfetto.dev) or `chrome://tracing`. Two
+//! process groups are emitted:
+//!
+//! * **pid 1 — wall clock**: every journal lane becomes a thread row;
+//!   matched begin/end pairs become `"X"` (complete) duration events and
+//!   plain instants become `"i"` events, all on the journal's
+//!   run-relative microsecond clock.
+//! * **pid 2 — simulated time**: instant events that carry both a
+//!   `start_s` and an `end_s` argument (the per-rank-class
+//!   compute/exchange attribution emitted by the replay engine) are
+//!   re-based onto the *simulated* clock, one thread row per rank-class
+//!   lane per simulation, so the message-passing timeline of each
+//!   training count is visible even though it never consumed wall time.
+//!
+//! The export is a pure function of the journal, so the Chrome trace of a
+//! [`JournalSnapshot::masked`] journal is bit-stable across thread counts
+//! (wall timestamps are all zero there; the simulated lanes keep their
+//! real, deterministic durations).
+
+use std::collections::BTreeMap;
+
+use crate::journal::{EventPhase, JournalEvent, JournalSnapshot};
+
+/// Wall-clock process id in the exported trace.
+const PID_WALL: u32 = 1;
+/// Simulated-time process id in the exported trace.
+const PID_SIM: u32 = 2;
+
+/// JSON-escapes a string via the serde_json serializer.
+fn json_str(s: &str) -> String {
+    serde_json::to_string(&s.to_string()).unwrap_or_else(|_| "\"\"".to_string())
+}
+
+/// Formats an f64 as a JSON number (non-finite values become 0).
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+fn json_args(args: &BTreeMap<String, f64>) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&json_str(k));
+        out.push(':');
+        out.push_str(&json_num(*v));
+    }
+    out.push('}');
+    out
+}
+
+fn event_line(name: &str, ph: &str, ts: f64, dur: f64, pid: u32, tid: u32, args: &str) -> String {
+    format!(
+        "{{\"name\":{},\"ph\":{},\"ts\":{},\"dur\":{},\"pid\":{pid},\"tid\":{tid},\"args\":{args}}}",
+        json_str(name),
+        json_str(ph),
+        json_num(ts),
+        json_num(dur),
+    )
+}
+
+fn meta_line(meta: &str, pid: u32, tid: u32, label: &str) -> String {
+    format!(
+        "{{\"name\":{},\"ph\":\"M\",\"ts\":0,\"dur\":0,\"pid\":{pid},\"tid\":{tid},\
+         \"args\":{{\"name\":{}}}}}",
+        json_str(meta),
+        json_str(label),
+    )
+}
+
+/// Lazily assigns consecutive thread ids to lane labels in first-seen
+/// order, remembering the order for the thread_name metadata.
+struct TidTable {
+    ids: BTreeMap<String, u32>,
+    order: Vec<String>,
+}
+
+impl TidTable {
+    fn new() -> TidTable {
+        TidTable {
+            ids: BTreeMap::new(),
+            order: Vec::new(),
+        }
+    }
+
+    fn tid(&mut self, label: &str) -> u32 {
+        if let Some(&id) = self.ids.get(label) {
+            return id;
+        }
+        let id = self.order.len() as u32 + 1;
+        self.ids.insert(label.to_string(), id);
+        self.order.push(label.to_string());
+        id
+    }
+}
+
+/// True for instants that represent a span of *simulated* time.
+fn is_sim_duration(e: &JournalEvent) -> bool {
+    e.phase == EventPhase::Instant && e.args.contains_key("start_s") && e.args.contains_key("end_s")
+}
+
+/// Renders `journal` as a Chrome Trace Event Format JSON document.
+///
+/// Every emitted event carries the `name`, `ph`, `ts`, `dur`, `pid`,
+/// `tid`, and `args` keys (`ts`/`dur` in microseconds; `dur` is 0 for
+/// instants and metadata). Unmatched `Begin` events are closed with zero
+/// duration rather than discarded.
+pub fn chrome_trace(journal: &JournalSnapshot) -> String {
+    let mut wall = TidTable::new();
+    let mut sim = TidTable::new();
+    // Per-lane stacks of open Begin events: (name, ts_us, args).
+    type OpenBegin = (String, u64, BTreeMap<String, f64>);
+    let mut open: BTreeMap<String, Vec<OpenBegin>> = BTreeMap::new();
+    // Most recent spmd.sim context: (ordinal, nranks) — labels sim lanes.
+    let mut sim_ordinal = 0u32;
+    let mut sim_nranks = 0u32;
+    let mut lines: Vec<String> = Vec::new();
+
+    for e in &journal.events {
+        if e.phase == EventPhase::Begin && e.name == "spmd.sim" {
+            sim_ordinal += 1;
+            sim_nranks = e.args.get("nranks").copied().unwrap_or(0.0) as u32;
+        }
+        match e.phase {
+            EventPhase::Begin => {
+                open.entry(e.lane.clone()).or_default().push((
+                    e.name.clone(),
+                    e.ts_us,
+                    e.args.clone(),
+                ));
+            }
+            EventPhase::End => {
+                let tid = wall.tid(&e.lane);
+                let (name, start, mut args) = match open.get_mut(&e.lane).and_then(Vec::pop) {
+                    Some(opened) => opened,
+                    // Unmatched End: render as a zero-duration complete
+                    // event at its own timestamp.
+                    None => (e.name.clone(), e.ts_us, BTreeMap::new()),
+                };
+                for (k, v) in &e.args {
+                    args.insert(k.clone(), *v);
+                }
+                let dur = e.ts_us.saturating_sub(start) as f64;
+                lines.push(event_line(
+                    &name,
+                    "X",
+                    start as f64,
+                    dur,
+                    PID_WALL,
+                    tid,
+                    &json_args(&args),
+                ));
+            }
+            EventPhase::Instant if is_sim_duration(e) => {
+                let label = format!("sim{sim_ordinal}.p{sim_nranks}.{}", e.lane);
+                let tid = sim.tid(&label);
+                let start_s = e.args.get("start_s").copied().unwrap_or(0.0);
+                let end_s = e.args.get("end_s").copied().unwrap_or(start_s);
+                lines.push(event_line(
+                    &e.name,
+                    "X",
+                    start_s * 1e6,
+                    (end_s - start_s).max(0.0) * 1e6,
+                    PID_SIM,
+                    tid,
+                    &json_args(&e.args),
+                ));
+            }
+            EventPhase::Instant => {
+                let tid = wall.tid(&e.lane);
+                lines.push(event_line(
+                    &e.name,
+                    "i",
+                    e.ts_us as f64,
+                    0.0,
+                    PID_WALL,
+                    tid,
+                    &json_args(&e.args),
+                ));
+            }
+        }
+    }
+    // Close any still-open durations with zero length.
+    for (lane, stack) in &open {
+        for (name, start, args) in stack.iter().rev() {
+            let tid = wall.tid(lane);
+            lines.push(event_line(
+                name,
+                "X",
+                *start as f64,
+                0.0,
+                PID_WALL,
+                tid,
+                &json_args(args),
+            ));
+        }
+    }
+
+    let mut meta: Vec<String> = Vec::new();
+    meta.push(meta_line(
+        "process_name",
+        PID_WALL,
+        0,
+        "xtrace (wall clock)",
+    ));
+    for (i, label) in wall.order.iter().enumerate() {
+        meta.push(meta_line("thread_name", PID_WALL, i as u32 + 1, label));
+    }
+    if !sim.order.is_empty() {
+        meta.push(meta_line(
+            "process_name",
+            PID_SIM,
+            0,
+            "spmd (simulated time)",
+        ));
+        for (i, label) in sim.order.iter().enumerate() {
+            meta.push(meta_line("thread_name", PID_SIM, i as u32 + 1, label));
+        }
+    }
+
+    let mut out = String::from("{\"traceEvents\":[\n");
+    let total = meta.len() + lines.len();
+    for (i, line) in meta.into_iter().chain(lines).enumerate() {
+        out.push_str(&line);
+        if i + 1 < total {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "],\"displayTimeUnit\":\"ms\",\"journalDropped\":{}}}",
+        journal.dropped
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::Journal;
+
+    #[test]
+    fn begin_end_pairs_become_complete_events() {
+        let journal = Journal::new();
+        let h = journal.handle();
+        h.begin("pipeline", "pipeline", &[]);
+        h.begin("collect", "pipeline", &[]);
+        h.end("collect", "pipeline", &[("traces", 3.0)]);
+        h.end("pipeline", "pipeline", &[]);
+        let trace = chrome_trace(&journal.snapshot());
+        assert!(trace.starts_with("{\"traceEvents\":["));
+        assert!(trace.contains("\"name\":\"collect\",\"ph\":\"X\""));
+        assert!(trace.contains("\"traces\":3"));
+        // The outer span closes after the inner one (stack order).
+        let collect_at = trace.find("\"name\":\"collect\",\"ph\":\"X\"").unwrap();
+        let pipeline_at = trace.find("\"name\":\"pipeline\",\"ph\":\"X\"").unwrap();
+        assert!(collect_at < pipeline_at);
+    }
+
+    #[test]
+    fn sim_duration_instants_land_on_the_simulated_pid() {
+        let journal = Journal::new();
+        let h = journal.handle();
+        h.begin("spmd.sim", "spmd", &[("nranks", 24.0)]);
+        h.instant("compute", "class0", &[("start_s", 0.5), ("end_s", 1.5)]);
+        h.end("spmd.sim", "spmd", &[]);
+        let trace = chrome_trace(&journal.snapshot());
+        assert!(trace
+            .contains("\"name\":\"compute\",\"ph\":\"X\",\"ts\":500000,\"dur\":1000000,\"pid\":2"));
+        assert!(trace.contains("sim1.p24.class0"));
+    }
+
+    #[test]
+    fn unmatched_begins_close_with_zero_duration() {
+        let journal = Journal::new();
+        let h = journal.handle();
+        h.begin("collect", "pipeline", &[]);
+        let trace = chrome_trace(&journal.snapshot());
+        assert!(trace.contains("\"name\":\"collect\",\"ph\":\"X\""));
+        assert!(trace.contains("\"dur\":0"));
+    }
+
+    #[test]
+    fn every_event_carries_the_required_keys() {
+        let journal = Journal::new();
+        let h = journal.handle();
+        h.begin("fit", "pipeline", &[]);
+        h.instant("extrap.fit.Linear", "fit", &[("index", 0.0)]);
+        h.end("fit", "pipeline", &[]);
+        let trace = chrome_trace(&journal.snapshot());
+        for line in trace.lines() {
+            if !line.starts_with('{') || !line.contains("\"ph\"") {
+                continue;
+            }
+            for key in [
+                "\"name\":",
+                "\"ph\":",
+                "\"ts\":",
+                "\"dur\":",
+                "\"pid\":",
+                "\"tid\":",
+            ] {
+                assert!(line.contains(key), "missing {key} in {line}");
+            }
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Fit-quality diagnostics: the data model behind the `fit-diagnostics`
+//! artifact and the `xtrace report` fit tables.
+//!
+//! The paper's extrapolation quality rests on per-element canonical-form
+//! selection; these types record, for every fitted feature element, *why*
+//! the winning form won — the SSE/R² of every candidate form, the
+//! training-point residuals of the winner, and how far past the training
+//! range the prediction reaches ([`FitDiagnostics::extrapolation_distance`]).
+//! The structs live here (rather than in `xtrace-extrap`) so the CLI and
+//! the artifact store can consume them without a dependency on the
+//! fitting machinery; `xtrace-extrap` provides the builder
+//! (`diagnose_fit`) that fills them in.
+//!
+//! Everything is plain serde data, deterministic for a given pipeline
+//! configuration: the artifact must be bit-identical across thread
+//! counts.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// One candidate canonical form's goodness of fit on a feature element.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CandidateFit {
+    /// Canonical-form label (e.g. `"Constant"`, `"Log"`).
+    pub form: String,
+    /// Sum of squared residuals over the training points.
+    pub sse: f64,
+    /// Coefficient of determination over the training points.
+    pub r2: f64,
+}
+
+/// Fit diagnostics for one feature element (one instruction × feature
+/// pair of one basic block).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ElementDiagnostics {
+    /// Basic-block name the element belongs to.
+    pub block: String,
+    /// Instruction index within the block.
+    pub instr: u32,
+    /// Human-readable feature label (e.g. `"L1 hit rate"`).
+    pub feature: String,
+    /// Label of the form that won model selection.
+    pub winner: String,
+    /// The winner's sum of squared residuals.
+    pub winner_sse: f64,
+    /// The winner's R² over the training points.
+    pub winner_r2: f64,
+    /// Goodness of fit for every applicable candidate form.
+    pub candidates: Vec<CandidateFit>,
+    /// Winner residuals (`observed − predicted`) per training point, in
+    /// ascending-core-count order.
+    pub residuals: Vec<f64>,
+    /// The element's influence weight from the fit (execution share).
+    pub influence: f64,
+}
+
+/// The fit-diagnostics artifact: per-element canonical-form selection
+/// detail for one pipeline run, persisted through the artifact store
+/// under the `fit-diagnostics` name.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FitDiagnostics {
+    /// The extrapolation target core count.
+    pub target_x: f64,
+    /// Training core counts, ascending.
+    pub training_xs: Vec<f64>,
+    /// Wins per canonical-form label across all elements.
+    pub form_wins: BTreeMap<String, u64>,
+    /// Per-element diagnostics, in fit order (block-major).
+    pub elements: Vec<ElementDiagnostics>,
+}
+
+impl FitDiagnostics {
+    /// Target count ÷ largest training count: how far past the training
+    /// range the run extrapolates (the paper's runs use up to ~4×).
+    pub fn extrapolation_distance(&self) -> f64 {
+        match self.training_xs.last() {
+            Some(&max) if max > 0.0 => self.target_x / max,
+            _ => 0.0,
+        }
+    }
+
+    /// Indices of the `k` worst-fitting elements, ordered by ascending
+    /// winner R² (ties broken by fit order, so the ranking is
+    /// deterministic).
+    pub fn worst_fit(&self, k: usize) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.elements.len()).collect();
+        order.sort_by(|&a, &b| {
+            let ra = self.elements[a].winner_r2;
+            let rb = self.elements[b].winner_r2;
+            ra.total_cmp(&rb).then(a.cmp(&b))
+        });
+        order.truncate(k);
+        order
+    }
+
+    /// Pretty-printed JSON for `--diagnostics-out`.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).unwrap_or_else(|_| "{}".to_string())
+    }
+
+    /// Parses a document produced by [`FitDiagnostics::to_json`].
+    pub fn from_json(text: &str) -> std::result::Result<FitDiagnostics, String> {
+        serde_json::from_str(text).map_err(|e| format!("fit diagnostics: {e:?}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FitDiagnostics {
+        let element = |r2: f64| ElementDiagnostics {
+            block: "b".to_string(),
+            instr: 0,
+            feature: "exec count".to_string(),
+            winner: "Linear".to_string(),
+            winner_sse: 0.5,
+            winner_r2: r2,
+            candidates: vec![CandidateFit {
+                form: "Linear".to_string(),
+                sse: 0.5,
+                r2,
+            }],
+            residuals: vec![0.1, -0.1, 0.0],
+            influence: 0.25,
+        };
+        FitDiagnostics {
+            target_x: 384.0,
+            training_xs: vec![6.0, 24.0, 96.0],
+            form_wins: BTreeMap::from([("Linear".to_string(), 3)]),
+            elements: vec![element(0.9), element(0.2), element(0.5)],
+        }
+    }
+
+    #[test]
+    fn extrapolation_distance_is_target_over_max_training() {
+        assert_eq!(sample().extrapolation_distance(), 4.0);
+        let empty = FitDiagnostics {
+            target_x: 10.0,
+            training_xs: Vec::new(),
+            form_wins: BTreeMap::new(),
+            elements: Vec::new(),
+        };
+        assert_eq!(empty.extrapolation_distance(), 0.0);
+    }
+
+    #[test]
+    fn worst_fit_orders_by_ascending_r2() {
+        assert_eq!(sample().worst_fit(2), vec![1, 2]);
+        assert_eq!(sample().worst_fit(10), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn json_roundtrips() {
+        let diag = sample();
+        let back = FitDiagnostics::from_json(&diag.to_json()).expect("roundtrip");
+        assert_eq!(back, diag);
+    }
+}

@@ -1,0 +1,354 @@
+//! The structured event journal: an append-only, bounded, seq-numbered
+//! stream of fine-grained pipeline events.
+//!
+//! Spans and counters answer *how much*; the journal answers *when and in
+//! what order*. Each [`JournalEvent`] carries a strictly increasing
+//! sequence number, a run-relative monotonic timestamp in microseconds, a
+//! Chrome-style phase (begin / end / instant), a name, a `lane` (the
+//! timeline row the event belongs to — `"pipeline"`, `"collect"`,
+//! `"fit"`, `"spmd"`, a rank-class lane …), and a small map of numeric
+//! arguments.
+//!
+//! ## Determinism discipline
+//!
+//! Events are only ever emitted from serial sections of the pipeline (the
+//! engine's stage loop, the per-count collect sweep, the post-fit tally,
+//! the replay commit loop), so the *order and content* of the stream is a
+//! pure function of the inputs. The two scheduling-dependent fields are
+//! the timestamps and any `sched.*`-named events; [`JournalSnapshot::masked`]
+//! zeroes the former and strips the latter (renumbering the survivors), so
+//! a masked journal is required to be bit-identical across thread counts.
+//!
+//! ## Bounded buffering
+//!
+//! The journal holds at most its configured capacity
+//! ([`DEFAULT_JOURNAL_CAPACITY`] unless overridden); once full, further
+//! events are counted in [`JournalSnapshot::dropped`] rather than
+//! recorded, so a runaway emitter cannot exhaust memory. Dropped events do
+//! not consume sequence numbers.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+/// Default maximum number of buffered events per journal.
+pub const DEFAULT_JOURNAL_CAPACITY: usize = 65_536;
+
+/// The event-name prefix reserved for scheduling-dependent events;
+/// stripped by [`JournalSnapshot::masked`]. Same convention as
+/// [`crate::SCHED_PREFIX`] for counters.
+pub const SCHED_EVENT_PREFIX: &str = "sched.";
+
+/// Chrome-trace-style event phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventPhase {
+    /// A duration begins on this event's lane.
+    Begin,
+    /// The most recent open duration on this event's lane ends.
+    End,
+    /// A point-in-time event.
+    Instant,
+}
+
+/// One journal entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JournalEvent {
+    /// Strictly increasing sequence number (0-based, per journal).
+    pub seq: u64,
+    /// Microseconds since the journal was created (monotonic clock).
+    pub ts_us: u64,
+    /// Begin / end / instant.
+    pub phase: EventPhase,
+    /// Event name (e.g. `"collect"`, `"p96"`, `"extrap.fit.Linear"`).
+    pub name: String,
+    /// Timeline lane the event belongs to (e.g. `"pipeline"`, `"class0"`).
+    pub lane: String,
+    /// Numeric arguments (kept numeric so masking stays trivial).
+    pub args: BTreeMap<String, f64>,
+}
+
+struct JournalState {
+    events: Vec<JournalEvent>,
+    next_seq: u64,
+    dropped: u64,
+}
+
+/// The append-only event buffer. Owned by a
+/// [`Recorder`](crate::Recorder) built with
+/// [`Recorder::with_journal`](crate::Recorder::with_journal); emitters
+/// reach it through a cheap [`JournalHandle`].
+pub struct Journal {
+    start: Instant,
+    capacity: usize,
+    state: Mutex<JournalState>,
+}
+
+fn lock(state: &Mutex<JournalState>) -> MutexGuard<'_, JournalState> {
+    state
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl Journal {
+    /// A fresh journal with the default capacity.
+    pub fn new() -> Arc<Journal> {
+        Journal::with_capacity(DEFAULT_JOURNAL_CAPACITY)
+    }
+
+    /// A fresh journal buffering at most `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Arc<Journal> {
+        Arc::new(Journal {
+            start: Instant::now(),
+            capacity,
+            state: Mutex::new(JournalState {
+                events: Vec::new(),
+                next_seq: 0,
+                dropped: 0,
+            }),
+        })
+    }
+
+    /// An emitting handle onto this journal.
+    pub fn handle(self: &Arc<Journal>) -> JournalHandle {
+        JournalHandle {
+            inner: Some(Arc::clone(self)),
+        }
+    }
+
+    /// A copy of everything journaled so far.
+    pub fn snapshot(&self) -> JournalSnapshot {
+        let state = lock(&self.state);
+        JournalSnapshot {
+            events: state.events.clone(),
+            dropped: state.dropped,
+        }
+    }
+
+    fn emit(&self, phase: EventPhase, name: &str, lane: &str, args: &[(&str, f64)]) {
+        // Timestamp before taking the lock so lock contention does not
+        // inflate it; sequence numbers are assigned under the lock so
+        // they are strictly increasing in buffer order.
+        let ts_us = self.start.elapsed().as_micros() as u64;
+        let mut state = lock(&self.state);
+        if state.events.len() >= self.capacity {
+            state.dropped += 1;
+            return;
+        }
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        state.events.push(JournalEvent {
+            seq,
+            ts_us,
+            phase,
+            name: name.to_string(),
+            lane: lane.to_string(),
+            args: args.iter().map(|&(k, v)| (k.to_string(), v)).collect(),
+        });
+    }
+}
+
+/// A cheap, cloneable emitter onto a [`Journal`] — or a no-op when no
+/// journal is enabled. Obtain one ambiently with [`crate::journal`] or
+/// from [`Recorder::journal`](crate::Recorder::journal).
+#[derive(Clone, Default)]
+pub struct JournalHandle {
+    inner: Option<Arc<Journal>>,
+}
+
+impl JournalHandle {
+    /// The handle that drops every event.
+    pub fn disabled() -> JournalHandle {
+        JournalHandle { inner: None }
+    }
+
+    /// Whether events emitted through this handle are recorded. Emitters
+    /// should check this before formatting event names or arguments.
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Opens a duration on `lane`.
+    pub fn begin(&self, name: &str, lane: &str, args: &[(&str, f64)]) {
+        if let Some(j) = &self.inner {
+            j.emit(EventPhase::Begin, name, lane, args);
+        }
+    }
+
+    /// Closes the most recent open duration on `lane`.
+    pub fn end(&self, name: &str, lane: &str, args: &[(&str, f64)]) {
+        if let Some(j) = &self.inner {
+            j.emit(EventPhase::End, name, lane, args);
+        }
+    }
+
+    /// Records a point-in-time event on `lane`.
+    pub fn instant(&self, name: &str, lane: &str, args: &[(&str, f64)]) {
+        if let Some(j) = &self.inner {
+            j.emit(EventPhase::Instant, name, lane, args);
+        }
+    }
+}
+
+/// An immutable copy of a journal: the buffered events plus the count of
+/// events dropped once the buffer filled.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JournalSnapshot {
+    /// Buffered events in emission (= sequence) order.
+    pub events: Vec<JournalEvent>,
+    /// Events discarded because the buffer was full.
+    pub dropped: u64,
+}
+
+impl JournalSnapshot {
+    /// Serializes the event stream as JSONL: one JSON object per line, in
+    /// sequence order. The `dropped` count is not part of the stream;
+    /// [`JournalSnapshot::from_jsonl`] reconstructs it as zero.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for event in &self.events {
+            match serde_json::to_string(event) {
+                Ok(line) => {
+                    out.push_str(&line);
+                    out.push('\n');
+                }
+                Err(_) => continue,
+            }
+        }
+        out
+    }
+
+    /// Parses a JSONL stream produced by [`JournalSnapshot::to_jsonl`].
+    /// Blank lines are skipped; the first malformed line is an error.
+    pub fn from_jsonl(text: &str) -> std::result::Result<JournalSnapshot, String> {
+        let mut events = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let event: JournalEvent =
+                serde_json::from_str(line).map_err(|e| format!("journal line {}: {e:?}", i + 1))?;
+            events.push(event);
+        }
+        Ok(JournalSnapshot { events, dropped: 0 })
+    }
+
+    /// The deterministic view: timestamps zeroed, `sched.*`-named events
+    /// stripped, and the survivors renumbered consecutively from zero.
+    /// Two runs of the same configuration must produce bit-identical
+    /// masked journals regardless of thread count.
+    pub fn masked(&self) -> JournalSnapshot {
+        let events = self
+            .events
+            .iter()
+            .filter(|e| !e.name.starts_with(SCHED_EVENT_PREFIX))
+            .enumerate()
+            .map(|(i, e)| JournalEvent {
+                seq: i as u64,
+                ts_us: 0,
+                phase: e.phase,
+                name: e.name.clone(),
+                lane: e.lane.clone(),
+                args: e.args.clone(),
+            })
+            .collect();
+        JournalSnapshot { events, dropped: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_are_seq_numbered_in_emission_order() {
+        let journal = Journal::new();
+        let handle = journal.handle();
+        handle.begin("pipeline", "pipeline", &[]);
+        handle.instant("tick", "pipeline", &[("n", 1.0)]);
+        handle.end("pipeline", "pipeline", &[]);
+        let snap = journal.snapshot();
+        assert_eq!(snap.events.len(), 3);
+        for (i, e) in snap.events.iter().enumerate() {
+            assert_eq!(e.seq, i as u64);
+        }
+        assert_eq!(snap.events[0].phase, EventPhase::Begin);
+        assert_eq!(snap.events[1].args["n"], 1.0);
+        assert_eq!(snap.dropped, 0);
+    }
+
+    #[test]
+    fn bounded_buffer_counts_drops_without_consuming_seqs() {
+        let journal = Journal::with_capacity(2);
+        let handle = journal.handle();
+        for i in 0..5 {
+            handle.instant("e", "lane", &[("i", f64::from(i))]);
+        }
+        let snap = journal.snapshot();
+        assert_eq!(snap.events.len(), 2);
+        assert_eq!(snap.dropped, 3);
+        assert_eq!(snap.events[1].seq, 1);
+    }
+
+    #[test]
+    fn disabled_handle_is_a_no_op() {
+        let handle = JournalHandle::disabled();
+        assert!(!handle.enabled());
+        handle.begin("x", "lane", &[]);
+        handle.end("x", "lane", &[]);
+        handle.instant("x", "lane", &[]);
+    }
+
+    #[test]
+    fn masked_strips_sched_events_zeroes_timestamps_and_renumbers() {
+        let journal = Journal::new();
+        let handle = journal.handle();
+        handle.begin("fit", "pipeline", &[]);
+        handle.instant("sched.extrap.parallel_fit", "fit", &[]);
+        handle.end("fit", "pipeline", &[("elements", 3.0)]);
+        let masked = journal.snapshot().masked();
+        assert_eq!(masked.events.len(), 2);
+        assert!(masked.events.iter().all(|e| e.ts_us == 0));
+        assert_eq!(masked.events[0].seq, 0);
+        assert_eq!(masked.events[1].seq, 1);
+        assert_eq!(masked.events[1].name, "fit");
+        assert_eq!(masked.events[1].args["elements"], 3.0);
+    }
+
+    #[test]
+    fn jsonl_roundtrips() {
+        let journal = Journal::new();
+        let handle = journal.handle();
+        handle.begin("collect", "pipeline", &[("nranks", 6.0)]);
+        handle.end("collect", "pipeline", &[]);
+        let snap = journal.snapshot();
+        let text = snap.to_jsonl();
+        assert_eq!(text.lines().count(), 2);
+        let back = JournalSnapshot::from_jsonl(&text).expect("roundtrip");
+        assert_eq!(back.events, snap.events);
+    }
+
+    #[test]
+    fn concurrent_emission_keeps_seqs_strictly_increasing() {
+        let journal = Journal::new();
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let handle = journal.handle();
+                std::thread::spawn(move || {
+                    for i in 0..100 {
+                        handle.instant("e", "lane", &[("t", f64::from(t)), ("i", f64::from(i))]);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("join");
+        }
+        let snap = journal.snapshot();
+        assert_eq!(snap.events.len(), 400);
+        for pair in snap.events.windows(2) {
+            assert!(pair[0].seq < pair[1].seq);
+        }
+    }
+}

@@ -15,6 +15,18 @@
 //! * **Exporters** ([`Snapshot`]): an in-memory snapshot for tests and
 //!   benches, JSON for the CLI's `--metrics-out`, and a human-readable
 //!   table.
+//! * **Event journal** ([`Journal`], [`JournalEvent`]): an append-only,
+//!   bounded, seq-numbered stream of fine-grained begin/end/instant
+//!   events (per-count collects, per-element fit decisions, rank-class
+//!   compute/exchange attribution), exportable as JSONL or — via
+//!   [`chrome_trace`] — as a Chrome Trace Event Format `trace.json` for
+//!   Perfetto. Off by default: only a [`Recorder::with_journal`]
+//!   recorder buffers events, and [`journal`] is the same one-relaxed-
+//!   load no-op as [`metrics`] otherwise.
+//! * **Fit diagnostics** ([`FitDiagnostics`]): the per-element
+//!   canonical-form selection record (candidate SSE/R², residuals,
+//!   extrapolation distance) persisted through the artifact store and
+//!   rendered by `xtrace report`.
 //!
 //! ## The ambient recorder and the zero-cost default
 //!
@@ -57,11 +69,20 @@
 
 #![warn(missing_docs)]
 
+mod chrome;
+mod diagnostics;
 mod export;
+mod journal;
 mod metrics;
 mod span;
 
+pub use chrome::chrome_trace;
+pub use diagnostics::{CandidateFit, ElementDiagnostics, FitDiagnostics};
 pub use export::{BucketCount, HistogramSnapshot, Snapshot};
+pub use journal::{
+    EventPhase, Journal, JournalEvent, JournalHandle, JournalSnapshot, DEFAULT_JOURNAL_CAPACITY,
+    SCHED_EVENT_PREFIX,
+};
 pub use metrics::{Counter, Gauge, Histogram, Metrics, SCHED_PREFIX};
 pub use span::{Recorder, SpanGuard, SpanRecord, STAGE_PARENT};
 
@@ -106,6 +127,22 @@ pub fn metrics() -> Metrics {
     match current_slot().as_ref() {
         Some(rec) => rec.metrics(),
         None => Metrics::disabled(),
+    }
+}
+
+/// The ambient recorder's journal handle, or the disabled no-op handle
+/// when nothing is installed (or the installed recorder was built without
+/// a journal). Same cost contract as [`metrics`]: the disabled path is
+/// one relaxed atomic load, so emitters should check
+/// [`JournalHandle::enabled`] before formatting event names.
+#[inline]
+pub fn journal() -> JournalHandle {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return JournalHandle::disabled();
+    }
+    match current_slot().as_ref() {
+        Some(rec) => rec.journal(),
+        None => JournalHandle::disabled(),
     }
 }
 

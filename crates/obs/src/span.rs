@@ -14,6 +14,7 @@ use std::time::Instant;
 use serde::{Deserialize, Serialize};
 
 use crate::export::Snapshot;
+use crate::journal::{Journal, JournalHandle, JournalSnapshot};
 use crate::metrics::Metrics;
 
 /// The conventional root span name the pipeline engine records under.
@@ -42,20 +43,53 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 pub struct Recorder {
     metrics: Metrics,
     spans: Mutex<Vec<SpanRecord>>,
+    journal: Option<Arc<Journal>>,
 }
 
 impl Recorder {
     /// A fresh recorder with an empty span list and metrics registry.
+    /// The event journal is off; use [`Recorder::with_journal`] to turn
+    /// it on.
     pub fn new() -> Arc<Recorder> {
         Arc::new(Recorder {
             metrics: Metrics::live(),
             spans: Mutex::new(Vec::new()),
+            journal: None,
+        })
+    }
+
+    /// A fresh recorder that additionally buffers the structured event
+    /// journal (default capacity).
+    pub fn with_journal() -> Arc<Recorder> {
+        Recorder::with_journal_capacity(crate::journal::DEFAULT_JOURNAL_CAPACITY)
+    }
+
+    /// A fresh recorder whose journal buffers at most `capacity` events.
+    pub fn with_journal_capacity(capacity: usize) -> Arc<Recorder> {
+        Arc::new(Recorder {
+            metrics: Metrics::live(),
+            spans: Mutex::new(Vec::new()),
+            journal: Some(Journal::with_capacity(capacity)),
         })
     }
 
     /// The recorder's metrics registry (live handles).
     pub fn metrics(&self) -> Metrics {
         self.metrics.clone()
+    }
+
+    /// An emitting handle onto the recorder's journal, or the disabled
+    /// no-op handle when the recorder was built without one.
+    pub fn journal(&self) -> JournalHandle {
+        match &self.journal {
+            Some(journal) => journal.handle(),
+            None => JournalHandle::disabled(),
+        }
+    }
+
+    /// A copy of the journaled events, if the journal is enabled.
+    pub fn journal_snapshot(&self) -> Option<JournalSnapshot> {
+        self.journal.as_ref().map(|j| j.snapshot())
     }
 
     /// Starts a root span; the returned guard records it when dropped or

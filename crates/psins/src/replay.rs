@@ -234,6 +234,29 @@ impl GroupComputeModel {
                     .add(pending.len() as u64);
             }
         }
+        // Journal: one instant per convolved group, emitted here (serial,
+        // after the possibly-parallel convolution reassembled in group
+        // order) so the stream is deterministic. `cached` records whether
+        // the group's table came from the convolve cache.
+        let journal = xtrace_obs::journal();
+        if journal.enabled() {
+            let mut was_pending = vec![false; groups.len()];
+            for &gi in &pending {
+                was_pending[gi] = true;
+            }
+            for (gi, (trace, n)) in groups.iter().enumerate() {
+                journal.instant(
+                    "psins.convolve.group",
+                    "convolve",
+                    &[
+                        ("group", gi as f64),
+                        ("ranks", *n as f64),
+                        ("blocks", trace.blocks.len() as f64),
+                        ("cached", f64::from(u8::from(!was_pending[gi]))),
+                    ],
+                );
+            }
+        }
         let tables = slots
             .into_iter()
             .map(|t| t.expect("every group slot was filled"))

@@ -766,6 +766,37 @@ fn simulate_classes_inner(
         .incr();
     }
 
+    // Journal: per-rank-class compute/exchange attribution on the
+    // *simulated* clock. One lane per class, one event per (event, class),
+    // emitted from the serial commit loop at the class's first member
+    // rank — so the stream is deterministic and survives masking (the
+    // wall timestamps are masked; start_s/end_s are simulation results).
+    let journal = xtrace_obs::journal();
+    let journal_on = journal.enabled();
+    let (class_first, class_lanes): (Vec<u32>, Vec<String>) = if journal_on {
+        let mut first = vec![u32::MAX; reps.len()];
+        for (r, &c) in assignment.iter().enumerate() {
+            if first[c as usize] == u32::MAX {
+                first[c as usize] = r as u32;
+            }
+        }
+        let lanes = (0..reps.len()).map(|c| format!("class{c}")).collect();
+        (first, lanes)
+    } else {
+        (Vec::new(), Vec::new())
+    };
+    if journal_on {
+        journal.begin(
+            "spmd.sim",
+            "spmd",
+            &[
+                ("nranks", nranks as f64),
+                ("classes", reps.len() as f64),
+                ("events", nevents as f64),
+            ],
+        );
+    }
+
     let mut clocks = vec![0.0f64; nranks];
     let mut times = vec![RankTimes::default(); nranks];
     let mut exchange_slot = 0usize;
@@ -866,6 +897,13 @@ fn simulate_classes_inner(
                     end_s: end,
                 });
             }
+            if journal_on && class_first[assignment[r] as usize] == r as u32 {
+                journal.instant(
+                    kind_name,
+                    &class_lanes[assignment[r] as usize],
+                    &[("start_s", clocks[r]), ("end_s", end)],
+                );
+            }
             clocks[r] = end;
             times[r].compute_s += dcompute;
             times[r].comm_s += dcomm;
@@ -874,6 +912,34 @@ fn simulate_classes_inner(
 
     for (r, t) in times.iter_mut().enumerate() {
         t.finish_s = clocks[r];
+    }
+    if journal_on {
+        // Per-class compute vs. communication split, sampled at the
+        // class's first member rank (exchange costs may vary within a
+        // class by partner count, so this is the representative's view).
+        let mut members = vec![0u64; reps.len()];
+        for &c in assignment {
+            members[c as usize] += 1;
+        }
+        for (c, &r) in class_first.iter().enumerate() {
+            if r == u32::MAX {
+                continue;
+            }
+            let t = &times[r as usize];
+            journal.instant(
+                "spmd.class_total",
+                "spmd",
+                &[
+                    ("class", c as f64),
+                    ("ranks", members[c] as f64),
+                    ("nranks", nranks as f64),
+                    ("compute_s", t.compute_s),
+                    ("comm_s", t.comm_s),
+                    ("finish_s", t.finish_s),
+                ],
+            );
+        }
+        journal.end("spmd.sim", "spmd", &[]);
     }
     Ok(SimReport {
         total_seconds: clocks.iter().cloned().fold(0.0, f64::max),

@@ -78,8 +78,29 @@ pub fn collect_signature_with(
     machine: &MachineProfile,
     cfg: &TracerConfig,
 ) -> AppSignature {
+    // Journal: one wall-clock duration per collected core count. Emitted
+    // from this serial entry point (never from the per-block rayon
+    // fan-out below it), so the event order is deterministic.
+    let journal = xtrace_obs::journal();
+    if journal.enabled() {
+        journal.begin(
+            &format!("p{nranks}"),
+            "collect",
+            &[("nranks", f64::from(nranks))],
+        );
+    }
     let comm = MpiProfiler::default().profile(app, nranks, &machine.net);
     let trace = collect_task_trace(app, comm.longest_rank, nranks, machine, cfg);
+    if journal.enabled() {
+        journal.end(
+            &format!("p{nranks}"),
+            "collect",
+            &[
+                ("longest_rank", f64::from(comm.longest_rank)),
+                ("blocks", trace.blocks.len() as f64),
+            ],
+        );
+    }
     AppSignature {
         traces: vec![trace],
         comm,
@@ -97,8 +118,37 @@ pub fn collect_signature_memo(
     cfg: &TracerConfig,
     memo: &SigMemo,
 ) -> AppSignature {
+    let journal = xtrace_obs::journal();
+    let (hits_before, misses_before) = (memo.hits(), memo.misses());
+    if journal.enabled() {
+        journal.begin(
+            &format!("p{nranks}"),
+            "collect",
+            &[("nranks", f64::from(nranks))],
+        );
+    }
     let comm = MpiProfiler::default().profile(app, nranks, &machine.net);
     let trace = collect_task_trace_memo(app, comm.longest_rank, nranks, machine, cfg, Some(memo));
+    if journal.enabled() {
+        // The memo burst this count contributed. Totals are scheduling-
+        // invariant (see DefaultCollect), so this survives masking.
+        journal.instant(
+            "tracer.memo.burst",
+            "collect",
+            &[
+                ("hits", (memo.hits() - hits_before) as f64),
+                ("misses", (memo.misses() - misses_before) as f64),
+            ],
+        );
+        journal.end(
+            &format!("p{nranks}"),
+            "collect",
+            &[
+                ("longest_rank", f64::from(comm.longest_rank)),
+                ("blocks", trace.blocks.len() as f64),
+            ],
+        );
+    }
     AppSignature {
         traces: vec![trace],
         comm,
