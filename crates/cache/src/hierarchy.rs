@@ -226,6 +226,23 @@ impl CacheHierarchy {
         depth
     }
 
+    /// Streams a flat chunk of `(addr, bytes)` references through the
+    /// hierarchy without classifying them — the warmup drain of the
+    /// tracer's bounded ring buffer.
+    ///
+    /// State transitions are exactly those of calling [`Self::access`]
+    /// per reference, so a warmup performed through this entry point
+    /// leaves the hierarchy bit-identical to the unbuffered formulation;
+    /// only the per-reference hit-level bookkeeping is dropped. Feeding a
+    /// whole ring chunk per call keeps the reference data contiguous
+    /// through the fused per-level lookup+fill loop.
+    #[inline]
+    pub fn warm(&mut self, refs: impl IntoIterator<Item = (u64, u32)>) {
+        for (addr, bytes) in refs {
+            self.access(addr, bytes);
+        }
+    }
+
     /// Invalidates all contents (e.g. between MultiMAPS sweep points).
     pub fn flush(&mut self) {
         self.last_line = EMPTY;
@@ -259,6 +276,23 @@ mod tests {
         bad.levels[0].line_bytes = 48; // not a power of two
         let err = CacheHierarchy::try_new(bad).unwrap_err();
         assert!(err.contains("power of two"), "got: {err}");
+    }
+
+    #[test]
+    fn warm_chunk_leaves_state_identical_to_per_access_warmup() {
+        let refs: Vec<(u64, u32)> = (0..64u64).map(|i| (i * 48, 8)).collect();
+        let probe = [0u64, 64, 512, 48 * 63, 4096];
+
+        let mut a = tiny();
+        for &(addr, bytes) in &refs {
+            a.access(addr, bytes);
+        }
+        let mut b = tiny();
+        b.warm(refs.iter().copied());
+
+        for &p in &probe {
+            assert_eq!(a.access(p, 8), b.access(p, 8), "probe {p} diverged");
+        }
     }
 
     #[test]

@@ -79,12 +79,12 @@ fn usage() -> &'static str {
      xtrace predict --trace <file> --app <name> --ranks <P> --machine <name> [--scale tiny|small|paper]\n  \
      xtrace pipeline --app <name> --training <P1,P2,P3> --target <P> --machine <name>\n                  \
      [--scale tiny|small|paper] [--forms paper|extended] [--validate true|false]\n                  \
-     [--tracer fast|default] [--store <dir>] [--out <file>]\n                  \
+     [--tracer fast|default] [--ranks-per-count <K>] [--store <dir>] [--out <file>]\n                  \
      [--metrics-out <file.json>] [--metrics table]\n                  \
      [--trace-out <trace.json>] [--diagnostics-out <file.json>]\n  \
      xtrace report --app <name> --training <P1,P2,P3> --target <P> --machine <name>\n                  \
      [--scale tiny|small|paper] [--forms paper|extended] [--validate true|false]\n                  \
-     [--tracer fast|default] [--store <dir>] [--top <N>]\n                  \
+     [--tracer fast|default] [--ranks-per-count <K>] [--store <dir>] [--top <N>]\n                  \
      [--metrics-out <file.json>] [--trace-out <trace.json>] [--diagnostics-out <file.json>]\n  \
      xtrace diff --a <file> --b <file> [--threshold <frac>] [--top <N>]\n  \
      xtrace machine-export --machine <name> --out <file.json>\n  \
@@ -406,6 +406,13 @@ fn pipeline_config(args: &Args) -> Result<PipelineConfig> {
             )))
         }
     };
+    if let Some(k) = args.get("ranks-per-count") {
+        config.ranks_per_count = k
+            .parse()
+            .ok()
+            .filter(|&k| k >= 1)
+            .ok_or_else(|| usage_err("--ranks-per-count must be a positive integer"))?;
+    }
     Ok(config)
 }
 

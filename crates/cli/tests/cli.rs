@@ -465,6 +465,60 @@ fn pipeline_store_resumes_on_second_run() {
 }
 
 #[test]
+fn pipeline_ranks_per_count_collects_worker_artifacts() {
+    let dir = tmpdir("wide");
+    let store = dir.join("artifacts");
+    let args = [
+        "pipeline",
+        "--app",
+        "stencil3d",
+        "--training",
+        "2,4,8",
+        "--target",
+        "32",
+        "--machine",
+        "opteron",
+        "--validate",
+        "false",
+        "--tracer",
+        "fast",
+        "--ranks-per-count",
+        "2",
+        "--store",
+        store.to_str().unwrap(),
+    ];
+    let cold = xtrace(&args);
+    assert!(cold.status.success(), "{cold:?}");
+    let warm = xtrace(&args);
+    assert!(warm.status.success(), "{warm:?}");
+    let err = String::from_utf8_lossy(&warm.stderr);
+    // 5 longest-rank artifacts plus at least one worker trace per count
+    // that has a distinct worker to sample.
+    assert!(
+        !err.contains("5 artifact(s) reused"),
+        "worker traces add store entries: {err}"
+    );
+    assert!(err.contains("artifact(s) reused"), "{err}");
+
+    let bad = xtrace(&[
+        "pipeline",
+        "--app",
+        "stencil3d",
+        "--training",
+        "2,4,8",
+        "--target",
+        "32",
+        "--machine",
+        "opteron",
+        "--ranks-per-count",
+        "0",
+    ]);
+    assert_eq!(bad.status.code(), Some(2), "{bad:?}");
+    let msg = String::from_utf8_lossy(&bad.stderr);
+    assert!(msg.contains("ranks-per-count"), "{msg}");
+}
+
+#[test]
 fn pipeline_out_writes_prediction_json() {
     let dir = tmpdir("predjson");
     let out_path = dir.join("prediction.json");

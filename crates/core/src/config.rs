@@ -83,6 +83,12 @@ pub struct PipelineConfig {
     /// Use the light tracer sampling configuration instead of the default
     /// (smaller sampled windows; used by tests and quick looks).
     pub fast_tracer: bool,
+    /// How many ranks to trace and store per training core count
+    /// (default 1: only the longest-running rank, which is all the fitter
+    /// consumes). Values above 1 collect extra worker ranks — spread
+    /// evenly across `[0, nranks)` — and file them in the artifact store
+    /// for rank-level studies; predictions are unaffected.
+    pub ranks_per_count: u32,
 }
 
 impl PipelineConfig {
@@ -103,6 +109,7 @@ impl PipelineConfig {
             forms: FormSet::Paper,
             validate: true,
             fast_tracer: false,
+            ranks_per_count: 1,
         }
     }
 
@@ -159,6 +166,11 @@ impl PipelineConfig {
                 "training count {p} does not lie below the target {}",
                 self.target
             )));
+        }
+        if self.ranks_per_count == 0 {
+            return Err(XtraceError::Usage(
+                "--ranks-per-count must be at least 1".into(),
+            ));
         }
         let app = make_app(&self.app, &self.scale)?;
         let machine = make_machine(&self.machine)?;
@@ -219,6 +231,13 @@ impl PipelineConfigBuilder {
     #[must_use]
     pub fn fast_tracer(mut self, fast: bool) -> Self {
         self.config.fast_tracer = fast;
+        self
+    }
+
+    /// How many ranks to trace per training core count (default `1`).
+    #[must_use]
+    pub fn ranks_per_count(mut self, n: u32) -> Self {
+        self.config.ranks_per_count = n;
         self
     }
 
@@ -398,6 +417,24 @@ mod tests {
         assert!(!custom.validate);
         assert!(custom.fast_tracer);
         custom.resolve().expect("builder output resolves");
+    }
+
+    #[test]
+    fn ranks_per_count_defaults_hashes_and_validates() {
+        let base = cfg();
+        assert_eq!(base.ranks_per_count, 1);
+
+        let wide = PipelineConfig::builder("stencil3d", "opteron", vec![2, 4, 8], 32)
+            .ranks_per_count(64)
+            .build();
+        assert_eq!(wide.ranks_per_count, 64);
+        assert_ne!(base.config_hash(), wide.config_hash());
+        wide.resolve().expect("wide config resolves");
+
+        let mut bad = cfg();
+        bad.ranks_per_count = 0;
+        let err = bad.resolve().unwrap_err();
+        assert!(err.to_string().contains("ranks-per-count"), "{err}");
     }
 
     #[test]

@@ -532,6 +532,36 @@ mod tests {
     }
 
     #[test]
+    fn wide_collection_stores_worker_ranks_without_changing_predictions() {
+        let root = tmp("wide");
+        let baseline = Pipeline::new(quick_config()).unwrap().run().unwrap();
+        let mut wide_cfg = quick_config();
+        wide_cfg.ranks_per_count = 2;
+        let run = || {
+            Pipeline::new(wide_cfg.clone())
+                .unwrap()
+                .with_store(&root)
+                .unwrap()
+                .run()
+                .unwrap()
+        };
+        let cold = run();
+        assert_eq!(
+            cold.prediction, baseline.prediction,
+            "worker-rank collection must not perturb the prediction"
+        );
+        assert!(
+            cold.cache_misses > 5,
+            "worker artifacts add store entries beyond the 5 longest-rank ones, got {}",
+            cold.cache_misses
+        );
+        let warm = run();
+        assert_eq!(warm.cache_misses, 0, "worker artifacts reused too");
+        assert_eq!(warm.cache_hits, cold.cache_misses);
+        assert_eq!(warm.prediction, baseline.prediction);
+    }
+
+    #[test]
     fn config_changes_miss_the_store() {
         let root = tmp("keyed");
         let mut p = Pipeline::new(quick_config())

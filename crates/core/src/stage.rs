@@ -14,7 +14,9 @@
 
 use xtrace_extrap::{fit_signature, synthesize_from_fit, SignatureFit};
 use xtrace_psins::{ground_truth, relative_error, try_predict_runtime, Prediction};
-use xtrace_tracer::{collect_signature_memo, collect_signature_with, SigMemo, TaskTrace};
+use xtrace_tracer::{
+    collect_signature_memo, collect_signature_with, collect_task_trace_memo, SigMemo, TaskTrace,
+};
 
 use crate::config::PipelineCtx;
 use crate::error::Result;
@@ -122,10 +124,30 @@ pub trait Validate {
     ) -> Result<Option<Validation>>;
 }
 
+/// The extra ranks traced at count `nranks` when `ranks_per_count = k`
+/// exceeds 1: the longest rank is always covered by the training trace
+/// itself, and up to `k - 1` worker ranks are spread evenly across
+/// `[1, nranks)` (matching the bench harness's sampling), skipping the
+/// longest.
+fn worker_ranks(nranks: u32, longest: u32, k: u32) -> Vec<u32> {
+    let mut ranks = Vec::new();
+    let step = (nranks / k.max(1)).max(1);
+    let mut r = 1;
+    while ranks.len() + 1 < k as usize && r < nranks {
+        if r != longest && !ranks.contains(&r) {
+            ranks.push(r);
+        }
+        r += step;
+    }
+    ranks
+}
+
 /// Default `Collect`: trace the most computationally demanding task at
 /// each training count with the context's tracer configuration. When a
 /// store is attached, each training trace is cached individually under
-/// `training-p<P>`.
+/// `training-p<P>`. With `ranks_per_count > 1`, additional worker ranks
+/// are traced per count and filed under `training-p<P>-r<R>`; the
+/// returned training set (and thus every prediction) is unchanged.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct DefaultCollect;
 
@@ -133,8 +155,9 @@ impl Collect for DefaultCollect {
     fn collect(&self, ctx: &PipelineCtx, obs: &mut dyn StageObserver) -> Result<Vec<TaskTrace>> {
         let recorder = xtrace_obs::current();
         // One memo across the whole training sweep: identical block
-        // simulations recur across core counts, and memoization is
-        // result-identical, so this only trades time for memory.
+        // simulations recur across core counts (and across ranks within a
+        // count), and memoization is result-identical, so this only trades
+        // time for memory.
         let memo = SigMemo::new();
         let mut traces = Vec::with_capacity(ctx.config.training.len());
         for &p in &ctx.config.training {
@@ -143,27 +166,61 @@ impl Collect for DefaultCollect {
                 .as_ref()
                 .map(|rec| rec.child_span(StageKind::Collect.label(), &format!("p{p}")));
             let artifact = format!("training-p{p}");
+            let mut cached = None;
             if let Some(store) = &ctx.store {
-                let cached = store.get_trace(&ctx.config_hash, &artifact)?;
-                let hit = cached.is_some();
-                obs.cache_event(StageKind::Collect, &artifact, hit);
-                if let Some(trace) = cached {
-                    traces.push(trace);
-                    continue;
+                cached = store.get_trace(&ctx.config_hash, &artifact)?;
+                obs.cache_event(StageKind::Collect, &artifact, cached.is_some());
+            }
+            let trace = match cached {
+                Some(trace) => trace,
+                None => {
+                    let sig =
+                        collect_signature_memo(ctx.app.spmd(), p, &ctx.machine, &ctx.tracer, &memo);
+                    obs.progress(
+                        StageKind::Collect,
+                        &format!(
+                            "traced {p} cores (longest task = rank {})",
+                            sig.comm.longest_rank
+                        ),
+                    );
+                    if let Some(store) = &ctx.store {
+                        store.put_trace(&ctx.config_hash, &artifact, sig.longest_task())?;
+                    }
+                    sig.longest_task().clone()
                 }
+            };
+            // Wide collection: trace the worker ranks too. The cached (or
+            // fresh) longest trace records its own rank, so resumed runs
+            // sample the same workers.
+            if ctx.config.ranks_per_count > 1 {
+                let workers = worker_ranks(p, trace.rank, ctx.config.ranks_per_count);
+                for &r in &workers {
+                    let artifact = format!("training-p{p}-r{r}");
+                    if let Some(store) = &ctx.store {
+                        let hit = store.get_trace(&ctx.config_hash, &artifact)?.is_some();
+                        obs.cache_event(StageKind::Collect, &artifact, hit);
+                        if hit {
+                            continue;
+                        }
+                    }
+                    let worker = collect_task_trace_memo(
+                        ctx.app.spmd(),
+                        r,
+                        p,
+                        &ctx.machine,
+                        &ctx.tracer,
+                        Some(&memo),
+                    );
+                    if let Some(store) = &ctx.store {
+                        store.put_trace(&ctx.config_hash, &artifact, &worker)?;
+                    }
+                }
+                obs.progress(
+                    StageKind::Collect,
+                    &format!("traced {} worker ranks at {p} cores", workers.len()),
+                );
             }
-            let sig = collect_signature_memo(ctx.app.spmd(), p, &ctx.machine, &ctx.tracer, &memo);
-            obs.progress(
-                StageKind::Collect,
-                &format!(
-                    "traced {p} cores (longest task = rank {})",
-                    sig.comm.longest_rank
-                ),
-            );
-            if let Some(store) = &ctx.store {
-                store.put_trace(&ctx.config_hash, &artifact, sig.longest_task())?;
-            }
-            traces.push(sig.longest_task().clone());
+            traces.push(trace);
         }
         // Memo totals are scheduling-invariant: misses equal the number of
         // unique block-simulation keys, hits the remainder.
@@ -260,5 +317,23 @@ impl Validate for DefaultValidate {
             collected,
             measured_seconds: gt.total_seconds,
         }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::worker_ranks;
+
+    #[test]
+    fn worker_ranks_spread_evenly_and_skip_the_longest() {
+        // k = 1 means longest-only: no workers.
+        assert!(worker_ranks(384, 7, 1).is_empty());
+        // k = 4 at 16 ranks: step 4, candidates 1, 5, 9.
+        assert_eq!(worker_ranks(16, 0, 4), vec![1, 5, 9]);
+        // The longest rank is never re-traced as a worker.
+        assert_eq!(worker_ranks(16, 5, 4), vec![1, 9, 13]);
+        // k larger than nranks saturates without looping forever.
+        let all = worker_ranks(4, 0, 64);
+        assert_eq!(all, vec![1, 2, 3]);
     }
 }

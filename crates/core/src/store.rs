@@ -122,10 +122,18 @@ impl ArtifactStore {
     }
 
     /// Files a trace under `<hash>/<name>.bin` (binary codec).
+    ///
+    /// The encoder itself reports `tracer.codec.compressed_bytes` /
+    /// `tracer.codec.raw_bytes`; the store adds the on-disk total under
+    /// `store.trace_bytes_written`.
     pub fn put_trace(&self, hash: &str, name: &str, trace: &TaskTrace) -> Result<()> {
         self.ensure_entry_dir(hash)?;
         let path = self.entry(hash, &format!("{name}.bin"));
-        std::fs::write(&path, to_bytes(trace)).map_err(|e| store_err(&path, e))?;
+        let bytes = to_bytes(trace);
+        xtrace_obs::metrics()
+            .counter("store.trace_bytes_written")
+            .add(bytes.len() as u64);
+        std::fs::write(&path, bytes).map_err(|e| store_err(&path, e))?;
         record_write();
         Ok(())
     }

@@ -20,7 +20,7 @@
 
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use xtrace_tracer::{FeatureId, TaskTrace};
+use xtrace_tracer::{FeatureId, TaskTrace, TraceColumns};
 
 use crate::fit::{fit_all, select_best_guarded, SelectionCriterion};
 use crate::forms::{CanonicalForm, FittedModel};
@@ -391,12 +391,69 @@ fn validate_family(sorted: &[&TaskTrace]) -> Result<(), ExtrapolationError> {
     Ok(())
 }
 
-/// Fits every element of one instruction.
+/// Element-major series matrix: every `(block, instruction, feature)`
+/// element's training series across core counts as one contiguous slice.
+///
+/// Built by flattening each training trace into [`TraceColumns`] once and
+/// transposing, so the per-element fitting loop reads `ys` straight out of
+/// a flat column instead of chasing `blocks[bi].instrs[ii]` records in
+/// every trace — the fitter-side half of the columnar layout. Values are
+/// copied bit-for-bit, so fits are identical to the record-walking
+/// formulation.
+struct ElementSeries {
+    /// `[pair-major][feature][trace]`: element `(p, f)`'s series starts at
+    /// `(p * n_features + f) * n_traces`.
+    data: Vec<f64>,
+    n_traces: usize,
+    n_features: usize,
+}
+
+impl ElementSeries {
+    /// Gathers the matrix from the sorted training family. Pair order is
+    /// blocks in trace order, instructions in block order — the same
+    /// flattening [`TraceColumns`] uses and `fit_sorted`'s `pairs` vec
+    /// enumerates.
+    fn gather(sorted: &[&TaskTrace], feature_ids: &[FeatureId]) -> Self {
+        let n_traces = sorted.len();
+        let n_features = feature_ids.len();
+        let n_pairs: usize = sorted
+            .last()
+            .map_or(0, |t| t.blocks.iter().map(|b| b.instrs.len()).sum());
+        let mut data = vec![0.0; n_pairs * n_features * n_traces];
+        for (ti, t) in sorted.iter().enumerate() {
+            let cols = TraceColumns::from_trace(t);
+            for (fi, &fid) in feature_ids.iter().enumerate() {
+                let col = cols.features.column(fid);
+                for (ei, &v) in col.iter().enumerate() {
+                    data[(ei * n_features + fi) * n_traces + ti] = v;
+                }
+            }
+        }
+        Self {
+            data,
+            n_traces,
+            n_features,
+        }
+    }
+
+    /// Element `(pair, feature)`'s training series, contiguous.
+    #[inline]
+    fn ys(&self, pair: usize, fi: usize) -> &[f64] {
+        let start = (pair * self.n_features + fi) * self.n_traces;
+        &self.data[start..start + self.n_traces]
+    }
+}
+
+/// Fits every element of one instruction, reading each element's series
+/// as a contiguous slice of the pre-gathered [`ElementSeries`].
 ///
 /// Pure function of its inputs, so instructions can be fitted in parallel;
 /// the returned fits are in `feature_ids` order.
+#[allow(clippy::too_many_arguments)]
 fn fit_instr(
     sorted: &[&TaskTrace],
+    series: &ElementSeries,
+    pair: usize,
     xs: &[f64],
     tx: f64,
     cfg: &ExtrapolationConfig,
@@ -409,18 +466,15 @@ fn fit_instr(
     let base_instr = &bb.instrs[ii];
     let influence = base.influence(&base_instr.features);
     let mut fits = Vec::with_capacity(feature_ids.len());
-    for &fid in feature_ids {
-        let ys: Vec<f64> = sorted
-            .iter()
-            .map(|t| t.blocks[bi].instrs[ii].features.get(fid))
-            .collect();
-        let model = select_best_guarded(&cfg.forms, xs, &ys, cfg.criterion, tx);
+    for (fi, &fid) in feature_ids.iter().enumerate() {
+        let ys = series.ys(pair, fi);
+        let model = select_best_guarded(&cfg.forms, xs, ys, cfg.criterion, tx);
         fits.push(ElementFit {
             block: bb.name.clone(),
             instr: ii as u32,
             feature: fid,
             model,
-            values: ys,
+            values: ys.to_vec(),
             influence,
         });
     }
@@ -468,17 +522,24 @@ fn fit_sorted(
     let base = *sorted.last().expect("nonempty");
     let feature_ids = FeatureId::all(base.depth);
 
-    let pairs: Vec<(usize, usize)> = base
+    // `(pair, block, instruction)`: `pair` is the flat instruction index —
+    // the row of the element-series matrix gathered below.
+    let pairs: Vec<(usize, usize, usize)> = base
         .blocks
         .iter()
         .enumerate()
         .flat_map(|(bi, bb)| (0..bb.instrs.len()).map(move |ii| (bi, ii)))
+        .enumerate()
+        .map(|(p, (bi, ii))| (p, bi, ii))
         .collect();
+    // One columnar gather up front: after this, no fit touches a trace
+    // record again — every series is a contiguous slice.
+    let series = ElementSeries::gather(sorted, &feature_ids);
     let parallel = parallel_fit_enabled(pairs.len() * feature_ids.len());
     let fits: Vec<ElementFit> = if parallel {
         pairs
             .par_iter()
-            .map(|&(bi, ii)| fit_instr(sorted, xs, tx, cfg, &feature_ids, bi, ii))
+            .map(|&(p, bi, ii)| fit_instr(sorted, &series, p, xs, tx, cfg, &feature_ids, bi, ii))
             .collect::<Vec<_>>()
             .into_iter()
             .flatten()
@@ -486,7 +547,9 @@ fn fit_sorted(
     } else {
         pairs
             .iter()
-            .flat_map(|&(bi, ii)| fit_instr(sorted, xs, tx, cfg, &feature_ids, bi, ii))
+            .flat_map(|&(p, bi, ii)| {
+                fit_instr(sorted, &series, p, xs, tx, cfg, &feature_ids, bi, ii)
+            })
             .collect()
     };
 

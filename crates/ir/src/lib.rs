@@ -43,4 +43,4 @@ pub use instr::{FpOp, InstrKind, Instruction, MemOp};
 pub use pattern::AddressPattern;
 pub use program::{Program, ProgramBuilder, ProgramError};
 pub use region::MemoryRegion;
-pub use stream::{AccessStream, MemAccess};
+pub use stream::{AccessRing, AccessStream, MemAccess};

@@ -210,7 +210,13 @@ impl AccessStream {
 
     /// Memory accesses one invocation will generate.
     pub fn accesses_per_invocation(&self) -> u64 {
-        self.iterations * self.specs.iter().map(|s| u64::from(s.repeat)).sum::<u64>()
+        self.iterations * self.refs_per_iteration()
+    }
+
+    /// Memory references one loop iteration generates — the indivisible
+    /// production unit of [`Self::fill_ring`].
+    pub fn refs_per_iteration(&self) -> u64 {
+        self.specs.iter().map(|s| u64::from(s.repeat)).sum()
     }
 
     /// Runs one invocation (`block.iterations` trips), calling `sink` for
@@ -237,6 +243,97 @@ impl AccessStream {
                 }
             }
         }
+    }
+
+    /// Streams **whole iterations** into `ring` until the next iteration
+    /// would not fit or `max_iters` is exhausted, and returns the number
+    /// of iterations produced. Access order is identical to
+    /// [`Self::run_iterations`]; cursors persist across calls, so
+    /// fill/drain chunking is invisible to the consumer.
+    ///
+    /// This is the producer half of the bounded streaming loop: the
+    /// caller drains the ring (a flat contiguous slice) through the cache
+    /// simulator and calls again. Returning `0` with `max_iters > 0`
+    /// means the ring lacks room for even one iteration — backpressure;
+    /// the caller must drain before refilling. Progress is guaranteed
+    /// whenever `ring.capacity() >= self.refs_per_iteration()` and the
+    /// ring is empty.
+    pub fn fill_ring(&mut self, ring: &mut AccessRing, max_iters: u64) -> u64 {
+        let per = self.refs_per_iteration();
+        if per == 0 {
+            // FP-only block: every iteration emits nothing.
+            return max_iters;
+        }
+        let iters = max_iters.min(ring.free() as u64 / per);
+        self.run_iterations(iters, &mut |a| ring.buf.push(a));
+        ring.peak = ring.peak.max(ring.buf.len());
+        iters
+    }
+}
+
+/// Bounded fixed-capacity buffer between address generation and cache
+/// simulation.
+///
+/// A rank's full address stream is never materialized: the tracer fills
+/// the ring one batch of whole iterations at a time
+/// ([`AccessStream::fill_ring`]), drains it through the simulator as one
+/// flat `&[MemAccess]` slice, and reuses the storage — so peak memory is
+/// the configured capacity regardless of how many references a block
+/// generates. [`Self::peak`] reports the high-water occupancy for the
+/// bounded-memory assertion in CI.
+#[derive(Debug, Clone)]
+pub struct AccessRing {
+    buf: Vec<MemAccess>,
+    capacity: usize,
+    peak: usize,
+}
+
+impl AccessRing {
+    /// A ring holding at most `capacity` references (at least 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            buf: Vec::with_capacity(capacity),
+            capacity,
+            peak: 0,
+        }
+    }
+
+    /// Configured capacity in references.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Buffered references awaiting drain.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Remaining room in references.
+    pub fn free(&self) -> usize {
+        self.capacity - self.buf.len()
+    }
+
+    /// High-water occupancy since construction (never exceeds
+    /// [`Self::capacity`]).
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// The buffered references, in production order, as one contiguous
+    /// slice — the consumer's flat inner-loop view.
+    pub fn as_slice(&self) -> &[MemAccess] {
+        &self.buf
+    }
+
+    /// Empties the ring, keeping its storage for the next fill.
+    pub fn clear(&mut self) {
+        self.buf.clear();
     }
 }
 
@@ -394,6 +491,67 @@ mod tests {
         };
         assert_ne!(collect(1), collect(2));
         assert_eq!(collect(3), collect(3));
+    }
+
+    #[test]
+    fn ring_chunked_stream_equals_direct_stream() {
+        let (p, blk) = two_instr_program();
+        let iters = 1000u64;
+        let mut direct = Vec::new();
+        AccessStream::new(&p, blk, 9).run_iterations(iters, &mut |a| direct.push(a));
+
+        for cap in [3usize, 7, 64, 100_000] {
+            let mut s = AccessStream::new(&p, blk, 9);
+            let mut ring = AccessRing::with_capacity(cap);
+            let mut chunked = Vec::new();
+            let mut left = iters;
+            while left > 0 {
+                let n = s.fill_ring(&mut ring, left);
+                assert!(n > 0, "cap {cap} made no progress");
+                assert!(ring.len() <= ring.capacity());
+                chunked.extend_from_slice(ring.as_slice());
+                ring.clear();
+                left -= n;
+            }
+            assert_eq!(chunked, direct, "cap {cap} changed the stream");
+            assert!(ring.peak() <= cap);
+            assert!(ring.peak() > 0);
+        }
+    }
+
+    #[test]
+    fn ring_backpressure_stops_at_capacity() {
+        let (p, blk) = two_instr_program();
+        // 3 refs per iteration; capacity 7 fits exactly 2 iterations.
+        let mut s = AccessStream::new(&p, blk, 0);
+        assert_eq!(s.refs_per_iteration(), 3);
+        let mut ring = AccessRing::with_capacity(7);
+        assert_eq!(s.fill_ring(&mut ring, 100), 2);
+        assert_eq!(ring.len(), 6);
+        // Full (for this iteration size): no progress until drained.
+        assert_eq!(s.fill_ring(&mut ring, 100), 0);
+        ring.clear();
+        assert_eq!(s.fill_ring(&mut ring, 1), 1);
+        assert_eq!(ring.peak(), 6);
+    }
+
+    #[test]
+    fn fp_only_block_fills_ring_with_nothing() {
+        let mut b = ProgramBuilder::default();
+        b.region("unused", 64, 8);
+        let blk = b.block(crate::block::BasicBlock::new(
+            BlockId(0),
+            "fp",
+            SourceLoc::new("t.c", 4, "h"),
+            10,
+            vec![Instruction::fp(FpOp::Add)],
+        ));
+        let p = b.build().unwrap();
+        let mut s = AccessStream::new(&p, blk, 0);
+        let mut ring = AccessRing::with_capacity(8);
+        // All iterations complete trivially; none buffer anything.
+        assert_eq!(s.fill_ring(&mut ring, 10), 10);
+        assert!(ring.is_empty());
     }
 
     #[test]

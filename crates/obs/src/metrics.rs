@@ -120,6 +120,16 @@ impl Gauge {
         }
     }
 
+    /// Raises the gauge to `value` if it exceeds the current reading — an
+    /// atomic maximum, for high-water marks (e.g. peak ring-buffer
+    /// occupancy) recorded from concurrently running workers.
+    #[inline]
+    pub fn set_max(&self, value: u64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_max(value, Ordering::Relaxed);
+        }
+    }
+
     /// Current value (0 when disabled).
     pub fn get(&self) -> u64 {
         self.0
@@ -275,6 +285,23 @@ mod tests {
         assert_eq!(c.get(), 0);
         assert!(!m.enabled());
         assert!(m.counter_values().is_empty());
+        let g = m.gauge("y");
+        g.set_max(9);
+        assert_eq!(g.get(), 0);
+    }
+
+    #[test]
+    fn gauge_set_max_is_a_running_maximum() {
+        let m = Metrics::live();
+        let g = m.gauge("peak");
+        g.set_max(5);
+        g.set_max(3);
+        assert_eq!(g.get(), 5, "lower value must not regress the high-water");
+        g.set_max(11);
+        assert_eq!(g.get(), 11);
+        // `set` still overwrites unconditionally.
+        g.set(2);
+        assert_eq!(g.get(), 2);
     }
 
     #[test]

@@ -19,7 +19,7 @@ use xtrace_cache::CacheHierarchy;
 use xtrace_ir::AccessStream;
 use xtrace_machine::{MachineProfile, PrefetchState};
 use xtrace_spmd::{MpiProfiler, RankEvent, SpmdApp};
-use xtrace_tracer::{collect_task_trace, rank_stream_seed, TracerConfig};
+use xtrace_tracer::{collect_task_trace, rank_stream_seed_for, TracerConfig};
 
 /// The execution-driven "measured" runtime.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -71,7 +71,7 @@ pub fn ground_truth_for_rank(
     let mut cache = CacheHierarchy::try_new(machine.hierarchy.clone())
         .expect("machine profile carries a valid hierarchy");
     let mut prefetch = PrefetchState::default();
-    let seed = rank_stream_seed(cfg, rank);
+    let seed = rank_stream_seed_for(app, cfg, rank, nranks);
 
     // Fold repeated Compute events per block (same treatment as the
     // tracer, so sampled streams agree).

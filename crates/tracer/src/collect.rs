@@ -23,7 +23,7 @@ use std::sync::Arc;
 
 use rayon::prelude::*;
 use xtrace_cache::{CacheHierarchy, LevelCounts};
-use xtrace_ir::{AccessStream, BlockId, InstrKind, MemOp};
+use xtrace_ir::{AccessRing, AccessStream, BlockId, InstrKind, MemOp};
 use xtrace_machine::MachineProfile;
 use xtrace_spmd::{MpiProfiler, RankEvent, RankProgram, SpmdApp};
 
@@ -39,6 +39,17 @@ pub struct TracerConfig {
     /// Base seed for random address patterns (mixed with the rank so
     /// different tasks gather different, reproducible, streams).
     pub seed: u64,
+    /// Capacity, in references, of the bounded ring buffer between address
+    /// generation and cache simulation ([`xtrace_ir::AccessRing`]). The
+    /// stream is produced and consumed chunk-at-a-time, so a block's peak
+    /// buffered footprint is this capacity no matter how many references
+    /// it generates; results are bit-identical at any setting because
+    /// chunking preserves access order exactly. `0` selects the direct
+    /// unbuffered sink path (the reference formulation, kept for
+    /// equivalence tests). A chunk always holds at least one whole
+    /// iteration, so blocks with more references per iteration than this
+    /// capacity still make progress.
+    pub stream_chunk_refs: u64,
 }
 
 impl Default for TracerConfig {
@@ -46,20 +57,26 @@ impl Default for TracerConfig {
     /// (tens of MB) comfortably exceeds any last-level cache in the machine
     /// presets, so capacity thrashing on large regions is visible in the
     /// sampled hit rates, not hidden by a window that fits in cache.
+    /// The 32 Ki-reference ring keeps the generator/simulator hand-off
+    /// bounded (sub-MB per in-flight block) without measurable overhead.
     fn default() -> Self {
         Self {
             max_sampled_refs_per_block: 1 << 23,
             seed: 0x5EED,
+            stream_chunk_refs: 1 << 15,
         }
     }
 }
 
 impl TracerConfig {
-    /// A light configuration for tests.
+    /// A light configuration for tests. The small ring makes even short
+    /// sampled windows span several fill/drain chunks, so tests exercise
+    /// the chunk boundary logic.
     pub fn fast() -> Self {
         Self {
             max_sampled_refs_per_block: 1 << 16,
             seed: 0x5EED,
+            stream_chunk_refs: 1 << 12,
         }
     }
 }
@@ -185,10 +202,40 @@ pub fn collect_ranks_memo(
         .collect()
 }
 
-/// The seed an MPI task's address streams are generated from — shared with
-/// the ground-truth simulator so both walk bit-identical streams.
+/// The seed rank `rank`'s address streams are generated from when the app
+/// provides no rank-equivalence keys — shared with the ground-truth
+/// simulator so both walk bit-identical streams.
 pub fn rank_stream_seed(cfg: &TracerConfig, rank: u32) -> u64 {
     cfg.seed ^ xtrace_ir::rng::SplitMix64::mix(u64::from(rank) << 20)
+}
+
+/// Class-aware stream seed: the seed actually used by collection and
+/// ground truth.
+///
+/// Ranks the engine already treats as interchangeable — equal
+/// [`SpmdApp::rank_class`] keys, meaning identical programs up to exchange
+/// neighbor lists — walk bit-identical synthetic address streams, seeded
+/// from the lowest rank of their class. Random-pattern block simulations
+/// then memoize across a whole class instead of being re-simulated per
+/// rank, which is what lets wide collection (many ranks per core count)
+/// scale with the number of *classes* rather than ranks. Apps that opt
+/// out of class keys keep the per-rank [`rank_stream_seed`], and a rank
+/// that is its class's lowest member (every singleton class, e.g. a
+/// master rank) is seeded exactly as before.
+pub fn rank_stream_seed_for(app: &dyn SpmdApp, cfg: &TracerConfig, rank: u32, nranks: u32) -> u64 {
+    rank_stream_seed(cfg, class_seed_rank(app, rank, nranks))
+}
+
+/// The lowest rank sharing `rank`'s equivalence class (the class's seed
+/// donor), or `rank` itself without class keys. Class keys are O(1)
+/// arithmetic for the proxy apps, so the scan is cheap.
+fn class_seed_rank(app: &dyn SpmdApp, rank: u32, nranks: u32) -> u32 {
+    let Some(key) = app.rank_class(rank, nranks) else {
+        return rank;
+    };
+    (0..rank)
+        .find(|&r| app.rank_class(r, nranks) == Some(key))
+        .unwrap_or(rank)
 }
 
 /// Traces a single MPI task: the core of the signature pipeline.
@@ -232,7 +279,7 @@ pub fn collect_task_trace_memo(
         }
     }
 
-    let rank_seed = rank_stream_seed(cfg, rank);
+    let rank_seed = rank_stream_seed_for(app, cfg, rank, nranks);
     // Blocks own their simulator state, so they trace independently; the
     // rayon collect is ordered, keeping block order (and therefore the
     // trace) identical at any thread count.
@@ -293,13 +340,47 @@ fn trace_block(
                 .expect("machine profile carries a valid hierarchy");
             let mut counts = vec![LevelCounts::default(); blk.instrs.len()];
             let mut stream = AccessStream::new(&rp.program, block_id, rank_seed);
-            stream.run_iterations(warmup_iters, &mut |a| {
-                cache.access(a.addr, a.bytes);
-            });
-            stream.run_iterations(sample_iters, &mut |a| {
-                let lvl = cache.access(a.addr, a.bytes);
-                counts[a.instr.index()].record(lvl);
-            });
+            if cfg.stream_chunk_refs == 0 {
+                // Reference formulation: every access goes straight from
+                // the generator into the simulator, nothing buffered.
+                stream.run_iterations(warmup_iters, &mut |a| {
+                    cache.access(a.addr, a.bytes);
+                });
+                stream.run_iterations(sample_iters, &mut |a| {
+                    let lvl = cache.access(a.addr, a.bytes);
+                    counts[a.instr.index()].record(lvl);
+                });
+            } else {
+                // Streaming formulation: fill a bounded ring with whole
+                // iterations, drain it through the simulator as one flat
+                // contiguous slice, repeat. Order — and therefore every
+                // count — is identical to the direct path; peak buffered
+                // memory is the ring capacity. The floor of one iteration
+                // guarantees progress for wide blocks.
+                let cap = cfg.stream_chunk_refs.max(refs_per_iter) as usize;
+                let mut ring = AccessRing::with_capacity(cap);
+                let mut left = warmup_iters;
+                while left > 0 {
+                    left -= stream.fill_ring(&mut ring, left);
+                    cache.warm(ring.as_slice().iter().map(|a| (a.addr, a.bytes)));
+                    ring.clear();
+                }
+                let mut left = sample_iters;
+                while left > 0 {
+                    left -= stream.fill_ring(&mut ring, left);
+                    for a in ring.as_slice() {
+                        let lvl = cache.access(a.addr, a.bytes);
+                        counts[a.instr.index()].record(lvl);
+                    }
+                    ring.clear();
+                }
+                // High-water marks for the bounded-memory CI assertion.
+                // Deterministic: occupancy depends only on the block's
+                // geometry and the configured capacity, never scheduling.
+                obs.gauge("tracer.ring.peak_refs")
+                    .set_max(ring.peak() as u64);
+                obs.gauge("tracer.ring.capacity_refs").set_max(cap as u64);
+            }
             counts
         };
         match memo {
@@ -585,6 +666,44 @@ mod tests {
         );
     }
 
+    /// [`TwoRegion`] with rank-equivalence keys: even and odd ranks form
+    /// two classes. Every rank's program is identical, so any grouping
+    /// honors the [`SpmdApp::rank_class`] contract.
+    struct ClassyTwoRegion;
+    impl SpmdApp for ClassyTwoRegion {
+        fn name(&self) -> &str {
+            "classy-two-region"
+        }
+        fn rank_program(&self, rank: u32, nranks: u32) -> RankProgram {
+            TwoRegion.rank_program(rank, nranks)
+        }
+        fn rank_class(&self, rank: u32, _nranks: u32) -> Option<u64> {
+            Some(u64::from(rank % 2))
+        }
+    }
+
+    #[test]
+    fn same_class_ranks_walk_identical_streams_and_memoize() {
+        let m = machine();
+        let cfg = TracerConfig::fast();
+        // Ranks 1 and 3 share a class: both are seeded from the class's
+        // lowest rank (1), so their traces match and rank 3's block
+        // simulations are answered entirely from the memo.
+        let memo = SigMemo::new();
+        let a = collect_task_trace_memo(&ClassyTwoRegion, 1, 4, &m, &cfg, Some(&memo));
+        let misses_after_first = memo.misses();
+        let b = collect_task_trace_memo(&ClassyTwoRegion, 3, 4, &m, &cfg, Some(&memo));
+        assert_eq!(a.blocks, b.blocks);
+        assert_eq!(memo.misses(), misses_after_first, "rank 3 should only hit");
+        // A rank of the other class draws a different random stream.
+        let c = collect_task_trace_memo(&ClassyTwoRegion, 2, 4, &m, &cfg, Some(&memo));
+        assert_ne!(a.blocks, c.blocks);
+        // The class's lowest member is seeded exactly like the keyless app,
+        // so opting in to classes never changes a representative's trace.
+        let plain = collect_task_trace(&TwoRegion, 1, 4, &m, &cfg);
+        assert_eq!(a.blocks, plain.blocks);
+    }
+
     #[test]
     fn signature_contains_longest_task() {
         let m = machine();
@@ -617,6 +736,7 @@ mod tests {
             &TracerConfig {
                 max_sampled_refs_per_block: 1 << 10,
                 seed: 1,
+                ..TracerConfig::default()
             },
         );
         let large = collect_task_trace(
@@ -627,6 +747,7 @@ mod tests {
             &TracerConfig {
                 max_sampled_refs_per_block: 1 << 20,
                 seed: 1,
+                ..TracerConfig::default()
             },
         );
         assert_eq!(
@@ -701,6 +822,55 @@ mod tests {
                 shared
             );
         }
+    }
+
+    /// Chunked ring-buffer streaming must be invisible: at any capacity —
+    /// including ones far smaller than a block's sampled window — the
+    /// collected trace is bit-identical to the direct unbuffered path.
+    #[test]
+    fn streaming_chunks_are_bit_identical_to_direct() {
+        let m = machine();
+        let direct = TracerConfig {
+            stream_chunk_refs: 0,
+            ..TracerConfig::fast()
+        };
+        let ref_two_region = collect_task_trace(&TwoRegion, 0, 4, &m, &direct);
+        let ref_two_blocks = collect_task_trace(&TwoBlocks, 1, 4, &m, &direct);
+        for chunk in [1u64, 7, 1 << 6, 1 << 12, 1 << 22] {
+            let cfg = TracerConfig {
+                stream_chunk_refs: chunk,
+                ..TracerConfig::fast()
+            };
+            assert_eq!(
+                collect_task_trace(&TwoRegion, 0, 4, &m, &cfg),
+                ref_two_region,
+                "chunk {chunk} perturbed TwoRegion"
+            );
+            assert_eq!(
+                collect_task_trace(&TwoBlocks, 1, 4, &m, &cfg),
+                ref_two_blocks,
+                "chunk {chunk} perturbed TwoBlocks"
+            );
+        }
+    }
+
+    /// The ring's high-water occupancy never exceeds the effective
+    /// capacity (configured, or one whole iteration for wide blocks).
+    #[test]
+    fn ring_occupancy_is_bounded_by_capacity() {
+        let m = machine();
+        let recorder = xtrace_obs::Recorder::new();
+        let metrics = recorder.metrics();
+        let _guard = xtrace_obs::install(recorder);
+        let cfg = TracerConfig {
+            stream_chunk_refs: 64,
+            ..TracerConfig::fast()
+        };
+        let _ = collect_task_trace(&TwoRegion, 0, 4, &m, &cfg);
+        let peak = metrics.gauge("tracer.ring.peak_refs").get();
+        let cap = metrics.gauge("tracer.ring.capacity_refs").get();
+        assert!(peak > 0, "streaming path must report an occupancy");
+        assert!(peak <= cap, "peak {peak} exceeds capacity {cap}");
     }
 
     #[test]

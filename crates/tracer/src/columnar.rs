@@ -1,0 +1,359 @@
+//! Columnar (struct-of-arrays) layout of a task trace.
+//!
+//! [`TaskTrace`] is the interchange form — a `Vec` of blocks, each a `Vec`
+//! of instruction records. That array-of-structs shape is convenient to
+//! build during collection, but both heavy consumers want the transpose:
+//!
+//! * the **extrapolator** fits each `(block, instruction, feature)`
+//!   element as an independent series across core counts, so it reads one
+//!   feature of *every* instruction — a column — per fit;
+//! * the **trace envelope** (format v2, `crate::io`) delta/RLE-compresses
+//!   per-feature columns, which only works when equal-typed values are
+//!   adjacent.
+//!
+//! [`TraceColumns`] is that transpose: per-block metadata columns, a CSR-style
+//! `instr_start` offset array, and one flat `f64` column per
+//! [`FeatureId`] scalar covering every instruction of every block in
+//! order. The conversion is lossless and bit-exact in both directions
+//! (`from_trace` ∘ `to_trace` is the identity; asserted in tests), so the
+//! columnar view can sit behind the existing `TaskTrace` API without
+//! perturbing a single prediction.
+
+use xtrace_cache::MEMORY_LEVEL_CAP;
+use xtrace_ir::SourceLoc;
+
+use crate::sig::{BlockRecord, FeatureId, FeatureVector, InstrRecord, TaskTrace};
+
+/// The 12 scalar (non-hit-rate) feature columns, in wire/storage order.
+/// This order is frozen by trace-envelope v2 — do not reorder.
+pub const SCALAR_FEATURES: [FeatureId; 12] = [
+    FeatureId::ExecCount,
+    FeatureId::MemOps,
+    FeatureId::Loads,
+    FeatureId::Stores,
+    FeatureId::BytesPerRef,
+    FeatureId::FpAdd,
+    FeatureId::FpMul,
+    FeatureId::FpDiv,
+    FeatureId::FpSqrt,
+    FeatureId::FpFma,
+    FeatureId::WorkingSet,
+    FeatureId::Ilp,
+];
+
+/// Flat per-instruction feature columns (the transpose of a vector of
+/// [`FeatureVector`]s). Column `k` of instruction `i` lives at
+/// `column(id)[i]` — contiguous in memory across instructions.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FeatureMatrix {
+    /// One column per entry of [`SCALAR_FEATURES`], same order.
+    pub scalars: [Vec<f64>; 12],
+    /// `hit_rates[l][i]` = instruction `i`'s cumulative hit rate at level
+    /// `l` (levels past the machine depth stay 1.0).
+    pub hit_rates: [Vec<f64>; MEMORY_LEVEL_CAP],
+}
+
+impl FeatureMatrix {
+    /// A matrix with all columns pre-sized for `n` instructions.
+    pub fn with_capacity(n: usize) -> Self {
+        let mut m = Self::default();
+        for c in m.scalars.iter_mut() {
+            c.reserve(n);
+        }
+        for c in m.hit_rates.iter_mut() {
+            c.reserve(n);
+        }
+        m
+    }
+
+    /// Number of instructions (rows).
+    pub fn len(&self) -> usize {
+        self.scalars[0].len()
+    }
+
+    /// True when no instructions have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends one instruction's features across all columns.
+    pub fn push(&mut self, f: &FeatureVector) {
+        for (col, &id) in self.scalars.iter_mut().zip(SCALAR_FEATURES.iter()) {
+            col.push(f.get(id));
+        }
+        for (l, col) in self.hit_rates.iter_mut().enumerate() {
+            col.push(f.hit_rates[l]);
+        }
+    }
+
+    /// The contiguous column for one feature element.
+    pub fn column(&self, id: FeatureId) -> &[f64] {
+        match id {
+            FeatureId::HitRate(l) => &self.hit_rates[usize::from(l)],
+            _ => {
+                let k = SCALAR_FEATURES
+                    .iter()
+                    .position(|&s| s == id)
+                    .expect("every non-hit-rate FeatureId is a scalar column");
+                &self.scalars[k]
+            }
+        }
+    }
+
+    /// Reassembles instruction `i`'s [`FeatureVector`] (bit-exact).
+    pub fn vector(&self, i: usize) -> FeatureVector {
+        let mut f = FeatureVector::default();
+        for (col, &id) in self.scalars.iter().zip(SCALAR_FEATURES.iter()) {
+            f.set(id, col[i]);
+        }
+        for (l, col) in self.hit_rates.iter().enumerate() {
+            f.hit_rates[l] = col[i];
+        }
+        f
+    }
+}
+
+/// A [`TaskTrace`] in columnar (struct-of-arrays) form.
+///
+/// Block metadata lives in parallel per-block columns; instruction data
+/// lives in flat per-instruction columns spanning all blocks, delimited by
+/// the CSR-style [`Self::instr_start`] offsets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceColumns {
+    /// Application name.
+    pub app: String,
+    /// Rank this trace belongs to.
+    pub rank: u32,
+    /// Core count of the run.
+    pub nranks: u32,
+    /// Target machine the cache simulation mimicked.
+    pub machine: String,
+    /// Cache depth of that machine.
+    pub depth: usize,
+    /// Per-block: stable block name.
+    pub block_names: Vec<String>,
+    /// Per-block: source file.
+    pub block_files: Vec<String>,
+    /// Per-block: source line.
+    pub block_lines: Vec<u32>,
+    /// Per-block: enclosing function.
+    pub block_functions: Vec<String>,
+    /// Per-block: invocations over the whole run.
+    pub invocations: Vec<u64>,
+    /// Per-block: loop trips per invocation.
+    pub iterations: Vec<u64>,
+    /// Offsets into the instruction columns: block `b`'s instructions
+    /// occupy `instr_start[b]..instr_start[b + 1]`. Length `nblocks + 1`.
+    pub instr_start: Vec<u32>,
+    /// Per-instruction: index within its block.
+    pub instr_index: Vec<u32>,
+    /// Per-instruction: address-pattern label.
+    pub patterns: Vec<String>,
+    /// Per-instruction feature columns.
+    pub features: FeatureMatrix,
+}
+
+impl TraceColumns {
+    /// Transposes a record-oriented trace into columns (lossless).
+    pub fn from_trace(t: &TaskTrace) -> Self {
+        let nblocks = t.blocks.len();
+        let total: usize = t.blocks.iter().map(|b| b.instrs.len()).sum();
+        let mut c = TraceColumns {
+            app: t.app.clone(),
+            rank: t.rank,
+            nranks: t.nranks,
+            machine: t.machine.clone(),
+            depth: t.depth,
+            block_names: Vec::with_capacity(nblocks),
+            block_files: Vec::with_capacity(nblocks),
+            block_lines: Vec::with_capacity(nblocks),
+            block_functions: Vec::with_capacity(nblocks),
+            invocations: Vec::with_capacity(nblocks),
+            iterations: Vec::with_capacity(nblocks),
+            instr_start: Vec::with_capacity(nblocks + 1),
+            instr_index: Vec::with_capacity(total),
+            patterns: Vec::with_capacity(total),
+            features: FeatureMatrix::with_capacity(total),
+        };
+        c.instr_start.push(0);
+        for b in &t.blocks {
+            c.block_names.push(b.name.clone());
+            c.block_files.push(b.source.file.clone());
+            c.block_lines.push(b.source.line);
+            c.block_functions.push(b.source.function.clone());
+            c.invocations.push(b.invocations);
+            c.iterations.push(b.iterations);
+            for ins in &b.instrs {
+                c.instr_index.push(ins.instr);
+                c.patterns.push(ins.pattern.clone());
+                c.features.push(&ins.features);
+            }
+            c.instr_start.push(c.instr_index.len() as u32);
+        }
+        c
+    }
+
+    /// Transposes back into the record-oriented form (bit-exact inverse of
+    /// [`Self::from_trace`]).
+    pub fn to_trace(&self) -> TaskTrace {
+        let mut blocks = Vec::with_capacity(self.n_blocks());
+        for b in 0..self.n_blocks() {
+            let lo = self.instr_start[b] as usize;
+            let hi = self.instr_start[b + 1] as usize;
+            let instrs = (lo..hi)
+                .map(|i| InstrRecord {
+                    instr: self.instr_index[i],
+                    pattern: self.patterns[i].clone(),
+                    features: self.features.vector(i),
+                })
+                .collect();
+            blocks.push(BlockRecord {
+                name: self.block_names[b].clone(),
+                source: SourceLoc::new(
+                    self.block_files[b].clone(),
+                    self.block_lines[b],
+                    self.block_functions[b].clone(),
+                ),
+                invocations: self.invocations[b],
+                iterations: self.iterations[b],
+                instrs,
+            });
+        }
+        TaskTrace {
+            app: self.app.clone(),
+            rank: self.rank,
+            nranks: self.nranks,
+            machine: self.machine.clone(),
+            depth: self.depth,
+            blocks,
+        }
+    }
+
+    /// Number of blocks.
+    pub fn n_blocks(&self) -> usize {
+        self.block_names.len()
+    }
+
+    /// Total instructions across all blocks.
+    pub fn n_instrs(&self) -> usize {
+        self.instr_index.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TaskTrace {
+        TaskTrace {
+            app: "columnar-test".into(),
+            rank: 3,
+            nranks: 64,
+            machine: "m".into(),
+            depth: 2,
+            blocks: vec![
+                BlockRecord {
+                    name: "a".into(),
+                    source: SourceLoc::new("a.f90", 10, "fa"),
+                    invocations: 5,
+                    iterations: 7,
+                    instrs: vec![
+                        InstrRecord {
+                            instr: 0,
+                            pattern: "strided".into(),
+                            features: FeatureVector {
+                                exec_count: 35.0,
+                                mem_ops: 35.0,
+                                loads: 35.0,
+                                bytes_per_ref: 8.0,
+                                hit_rates: [0.5, 0.75, 1.0, 1.0],
+                                working_set: 4096.0,
+                                ilp: 2.0,
+                                ..Default::default()
+                            },
+                        },
+                        InstrRecord {
+                            instr: 1,
+                            pattern: "fp".into(),
+                            features: FeatureVector {
+                                exec_count: 70.0,
+                                fp_fma: 70.0,
+                                ..Default::default()
+                            },
+                        },
+                    ],
+                },
+                BlockRecord {
+                    name: "b".into(),
+                    source: SourceLoc::new("b.f90", 20, "fb"),
+                    invocations: 1,
+                    iterations: 1,
+                    instrs: vec![InstrRecord {
+                        instr: 0,
+                        pattern: "random".into(),
+                        features: FeatureVector {
+                            exec_count: 1.0,
+                            mem_ops: 1.0,
+                            stores: 1.0,
+                            bytes_per_ref: 4.0,
+                            ..Default::default()
+                        },
+                    }],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let t = sample();
+        let c = TraceColumns::from_trace(&t);
+        assert_eq!(c.n_blocks(), 2);
+        assert_eq!(c.n_instrs(), 3);
+        assert_eq!(c.instr_start, vec![0, 2, 3]);
+        assert_eq!(c.to_trace(), t);
+    }
+
+    #[test]
+    fn columns_match_record_reads() {
+        let t = sample();
+        let c = TraceColumns::from_trace(&t);
+        for id in FeatureId::all(MEMORY_LEVEL_CAP) {
+            let col = c.features.column(id);
+            assert_eq!(col.len(), c.n_instrs());
+            let mut i = 0;
+            for b in &t.blocks {
+                for ins in &b.instrs {
+                    assert_eq!(col[i].to_bits(), ins.features.get(id).to_bits(), "{id:?}");
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_order_covers_every_non_hit_rate_id() {
+        let all = FeatureId::all(MEMORY_LEVEL_CAP);
+        for id in all {
+            if !id.is_rate() {
+                assert!(SCALAR_FEATURES.contains(&id), "{id:?} missing");
+            }
+        }
+        assert_eq!(SCALAR_FEATURES.len(), 12);
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let t = TaskTrace {
+            app: String::new(),
+            rank: 0,
+            nranks: 1,
+            machine: String::new(),
+            depth: 1,
+            blocks: vec![],
+        };
+        let c = TraceColumns::from_trace(&t);
+        assert_eq!(c.instr_start, vec![0]);
+        assert_eq!(c.to_trace(), t);
+    }
+}

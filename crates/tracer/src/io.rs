@@ -9,8 +9,12 @@
 //!   experiment harness. Traces are wrapped in a
 //!   `{"format", "version", "trace"}` envelope; bare legacy traces
 //!   (version-0 files, written before the envelope existed) still load.
-//! * a **compact binary codec** (hand-rolled on `bytes`) — a few times
-//!   smaller and allocation-light, for bulk multi-rank collections.
+//! * a **compact binary codec** (hand-rolled on `bytes`) — for bulk
+//!   multi-rank collections. Version 2 transposes the trace into columnar
+//!   form (`crate::columnar`) and delta/RLE-compresses every numeric
+//!   column (`crate::codec`), typically an order of magnitude smaller
+//!   than the v1 record-oriented layout; v1 files still load through
+//!   explicit version dispatch in [`from_bytes`].
 //!
 //! The `xtrace-core` artifact store persists traces through these exact
 //! functions, so every trace artifact on disk — CLI output, store entry,
@@ -25,12 +29,18 @@ use serde::{Deserialize, Serialize};
 use xtrace_cache::MEMORY_LEVEL_CAP;
 use xtrace_ir::SourceLoc;
 
+use crate::codec;
+use crate::columnar::{FeatureMatrix, TraceColumns};
 use crate::sig::{BlockRecord, FeatureVector, InstrRecord, TaskTrace};
 
 /// Magic prefix of the binary format.
 const MAGIC: &[u8; 4] = b"XTRC";
-/// Current binary format version.
-const VERSION: u16 = 1;
+/// Current binary format version: v2, the compressed columnar envelope.
+/// Version-1 files (uncompressed record-oriented) still load through the
+/// explicit dispatch in [`from_bytes`].
+const VERSION: u16 = 2;
+/// The record-oriented uncompressed format, readable forever.
+const VERSION_V1: u16 = 1;
 /// Identifies the JSON envelope (the `format` field).
 pub const JSON_FORMAT: &str = "xtrace-task-trace";
 /// Current JSON envelope version.
@@ -47,6 +57,9 @@ pub enum CodecError {
     Truncated,
     /// A string field was not valid UTF-8.
     BadString,
+    /// The buffer is structurally inconsistent (bad varint, run overflow,
+    /// column-length mismatch, out-of-range dictionary index, …).
+    Corrupt(&'static str),
 }
 
 impl std::fmt::Display for CodecError {
@@ -56,6 +69,7 @@ impl std::fmt::Display for CodecError {
             CodecError::BadVersion(v) => write!(f, "unsupported trace format version {v}"),
             CodecError::Truncated => write!(f, "trace buffer truncated"),
             CodecError::BadString => write!(f, "invalid UTF-8 in trace string"),
+            CodecError::Corrupt(what) => write!(f, "corrupt trace buffer: {what}"),
         }
     }
 }
@@ -186,11 +200,101 @@ pub fn parse_json(s: &str, path: &Path) -> Result<TaskTrace, IoError> {
     }
 }
 
-/// Encodes a trace into the compact binary format.
+/// Encodes a trace into the current (v2) compressed columnar format.
+///
+/// The trace is transposed into [`TraceColumns`] and every numeric column
+/// goes through the delta + run-length codec (`crate::codec`); pattern
+/// labels are dictionary-encoded. Real signatures shrink by an order of
+/// magnitude versus v1 because most columns are constant or
+/// arithmetic-ramp shaped. When an observability recorder is installed,
+/// the compressed and raw (v1-equivalent) byte counts are reported on the
+/// `tracer.codec.compressed_bytes` / `tracer.codec.raw_bytes` counters.
 pub fn to_bytes(trace: &TaskTrace) -> Bytes {
+    let cols = TraceColumns::from_trace(trace);
     let mut b = BytesMut::with_capacity(1024);
     b.put_slice(MAGIC);
     b.put_u16(VERSION);
+    put_str(&mut b, &cols.app);
+    b.put_u32(cols.rank);
+    b.put_u32(cols.nranks);
+    put_str(&mut b, &cols.machine);
+    b.put_u8(cols.depth as u8);
+    b.put_u32(cols.n_blocks() as u32);
+    for bi in 0..cols.n_blocks() {
+        put_str(&mut b, &cols.block_names[bi]);
+        put_str(&mut b, &cols.block_files[bi]);
+        b.put_u32(cols.block_lines[bi]);
+        put_str(&mut b, &cols.block_functions[bi]);
+    }
+    codec::encode_u64_column(&cols.invocations, &mut b);
+    codec::encode_u64_column(&cols.iterations, &mut b);
+    let ninstrs: Vec<u64> = cols
+        .instr_start
+        .windows(2)
+        .map(|w| u64::from(w[1] - w[0]))
+        .collect();
+    codec::encode_u64_column(&ninstrs, &mut b);
+    let instr_idx: Vec<u64> = cols.instr_index.iter().map(|&v| u64::from(v)).collect();
+    codec::encode_u64_column(&instr_idx, &mut b);
+    // Pattern labels: first-appearance dictionary plus an index column.
+    let mut dict: Vec<&str> = Vec::new();
+    let mut pattern_idx: Vec<u64> = Vec::with_capacity(cols.patterns.len());
+    for p in &cols.patterns {
+        let k = match dict.iter().position(|d| d == p) {
+            Some(k) => k,
+            None => {
+                dict.push(p);
+                dict.len() - 1
+            }
+        };
+        pattern_idx.push(k as u64);
+    }
+    b.put_u32(dict.len() as u32);
+    for d in &dict {
+        put_str(&mut b, d);
+    }
+    codec::encode_u64_column(&pattern_idx, &mut b);
+    for col in &cols.features.scalars {
+        codec::encode_f64_column(col, &mut b);
+    }
+    for col in &cols.features.hit_rates {
+        codec::encode_f64_column(col, &mut b);
+    }
+    let out = b.freeze();
+
+    let m = xtrace_obs::metrics();
+    if m.enabled() {
+        m.counter("tracer.codec.compressed_bytes")
+            .add(out.len() as u64);
+        m.counter("tracer.codec.raw_bytes")
+            .add(v1_encoded_len(trace));
+    }
+    out
+}
+
+/// Size in bytes of the v1 (uncompressed) encoding of `trace`, computed
+/// without building the buffer — the "raw" side of the compression
+/// metrics and of `bench_collect`'s bytes-stored comparison.
+pub fn v1_encoded_len(trace: &TaskTrace) -> u64 {
+    let str_len = |s: &str| 4 + s.len() as u64;
+    let mut n = 4 + 2 + str_len(&trace.app) + 4 + 4 + str_len(&trace.machine) + 1 + 4;
+    for blk in &trace.blocks {
+        n += str_len(&blk.name) + str_len(&blk.source.file) + 4 + str_len(&blk.source.function);
+        n += 8 + 8 + 4;
+        for ins in &blk.instrs {
+            n += 4 + str_len(&ins.pattern) + 8 * (12 + MEMORY_LEVEL_CAP as u64);
+        }
+    }
+    n
+}
+
+/// Encodes a trace into the legacy v1 record-oriented format. Kept for
+/// compatibility tooling (fixture generation, raw-size baselines); new
+/// writers should use [`to_bytes`].
+pub fn to_bytes_v1(trace: &TaskTrace) -> Bytes {
+    let mut b = BytesMut::with_capacity(1024);
+    b.put_slice(MAGIC);
+    b.put_u16(VERSION_V1);
     put_str(&mut b, &trace.app);
     b.put_u32(trace.rank);
     b.put_u32(trace.nranks);
@@ -233,7 +337,9 @@ pub fn to_bytes(trace: &TaskTrace) -> Bytes {
     b.freeze()
 }
 
-/// Decodes a trace from the compact binary format.
+/// Decodes a trace from the compact binary format, dispatching on the
+/// envelope version: v1 (record-oriented) and v2 (compressed columnar)
+/// both load; anything else is rejected.
 pub fn from_bytes(mut buf: &[u8]) -> Result<TaskTrace, CodecError> {
     if buf.remaining() < 6 {
         return Err(CodecError::Truncated);
@@ -244,9 +350,100 @@ pub fn from_bytes(mut buf: &[u8]) -> Result<TaskTrace, CodecError> {
         return Err(CodecError::BadMagic);
     }
     let version = buf.get_u16();
-    if version != VERSION {
-        return Err(CodecError::BadVersion(version));
+    match version {
+        VERSION_V1 => decode_v1(buf),
+        VERSION => decode_v2(buf),
+        v => Err(CodecError::BadVersion(v)),
     }
+}
+
+/// Decodes the v2 body (everything after magic + version).
+fn decode_v2(mut buf: &[u8]) -> Result<TaskTrace, CodecError> {
+    let app = get_str(&mut buf)?;
+    need(buf, 8)?;
+    let rank = buf.get_u32();
+    let nranks = buf.get_u32();
+    let machine = get_str(&mut buf)?;
+    need(buf, 5)?;
+    let depth = usize::from(buf.get_u8());
+    let nblocks = buf.get_u32() as usize;
+    if nblocks > codec::MAX_COLUMN_LEN {
+        return Err(CodecError::Corrupt("block count exceeds cap"));
+    }
+    let mut block_names = Vec::with_capacity(nblocks.min(1 << 16));
+    let mut block_files = Vec::with_capacity(nblocks.min(1 << 16));
+    let mut block_lines = Vec::with_capacity(nblocks.min(1 << 16));
+    let mut block_functions = Vec::with_capacity(nblocks.min(1 << 16));
+    for _ in 0..nblocks {
+        block_names.push(get_str(&mut buf)?);
+        block_files.push(get_str(&mut buf)?);
+        need(buf, 4)?;
+        block_lines.push(buf.get_u32());
+        block_functions.push(get_str(&mut buf)?);
+    }
+    let invocations = codec::decode_u64_column(&mut buf, Some(nblocks))?;
+    let iterations = codec::decode_u64_column(&mut buf, Some(nblocks))?;
+    let ninstrs = codec::decode_u64_column(&mut buf, Some(nblocks))?;
+    let mut instr_start = Vec::with_capacity(nblocks + 1);
+    instr_start.push(0u32);
+    let mut total: usize = 0;
+    for &n in &ninstrs {
+        total = total
+            .checked_add(n as usize)
+            .filter(|&t| t <= codec::MAX_COLUMN_LEN)
+            .ok_or(CodecError::Corrupt("instruction count exceeds cap"))?;
+        instr_start.push(total as u32);
+    }
+    let instr_index: Vec<u32> = codec::decode_u64_column(&mut buf, Some(total))?
+        .into_iter()
+        .map(|v| u32::try_from(v).map_err(|_| CodecError::Corrupt("instruction index exceeds u32")))
+        .collect::<Result<_, _>>()?;
+    need(buf, 4)?;
+    let npatterns = buf.get_u32() as usize;
+    if npatterns > total {
+        return Err(CodecError::Corrupt("pattern dictionary larger than trace"));
+    }
+    let mut dict = Vec::with_capacity(npatterns);
+    for _ in 0..npatterns {
+        dict.push(get_str(&mut buf)?);
+    }
+    let patterns: Vec<String> = codec::decode_u64_column(&mut buf, Some(total))?
+        .into_iter()
+        .map(|k| {
+            dict.get(k as usize)
+                .cloned()
+                .ok_or(CodecError::Corrupt("pattern index out of dictionary"))
+        })
+        .collect::<Result<_, _>>()?;
+    let mut features = FeatureMatrix::with_capacity(total);
+    for col in features.scalars.iter_mut() {
+        *col = codec::decode_f64_column(&mut buf, Some(total))?;
+    }
+    for col in features.hit_rates.iter_mut() {
+        *col = codec::decode_f64_column(&mut buf, Some(total))?;
+    }
+    let cols = TraceColumns {
+        app,
+        rank,
+        nranks,
+        machine,
+        depth,
+        block_names,
+        block_files,
+        block_lines,
+        block_functions,
+        invocations,
+        iterations,
+        instr_start,
+        instr_index,
+        patterns,
+        features,
+    };
+    Ok(cols.to_trace())
+}
+
+/// Decodes the v1 body (everything after magic + version).
+fn decode_v1(mut buf: &[u8]) -> Result<TaskTrace, CodecError> {
     let app = get_str(&mut buf)?;
     need(buf, 8)?;
     let rank = buf.get_u32();

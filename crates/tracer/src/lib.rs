@@ -52,7 +52,9 @@
 
 #![warn(missing_docs)]
 
+pub mod codec;
 pub mod collect;
+pub mod columnar;
 pub mod io;
 pub mod memo;
 pub mod sig;
@@ -60,11 +62,12 @@ pub mod sig;
 pub use collect::{
     collect_ranks, collect_ranks_memo, collect_signature, collect_signature_memo,
     collect_signature_with, collect_task_trace, collect_task_trace_memo, rank_stream_seed,
-    TracerConfig,
+    rank_stream_seed_for, TracerConfig,
 };
+pub use columnar::{FeatureMatrix, TraceColumns, SCALAR_FEATURES};
 pub use io::{
-    from_bytes, load_json, parse_json, save_json, to_bytes, CodecError, IoError, JSON_FORMAT,
-    JSON_VERSION,
+    from_bytes, load_json, parse_json, save_json, to_bytes, to_bytes_v1, v1_encoded_len,
+    CodecError, IoError, JSON_FORMAT, JSON_VERSION,
 };
 pub use memo::SigMemo;
 pub use sig::{AppSignature, BlockRecord, FeatureId, FeatureVector, InstrRecord, TaskTrace};

@@ -9,8 +9,8 @@ use xtrace_apps::SpecfemProxy;
 use xtrace_ir::SourceLoc;
 use xtrace_machine::presets;
 use xtrace_tracer::{
-    collect_ranks, collect_task_trace, from_bytes, to_bytes, BlockRecord, FeatureVector,
-    InstrRecord, TaskTrace, TracerConfig,
+    codec, collect_ranks, collect_task_trace, from_bytes, to_bytes, to_bytes_v1, BlockRecord,
+    FeatureVector, InstrRecord, TaskTrace, TracerConfig,
 };
 
 fn arb_feature_vector() -> impl Strategy<Value = FeatureVector> {
@@ -162,20 +162,36 @@ proptest! {
         let cfg = TracerConfig {
             max_sampled_refs_per_block: 1 << 14,
             seed,
+            ..TracerConfig::default()
         };
         let ranks = [0u32, 1, 3];
-        let run = |n: usize| {
+        let run = |n: usize, c: &TracerConfig| {
             let pool = rayon::ThreadPoolBuilder::new()
                 .num_threads(n)
                 .build()
                 .expect("pool");
-            pool.install(|| collect_ranks(&app, &ranks, 8, &machine, &cfg))
+            pool.install(|| collect_ranks(&app, &ranks, 8, &machine, c))
         };
-        let one_thread = run(1);
-        let many_threads = run(threads);
-        let again = run(threads);
+        let one_thread = run(1, &cfg);
+        let many_threads = run(threads, &cfg);
+        let again = run(threads, &cfg);
         prop_assert_eq!(&one_thread, &many_threads);
         prop_assert_eq!(&one_thread, &again);
+
+        // The streaming (ring-buffered) path must be equally invariant
+        // and bit-identical to the direct-sink path, at any thread count
+        // and any chunk capacity.
+        let direct = TracerConfig {
+            stream_chunk_refs: 0,
+            ..cfg
+        };
+        prop_assert_eq!(&run(threads, &direct), &one_thread);
+        let tiny_chunks = TracerConfig {
+            stream_chunk_refs: 37,
+            ..cfg
+        };
+        prop_assert_eq!(&run(1, &tiny_chunks), &one_thread);
+        prop_assert_eq!(&run(threads, &tiny_chunks), &one_thread);
 
         // The single-task path must be just as repeatable, and must agree
         // with the fan-out's per-rank result.
@@ -183,5 +199,82 @@ proptest! {
         let t2 = collect_task_trace(&app, 1, 8, &machine, &cfg);
         prop_assert_eq!(&t1, &t2);
         prop_assert_eq!(&t1, &one_thread[1]);
+    }
+}
+
+proptest! {
+    /// The delta/RLE column codec is an exact inverse on arbitrary
+    /// randomized u64 streams (addresses are the worst case: unordered,
+    /// wrapping deltas in both directions).
+    #[test]
+    fn rle_delta_codec_roundtrips_random_streams(vals in proptest::collection::vec(any::<u64>(), 0..2048)) {
+        let mut b = bytes::BytesMut::new();
+        codec::encode_u64_column(&vals, &mut b);
+        let mut buf = &b[..];
+        let back = codec::decode_u64_column(&mut buf, Some(vals.len())).unwrap();
+        prop_assert_eq!(back, vals);
+        prop_assert!(buf.is_empty(), "decoder must consume the column exactly");
+    }
+
+    /// Same identity for f64 columns, bit-for-bit (features are floats).
+    #[test]
+    fn rle_delta_codec_roundtrips_f64_columns(vals in proptest::collection::vec(any::<f64>(), 0..1024)) {
+        let mut b = bytes::BytesMut::new();
+        codec::encode_f64_column(&vals, &mut b);
+        let back = codec::decode_f64_column(&mut &b[..], Some(vals.len())).unwrap();
+        prop_assert_eq!(back.len(), vals.len());
+        for (a, v) in back.iter().zip(&vals) {
+            prop_assert_eq!(a.to_bits(), v.to_bits());
+        }
+    }
+
+    /// Truncating an encoded column anywhere yields an error, never a
+    /// silently short or wrong column.
+    #[test]
+    fn rle_delta_codec_rejects_truncations(vals in proptest::collection::vec(any::<u64>(), 1..512), frac in 0.0f64..1.0) {
+        let mut b = bytes::BytesMut::new();
+        codec::encode_u64_column(&vals, &mut b);
+        let cut = ((b.len() as f64) * frac) as usize;
+        if cut < b.len() {
+            prop_assert!(codec::decode_u64_column(&mut &b[..cut], Some(vals.len())).is_err());
+        }
+    }
+
+    /// Pathological all-constant runs: arbitrary value, arbitrary length,
+    /// constant size on the wire.
+    #[test]
+    fn all_constant_streams_compress_to_constant_size(v in any::<u64>(), n in 1usize..4096) {
+        let vals = vec![v; n];
+        let mut b = bytes::BytesMut::new();
+        codec::encode_u64_column(&vals, &mut b);
+        prop_assert!(b.len() <= 26, "constant column of {n} took {} bytes", b.len());
+        let back = codec::decode_u64_column(&mut &b[..], Some(n)).unwrap();
+        prop_assert_eq!(back, vals);
+    }
+
+    /// Pathological all-distinct streams (no two equal deltas): overhead
+    /// stays within the documented per-value bound.
+    #[test]
+    fn all_distinct_streams_stay_bounded(seed in any::<u64>()) {
+        let vals: Vec<u64> = (0..1024u64)
+            .map(|i| (seed ^ i).wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(31))
+            .collect();
+        let mut b = bytes::BytesMut::new();
+        codec::encode_u64_column(&vals, &mut b);
+        prop_assert!(
+            b.len() <= codec::MAX_BYTES_PER_VALUE * vals.len() + 10,
+            "distinct column took {} bytes", b.len()
+        );
+        let back = codec::decode_u64_column(&mut &b[..], Some(vals.len())).unwrap();
+        prop_assert_eq!(back, vals);
+    }
+
+    /// v2 is never larger than v1 by more than a whisker on arbitrary
+    /// traces, and both decode to the same trace.
+    #[test]
+    fn v2_envelope_agrees_with_v1(trace in arb_trace()) {
+        let v1 = to_bytes_v1(&trace);
+        let v2 = to_bytes(&trace);
+        prop_assert_eq!(from_bytes(&v1).unwrap(), from_bytes(&v2).unwrap());
     }
 }
