@@ -98,6 +98,12 @@ print(f"trace smoke: {len(events)} trace events, "
       f"{len(diag['elements'])} diagnosed elements, all required keys present")
 PY
 
+echo "== concurrent-engine smoke (two sessions, one process, golden diff) =="
+# Two pipeline sessions running concurrently in one process must each
+# stay bit-identical to the single-session goldens (prediction and
+# masked metrics) — scoped observability contexts, no counter bleed.
+cargo run -q --release --offline --example concurrent_smoke
+
 echo "== wide-collection smoke (--ranks-per-count, bounded ring memory) =="
 cargo run -q --release --offline -p xtrace-cli -- pipeline \
     --app specfem3d --scale tiny --machine cray-xt5 \

@@ -45,6 +45,7 @@ pub use specfem::{SpecfemConfig, SpecfemProxy};
 pub use stencil::{StencilConfig, StencilProxy};
 pub use uh3d::{Uh3dConfig, Uh3dProxy};
 
+use xtrace_obs::ObsContext;
 use xtrace_spmd::{CommProfile, MpiProfiler, NetworkModel, SpmdApp};
 
 /// Convenience layer over [`SpmdApp`] shared by the proxies.
@@ -60,9 +61,17 @@ pub trait ProxyApp: SpmdApp {
 
     /// Runs the lightweight MPI profiling pass (PSiNSTracer analog) at
     /// `nranks`: identifies the most computationally demanding task and
-    /// summarizes its communication events.
+    /// summarizes its communication events. Telemetry lands on the ambient
+    /// observability context; use [`ProxyApp::comm_profile_obs`] from
+    /// session-scoped code.
     fn comm_profile(&self, nranks: u32) -> CommProfile {
-        MpiProfiler::default().profile(self.as_spmd(), nranks, &self.profiling_net())
+        self.comm_profile_obs(nranks, &ObsContext::ambient())
+    }
+
+    /// [`ProxyApp::comm_profile`] recording the profiling simulation into
+    /// an explicit observability context.
+    fn comm_profile_obs(&self, nranks: u32, obs: &ObsContext) -> CommProfile {
+        MpiProfiler::default().profile_obs(self.as_spmd(), nranks, &self.profiling_net(), obs)
     }
 }
 

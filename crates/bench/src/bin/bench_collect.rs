@@ -47,8 +47,8 @@ use xtrace_machine::MachineProfile;
 use xtrace_psins::{relative_error, try_predict_runtime};
 use xtrace_spmd::{MpiProfiler, RankEvent, SpmdApp};
 use xtrace_tracer::{
-    collect_ranks_memo, collect_task_trace, rank_stream_seed, to_bytes, v1_encoded_len, SigMemo,
-    TaskTrace, TracerConfig,
+    collect_ranks_memo, collect_ranks_memo_obs, collect_task_trace, rank_stream_seed, to_bytes,
+    v1_encoded_len, SigMemo, TaskTrace, TracerConfig,
 };
 
 #[derive(Serialize)]
@@ -392,21 +392,21 @@ fn main() {
         memo.misses()
     );
 
-    // Leg 4: the streaming + memo path at wide ranks-per-count, under an
-    // installed recorder so the tracer's ring gauges are captured.
+    // Leg 4: the streaming + memo path at wide ranks-per-count, under a
+    // scoped recorder context so the tracer's ring gauges are captured.
     let recorder = xtrace_obs::Recorder::new();
     let wide_metrics = recorder.metrics();
+    let wide_obs = xtrace_obs::ObsContext::with_recorder(recorder);
     let wide_memo = SigMemo::new();
     let t0 = Instant::now();
-    let wide_traces: Vec<Vec<TaskTrace>> = {
-        let _guard = xtrace_obs::install(recorder);
-        pool.install(|| {
-            wide_rank_sets
-                .iter()
-                .map(|(p, ranks)| collect_ranks_memo(&app, ranks, *p, &machine, &cfg, &wide_memo))
-                .collect()
-        })
-    };
+    let wide_traces: Vec<Vec<TaskTrace>> = pool.install(|| {
+        wide_rank_sets
+            .iter()
+            .map(|(p, ranks)| {
+                collect_ranks_memo_obs(&app, ranks, *p, &machine, &cfg, &wide_memo, &wide_obs)
+            })
+            .collect()
+    });
     let wide_wall = t0.elapsed().as_secs_f64();
     let wide_refs: u64 = wide_rank_sets
         .iter()

@@ -114,12 +114,12 @@ fn run_journaled(quick: bool) -> (PipelineReport, JournalSnapshot) {
 
 fn disabled_ns_per_op(iters: u64) -> f64 {
     assert!(
-        xtrace_obs::current().is_none(),
+        !xtrace_obs::ObsContext::ambient().enabled(),
         "microbench must see the disabled path"
     );
     let t0 = Instant::now();
     for i in 0..iters {
-        let m = xtrace_obs::metrics();
+        let m = xtrace_obs::ObsContext::ambient().metrics();
         m.counter("bench.disabled").add(std::hint::black_box(i) & 1);
     }
     t0.elapsed().as_secs_f64() * 1e9 / iters as f64

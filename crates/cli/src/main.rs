@@ -63,7 +63,7 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use xtrace_core::{
-    make_app, make_machine, FormSet, Pipeline, PipelineConfig, StageKind, StageObserver,
+    make_app, make_machine, FormSet, PipelineConfig, StageKind, StageObserver, XtraceEngine,
     XtraceError,
 };
 use xtrace_extrap::{extrapolate_signature_detailed, ExtrapolationConfig, FitReport};
@@ -418,21 +418,25 @@ fn pipeline_config(args: &Args) -> Result<PipelineConfig> {
 
 /// Writes the observability artifacts shared by `pipeline` and `report`:
 /// `--metrics-out` (snapshot JSON), `--trace-out` (Chrome trace), and
-/// `--diagnostics-out` (fit diagnostics JSON).
+/// `--diagnostics-out` (fit diagnostics JSON). `metrics` and `journal`
+/// are the *run's own* snapshots (from its [`xtrace_core::EngineOutcome`]),
+/// so sequential or concurrent runs in one process can never bleed
+/// counters into each other's output.
 fn write_obs_outputs(
     args: &Args,
     report: &xtrace_core::PipelineReport,
-    recorder: &std::sync::Arc<xtrace_obs::Recorder>,
+    metrics: &xtrace_obs::Snapshot,
+    journal: Option<&xtrace_obs::JournalSnapshot>,
 ) -> Result<()> {
     if let Some(path) = args.get("metrics-out") {
-        write_file(path, recorder.snapshot().to_json() + "\n")?;
+        write_file(path, metrics.to_json() + "\n")?;
         eprintln!("wrote metrics to {path}");
     }
     if let Some(path) = args.get("trace-out") {
-        let journal = recorder.journal_snapshot().ok_or_else(|| {
+        let journal = journal.ok_or_else(|| {
             XtraceError::Model("--trace-out needs the event journal (internal error)".into())
         })?;
-        write_file(path, xtrace_obs::chrome_trace(&journal) + "\n")?;
+        write_file(path, xtrace_obs::chrome_trace(journal) + "\n")?;
         eprintln!("wrote Chrome trace to {path} (open in https://ui.perfetto.dev)");
     }
     if let Some(path) = args.get("diagnostics-out") {
@@ -460,27 +464,15 @@ fn cmd_pipeline(args: &Args) -> Result<()> {
             )))
         }
     };
-    let want_journal = args.get("trace-out").is_some();
-    let want_recorder = metrics_table
-        || want_journal
-        || args.get("metrics-out").is_some()
-        || args.get("diagnostics-out").is_some();
-
-    let mut pipeline = Pipeline::new(config)?.with_observer(Box::new(EprintObserver));
+    // One engine per invocation: every run gets its own scoped
+    // observability context, so the snapshots written below are this
+    // run's and nothing else's.
+    let mut engine = XtraceEngine::new();
     if let Some(dir) = args.get("store") {
-        pipeline = pipeline.with_store(dir)?;
+        engine = engine.with_store(dir)?;
     }
-    let recorder = if want_journal {
-        Some(xtrace_obs::Recorder::with_journal())
-    } else if want_recorder {
-        Some(xtrace_obs::Recorder::new())
-    } else {
-        None
-    };
-    if let Some(rec) = &recorder {
-        pipeline = pipeline.with_recorder(rec.clone());
-    }
-    let report = pipeline.run()?;
+    let outcome = engine.run_with_observer(&config, Some(Box::new(EprintObserver)))?;
+    let report = outcome.report;
 
     if let Some(v) = &report.validation {
         println!(
@@ -525,12 +517,10 @@ fn cmd_pipeline(args: &Args) -> Result<()> {
         write_file(path, body + "\n")?;
         eprintln!("wrote prediction to {path}");
     }
-    if let Some(rec) = &recorder {
-        if metrics_table {
-            eprintln!("{}", rec.snapshot().render_table());
-        }
-        write_obs_outputs(args, &report, rec)?;
+    if metrics_table {
+        eprintln!("{}", outcome.metrics.render_table());
     }
+    write_obs_outputs(args, &report, &outcome.metrics, outcome.journal.as_ref())?;
     Ok(())
 }
 
@@ -545,15 +535,15 @@ fn cmd_report(args: &Args) -> Result<()> {
         .unwrap_or("5")
         .parse()
         .map_err(|_| usage_err("--top must be an integer"))?;
-    let mut pipeline = Pipeline::new(config)?.with_observer(Box::new(EprintObserver));
+    let mut engine = XtraceEngine::new();
     if let Some(dir) = args.get("store") {
-        pipeline = pipeline.with_store(dir)?;
+        engine = engine.with_store(dir)?;
     }
-    let recorder = xtrace_obs::Recorder::with_journal();
-    pipeline = pipeline.with_recorder(recorder.clone());
-    let report = pipeline.run()?;
-    let journal = recorder
-        .journal_snapshot()
+    let outcome = engine.run_with_observer(&config, Some(Box::new(EprintObserver)))?;
+    let report = outcome.report;
+    let journal = outcome
+        .journal
+        .clone()
         .unwrap_or_else(|| xtrace_obs::JournalSnapshot {
             events: Vec::new(),
             dropped: 0,
@@ -672,7 +662,7 @@ fn cmd_report(args: &Args) -> Result<()> {
             report.cache_hits, report.cache_misses
         );
     }
-    write_obs_outputs(args, &report, &recorder)?;
+    write_obs_outputs(args, &report, &outcome.metrics, outcome.journal.as_ref())?;
     Ok(())
 }
 

@@ -11,6 +11,7 @@ use serde::{Deserialize, Serialize};
 use xtrace_apps::{ProxyApp, SpecfemProxy, StencilProxy, Uh3dProxy};
 use xtrace_extrap::{CanonicalForm, ExtrapolationConfig};
 use xtrace_machine::{presets, MachineProfile};
+use xtrace_obs::ObsContext;
 use xtrace_spmd::{CommProfile, SpmdApp};
 use xtrace_tracer::TracerConfig;
 
@@ -192,6 +193,7 @@ impl PipelineConfig {
             tracer,
             extrap,
             store: None,
+            obs: ObsContext::disabled(),
         })
     }
 }
@@ -255,6 +257,14 @@ pub trait PipelineApp {
     fn spmd(&self) -> &dyn SpmdApp;
     /// The MPI-profiling pass at `nranks`.
     fn comm(&self, nranks: u32) -> CommProfile;
+    /// The MPI-profiling pass at `nranks`, reporting into an explicit
+    /// observability context. The default ignores the context so that
+    /// hand-written `PipelineApp` impls keep compiling; [`ProxyApp`]s
+    /// route their simulation counters into it.
+    fn comm_obs(&self, nranks: u32, obs: &ObsContext) -> CommProfile {
+        let _ = obs;
+        self.comm(nranks)
+    }
 }
 
 impl<T: ProxyApp> PipelineApp for T {
@@ -263,6 +273,9 @@ impl<T: ProxyApp> PipelineApp for T {
     }
     fn comm(&self, nranks: u32) -> CommProfile {
         self.comm_profile(nranks)
+    }
+    fn comm_obs(&self, nranks: u32, obs: &ObsContext) -> CommProfile {
+        self.comm_profile_obs(nranks, obs)
     }
 }
 
@@ -283,6 +296,10 @@ pub struct PipelineCtx {
     pub extrap: ExtrapolationConfig,
     /// Artifact store for resume-as-cache-hit, when attached.
     pub store: Option<crate::store::ArtifactStore>,
+    /// The run's observability context. Stages emit metrics, journal
+    /// events, and spans through this handle — never through the ambient
+    /// process default — so concurrent runs in one process stay isolated.
+    pub obs: ObsContext,
 }
 
 impl std::fmt::Debug for PipelineCtx {
@@ -296,6 +313,7 @@ impl std::fmt::Debug for PipelineCtx {
             .field("tracer", &self.tracer)
             .field("extrap", &self.extrap)
             .field("store", &self.store)
+            .field("obs", &self.obs)
             .finish()
     }
 }

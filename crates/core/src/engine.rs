@@ -1,0 +1,242 @@
+//! The multi-client session engine.
+//!
+//! [`Pipeline`](crate::Pipeline) executes one run for one caller;
+//! [`XtraceEngine`] serves *many* callers from one process. It owns the
+//! shared resources — a [sharded, cached artifact
+//! store](crate::store::ShardedCache) and a fresh [`ObsContext`] per cold
+//! run — and adds **request coalescing**: concurrent [`XtraceEngine::run`]
+//! calls with the same [config hash](PipelineConfig::config_hash) await a
+//! single pipeline execution and share its [`EngineOutcome`], instead of
+//! racing N identical collections. The config hash already fingerprints
+//! every output-relevant field, so it is exactly the right coalescing key:
+//! two configs may share a flight if and only if they would file the same
+//! artifacts.
+//!
+//! Sessions stay observably isolated: every cold run gets its own
+//! journal-enabled recorder, so each outcome carries the metrics and
+//! journal of *its* execution only — never counters bled in from a
+//! neighboring session. A coalesced caller receives a copy of the leader's
+//! snapshot (the execution that actually produced its result), flagged
+//! with [`EngineOutcome::coalesced`].
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+use xtrace_obs::{JournalSnapshot, ObsContext, Recorder, Snapshot};
+
+use crate::config::PipelineConfig;
+use crate::error::{Result, XtraceError};
+use crate::pipeline::{Pipeline, PipelineReport};
+use crate::stage::StageObserver;
+use crate::store::ArtifactStore;
+
+/// Everything one engine-run produced: the pipeline's report plus the
+/// run's own observability snapshots.
+#[derive(Debug, Clone)]
+pub struct EngineOutcome {
+    /// The pipeline result.
+    pub report: PipelineReport,
+    /// Metrics snapshot of the execution that produced `report` — scoped
+    /// to that run, no cross-session bleed.
+    pub metrics: Snapshot,
+    /// Event journal of the producing execution.
+    pub journal: Option<JournalSnapshot>,
+    /// `true` when this caller joined another caller's in-flight
+    /// execution instead of running the pipeline itself.
+    pub coalesced: bool,
+}
+
+/// One in-flight execution that followers can await.
+#[derive(Default)]
+struct Flight {
+    /// `None` until the leader publishes; then the shared outcome
+    /// (`coalesced` still `false` — followers flip their copy).
+    slot: Mutex<Option<std::result::Result<EngineOutcome, String>>>,
+    cv: Condvar,
+    /// Callers currently parked on `cv` (observability for tests and
+    /// load-shedding heuristics).
+    waiters: AtomicUsize,
+}
+
+/// A process-wide pipeline service: shared cached store, per-run
+/// observability contexts, and request coalescing keyed by config hash.
+///
+/// ```
+/// use xtrace_core::{PipelineConfig, XtraceEngine};
+///
+/// let engine = XtraceEngine::new();
+/// let cfg = PipelineConfig::builder("stencil3d", "opteron", vec![2, 4, 8], 32)
+///     .fast_tracer(true)
+///     .validate(false)
+///     .build();
+/// let outcome = engine.run(&cfg)?;
+/// assert!(outcome.report.prediction.total_seconds > 0.0);
+/// assert!(!outcome.coalesced);
+/// // The run's metrics are its own:
+/// assert!(outcome.metrics.counters["tracer.blocks_simulated"] > 0);
+/// # Ok::<(), xtrace_core::XtraceError>(())
+/// ```
+pub struct XtraceEngine {
+    store: Option<ArtifactStore>,
+    inflight: Mutex<HashMap<String, Arc<Flight>>>,
+}
+
+impl Default for XtraceEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl XtraceEngine {
+    /// An engine with no artifact store: every cold run recomputes.
+    pub fn new() -> Self {
+        Self {
+            store: None,
+            inflight: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Attaches a shared artifact store rooted at `root`, opened with the
+    /// in-memory [sharded cache](crate::store::ShardedCache) so concurrent
+    /// sessions serve repeated artifacts from memory.
+    pub fn with_store(mut self, root: impl Into<PathBuf>) -> Result<Self> {
+        self.store = Some(ArtifactStore::open_shared(root)?);
+        Ok(self)
+    }
+
+    /// The engine's shared store, when one is attached.
+    pub fn store(&self) -> Option<&ArtifactStore> {
+        self.store.as_ref()
+    }
+
+    /// Distinct config hashes currently executing.
+    pub fn in_flight(&self) -> usize {
+        self.inflight
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// Callers currently parked waiting to coalesce onto another
+    /// caller's execution.
+    pub fn waiting(&self) -> usize {
+        self.inflight
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .values()
+            .map(|f| f.waiters.load(Ordering::Acquire))
+            .sum()
+    }
+
+    /// Runs `config` through the pipeline, coalescing with any identical
+    /// in-flight request.
+    ///
+    /// The first caller for a given config hash (the *leader*) executes
+    /// the pipeline under a fresh journal-enabled [`ObsContext`]; callers
+    /// that arrive while it is running await the same execution and get a
+    /// clone of its outcome with [`EngineOutcome::coalesced`] set. Calls
+    /// arriving after completion start a new flight — with a store
+    /// attached, that re-run resolves as cache hits.
+    pub fn run(&self, config: &PipelineConfig) -> Result<EngineOutcome> {
+        self.run_with_observer(config, None)
+    }
+
+    /// [`XtraceEngine::run`] with a progress observer.
+    ///
+    /// The observer sees stage callbacks only if this caller becomes the
+    /// leader; a coalesced caller returns without stage-level progress
+    /// (its work happened on another caller's observer).
+    pub fn run_with_observer(
+        &self,
+        config: &PipelineConfig,
+        observer: Option<Box<dyn StageObserver>>,
+    ) -> Result<EngineOutcome> {
+        let key = config.config_hash();
+        let (flight, leader) = {
+            let mut map = self.inflight.lock().unwrap_or_else(PoisonError::into_inner);
+            match map.get(&key) {
+                Some(flight) => {
+                    // Registered before the map lock drops, so the leader
+                    // can observe every follower that will coalesce.
+                    flight.waiters.fetch_add(1, Ordering::AcqRel);
+                    (Arc::clone(flight), false)
+                }
+                None => {
+                    let flight = Arc::new(Flight::default());
+                    map.insert(key.clone(), Arc::clone(&flight));
+                    (flight, true)
+                }
+            }
+        };
+
+        if leader {
+            let result = self.execute(config, observer);
+            // Retire the flight before publishing: a caller arriving now
+            // starts a fresh flight (and, with a store, resumes warm)
+            // rather than receiving a stale outcome forever.
+            self.inflight
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .remove(&key);
+            let shared = match &result {
+                Ok(outcome) => Ok(outcome.clone()),
+                Err(e) => Err(e.to_string()),
+            };
+            *flight.slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(shared);
+            flight.cv.notify_all();
+            result
+        } else {
+            let mut slot = flight.slot.lock().unwrap_or_else(PoisonError::into_inner);
+            while slot.is_none() {
+                slot = flight.cv.wait(slot).unwrap_or_else(PoisonError::into_inner);
+            }
+            flight.waiters.fetch_sub(1, Ordering::AcqRel);
+            match slot.as_ref() {
+                Some(Ok(outcome)) => Ok(EngineOutcome {
+                    coalesced: true,
+                    ..outcome.clone()
+                }),
+                Some(Err(message)) => Err(XtraceError::Model(format!(
+                    "coalesced pipeline failed: {message}"
+                ))),
+                None => unreachable!("loop exits only when the slot is filled"),
+            }
+        }
+    }
+
+    /// One cold execution under a fresh scoped context.
+    fn execute(
+        &self,
+        config: &PipelineConfig,
+        observer: Option<Box<dyn StageObserver>>,
+    ) -> Result<EngineOutcome> {
+        let recorder = Recorder::with_journal();
+        let obs = ObsContext::with_recorder(Arc::clone(&recorder));
+        let mut pipeline = Pipeline::new(config.clone())?.with_obs(obs);
+        if let Some(store) = &self.store {
+            pipeline = pipeline.with_store_handle(store.clone());
+        }
+        if let Some(observer) = observer {
+            pipeline = pipeline.with_observer(observer);
+        }
+        let report = pipeline.run()?;
+        Ok(EngineOutcome {
+            report,
+            metrics: recorder.snapshot(),
+            journal: recorder.journal_snapshot(),
+            coalesced: false,
+        })
+    }
+}
+
+impl std::fmt::Debug for XtraceEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("XtraceEngine")
+            .field("store", &self.store)
+            .field("in_flight", &self.in_flight())
+            .field("waiting", &self.waiting())
+            .finish()
+    }
+}

@@ -20,8 +20,13 @@
 //! * [`stage`] — the five object-safe stage traits plus the paper-faithful
 //!   default implementations and the [`StageObserver`] progress hook.
 //! * [`store`] — the versioned [`ArtifactStore`], keyed by config hash,
-//!   reusing `xtrace-tracer`'s trace codecs.
+//!   reusing `xtrace-tracer`'s trace codecs; pluggable [`ArtifactBackend`]s
+//!   with a [sharded in-memory cache](store::ShardedCache) for concurrent
+//!   sessions.
 //! * [`pipeline`] — the [`Pipeline`] engine and its [`PipelineReport`].
+//! * [`engine`] — the multi-client [`XtraceEngine`]: one shared store,
+//!   per-run scoped [`xtrace_obs::ObsContext`]s, and request coalescing
+//!   of identical in-flight configs.
 //!
 //! ## Use as a library
 //!
@@ -41,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod engine;
 pub mod error;
 pub mod pipeline;
 pub mod stage;
@@ -50,10 +56,14 @@ pub use config::{
     make_app, make_machine, FormSet, PipelineApp, PipelineConfig, PipelineConfigBuilder,
     PipelineCtx,
 };
+pub use engine::{EngineOutcome, XtraceEngine};
 pub use error::{Result, XtraceError, EXIT_IO, EXIT_MODEL, EXIT_USAGE};
 pub use pipeline::{Pipeline, PipelineReport, StageTiming, Validation};
 pub use stage::{
     Collect, Convolve, DefaultCollect, DefaultConvolve, DefaultFit, DefaultSynthesize,
     DefaultValidate, Fit, NullObserver, StageKind, StageObserver, Synthesize, Validate,
 };
-pub use store::{ArtifactStore, STORE_FORMAT, STORE_VERSION};
+pub use store::{
+    ArtifactBackend, ArtifactStore, FileBackend, ShardStats, ShardedCache, STORE_FORMAT,
+    STORE_SHARDS, STORE_VERSION,
+};

@@ -115,7 +115,6 @@ impl StageObserver for Counting<'_> {
 pub struct Pipeline {
     ctx: PipelineCtx,
     observer: Box<dyn StageObserver>,
-    recorder: Option<std::sync::Arc<xtrace_obs::Recorder>>,
     collect: Box<dyn Collect>,
     fit: Box<dyn Fit>,
     synthesize: Box<dyn Synthesize>,
@@ -131,7 +130,6 @@ impl Pipeline {
         Ok(Self {
             ctx: config.resolve()?,
             observer: Box::new(NullObserver),
-            recorder: None,
             collect: Box::new(DefaultCollect),
             fit: Box::new(DefaultFit),
             synthesize: Box::new(DefaultSynthesize),
@@ -149,20 +147,34 @@ impl Pipeline {
         Ok(self)
     }
 
+    /// Attaches an already-open artifact store handle — the way
+    /// [`crate::XtraceEngine`] shares one cached store across sessions.
+    pub fn with_store_handle(mut self, store: ArtifactStore) -> Self {
+        self.ctx.store = Some(store);
+        self
+    }
+
     /// Installs a progress observer.
     pub fn with_observer(mut self, observer: Box<dyn StageObserver>) -> Self {
         self.observer = observer;
         self
     }
 
-    /// Attaches an observability recorder. For the duration of
-    /// [`Pipeline::run`] the recorder is also installed as the ambient
-    /// [`xtrace_obs`] recorder (process-global), so the hot kernels'
-    /// counters — sig-memo hits, fit wins per canonical form, rank
-    /// classes, convolve-cache hits, artifact-store traffic — land in the
-    /// same snapshot as the engine's per-stage spans.
-    pub fn with_recorder(mut self, recorder: std::sync::Arc<xtrace_obs::Recorder>) -> Self {
-        self.recorder = Some(recorder);
+    /// Attaches an observability recorder: shorthand for
+    /// [`Pipeline::with_obs`] with a context built around `recorder`.
+    /// The hot kernels' counters — sig-memo hits, fit wins per canonical
+    /// form, rank classes, convolve-cache hits, artifact-store traffic —
+    /// land in the same snapshot as the engine's per-stage spans. The
+    /// recorder is scoped to this run; nothing is installed
+    /// process-globally, so concurrent pipelines never share counters.
+    pub fn with_recorder(self, recorder: std::sync::Arc<xtrace_obs::Recorder>) -> Self {
+        self.with_obs(xtrace_obs::ObsContext::with_recorder(recorder))
+    }
+
+    /// Attaches the observability context every stage, kernel, and store
+    /// access of this run reports into.
+    pub fn with_obs(mut self, obs: xtrace_obs::ObsContext) -> Self {
+        self.ctx.obs = obs;
         self
     }
 
@@ -214,6 +226,15 @@ impl Pipeline {
         if self.custom_collect {
             self.ctx.store = None;
         }
+        // Bind the store's counters to this run's context, so `store.*`
+        // metrics land in the run's snapshot even when other runs share
+        // the store handle. Without a context the store keeps its
+        // ambient-metrics fallback.
+        if self.ctx.obs.enabled() {
+            if let Some(store) = self.ctx.store.take() {
+                self.ctx.store = Some(store.with_obs(self.ctx.obs.clone()));
+            }
+        }
         let hash = self.ctx.config_hash.clone();
         let engine_store = if self.custom_downstream {
             None
@@ -227,10 +248,10 @@ impl Pipeline {
         };
         let mut timings = Vec::with_capacity(5);
 
-        // Observability: while the run is in flight the recorder is the
-        // ambient one, so kernel counters land next to the stage spans.
-        let recorder = self.recorder.clone();
-        let _ambient = recorder.clone().map(xtrace_obs::install);
+        // Observability: stages and kernels all receive ctx.obs, so every
+        // counter lands next to this run's stage spans — no process-global
+        // state, and concurrent runs stay isolated.
+        let recorder = self.ctx.obs.recorder().cloned();
         if let Some(rec) = &recorder {
             // Pre-register the headline counters so every snapshot carries
             // them (reading zero when the run never touches that path —
@@ -256,12 +277,9 @@ impl Pipeline {
         }
         // Journal: wall-clock begin/end per stage on the "pipeline" lane
         // (the no-op handle when the recorder has no journal). Stage
-        // kernels emit their own fine-grained events through the ambient
-        // handle while the recorder is installed.
-        let journal = recorder
-            .as_ref()
-            .map(|rec| rec.journal())
-            .unwrap_or_default();
+        // kernels emit their own fine-grained events through the same
+        // context.
+        let journal = self.ctx.obs.journal();
         let run_start = Instant::now();
         journal.begin(xtrace_obs::STAGE_PARENT, "pipeline", &[]);
         let stage_begin = |stage: StageKind| {

@@ -12,10 +12,11 @@
 //! Stage implementations report progress through a [`StageObserver`];
 //! the engine adds wall-clock timing per stage on top.
 
-use xtrace_extrap::{fit_signature, synthesize_from_fit, SignatureFit};
-use xtrace_psins::{ground_truth, relative_error, try_predict_runtime, Prediction};
+use xtrace_extrap::{fit_signature_obs, synthesize_from_fit, SignatureFit};
+use xtrace_psins::{ground_truth_obs, relative_error, try_predict_runtime, Prediction};
 use xtrace_tracer::{
-    collect_signature_memo, collect_signature_with, collect_task_trace_memo, SigMemo, TaskTrace,
+    collect_signature_memo_obs, collect_signature_with_obs, collect_task_trace_memo_obs, SigMemo,
+    TaskTrace,
 };
 
 use crate::config::PipelineCtx;
@@ -153,7 +154,7 @@ pub struct DefaultCollect;
 
 impl Collect for DefaultCollect {
     fn collect(&self, ctx: &PipelineCtx, obs: &mut dyn StageObserver) -> Result<Vec<TaskTrace>> {
-        let recorder = xtrace_obs::current();
+        let recorder = ctx.obs.recorder().cloned();
         // One memo across the whole training sweep: identical block
         // simulations recur across core counts (and across ranks within a
         // count), and memoization is result-identical, so this only trades
@@ -174,8 +175,14 @@ impl Collect for DefaultCollect {
             let trace = match cached {
                 Some(trace) => trace,
                 None => {
-                    let sig =
-                        collect_signature_memo(ctx.app.spmd(), p, &ctx.machine, &ctx.tracer, &memo);
+                    let sig = collect_signature_memo_obs(
+                        ctx.app.spmd(),
+                        p,
+                        &ctx.machine,
+                        &ctx.tracer,
+                        &memo,
+                        &ctx.obs,
+                    );
                     obs.progress(
                         StageKind::Collect,
                         &format!(
@@ -203,13 +210,14 @@ impl Collect for DefaultCollect {
                             continue;
                         }
                     }
-                    let worker = collect_task_trace_memo(
+                    let worker = collect_task_trace_memo_obs(
                         ctx.app.spmd(),
                         r,
                         p,
                         &ctx.machine,
                         &ctx.tracer,
                         Some(&memo),
+                        &ctx.obs,
                     );
                     if let Some(store) = &ctx.store {
                         store.put_trace(&ctx.config_hash, &artifact, &worker)?;
@@ -224,7 +232,7 @@ impl Collect for DefaultCollect {
         }
         // Memo totals are scheduling-invariant: misses equal the number of
         // unique block-simulation keys, hits the remainder.
-        let metrics = xtrace_obs::metrics();
+        let metrics = ctx.obs.metrics();
         metrics.counter("tracer.sig_memo.hits").add(memo.hits());
         metrics.counter("tracer.sig_memo.misses").add(memo.misses());
         // Guard the basis-point rate against zero-lookup runs (every
@@ -249,7 +257,7 @@ impl Fit for DefaultFit {
         obs: &mut dyn StageObserver,
         traces: &[TaskTrace],
     ) -> Result<SignatureFit> {
-        let fit = fit_signature(traces, ctx.config.target, &ctx.extrap)?;
+        let fit = fit_signature_obs(traces, ctx.config.target, &ctx.extrap, &ctx.obs)?;
         obs.progress(
             StageKind::Fit,
             &format!("fit {} feature elements", fit.fits.len()),
@@ -285,7 +293,7 @@ impl Convolve for DefaultConvolve {
         _obs: &mut dyn StageObserver,
         trace: &TaskTrace,
     ) -> Result<Prediction> {
-        let comm = ctx.app.comm(ctx.config.target);
+        let comm = ctx.app.comm_obs(ctx.config.target, &ctx.obs);
         Ok(try_predict_runtime(trace, &comm, &ctx.machine)?)
     }
 }
@@ -306,10 +314,11 @@ impl Validate for DefaultValidate {
             return Ok(None);
         }
         let target = ctx.config.target;
-        let sig = collect_signature_with(ctx.app.spmd(), target, &ctx.machine, &ctx.tracer);
+        let sig =
+            collect_signature_with_obs(ctx.app.spmd(), target, &ctx.machine, &ctx.tracer, &ctx.obs);
         obs.progress(StageKind::Validate, &format!("collected {target} cores"));
         let collected = try_predict_runtime(sig.longest_task(), &sig.comm, &ctx.machine)?;
-        let gt = ground_truth(ctx.app.spmd(), target, &ctx.machine, &ctx.tracer);
+        let gt = ground_truth_obs(ctx.app.spmd(), target, &ctx.machine, &ctx.tracer, &ctx.obs);
         obs.progress(StageKind::Validate, "measured ground truth");
         Ok(Some(Validation {
             extrapolated_error: relative_error(prediction.total_seconds, gt.total_seconds),

@@ -20,6 +20,7 @@
 
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use xtrace_obs::ObsContext;
 use xtrace_tracer::{FeatureId, TaskTrace, TraceColumns};
 
 use crate::fit::{fit_all, select_best_guarded, SelectionCriterion};
@@ -264,6 +265,17 @@ pub fn fit_signature(
     target: u32,
     cfg: &ExtrapolationConfig,
 ) -> Result<SignatureFit, ExtrapolationError> {
+    fit_signature_obs(traces, target, cfg, &ObsContext::ambient())
+}
+
+/// [`fit_signature`] recording fit telemetry into an explicit
+/// observability context.
+pub fn fit_signature_obs(
+    traces: &[TaskTrace],
+    target: u32,
+    cfg: &ExtrapolationConfig,
+    obs: &ObsContext,
+) -> Result<SignatureFit, ExtrapolationError> {
     if traces.len() < cfg.min_traces.max(1) {
         return Err(ExtrapolationError::TooFewTraces {
             got: traces.len(),
@@ -289,7 +301,14 @@ pub fn fit_signature(
     }
 
     let xs: Vec<f64> = sorted.iter().map(|t| f64::from(t.nranks)).collect();
-    Ok(fit_sorted(&sorted, &xs, f64::from(target), target, cfg))
+    Ok(fit_sorted(
+        &sorted,
+        &xs,
+        f64::from(target),
+        target,
+        cfg,
+        obs,
+    ))
 }
 
 /// Generic-series extrapolation: the same per-element methodology over an
@@ -343,7 +362,14 @@ pub fn extrapolate_series_detailed(
     }
     let xs: Vec<f64> = order.iter().map(|(x, _)| *x).collect();
     let out_nranks = sorted.last().expect("nonempty").nranks;
-    let fit = fit_sorted(&sorted, &xs, target_x, out_nranks, cfg);
+    let fit = fit_sorted(
+        &sorted,
+        &xs,
+        target_x,
+        out_nranks,
+        cfg,
+        &ObsContext::ambient(),
+    );
     let trace = synthesize_from_fit(&fit);
     Ok((trace, fit.fits))
 }
@@ -518,6 +544,7 @@ fn fit_sorted(
     tx: f64,
     out_nranks: u32,
     cfg: &ExtrapolationConfig,
+    obs: &ObsContext,
 ) -> SignatureFit {
     let base = *sorted.last().expect("nonempty");
     let feature_ids = FeatureId::all(base.depth);
@@ -557,29 +584,32 @@ fn fit_sorted(
     // the input series, so they are identical on the serial and parallel
     // paths; which path ran depends on the installed thread pool and is
     // therefore recorded under the scheduling-dependent prefix.
-    let obs = xtrace_obs::metrics();
-    if obs.enabled() {
-        obs.counter(if parallel {
-            "sched.extrap.parallel_fit_calls"
-        } else {
-            "sched.extrap.serial_fit_calls"
-        })
-        .incr();
-        obs.counter("extrap.elements_fit").add(fits.len() as u64);
+    let metrics = obs.metrics();
+    if metrics.enabled() {
+        metrics
+            .counter(if parallel {
+                "sched.extrap.parallel_fit_calls"
+            } else {
+                "sched.extrap.serial_fit_calls"
+            })
+            .incr();
+        metrics
+            .counter("extrap.elements_fit")
+            .add(fits.len() as u64);
         let mut wins: std::collections::BTreeMap<&'static str, u64> =
             std::collections::BTreeMap::new();
         for fit in &fits {
             *wins.entry(fit.model.form.label()).or_insert(0) += 1;
         }
         for (label, n) in wins {
-            obs.counter(&format!("extrap.fit_wins.{label}")).add(n);
+            metrics.counter(&format!("extrap.fit_wins.{label}")).add(n);
         }
     }
     // Journal: one instant per element fit decision. Emitted here, after
     // the (possibly parallel) fan-out reassembled in pair order, so the
     // stream order is deterministic; only the which-path-ran marker is
     // scheduling-dependent and carries the sched. prefix for masking.
-    let journal = xtrace_obs::journal();
+    let journal = obs.journal();
     if journal.enabled() {
         journal.instant(
             if parallel {

@@ -39,9 +39,9 @@ pub use analysis::{element_errors, summarize, ElementError, ErrorSummary};
 pub use cluster::{cluster_tasks, extrapolate_clusters, Clustering};
 pub use extrapolate::{
     diagnose_fit, extrapolate_series, extrapolate_series_detailed, extrapolate_signature,
-    extrapolate_signature_detailed, fit_signature, parallel_fit_enabled, synthesize_from_fit,
-    BlockModels, ElementFit, ExtrapolationConfig, ExtrapolationError, SignatureFit,
-    MIN_PAR_FIT_ELEMENTS,
+    extrapolate_signature_detailed, fit_signature, fit_signature_obs, parallel_fit_enabled,
+    synthesize_from_fit, BlockModels, ElementFit, ExtrapolationConfig, ExtrapolationError,
+    SignatureFit, MIN_PAR_FIT_ELEMENTS,
 };
 pub use fit::{fit_all, fit_form, select_best, select_best_guarded, SelectionCriterion};
 pub use forms::{CanonicalForm, FittedModel};

@@ -1,0 +1,179 @@
+//! Scoped observability contexts.
+//!
+//! [`ObsContext`] bundles a recorder (spans + metrics + journal) into one
+//! cheap-clone handle that callers thread *explicitly* through the
+//! pipeline and into every emission site. Unlike the deprecated ambient
+//! installation, a context is plain data: two pipelines in one process
+//! each carry their own context and never observe each other's counters,
+//! which is what makes the engine multi-client.
+//!
+//! The disabled context costs nothing: [`ObsContext::metrics`] on a
+//! disabled context returns [`Metrics::disabled`] (every handle a no-op)
+//! and [`ObsContext::journal`] returns [`JournalHandle::disabled`], so
+//! kernels keep the same "fetch handles once at entry" discipline they
+//! used with the ambient API.
+
+use std::sync::Arc;
+
+use crate::journal::{JournalHandle, JournalSnapshot};
+use crate::metrics::Metrics;
+use crate::span::Recorder;
+use crate::Snapshot;
+
+/// A scoped observability handle: recorder + metrics + journal as one
+/// cheap-clone value.
+///
+/// Thread it explicitly (function parameter, struct field) instead of
+/// installing a process-global recorder. Cloning is one `Arc` bump; the
+/// default context is disabled and every emission through it is a no-op.
+///
+/// ```
+/// use xtrace_obs::{ObsContext, Recorder};
+///
+/// let obs = ObsContext::with_recorder(Recorder::new());
+/// obs.metrics().counter("demo.events").add(2);
+/// assert_eq!(obs.snapshot().unwrap().counters["demo.events"], 2);
+///
+/// let off = ObsContext::disabled();
+/// off.metrics().counter("demo.events").add(2); // dropped
+/// assert!(off.snapshot().is_none());
+/// ```
+#[derive(Clone, Default)]
+pub struct ObsContext {
+    recorder: Option<Arc<Recorder>>,
+}
+
+impl ObsContext {
+    /// The no-op context: every metric, span, and journal emission through
+    /// it is dropped. Equivalent to `ObsContext::default()`.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self { recorder: None }
+    }
+
+    /// A context that records into `recorder`.
+    #[must_use]
+    pub fn with_recorder(recorder: Arc<Recorder>) -> Self {
+        Self {
+            recorder: Some(recorder),
+        }
+    }
+
+    /// A snapshot of the process-global ambient slot maintained by the
+    /// deprecated [`install`](crate::install) API.
+    ///
+    /// This is the bridge that lets un-migrated callers (the convenience
+    /// wrappers that don't take a context yet) keep their old behavior:
+    /// they pass `&ObsContext::ambient()` where migrated code passes an
+    /// explicit context. New code should construct contexts with
+    /// [`ObsContext::with_recorder`] instead.
+    #[must_use]
+    pub fn ambient() -> Self {
+        Self {
+            recorder: crate::ambient_recorder(),
+        }
+    }
+
+    /// Whether this context records anything.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.recorder.is_some()
+    }
+
+    /// The context's metrics registry, or the disabled registry. Fetch
+    /// once at kernel entry and carry the handles into loops.
+    #[inline]
+    #[must_use]
+    pub fn metrics(&self) -> Metrics {
+        match &self.recorder {
+            Some(rec) => rec.metrics(),
+            None => Metrics::disabled(),
+        }
+    }
+
+    /// The context's journal handle, or the disabled no-op handle (also
+    /// returned when the recorder was built without a journal). Check
+    /// [`JournalHandle::enabled`] before formatting event names.
+    #[inline]
+    #[must_use]
+    pub fn journal(&self) -> JournalHandle {
+        match &self.recorder {
+            Some(rec) => rec.journal(),
+            None => JournalHandle::disabled(),
+        }
+    }
+
+    /// The underlying recorder, for span emission.
+    #[must_use]
+    pub fn recorder(&self) -> Option<&Arc<Recorder>> {
+        self.recorder.as_ref()
+    }
+
+    /// Snapshot of everything recorded so far, if enabled.
+    #[must_use]
+    pub fn snapshot(&self) -> Option<Snapshot> {
+        self.recorder.as_ref().map(|rec| rec.snapshot())
+    }
+
+    /// Snapshot of the journal, if the recorder has one.
+    #[must_use]
+    pub fn journal_snapshot(&self) -> Option<JournalSnapshot> {
+        self.recorder
+            .as_ref()
+            .and_then(|rec| rec.journal_snapshot())
+    }
+}
+
+impl std::fmt::Debug for ObsContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObsContext")
+            .field("enabled", &self.enabled())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_context_drops_everything() {
+        let obs = ObsContext::disabled();
+        assert!(!obs.enabled());
+        obs.metrics().counter("c").add(7);
+        assert_eq!(obs.metrics().counter("c").get(), 0);
+        assert!(!obs.journal().enabled());
+        assert!(obs.snapshot().is_none());
+        assert!(obs.journal_snapshot().is_none());
+        assert!(!ObsContext::default().enabled());
+    }
+
+    #[test]
+    fn contexts_are_isolated() {
+        let a = ObsContext::with_recorder(Recorder::new());
+        let b = ObsContext::with_recorder(Recorder::new());
+        a.metrics().counter("c").add(1);
+        b.metrics().counter("c").add(10);
+        assert_eq!(a.snapshot().expect("enabled").counters["c"], 1);
+        assert_eq!(b.snapshot().expect("enabled").counters["c"], 10);
+    }
+
+    #[test]
+    fn clones_share_the_recorder() {
+        let obs = ObsContext::with_recorder(Recorder::new());
+        let other = obs.clone();
+        obs.metrics().counter("c").incr();
+        other.metrics().counter("c").incr();
+        assert_eq!(obs.snapshot().expect("enabled").counters["c"], 2);
+    }
+
+    #[test]
+    fn journal_flows_through_the_context() {
+        let obs = ObsContext::with_recorder(Recorder::with_journal());
+        let j = obs.journal();
+        assert!(j.enabled());
+        j.instant("ev", "lane", &[]);
+        let snap = obs.journal_snapshot().expect("journal present");
+        assert_eq!(snap.events.len(), 1);
+    }
+}

@@ -28,34 +28,33 @@
 //!   extrapolation distance) persisted through the artifact store and
 //!   rendered by `xtrace report`.
 //!
-//! ## The ambient recorder and the zero-cost default
+//! ## Scoped contexts and the zero-cost default
 //!
-//! Hot kernels (the cache-sim block loop, canonical-form fitting, the
-//! bulk-synchronous replay) live several layers below the pipeline engine
-//! and fan out across rayon pools, so handles cannot be threaded through
-//! every call without distorting public APIs. Instead a recorder may be
-//! **installed process-globally** ([`install`]); kernels ask for
-//! [`metrics`] *once at entry* and carry the handles into their loops.
-//! When nothing is installed, [`metrics`] is one relaxed atomic load and
-//! every handle is a no-op — the `NullRecorder` fast path; `bench_obs`
-//! bounds the end-to-end cost at <2% and asserts predictions are
-//! bit-identical with and without a live recorder.
-//!
-//! Installation is scoped by a guard so tests can't leak recorders:
+//! Observability is carried by an explicit [`ObsContext`] — a cheap-clone
+//! handle bundling recorder + metrics + journal — threaded through the
+//! pipeline and down into every emission site. Kernels fetch
+//! [`ObsContext::metrics`] *once at entry* and carry the handles into
+//! their loops. A disabled context makes every handle a no-op — the
+//! `NullRecorder` fast path; `bench_obs` bounds the end-to-end cost at
+//! <2% and asserts predictions are bit-identical with and without a live
+//! recorder. Because contexts are plain values, N pipelines in one
+//! process each record into their own snapshot with no shared state and
+//! no test serialization:
 //!
 //! ```
-//! let recorder = xtrace_obs::Recorder::new();
-//! {
-//!     let _guard = xtrace_obs::install(recorder.clone());
-//!     xtrace_obs::metrics().counter("demo.events").add(2);
-//! } // previous recorder (none) restored here
-//! assert_eq!(recorder.snapshot().counters["demo.events"], 2);
-//! assert!(!xtrace_obs::metrics().enabled());
+//! use xtrace_obs::{ObsContext, Recorder};
+//!
+//! let obs = ObsContext::with_recorder(Recorder::new());
+//! obs.metrics().counter("demo.events").add(2);
+//! assert_eq!(obs.snapshot().unwrap().counters["demo.events"], 2);
+//! assert!(!ObsContext::disabled().metrics().enabled());
 //! ```
 //!
-//! Because the recorder is process-global, concurrent pipelines in one
-//! process share whatever is installed; runs that need isolated snapshots
-//! (the golden tests) serialize installation.
+//! The historical process-global path ([`install`] / [`metrics`] /
+//! [`journal`]) is **deprecated**: it survives as a thin shim over a
+//! default ambient slot that un-migrated convenience wrappers read via
+//! [`ObsContext::ambient`]. New code should construct an engine-scoped
+//! context instead.
 //!
 //! ## Naming conventions
 //!
@@ -70,6 +69,7 @@
 #![warn(missing_docs)]
 
 mod chrome;
+mod context;
 mod diagnostics;
 mod export;
 mod journal;
@@ -77,6 +77,7 @@ mod metrics;
 mod span;
 
 pub use chrome::chrome_trace;
+pub use context::ObsContext;
 pub use diagnostics::{CandidateFit, ElementDiagnostics, FitDiagnostics};
 pub use export::{BucketCount, HistogramSnapshot, Snapshot};
 pub use journal::{
@@ -98,8 +99,19 @@ fn current_slot() -> std::sync::MutexGuard<'static, Option<Arc<Recorder>>> {
         .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
+/// The ambient default slot, read without touching the deprecated API so
+/// [`ObsContext::ambient`] and the shims stay warning-free internally.
+pub(crate) fn ambient_recorder() -> Option<Arc<Recorder>> {
+    if !ENABLED.load(Ordering::Acquire) {
+        return None;
+    }
+    current_slot().clone()
+}
+
 /// Installs `recorder` as the process-global ambient recorder and returns
 /// a guard; dropping the guard restores whatever was installed before.
+#[deprecated(note = "process-global recorders can't support concurrent sessions; \
+            thread an `ObsContext` explicitly (e.g. via `XtraceEngine`)")]
 #[must_use = "dropping the guard immediately uninstalls the recorder"]
 pub fn install(recorder: Arc<Recorder>) -> InstallGuard {
     let mut slot = current_slot();
@@ -109,16 +121,15 @@ pub fn install(recorder: Arc<Recorder>) -> InstallGuard {
 }
 
 /// The ambient recorder, if one is installed.
+#[deprecated(note = "use an explicit `ObsContext` and `ObsContext::recorder` instead")]
 pub fn current() -> Option<Arc<Recorder>> {
-    if !ENABLED.load(Ordering::Acquire) {
-        return None;
-    }
-    current_slot().clone()
+    ambient_recorder()
 }
 
 /// The ambient recorder's metrics registry, or the disabled registry when
 /// nothing is installed. The disabled path is one relaxed atomic load;
 /// call at kernel entry, hold the handles through the loops.
+#[deprecated(note = "use an explicit `ObsContext` and `ObsContext::metrics` instead")]
 #[inline]
 pub fn metrics() -> Metrics {
     if !ENABLED.load(Ordering::Relaxed) {
@@ -135,6 +146,7 @@ pub fn metrics() -> Metrics {
 /// a journal). Same cost contract as [`metrics`]: the disabled path is
 /// one relaxed atomic load, so emitters should check
 /// [`JournalHandle::enabled`] before formatting event names.
+#[deprecated(note = "use an explicit `ObsContext` and `ObsContext::journal` instead")]
 #[inline]
 pub fn journal() -> JournalHandle {
     if !ENABLED.load(Ordering::Relaxed) {
@@ -163,20 +175,25 @@ impl Drop for InstallGuard {
 mod tests {
     use super::*;
 
-    // Installation is process-global; serialize the tests that touch it.
-    static SERIAL: Mutex<()> = Mutex::new(());
-
+    // One test exercises the deprecated process-global shim end to end
+    // (stacked installs, disabled default, ambient bridge). Scoped
+    // contexts removed the old `SERIAL: Mutex<()>` — this is the only
+    // test in the workspace that touches the global slot, so nothing
+    // needs serializing anymore.
     #[test]
-    fn install_guard_restores_the_previous_recorder() {
-        let _serial = SERIAL
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+    #[allow(deprecated)]
+    fn deprecated_ambient_shim_still_scopes_and_restores() {
         assert!(!metrics().enabled());
+        let m = metrics();
+        m.counter("dropped").add(5);
+        assert_eq!(m.counter("dropped").get(), 0);
+
         let outer = Recorder::new();
         let inner = Recorder::new();
         {
             let _g1 = install(outer.clone());
             metrics().counter("c").incr();
+            assert!(ObsContext::ambient().enabled());
             {
                 let _g2 = install(inner.clone());
                 metrics().counter("c").add(10);
@@ -184,18 +201,8 @@ mod tests {
             metrics().counter("c").incr();
         }
         assert!(!metrics().enabled());
+        assert!(!ObsContext::ambient().enabled());
         assert_eq!(outer.snapshot().counters["c"], 2);
         assert_eq!(inner.snapshot().counters["c"], 10);
-    }
-
-    #[test]
-    fn metrics_is_disabled_without_an_installation() {
-        let _serial = SERIAL
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        let m = metrics();
-        assert!(!m.enabled());
-        m.counter("dropped").add(5);
-        assert_eq!(m.counter("dropped").get(), 0);
     }
 }

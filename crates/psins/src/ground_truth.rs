@@ -18,8 +18,9 @@ use serde::{Deserialize, Serialize};
 use xtrace_cache::CacheHierarchy;
 use xtrace_ir::AccessStream;
 use xtrace_machine::{MachineProfile, PrefetchState};
+use xtrace_obs::ObsContext;
 use xtrace_spmd::{MpiProfiler, RankEvent, SpmdApp};
-use xtrace_tracer::{collect_task_trace, rank_stream_seed_for, TracerConfig};
+use xtrace_tracer::{collect_task_trace_memo_obs, rank_stream_seed_for, TracerConfig};
 
 /// The execution-driven "measured" runtime.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -42,8 +43,20 @@ pub fn ground_truth(
     machine: &MachineProfile,
     cfg: &TracerConfig,
 ) -> GroundTruth {
-    let comm = MpiProfiler::default().profile(app, nranks, &machine.net);
-    let compute = ground_truth_for_rank(app, comm.longest_rank, nranks, machine, cfg);
+    ground_truth_obs(app, nranks, machine, cfg, &ObsContext::ambient())
+}
+
+/// [`ground_truth`] recording the profiling/collection telemetry into an
+/// explicit observability context.
+pub fn ground_truth_obs(
+    app: &dyn SpmdApp,
+    nranks: u32,
+    machine: &MachineProfile,
+    cfg: &TracerConfig,
+    obs: &ObsContext,
+) -> GroundTruth {
+    let comm = MpiProfiler::default().profile_obs(app, nranks, &machine.net, obs);
+    let compute = ground_truth_for_rank_obs(app, comm.longest_rank, nranks, machine, cfg, obs);
     let comm_seconds = comm.comm_seconds(&machine.net);
     GroundTruth {
         compute_seconds: compute,
@@ -66,6 +79,19 @@ pub fn ground_truth_for_rank(
     nranks: u32,
     machine: &MachineProfile,
     cfg: &TracerConfig,
+) -> f64 {
+    ground_truth_for_rank_obs(app, rank, nranks, machine, cfg, &ObsContext::ambient())
+}
+
+/// [`ground_truth_for_rank`] recording into an explicit observability
+/// context.
+pub fn ground_truth_for_rank_obs(
+    app: &dyn SpmdApp,
+    rank: u32,
+    nranks: u32,
+    machine: &MachineProfile,
+    cfg: &TracerConfig,
+    obs: &ObsContext,
 ) -> f64 {
     let rp = app.rank_program(rank, nranks);
     let mut cache = CacheHierarchy::try_new(machine.hierarchy.clone())
@@ -93,7 +119,7 @@ pub fn ground_truth_for_rank(
     }
 
     // FP time comes from the trace metadata (identical on both paths).
-    let trace = collect_task_trace(app, rank, nranks, machine, cfg);
+    let trace = collect_task_trace_memo_obs(app, rank, nranks, machine, cfg, None, obs);
 
     let mut compute_seconds = 0.0;
     for ((&block_id, &inv), record) in order.iter().zip(&invocations).zip(&trace.blocks) {

@@ -32,7 +32,9 @@ pub mod replay;
 #[allow(deprecated)] // the deprecated panicking forms stay re-exported until removal
 pub use energy::predict_energy;
 pub use energy::{try_predict_energy, EnergyPrediction};
-pub use ground_truth::{ground_truth, ground_truth_for_rank, GroundTruth};
+pub use ground_truth::{
+    ground_truth, ground_truth_for_rank, ground_truth_for_rank_obs, ground_truth_obs, GroundTruth,
+};
 #[allow(deprecated)] // the deprecated panicking forms stay re-exported until removal
 pub use predict::predict_runtime;
 pub use predict::{try_predict_runtime, BlockTime, Prediction};

@@ -26,6 +26,7 @@ use std::collections::HashMap;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use xtrace_machine::MachineProfile;
+use xtrace_obs::ObsContext;
 use xtrace_spmd::{ComputeModel, SimError, SimReport, SpmdApp, TimelineEntry};
 use xtrace_tracer::{TaskTrace, TracerConfig};
 
@@ -154,7 +155,7 @@ impl GroupComputeModel {
         nranks: u32,
         machine: &MachineProfile,
     ) -> Result<Self, PredictError> {
-        let tables = Self::convolve_all(groups, nranks, machine, None)?.0;
+        let tables = Self::convolve_all(groups, nranks, machine, None, &ObsContext::ambient())?.0;
         Ok(Self::from_tables(groups, nranks, tables))
     }
 
@@ -166,7 +167,19 @@ impl GroupComputeModel {
         machine: &MachineProfile,
         cache: &dyn ConvolveCache,
     ) -> Result<(Self, usize), PredictError> {
-        let (tables, hits) = Self::convolve_all(groups, nranks, machine, Some(cache))?;
+        Self::try_new_cached_obs(groups, nranks, machine, cache, &ObsContext::ambient())
+    }
+
+    /// [`GroupComputeModel::try_new_cached`] recording convolve telemetry
+    /// into an explicit observability context.
+    pub fn try_new_cached_obs(
+        groups: &[(TaskTrace, u64)],
+        nranks: u32,
+        machine: &MachineProfile,
+        cache: &dyn ConvolveCache,
+        obs: &ObsContext,
+    ) -> Result<(Self, usize), PredictError> {
+        let (tables, hits) = Self::convolve_all(groups, nranks, machine, Some(cache), obs)?;
         Ok((Self::from_tables(groups, nranks, tables), hits))
     }
 
@@ -177,6 +190,7 @@ impl GroupComputeModel {
         nranks: u32,
         machine: &MachineProfile,
         cache: Option<&dyn ConvolveCache>,
+        obs: &ObsContext,
     ) -> Result<(Vec<GroupBlockTimes>, usize), PredictError> {
         let covered: u64 = groups.iter().map(|(_, n)| n).sum();
         if covered < u64::from(nranks) {
@@ -224,13 +238,17 @@ impl GroupComputeModel {
         }
         // Observability: group and hit counts are input-determined (cache
         // probing happens serially above), never scheduling-dependent.
-        let obs = xtrace_obs::metrics();
-        if obs.enabled() {
-            obs.counter("psins.groups_convolved")
+        let metrics = obs.metrics();
+        if metrics.enabled() {
+            metrics
+                .counter("psins.groups_convolved")
                 .add(pending.len() as u64);
             if cache.is_some() {
-                obs.counter("psins.convolve_cache.hits").add(hits as u64);
-                obs.counter("psins.convolve_cache.misses")
+                metrics
+                    .counter("psins.convolve_cache.hits")
+                    .add(hits as u64);
+                metrics
+                    .counter("psins.convolve_cache.misses")
                     .add(pending.len() as u64);
             }
         }
@@ -238,7 +256,7 @@ impl GroupComputeModel {
         // after the possibly-parallel convolution reassembled in group
         // order) so the stream is deterministic. `cached` records whether
         // the group's table came from the convolve cache.
-        let journal = xtrace_obs::journal();
+        let journal = obs.journal();
         if journal.enabled() {
             let mut was_pending = vec![false; groups.len()];
             for &gi in &pending {

@@ -9,11 +9,12 @@
 //! convolved compute time.
 
 use serde::{Deserialize, Serialize};
+use xtrace_obs::ObsContext;
 
 use crate::compute::NominalComputeModel;
 use crate::event::{RankEvent, SpmdApp};
 use crate::net::NetworkModel;
-use crate::sim::simulate;
+use crate::sim::{try_simulate_with_obs, SimOptions};
 
 /// Communication event classes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -92,8 +93,26 @@ impl MpiProfiler {
     /// Profiles `app` at `nranks`, returning the communication profile of
     /// the most computationally demanding task.
     pub fn profile(&self, app: &dyn SpmdApp, nranks: u32, net: &NetworkModel) -> CommProfile {
+        self.profile_obs(app, nranks, net, &ObsContext::ambient())
+    }
+
+    /// [`MpiProfiler::profile`] recording the underlying nominal-rate
+    /// simulation into an explicit observability context.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same SPMD violations as [`crate::simulate`].
+    pub fn profile_obs(
+        &self,
+        app: &dyn SpmdApp,
+        nranks: u32,
+        net: &NetworkModel,
+        obs: &ObsContext,
+    ) -> CommProfile {
         let mut rates = self.rates;
-        let report = simulate(app, nranks, net, &mut rates);
+        let report =
+            try_simulate_with_obs(app, nranks, net, &mut rates, SimOptions::default(), obs)
+                .expect("SPMD simulation failed");
         let longest = report.most_computational_rank();
         let program = app.rank_program(longest, nranks);
         let events = program

@@ -40,6 +40,7 @@ use std::collections::HashMap;
 
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use xtrace_obs::ObsContext;
 
 use crate::compute::ComputeModel;
 use crate::event::{RankEvent, RankProgram, SpmdApp};
@@ -548,8 +549,21 @@ pub fn try_simulate_with(
     compute: &mut dyn ComputeModel,
     opts: SimOptions,
 ) -> Result<SimReport, SimError> {
+    try_simulate_with_obs(app, nranks, net, compute, opts, &ObsContext::ambient())
+}
+
+/// [`try_simulate_with`] recording into an explicit observability context
+/// ([`SimOptions`] is `Copy`, so the context travels as its own argument).
+pub fn try_simulate_with_obs(
+    app: &dyn SpmdApp,
+    nranks: u32,
+    net: &NetworkModel,
+    compute: &mut dyn ComputeModel,
+    opts: SimOptions,
+    obs: &ObsContext,
+) -> Result<SimReport, SimError> {
     let classes = RankClasses::try_from_app(app, nranks)?;
-    simulate_classes_inner(&classes, net, compute, opts, None)
+    simulate_classes_inner(&classes, net, compute, opts, None, obs)
 }
 
 /// Like [`try_simulate`], additionally recording the full replay timeline.
@@ -567,6 +581,7 @@ pub fn try_simulate_traced(
         compute,
         SimOptions::default(),
         Some(&mut |e| timeline.push(e)),
+        &ObsContext::ambient(),
     )?;
     Ok((report, timeline))
 }
@@ -589,7 +604,14 @@ pub fn try_simulate_programs(
     compute: &mut dyn ComputeModel,
 ) -> Result<SimReport, SimError> {
     let classes = RankClasses::try_from_programs(programs)?;
-    simulate_classes_inner(&classes, net, compute, SimOptions::default(), None)
+    simulate_classes_inner(
+        &classes,
+        net,
+        compute,
+        SimOptions::default(),
+        None,
+        &ObsContext::ambient(),
+    )
 }
 
 /// Like [`simulate_programs`], additionally recording the full replay
@@ -616,6 +638,7 @@ pub fn try_simulate_programs_traced(
         compute,
         SimOptions::default(),
         Some(&mut |e| timeline.push(e)),
+        &ObsContext::ambient(),
     )?;
     Ok((report, timeline))
 }
@@ -627,7 +650,19 @@ pub fn try_simulate_classes(
     compute: &mut dyn ComputeModel,
     opts: SimOptions,
 ) -> Result<SimReport, SimError> {
-    simulate_classes_inner(classes, net, compute, opts, None)
+    simulate_classes_inner(classes, net, compute, opts, None, &ObsContext::ambient())
+}
+
+/// [`try_simulate_classes`] recording into an explicit observability
+/// context.
+pub fn try_simulate_classes_obs(
+    classes: &RankClasses,
+    net: &NetworkModel,
+    compute: &mut dyn ComputeModel,
+    opts: SimOptions,
+    obs: &ObsContext,
+) -> Result<SimReport, SimError> {
+    simulate_classes_inner(classes, net, compute, opts, None, obs)
 }
 
 /// The frozen reference engine: walks every rank individually, charging
@@ -710,6 +745,7 @@ fn simulate_classes_inner(
     compute: &mut dyn ComputeModel,
     opts: SimOptions,
     mut record: Option<&mut dyn FnMut(TimelineEntry)>,
+    obs: &ObsContext,
 ) -> Result<SimReport, SimError> {
     classes.validate()?;
     let nranks = classes.assignment.len();
@@ -752,18 +788,20 @@ fn simulate_classes_inner(
     // Observability: class/group/event counts are functions of the input
     // alone; whether the chunked path runs depends on the installed thread
     // pool, so that lands under the scheduling-dependent prefix.
-    let obs = xtrace_obs::metrics();
-    if obs.enabled() {
-        obs.gauge("spmd.rank_classes").set(reps.len() as u64);
-        obs.gauge("spmd.compute_groups")
+    let metrics = obs.metrics();
+    if metrics.enabled() {
+        metrics.gauge("spmd.rank_classes").set(reps.len() as u64);
+        metrics
+            .gauge("spmd.compute_groups")
             .set(group_reps.len() as u64);
-        obs.counter("spmd.events_stepped").add(nevents as u64);
-        obs.counter(if par {
-            "sched.spmd.parallel_sims"
-        } else {
-            "sched.spmd.serial_sims"
-        })
-        .incr();
+        metrics.counter("spmd.events_stepped").add(nevents as u64);
+        metrics
+            .counter(if par {
+                "sched.spmd.parallel_sims"
+            } else {
+                "sched.spmd.serial_sims"
+            })
+            .incr();
     }
 
     // Journal: per-rank-class compute/exchange attribution on the
@@ -771,7 +809,7 @@ fn simulate_classes_inner(
     // emitted from the serial commit loop at the class's first member
     // rank — so the stream is deterministic and survives masking (the
     // wall timestamps are masked; start_s/end_s are simulation results).
-    let journal = xtrace_obs::journal();
+    let journal = obs.journal();
     let journal_on = journal.enabled();
     let (class_first, class_lanes): (Vec<u32>, Vec<String>) = if journal_on {
         let mut first = vec![u32::MAX; reps.len()];

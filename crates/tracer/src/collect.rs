@@ -25,6 +25,7 @@ use rayon::prelude::*;
 use xtrace_cache::{CacheHierarchy, LevelCounts};
 use xtrace_ir::{AccessRing, AccessStream, BlockId, InstrKind, MemOp};
 use xtrace_machine::MachineProfile;
+use xtrace_obs::ObsContext;
 use xtrace_spmd::{MpiProfiler, RankEvent, RankProgram, SpmdApp};
 
 use crate::memo::{block_sim_key, SigMemo};
@@ -95,10 +96,22 @@ pub fn collect_signature_with(
     machine: &MachineProfile,
     cfg: &TracerConfig,
 ) -> AppSignature {
+    collect_signature_with_obs(app, nranks, machine, cfg, &ObsContext::ambient())
+}
+
+/// [`collect_signature_with`] recording into an explicit observability
+/// context.
+pub fn collect_signature_with_obs(
+    app: &dyn SpmdApp,
+    nranks: u32,
+    machine: &MachineProfile,
+    cfg: &TracerConfig,
+    obs: &ObsContext,
+) -> AppSignature {
     // Journal: one wall-clock duration per collected core count. Emitted
     // from this serial entry point (never from the per-block rayon
     // fan-out below it), so the event order is deterministic.
-    let journal = xtrace_obs::journal();
+    let journal = obs.journal();
     if journal.enabled() {
         journal.begin(
             &format!("p{nranks}"),
@@ -106,8 +119,9 @@ pub fn collect_signature_with(
             &[("nranks", f64::from(nranks))],
         );
     }
-    let comm = MpiProfiler::default().profile(app, nranks, &machine.net);
-    let trace = collect_task_trace(app, comm.longest_rank, nranks, machine, cfg);
+    let comm = MpiProfiler::default().profile_obs(app, nranks, &machine.net, obs);
+    let trace =
+        collect_task_trace_memo_obs(app, comm.longest_rank, nranks, machine, cfg, None, obs);
     if journal.enabled() {
         journal.end(
             &format!("p{nranks}"),
@@ -135,7 +149,20 @@ pub fn collect_signature_memo(
     cfg: &TracerConfig,
     memo: &SigMemo,
 ) -> AppSignature {
-    let journal = xtrace_obs::journal();
+    collect_signature_memo_obs(app, nranks, machine, cfg, memo, &ObsContext::ambient())
+}
+
+/// [`collect_signature_memo`] recording into an explicit observability
+/// context.
+pub fn collect_signature_memo_obs(
+    app: &dyn SpmdApp,
+    nranks: u32,
+    machine: &MachineProfile,
+    cfg: &TracerConfig,
+    memo: &SigMemo,
+    obs: &ObsContext,
+) -> AppSignature {
+    let journal = obs.journal();
     let (hits_before, misses_before) = (memo.hits(), memo.misses());
     if journal.enabled() {
         journal.begin(
@@ -144,8 +171,16 @@ pub fn collect_signature_memo(
             &[("nranks", f64::from(nranks))],
         );
     }
-    let comm = MpiProfiler::default().profile(app, nranks, &machine.net);
-    let trace = collect_task_trace_memo(app, comm.longest_rank, nranks, machine, cfg, Some(memo));
+    let comm = MpiProfiler::default().profile_obs(app, nranks, &machine.net, obs);
+    let trace = collect_task_trace_memo_obs(
+        app,
+        comm.longest_rank,
+        nranks,
+        machine,
+        cfg,
+        Some(memo),
+        obs,
+    );
     if journal.enabled() {
         // The memo burst this count contributed. Totals are scheduling-
         // invariant (see DefaultCollect), so this survives masking.
@@ -196,9 +231,31 @@ pub fn collect_ranks_memo(
     cfg: &TracerConfig,
     memo: &SigMemo,
 ) -> Vec<TaskTrace> {
+    collect_ranks_memo_obs(
+        app,
+        ranks,
+        nranks,
+        machine,
+        cfg,
+        memo,
+        &ObsContext::ambient(),
+    )
+}
+
+/// [`collect_ranks_memo`] reporting into an explicit observability
+/// context (shared across the rank fan-out; `ObsContext` is `Sync`).
+pub fn collect_ranks_memo_obs(
+    app: &(dyn SpmdApp + Sync),
+    ranks: &[u32],
+    nranks: u32,
+    machine: &MachineProfile,
+    cfg: &TracerConfig,
+    memo: &SigMemo,
+    obs: &ObsContext,
+) -> Vec<TaskTrace> {
     ranks
         .par_iter()
-        .map(|&r| collect_task_trace_memo(app, r, nranks, machine, cfg, Some(memo)))
+        .map(|&r| collect_task_trace_memo_obs(app, r, nranks, machine, cfg, Some(memo), obs))
         .collect()
 }
 
@@ -260,6 +317,28 @@ pub fn collect_task_trace_memo(
     cfg: &TracerConfig,
     memo: Option<&SigMemo>,
 ) -> TaskTrace {
+    collect_task_trace_memo_obs(
+        app,
+        rank,
+        nranks,
+        machine,
+        cfg,
+        memo,
+        &ObsContext::ambient(),
+    )
+}
+
+/// [`collect_task_trace_memo`] recording block-simulation telemetry into
+/// an explicit observability context.
+pub fn collect_task_trace_memo_obs(
+    app: &dyn SpmdApp,
+    rank: u32,
+    nranks: u32,
+    machine: &MachineProfile,
+    cfg: &TracerConfig,
+    memo: Option<&SigMemo>,
+    obs: &ObsContext,
+) -> TaskTrace {
     let rp = app.rank_program(rank, nranks);
     let depth = machine.depth();
 
@@ -285,7 +364,7 @@ pub fn collect_task_trace_memo(
     // trace) identical at any thread count.
     let blocks = order
         .par_iter()
-        .map(|&(block_id, inv)| trace_block(&rp, block_id, inv, machine, cfg, rank_seed, memo))
+        .map(|&(block_id, inv)| trace_block(&rp, block_id, inv, machine, cfg, rank_seed, memo, obs))
         .collect();
 
     TaskTrace {
@@ -300,6 +379,7 @@ pub fn collect_task_trace_memo(
 
 /// Traces one folded block: sampled cache simulation (possibly memoized)
 /// plus exact dynamic counts.
+#[allow(clippy::too_many_arguments)]
 fn trace_block(
     rp: &RankProgram,
     block_id: BlockId,
@@ -308,6 +388,7 @@ fn trace_block(
     cfg: &TracerConfig,
     rank_seed: u64,
     memo: Option<&SigMemo>,
+    obs: &ObsContext,
 ) -> BlockRecord {
     let depth = machine.depth();
     let blk = rp.program.block(block_id);
@@ -332,9 +413,10 @@ fn trace_block(
             // memo hit never reaches this closure), so the per-reference
             // loop below stays untouched. Totals are scheduling-invariant:
             // the memo computes each unique key exactly once.
-            let obs = xtrace_obs::metrics();
-            obs.counter("tracer.blocks_simulated").incr();
-            obs.histogram("tracer.block_sample_refs")
+            let metrics = obs.metrics();
+            metrics.counter("tracer.blocks_simulated").incr();
+            metrics
+                .histogram("tracer.block_sample_refs")
                 .record(sample_iters.saturating_mul(refs_per_iter));
             let mut cache = CacheHierarchy::try_new(machine.hierarchy.clone())
                 .expect("machine profile carries a valid hierarchy");
@@ -377,9 +459,12 @@ fn trace_block(
                 // High-water marks for the bounded-memory CI assertion.
                 // Deterministic: occupancy depends only on the block's
                 // geometry and the configured capacity, never scheduling.
-                obs.gauge("tracer.ring.peak_refs")
+                metrics
+                    .gauge("tracer.ring.peak_refs")
                     .set_max(ring.peak() as u64);
-                obs.gauge("tracer.ring.capacity_refs").set_max(cap as u64);
+                metrics
+                    .gauge("tracer.ring.capacity_refs")
+                    .set_max(cap as u64);
             }
             counts
         };
@@ -859,14 +944,13 @@ mod tests {
     #[test]
     fn ring_occupancy_is_bounded_by_capacity() {
         let m = machine();
-        let recorder = xtrace_obs::Recorder::new();
-        let metrics = recorder.metrics();
-        let _guard = xtrace_obs::install(recorder);
+        let obs = ObsContext::with_recorder(xtrace_obs::Recorder::new());
+        let metrics = obs.metrics();
         let cfg = TracerConfig {
             stream_chunk_refs: 64,
             ..TracerConfig::fast()
         };
-        let _ = collect_task_trace(&TwoRegion, 0, 4, &m, &cfg);
+        let _ = collect_task_trace_memo_obs(&TwoRegion, 0, 4, &m, &cfg, None, &obs);
         let peak = metrics.gauge("tracer.ring.peak_refs").get();
         let cap = metrics.gauge("tracer.ring.capacity_refs").get();
         assert!(peak > 0, "streaming path must report an occupancy");

@@ -146,19 +146,26 @@ struct TraceEnvelope {
 
 /// Saves a trace as pretty-printed, versioned JSON.
 pub fn save_json(trace: &TaskTrace, path: &Path) -> Result<(), IoError> {
-    let envelope = TraceEnvelope {
-        format: JSON_FORMAT.to_string(),
-        version: JSON_VERSION,
-        trace: trace.clone(),
-    };
-    let s = serde_json::to_string_pretty(&envelope).map_err(|e| IoError::Parse {
+    let s = trace_json_string(trace).map_err(|message| IoError::Parse {
         path: path.to_path_buf(),
-        message: e.to_string(),
+        message,
     })?;
     fs::write(path, s).map_err(|source| IoError::Io {
         path: path.to_path_buf(),
         source,
     })
+}
+
+/// The versioned JSON envelope of `trace` as a string (the exact bytes
+/// [`save_json`] writes), for callers that sink through their own storage
+/// layer (the artifact store's backends).
+pub fn trace_json_string(trace: &TaskTrace) -> std::result::Result<String, String> {
+    let envelope = TraceEnvelope {
+        format: JSON_FORMAT.to_string(),
+        version: JSON_VERSION,
+        trace: trace.clone(),
+    };
+    serde_json::to_string_pretty(&envelope).map_err(|e| e.to_string())
 }
 
 /// Loads a JSON trace — either the current envelope or a bare legacy
@@ -206,10 +213,17 @@ pub fn parse_json(s: &str, path: &Path) -> Result<TaskTrace, IoError> {
 /// goes through the delta + run-length codec (`crate::codec`); pattern
 /// labels are dictionary-encoded. Real signatures shrink by an order of
 /// magnitude versus v1 because most columns are constant or
-/// arithmetic-ramp shaped. When an observability recorder is installed,
-/// the compressed and raw (v1-equivalent) byte counts are reported on the
-/// `tracer.codec.compressed_bytes` / `tracer.codec.raw_bytes` counters.
+/// arithmetic-ramp shaped. Codec byte counts are reported on the ambient
+/// observability context; use [`to_bytes_obs`] to direct them to an
+/// explicit one.
 pub fn to_bytes(trace: &TaskTrace) -> Bytes {
+    to_bytes_obs(trace, &xtrace_obs::ObsContext::ambient())
+}
+
+/// [`to_bytes`] reporting the compressed and raw (v1-equivalent) byte
+/// counts on `obs`'s `tracer.codec.compressed_bytes` /
+/// `tracer.codec.raw_bytes` counters.
+pub fn to_bytes_obs(trace: &TaskTrace, obs: &xtrace_obs::ObsContext) -> Bytes {
     let cols = TraceColumns::from_trace(trace);
     let mut b = BytesMut::with_capacity(1024);
     b.put_slice(MAGIC);
@@ -262,7 +276,7 @@ pub fn to_bytes(trace: &TaskTrace) -> Bytes {
     }
     let out = b.freeze();
 
-    let m = xtrace_obs::metrics();
+    let m = obs.metrics();
     if m.enabled() {
         m.counter("tracer.codec.compressed_bytes")
             .add(out.len() as u64);

@@ -60,14 +60,15 @@ pub mod memo;
 pub mod sig;
 
 pub use collect::{
-    collect_ranks, collect_ranks_memo, collect_signature, collect_signature_memo,
-    collect_signature_with, collect_task_trace, collect_task_trace_memo, rank_stream_seed,
-    rank_stream_seed_for, TracerConfig,
+    collect_ranks, collect_ranks_memo, collect_ranks_memo_obs, collect_signature,
+    collect_signature_memo, collect_signature_memo_obs, collect_signature_with,
+    collect_signature_with_obs, collect_task_trace, collect_task_trace_memo,
+    collect_task_trace_memo_obs, rank_stream_seed, rank_stream_seed_for, TracerConfig,
 };
 pub use columnar::{FeatureMatrix, TraceColumns, SCALAR_FEATURES};
 pub use io::{
-    from_bytes, load_json, parse_json, save_json, to_bytes, to_bytes_v1, v1_encoded_len,
-    CodecError, IoError, JSON_FORMAT, JSON_VERSION,
+    from_bytes, load_json, parse_json, save_json, to_bytes, to_bytes_obs, to_bytes_v1,
+    trace_json_string, v1_encoded_len, CodecError, IoError, JSON_FORMAT, JSON_VERSION,
 };
 pub use memo::SigMemo;
 pub use sig::{AppSignature, BlockRecord, FeatureId, FeatureVector, InstrRecord, TaskTrace};

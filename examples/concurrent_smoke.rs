@@ -1,0 +1,93 @@
+//! Concurrent-engine smoke: two pipeline sessions in **one process**,
+//! running at the same time, must each reproduce the committed goldens
+//! bit-for-bit.
+//!
+//! Each thread owns its own [`XtraceEngine`] session and runs the tiny
+//! SPECFEM3D configuration the golden files pin. Because observability is
+//! scoped per run (an `ObsContext` threaded through the stages, nothing
+//! installed process-globally), the two concurrent sessions may not
+//! perturb each other: both predictions must equal
+//! `tests/golden/specfem_tiny_prediction.json` and both masked metrics
+//! snapshots must equal `tests/golden/specfem_tiny_metrics.json` — the
+//! same files a *single*-session run is held to.
+//!
+//! Exits non-zero (with a diff summary on stderr) on any mismatch.
+//! `ci.sh` runs this as its concurrent smoke.
+//!
+//! Run with: `cargo run --release --example concurrent_smoke`
+
+use std::path::Path;
+
+use xtrace::core::{PipelineConfig, XtraceEngine};
+
+/// The tiny SPECFEM3D run every golden file pins.
+fn golden_config() -> PipelineConfig {
+    PipelineConfig::builder("specfem3d", "cray-xt5", vec![6, 24, 96], 384)
+        .scale("tiny")
+        .fast_tracer(true)
+        .validate(false)
+        .build()
+}
+
+fn golden(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {} ({e})", path.display()))
+}
+
+fn main() {
+    let golden_prediction = golden("specfem_tiny_prediction.json");
+    let golden_metrics = golden("specfem_tiny_metrics.json");
+
+    // Two independent sessions, concurrently, in this one process.
+    let outcomes = std::thread::scope(|scope| {
+        let sessions: Vec<_> = (0..2)
+            .map(|i| {
+                scope.spawn(move || {
+                    let engine = XtraceEngine::new();
+                    let outcome = engine
+                        .run(&golden_config())
+                        .unwrap_or_else(|e| panic!("session {i} failed: {e}"));
+                    (i, outcome)
+                })
+            })
+            .collect();
+        sessions
+            .into_iter()
+            .map(|s| s.join().expect("session thread panicked"))
+            .collect::<Vec<_>>()
+    });
+
+    let mut failures = 0u32;
+    for (i, outcome) in &outcomes {
+        let prediction = serde_json::to_string_pretty(&outcome.report.prediction)
+            .expect("prediction serializes");
+        if prediction != golden_prediction {
+            eprintln!("session {i}: prediction drifted from the golden");
+            failures += 1;
+        }
+        let metrics = outcome.metrics.masked().to_json();
+        if metrics != golden_metrics.trim_end_matches('\n') {
+            eprintln!("session {i}: masked metrics drifted from the golden");
+            failures += 1;
+        }
+        println!(
+            "session {i}: prediction ok, masked metrics ok ({} counters, {} spans){}",
+            outcome.metrics.counters.len(),
+            outcome.metrics.spans.len(),
+            if outcome.coalesced {
+                " [coalesced?!]"
+            } else {
+                ""
+            }
+        );
+        assert!(!outcome.coalesced, "independent sessions must not coalesce");
+    }
+    if failures > 0 {
+        eprintln!("concurrent smoke: {failures} golden mismatch(es)");
+        std::process::exit(1);
+    }
+    println!("concurrent smoke: 2 concurrent sessions, both bit-identical to the goldens");
+}

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Panic-free-library gate: fails if `unwrap()` or `panic!` appears in
 # library code of the Result-ified crates (tracer, extrap, psins, machine,
-# cache, cli, core, spmd, obs). Library errors must flow through the typed error
-# model (`xtrace_core::XtraceError` and the per-crate errors it wraps).
+# cache, cli, core, spmd, obs, apps). Library errors must flow through the
+# typed error model (`xtrace_core::XtraceError` and the per-crate errors it
+# wraps).
 #
 # Allowlist, by construction rather than by enumeration:
 #   * unit-test modules — everything from the first `#[cfg(test)]` line to
@@ -18,7 +19,7 @@ cd "$(dirname "$0")/.."
 status=0
 for f in $(find crates/tracer/src crates/extrap/src crates/psins/src \
     crates/machine/src crates/cache/src crates/cli/src crates/core/src \
-    crates/spmd/src crates/obs/src -name '*.rs' | sort); do
+    crates/spmd/src crates/obs/src crates/apps/src -name '*.rs' | sort); do
     hits=$(awk '/#\[cfg\(test\)\]/{exit} {print FNR": "$0}' "$f" \
         | grep -v '^[0-9]*:[[:space:]]*//' \
         | grep 'unwrap()\|panic!' || true)

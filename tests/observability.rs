@@ -24,17 +24,16 @@
 //! flow), the masked journal and the fit diagnostics must be
 //! thread-invariant, and journaling must not perturb the prediction.
 
-use std::sync::Mutex;
-
 use proptest::prelude::*;
 use xtrace::core::{Pipeline, PipelineConfig, PipelineReport};
 use xtrace::obs::{
     chrome_trace, EventPhase, Journal, JournalSnapshot, Recorder, Snapshot, SCHED_EVENT_PREFIX,
 };
 
-// The ambient recorder is process-global; serialize the tests that
-// install one so concurrent test threads cannot cross-contaminate.
-static SERIAL: Mutex<()> = Mutex::new(());
+// Recorders are scoped per pipeline (`Pipeline::with_recorder` builds a
+// run-local `ObsContext`; nothing is installed process-globally), so these
+// tests run concurrently without cross-contaminating each other's
+// counters — the serialization mutex this file used to need is gone.
 
 /// Same tiny SPECFEM3D run as the golden-prediction test: three training
 /// counts, no validation stage, light tracer sampling.
@@ -78,9 +77,6 @@ fn trace_golden_path() -> std::path::PathBuf {
 
 #[test]
 fn masked_metrics_snapshot_matches_committed_golden() {
-    let _serial = SERIAL
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner);
     let (_, snapshot) = run_recorded();
     let actual = snapshot.masked().to_json();
 
@@ -108,9 +104,6 @@ fn masked_metrics_snapshot_matches_committed_golden() {
 
 #[test]
 fn masked_metrics_are_thread_invariant() {
-    let _serial = SERIAL
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner);
     let run_at = |threads: usize| {
         let pool = rayon::ThreadPoolBuilder::new()
             .num_threads(threads)
@@ -130,9 +123,6 @@ fn masked_metrics_are_thread_invariant() {
 
 #[test]
 fn recording_does_not_perturb_the_prediction() {
-    let _serial = SERIAL
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner);
     let plain = Pipeline::new(tiny_config()).unwrap().run().unwrap();
     let (recorded, snapshot) = run_recorded();
     // Bit-identical, not approximately equal: serialize both and compare
@@ -150,9 +140,6 @@ fn recording_does_not_perturb_the_prediction() {
 
 #[test]
 fn masked_trace_json_matches_committed_golden() {
-    let _serial = SERIAL
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner);
     let (_, _, journal) = run_journaled();
     let actual = chrome_trace(&journal.masked());
 
@@ -180,9 +167,6 @@ fn masked_trace_json_matches_committed_golden() {
 
 #[test]
 fn masked_journal_and_fit_diagnostics_are_thread_invariant() {
-    let _serial = SERIAL
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner);
     let run_at = |threads: usize| {
         let pool = rayon::ThreadPoolBuilder::new()
             .num_threads(threads)
@@ -216,9 +200,6 @@ fn masked_journal_and_fit_diagnostics_are_thread_invariant() {
 
 #[test]
 fn journaling_does_not_perturb_the_prediction() {
-    let _serial = SERIAL
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner);
     let plain = Pipeline::new(tiny_config()).unwrap().run().unwrap();
     let (journaled, _, journal) = run_journaled();
     assert_eq!(
